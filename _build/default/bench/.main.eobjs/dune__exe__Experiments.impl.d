@@ -1,0 +1,1 @@
+bench/experiments.ml: Analyze Bag Baggen Balg Bignat Derived Encodings Eval Expr Format Fun List Pebble Poly Polyab Printf Ralg Random Rewrite String Turing Ty Typecheck Value

@@ -1,0 +1,136 @@
+(* bench/main.exe — runs the full experiment harness (every table and figure
+   of the paper, sections E1..E19) and then a Bechamel timing suite with one
+   benchmark per experiment family. *)
+
+open Balg
+open Bechamel
+open Toolkit
+
+let staged = Staged.stage
+
+(* Pre-built workloads, shared by the timing closures. *)
+
+let rng = Random.State.make [| 20260705 |]
+
+let bag12 =
+  Value.bag_of_list
+    (List.init 12 (fun i -> Value.Tuple [ Value.Atom (Printf.sprintf "t%02d" i) ]))
+
+let binary20 = Baggen.Genval.flat_bag rng ~n_atoms:6 ~arity:2 ~size:20 ~max_count:3
+
+let graph8 = Baggen.Genval.graph rng ~n:8 ~p:0.3
+
+let rel10 =
+  Value.bag_of_list
+    (List.init 10 (fun i -> Value.Tuple [ Value.Atom (Printf.sprintf "e%02d" i) ]))
+
+let leq10 = Baggen.Genval.leq_relation rel10
+
+let eval_closed e = Eval.eval (Eval.env_of_list []) e
+
+let selfjoin_q = Derived.selfjoin (Expr.lit binary20 (Ty.relation 2))
+let tc_q = Derived.transitive_closure (Expr.lit graph8 (Ty.relation 2))
+
+let parity_q =
+  Derived.parity_even (Expr.lit rel10 (Ty.relation 1)) (Expr.lit leq10 (Ty.relation 2))
+
+let card_q =
+  Derived.card_gt_paper (Expr.lit rel10 (Ty.relation 1)) (Expr.lit rel10 (Ty.relation 1))
+
+let even_formula =
+  Encodings.Arith.(Exists (Eq (TAdd (TVar 1, TVar 1), TInput)))
+
+let pushdown_env = Typecheck.env_of_list [ ("R", Ty.relation 1); ("S", Ty.relation 2) ]
+
+let pushdown_raw =
+  Expr.Select
+    ( "x",
+      Expr.Proj (1, Expr.Var "x"),
+      Expr.atom "a",
+      Expr.Product (Expr.Var "R", Expr.Var "S") )
+
+let pushdown_opt = fst (Rewrite.normalize pushdown_env pushdown_raw)
+
+let pushdown_inst =
+  Eval.env_of_list
+    [
+      ("R", Baggen.Genval.flat_bag rng ~n_atoms:8 ~arity:1 ~size:30 ~max_count:2);
+      ("S", Baggen.Genval.flat_bag rng ~n_atoms:8 ~arity:2 ~size:30 ~max_count:2);
+    ]
+
+let polyab_expr = Expr.(Expr.proj_attrs [ 1 ] (Var "B" *** Var "B") -- Var "B")
+
+let parse_input = Expr.to_string tc_q
+
+let tests =
+  Test.make_grouped ~name:"balg" ~fmt:"%s/%s"
+    [
+      Test.make ~name:"e01 powerset (12 distinct)"
+        (staged (fun () -> ignore (Bag.powerset bag12)));
+      Test.make ~name:"e02 destroy-powerset"
+        (staged (fun () -> ignore (Bag.destroy (Bag.powerset bag12))));
+      Test.make ~name:"e05 self-join eval (20 tuples)"
+        (staged (fun () -> ignore (eval_closed selfjoin_q)));
+      Test.make ~name:"e06 polynomial abstraction"
+        (staged (fun () -> ignore (Polyab.analyze ~input:"B" polyab_expr)));
+      Test.make ~name:"e08 cardinality comparison"
+        (staged (fun () -> ignore (eval_closed card_q)));
+      Test.make ~name:"e09 parity with order (card 10)"
+        (staged (fun () -> ignore (eval_closed parity_q)));
+      Test.make ~name:"e13 arith compile+eval (bound 6)"
+        (staged (fun () ->
+             ignore
+               (Encodings.Arith.holds_via_algebra ~bound:6 ~input:6 even_formula)));
+      Test.make ~name:"e16 tm-ifp parity (n=3)"
+        (staged (fun () ->
+             ignore
+               (Encodings.Tmifp.accepts Turing.Tm.parity_even ~space:5
+                  (Turing.Tm.unary 3))));
+      Test.make ~name:"e17 transitive closure (n=8)"
+        (staged (fun () -> ignore (eval_closed tc_q)));
+      Test.make ~name:"e18 selection raw"
+        (staged (fun () -> ignore (Eval.eval pushdown_inst pushdown_raw)));
+      Test.make ~name:"e18 selection pushed down"
+        (staged (fun () -> ignore (Eval.eval pushdown_inst pushdown_opt)));
+      Test.make ~name:"lang parse (TC query)"
+        (staged (fun () -> ignore (Baglang.Parser.expr_of_string parse_input)));
+      Test.make ~name:"e20 group-by via nest (20 tuples)"
+        (staged (fun () ->
+             ignore (eval_closed (Derived.group_count [ 1 ] (Expr.lit binary20 (Ty.relation 2))))));
+      Test.make ~name:"explain profiler overhead (self-join)"
+        (staged (fun () -> ignore (Explain.run selfjoin_q)));
+    ]
+
+let run_benchmarks () =
+  print_endline "\n==========================================================";
+  print_endline " Bechamel timing suite (OLS estimate on the monotonic clock)";
+  print_endline "==========================================================";
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.3) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let est =
+          match Analyze.OLS.estimates ols_result with
+          | Some [ e ] -> e
+          | _ -> nan
+        in
+        (name, est) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, est) ->
+      if est < 1_000. then Printf.printf "  %-48s %12.1f ns/run\n" name est
+      else if est < 1_000_000. then
+        Printf.printf "  %-48s %12.2f us/run\n" name (est /. 1_000.)
+      else Printf.printf "  %-48s %12.2f ms/run\n" name (est /. 1_000_000.))
+    (List.sort compare rows)
+
+let () =
+  Experiments.run_all ();
+  run_benchmarks ();
+  print_endline "\nAll experiments completed."

@@ -1,0 +1,165 @@
+(* balgi — the bag-algebra interpreter CLI.
+
+   Subcommands:
+     balgi eval      -d db.bagdb "pi[1](G * G)"     evaluate a query
+     balgi analyze   -d db.bagdb "powerset(R)"      static complexity report
+     balgi normalize -d db.bagdb "R /\ R"           rewrite to normal form
+     balgi repl      -d db.bagdb                    interactive loop *)
+
+open Balg
+module Parser = Baglang.Parser
+module Lexer = Baglang.Lexer
+module Bagdb = Baglang.Bagdb
+
+let load_db = function
+  | None -> []
+  | Some path -> Bagdb.load path
+
+let parse_query q =
+  try Parser.expr_of_string q with
+  | Parser.Parse_error (msg, pos) ->
+      Printf.eprintf "parse error at offset %d: %s\n" pos msg;
+      exit 1
+  | Lexer.Lex_error (msg, pos) ->
+      Printf.eprintf "lex error at offset %d: %s\n" pos msg;
+      exit 1
+
+let check db e =
+  try Typecheck.infer (Bagdb.type_env db) e with
+  | Typecheck.Type_error msg ->
+      Printf.eprintf "type error: %s\n" msg;
+      exit 1
+
+let eval_checked db e =
+  try Eval.eval (Bagdb.value_env db) e with
+  | Eval.Eval_error msg ->
+      Printf.eprintf "evaluation error: %s\n" msg;
+      exit 1
+  | Eval.Resource_limit msg | Bag.Too_large msg ->
+      Printf.eprintf "tractability guard: %s\n" msg;
+      exit 2
+
+(* --- subcommand bodies --------------------------------------------------- *)
+
+let run_eval db_path query =
+  let db = load_db db_path in
+  let e = parse_query query in
+  let ty = check db e in
+  let v = eval_checked db e in
+  Printf.printf "%s : %s\n" (Value.to_string v) (Ty.to_string ty)
+
+let run_analyze db_path query =
+  let db = load_db db_path in
+  let e = parse_query query in
+  ignore (check db e);
+  let report = Analyze.analyze (Bagdb.type_env db) e in
+  print_endline (Analyze.report_to_string report)
+
+let run_normalize db_path query =
+  let db = load_db db_path in
+  let e = parse_query query in
+  ignore (check db e);
+  let e', applied = Rewrite.normalize (Bagdb.type_env db) e in
+  Printf.printf "%s\n" (Expr.to_string e');
+  if applied <> [] then
+    Printf.printf "# rules applied: %s\n" (String.concat ", " applied)
+
+let run_explain db_path query =
+  let db = load_db db_path in
+  let e = parse_query query in
+  ignore (check db e);
+  (try
+     let v, profile = Explain.run ~env:(Bagdb.value_env db) e in
+     print_string (Explain.profile_to_string profile);
+     Printf.printf "result: %s\n" (Value.to_string v)
+   with
+  | Eval.Eval_error msg ->
+      Printf.eprintf "evaluation error: %s\n" msg;
+      exit 1
+  | Eval.Resource_limit msg | Bag.Too_large msg ->
+      Printf.eprintf "tractability guard: %s\n" msg;
+      exit 2)
+
+let run_repl db_path =
+  let db = load_db db_path in
+  List.iter
+    (fun (n, ty, v) ->
+      Printf.printf "loaded %s : %s (%s distinct elements)\n" n (Ty.to_string ty)
+        (string_of_int (Value.support_size v)))
+    db;
+  print_endline "balgi repl — enter queries, :q to quit";
+  let rec loop () =
+    print_string "balg> ";
+    match In_channel.input_line stdin with
+    | None | Some ":q" -> ()
+    | Some "" -> loop ()
+    | Some line ->
+        (try
+           let e = Parser.expr_of_string line in
+           let ty = Typecheck.infer (Bagdb.type_env db) e in
+           let v = Eval.eval (Bagdb.value_env db) e in
+           Printf.printf "%s : %s\n" (Value.to_string v) (Ty.to_string ty)
+         with
+        | Parser.Parse_error (msg, pos) ->
+            Printf.printf "parse error at offset %d: %s\n" pos msg
+        | Lexer.Lex_error (msg, pos) ->
+            Printf.printf "lex error at offset %d: %s\n" pos msg
+        | Typecheck.Type_error msg -> Printf.printf "type error: %s\n" msg
+        | Eval.Eval_error msg -> Printf.printf "evaluation error: %s\n" msg
+        | Eval.Resource_limit msg | Bag.Too_large msg ->
+            Printf.printf "tractability guard: %s\n" msg);
+        loop ()
+  in
+  loop ()
+
+(* --- cmdliner wiring ------------------------------------------------------ *)
+
+open Cmdliner
+
+let db_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "d"; "db" ] ~docv:"FILE" ~doc:"A .bagdb database file to load.")
+
+let query_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY")
+
+let eval_cmd =
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Typecheck and evaluate a query against a database.")
+    Term.(const run_eval $ db_arg $ query_arg)
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Report bag nesting, power nesting and the complexity class the \
+          paper's theorems assign to the query.")
+    Term.(const run_analyze $ db_arg $ query_arg)
+
+let normalize_cmd =
+  Cmd.v
+    (Cmd.info "normalize" ~doc:"Apply the bag-sound rewrite rules.")
+    Term.(const run_normalize $ db_arg $ query_arg)
+
+let explain_cmd =
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Evaluate with profiling: per-operator call counts and largest \
+          intermediate bag sizes.")
+    Term.(const run_explain $ db_arg $ query_arg)
+
+let repl_cmd =
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive query loop.")
+    Term.(const run_repl $ db_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "balgi" ~version:"1.0.0"
+       ~doc:"Interpreter for the Grumbach–Milo nested bag algebra (BALG).")
+    [ eval_cmd; analyze_cmd; normalize_cmd; explain_cmd; repl_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/aggregates.ml: Balg Bignat Derived Eval Expr List Printf Ty Value

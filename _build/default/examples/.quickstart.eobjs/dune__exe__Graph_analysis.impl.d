@@ -1,0 +1,1 @@
+examples/graph_analysis.ml: Analyze Balg Derived Eval Expr List Printf Ty Typecheck Value

@@ -1,0 +1,1 @@
+examples/pebble_demo.ml: Balg Eval Format List Pebble Printf

@@ -1,0 +1,1 @@
+examples/pebble_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analyze Baglang Balg Bignat Eval Expr List Printf Ty Typecheck Value

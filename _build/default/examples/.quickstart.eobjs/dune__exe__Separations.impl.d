@@ -1,0 +1,1 @@
+examples/separations.ml: Baggen Balg Derived Eval Expr List Poly Polyab Printf Random Ty Value

@@ -1,0 +1,1 @@
+examples/sql_demo.ml: Baglang Balg Bignat Eval Expr Printf Ty Value

@@ -1,0 +1,1 @@
+examples/turing_demo.ml: Analyze Balg Encodings Expr List Printf String Turing Ty Typecheck

@@ -1,0 +1,1 @@
+lib/bignat/bigint.ml: Bignat Format String

@@ -1,0 +1,1 @@
+lib/bignat/bigint.mli: Bignat Format

@@ -1,0 +1,1 @@
+lib/bignat/bignat.ml: Array Buffer Format Hashtbl List Printf Stdlib String

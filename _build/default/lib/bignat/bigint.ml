@@ -1,0 +1,55 @@
+(* Sign/magnitude representation; the canonical zero is [Pos Bignat.zero],
+   enforced by the smart constructor so equality is structural. *)
+
+type t = { negative : bool; mag : Bignat.t }
+
+let make negative mag =
+  if Bignat.is_zero mag then { negative = false; mag } else { negative; mag }
+
+let zero = make false Bignat.zero
+let one = make false Bignat.one
+let minus_one = make true Bignat.one
+let of_bignat m = make false m
+
+let of_int n =
+  if n >= 0 then make false (Bignat.of_int n) else make true (Bignat.of_int (-n))
+
+let to_bignat_opt x = if x.negative then None else Some x.mag
+let neg x = make (not x.negative) x.mag
+let abs x = x.mag
+let is_zero x = Bignat.is_zero x.mag
+
+let sign x = if Bignat.is_zero x.mag then 0 else if x.negative then -1 else 1
+
+let add a b =
+  match (a.negative, b.negative) with
+  | false, false -> make false (Bignat.add a.mag b.mag)
+  | true, true -> make true (Bignat.add a.mag b.mag)
+  | false, true ->
+      if Bignat.compare a.mag b.mag >= 0 then make false (Bignat.sub_exn a.mag b.mag)
+      else make true (Bignat.sub_exn b.mag a.mag)
+  | true, false ->
+      if Bignat.compare b.mag a.mag >= 0 then make false (Bignat.sub_exn b.mag a.mag)
+      else make true (Bignat.sub_exn a.mag b.mag)
+
+let sub a b = add a (neg b)
+let mul a b = make (a.negative <> b.negative) (Bignat.mul a.mag b.mag)
+
+let compare a b =
+  match (a.negative, b.negative) with
+  | false, true -> if is_zero a && is_zero b then 0 else 1
+  | true, false -> if is_zero a && is_zero b then 0 else -1
+  | false, false -> Bignat.compare a.mag b.mag
+  | true, true -> Bignat.compare b.mag a.mag
+
+let equal a b = compare a b = 0
+
+let to_string x =
+  if x.negative then "-" ^ Bignat.to_string x.mag else Bignat.to_string x.mag
+
+let of_string s =
+  if String.length s > 0 && s.[0] = '-' then
+    make true (Bignat.of_string (String.sub s 1 (String.length s - 1)))
+  else make false (Bignat.of_string s)
+
+let pp ppf x = Format.pp_print_string ppf (to_string x)

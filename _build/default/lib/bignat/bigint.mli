@@ -1,0 +1,34 @@
+(** Signed arbitrary-precision integers, as a thin sign/magnitude layer over
+    {!Bignat}.
+
+    Needed by the polynomial abstract interpreter (Prop 4.1 / 4.5): the
+    difference of two occurrence-count polynomials has integer coefficients
+    of either sign. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+val of_bignat : Bignat.t -> t
+val to_bignat_opt : t -> Bignat.t option
+(** [Some] magnitude when nonnegative. *)
+
+val of_string : string -> t
+val to_string : t -> string
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val abs : t -> Bignat.t
+
+val sign : t -> int
+(** -1, 0 or 1. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val pp : Format.formatter -> t -> unit

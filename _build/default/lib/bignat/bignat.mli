@@ -1,0 +1,115 @@
+(** Arbitrary-precision natural numbers.
+
+    Duplicate multiplicities in the bag algebra grow hyper-exponentially
+    (Proposition 3.2 of Grumbach & Milo: two nested powersets followed by two
+    bag-destroys already yield [2^((m+1)^k - 2) * (m+1)^k * m] occurrences),
+    so bag counts cannot be machine integers.  The sealed build environment
+    has no [zarith]; this module provides the subset of big-natural
+    arithmetic the interpreter needs, implemented with base-[10^9] limbs.
+
+    All values are immutable and canonical (no leading zero limbs), so
+    structural equality coincides with numeric equality. *)
+
+type t
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val two : t
+
+(** {1 Construction and destruction} *)
+
+val of_int : int -> t
+(** [of_int n] is the natural number [n].
+    @raise Invalid_argument if [n < 0]. *)
+
+val to_int_opt : t -> int option
+(** [to_int_opt n] is [Some i] when [n] fits in an OCaml [int]. *)
+
+val to_int_exn : t -> int
+(** Like {!to_int_opt} but raises [Failure] on overflow. *)
+
+val of_string : string -> t
+(** Parses a decimal numeral (optional leading [+], underscores allowed).
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+(** Decimal rendering without separators. *)
+
+val to_float : t -> float
+(** Approximate magnitude; [infinity] when out of float range. *)
+
+(** {1 Comparison} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val is_one : t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val hash : t -> int
+
+(** {1 Arithmetic} *)
+
+val add : t -> t -> t
+val succ : t -> t
+
+val monus : t -> t -> t
+(** Truncated subtraction: [monus a b = max 0 (a - b)].  This is exactly the
+    paper's bag-subtraction semantics on counts ([sup (0, p - q)]). *)
+
+val sub_exn : t -> t -> t
+(** Exact subtraction. @raise Invalid_argument if the result would be
+    negative. *)
+
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(a / b, a mod b)]. @raise Division_by_zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val pow : t -> int -> t
+(** [pow b e] is [b{^e}]. @raise Invalid_argument if [e < 0]. *)
+
+val pow2 : int -> t
+(** [pow2 k] is [2{^k}]. *)
+
+val hyper : int -> int -> t
+(** [hyper i n] is the height-[i] tower of exponentials used as the paper's
+    complexity yardstick: [hyper 0 n = n] and
+    [hyper (i+1) n = 2 ^ hyper i n].
+    @raise Invalid_argument if an intermediate exponent exceeds [int]
+    capacity (the value would not be representable in memory anyway). *)
+
+val binomial : int -> int -> t
+(** [binomial n k] is the exact binomial coefficient [C(n, k)] ([zero] when
+    [k < 0] or [k > n]).  Used for powerbag multiplicities. *)
+
+val is_even : t -> bool
+
+val gcd : t -> t -> t
+(** Greatest common divisor ([gcd 0 n = n]). *)
+
+val lcm : t -> t -> t
+(** Least common multiple ([lcm] with zero is zero). *)
+
+val factorial : int -> t
+(** [factorial n] is [n!]. @raise Invalid_argument if [n < 0]. *)
+
+val sum : t list -> t
+
+(** {1 Size probes} *)
+
+val digits : t -> int
+(** Number of decimal digits (1 for zero). *)
+
+val bits_upper : t -> int
+(** An upper bound on the binary length, cheap to compute; used by the
+    evaluator's resource guard. *)
+
+(** {1 Pretty printing} *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/analyze.ml: Expr Format Hashtbl List Option Printf String Typecheck

@@ -1,0 +1,1 @@
+lib/core/bag.ml: Bignat Hashtbl List Printf Value

@@ -1,0 +1,1 @@
+lib/core/bag.mli: Bignat Value

@@ -1,0 +1,1 @@
+lib/core/derived.ml: Bignat Expr List Option Ty Value

@@ -1,0 +1,1 @@
+lib/core/derived.mli: Expr Ty Value

@@ -1,0 +1,1 @@
+lib/core/eval.ml: Bag Bignat Expr Format List Map Printf String Value

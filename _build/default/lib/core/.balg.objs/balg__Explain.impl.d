@@ -1,0 +1,1 @@
+lib/core/explain.ml: Bag Bignat Eval Expr Format List Option Printf String Value

@@ -1,0 +1,1 @@
+lib/core/explain.mli: Bignat Eval Expr Format Value

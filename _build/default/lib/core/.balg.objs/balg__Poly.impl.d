@@ -1,0 +1,1 @@
+lib/core/poly.ml: Array Bigint Bignat Format

@@ -1,0 +1,1 @@
+lib/core/poly.mli: Bigint Bignat Format

@@ -1,0 +1,1 @@
+lib/core/polyab.ml: Bigint Bignat Eval Expr Format List Option Poly String Value

@@ -1,0 +1,1 @@
+lib/core/polyab.mli: Bignat Expr Poly Value

@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: Expr List Stdlib String Ty Typecheck Value

@@ -1,0 +1,1 @@
+lib/core/typecheck.ml: Expr Format List Map String Ty Value

@@ -1,0 +1,1 @@
+lib/core/value.ml: Bignat Format List Option Set String Ty

@@ -1,0 +1,140 @@
+(** Static complexity analysis of algebra expressions.
+
+    The paper measures queries along two axes: the {e bag nesting} of the
+    types used (the [k] of BALG{^ k}) and the {e power nesting} — the maximal
+    number of powerset operations on a path from the root of the expression
+    to a leaf (§6).  This module computes both, together with the feature
+    flags (powerbag, fixpoints) that change the classification, and places
+    the expression in the complexity class given by the paper's theorems:
+
+    - BALG{^1} ⊆ LOGSPACE (Theorem 4.4),
+    - BALG{^2} ⊆ PSPACE (Theorem 5.1),
+    - BALG{^3}{_i} ⊆ hyper(⌊i/2⌋)-SPACE (Theorem 6.2) and more generally
+      BALG{^k}{_((k−1)/(k−2))i} ⊆ hyper(i)-SPACE (Proposition 6.3),
+    - BALG{^k}{_i} + Pb ⊆ hyper(i−1)-SPACE (Proposition 6.4),
+    - BALG{^k} + IFP is Turing complete for k ≥ 2 (Theorem 6.6). *)
+
+type cclass =
+  | Logspace
+  | Ptime_bounded_fix
+      (** bounded fixpoint over BALG{^1}: inflationary iteration within a
+          polynomial-size bound (§6 end; transitive closure lives here) *)
+  | Pspace
+  | Hyper_space of int  (** contained in hyper(i)-SPACE *)
+  | Elementary
+  | Turing_complete
+
+let pp_cclass ppf = function
+  | Logspace -> Format.pp_print_string ppf "LOGSPACE (Thm 4.4)"
+  | Ptime_bounded_fix ->
+      Format.pp_print_string ppf "PTIME via bounded fixpoint (§6)"
+  | Pspace -> Format.pp_print_string ppf "PSPACE (Thm 5.1)"
+  | Hyper_space i -> Format.fprintf ppf "hyper(%d)-SPACE (Thm 6.2/Prop 6.3-6.4)" i
+  | Elementary -> Format.pp_print_string ppf "elementary (Thm 6.1/6.5)"
+  | Turing_complete ->
+      Format.pp_print_string ppf "Turing complete (Thm 6.6, IFP)"
+
+let cclass_to_string c = Format.asprintf "%a" pp_cclass c
+
+(** Maximal number of [P]/[Pb] operators on a root-to-leaf path — the
+    paper's power nesting of an expression. *)
+let rec power_nesting e =
+  let here = match e with Expr.Powerset _ | Expr.Powerbag _ -> 1 | _ -> 0 in
+  here
+  + List.fold_left (fun acc c -> max acc (power_nesting c)) 0 (Expr.children e)
+
+let rec exists_node p e =
+  p e || List.exists (exists_node p) (Expr.children e)
+
+let uses_powerbag e =
+  exists_node (function Expr.Powerbag _ -> true | _ -> false) e
+
+let uses_fix e = exists_node (function Expr.Fix _ -> true | _ -> false) e
+let uses_bfix e = exists_node (function Expr.BFix _ -> true | _ -> false) e
+
+(** Count occurrences of each operator family (for reports). *)
+let op_census e =
+  let tbl = Hashtbl.create 16 in
+  let bump k = Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)) in
+  let rec go e =
+    (match e with
+    | Expr.Var _ -> bump "var"
+    | Expr.Lit _ -> bump "lit"
+    | Expr.Tuple _ -> bump "tuple"
+    | Expr.Proj _ -> bump "proj"
+    | Expr.Sing _ -> bump "sing"
+    | Expr.UnionAdd _ -> bump "union_add"
+    | Expr.Diff _ -> bump "diff"
+    | Expr.UnionMax _ -> bump "union_max"
+    | Expr.Inter _ -> bump "inter"
+    | Expr.Product _ -> bump "product"
+    | Expr.Powerset _ -> bump "powerset"
+    | Expr.Powerbag _ -> bump "powerbag"
+    | Expr.Destroy _ -> bump "destroy"
+    | Expr.Map _ -> bump "map"
+    | Expr.Select _ -> bump "select"
+    | Expr.Dedup _ -> bump "dedup"
+    | Expr.Nest _ -> bump "nest"
+    | Expr.Unnest _ -> bump "unnest"
+    | Expr.Let _ -> bump "let"
+    | Expr.Fix _ -> bump "fix"
+    | Expr.BFix _ -> bump "bfix");
+    List.iter go (Expr.children e)
+  in
+  go e;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+type report = {
+  bag_nesting : int;  (** max bag nesting over all intermediate types *)
+  power_nesting : int;
+  powerbag : bool;
+  fix : bool;
+  bfix : bool;
+  cclass : cclass;
+  census : (string * int) list;
+}
+
+(* Space height for k >= 3 per Thm 6.2 / Prop 6.3: power nesting
+   j = ((k-1)/(k-2)) * i fits in hyper(i)-SPACE, i.e. i = j(k-2)/(k-1). *)
+let hyper_height ~k ~j = j * (k - 2) / (k - 1)
+
+(* The returned class is an upper bound on the query's data complexity,
+   except [Turing_complete] which records that no elementary bound is
+   guaranteed (the paper proves completeness for k >= 2; for k <= 1 an
+   unbounded IFP can still inflate multiplicities forever, so no bound is
+   claimed either). *)
+let classify ~bag_nesting ~power_nesting:j ~powerbag ~fix ~bfix =
+  if fix then Turing_complete
+  else if bag_nesting <= 1 then if bfix then Ptime_bounded_fix else Logspace
+  else if powerbag then Hyper_space (max 0 (j - 1))
+  else if bag_nesting = 2 then Pspace
+  else Hyper_space (hyper_height ~k:bag_nesting ~j)
+
+let analyze env e =
+  let bag_nesting = Typecheck.max_nesting env e in
+  let j = power_nesting e in
+  let powerbag = uses_powerbag e in
+  let fix = uses_fix e and bfix = uses_bfix e in
+  {
+    bag_nesting;
+    power_nesting = j;
+    powerbag;
+    fix;
+    bfix;
+    cclass = classify ~bag_nesting ~power_nesting:j ~powerbag ~fix ~bfix;
+    census = op_census e;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "bag nesting (BALG^k):  k = %d@\n\
+     power nesting:         i = %d@\n\
+     uses powerbag:         %b@\n\
+     uses fixpoint:         ifp=%b bfix=%b@\n\
+     complexity class:      %a@\n\
+     operator census:       %s"
+    r.bag_nesting r.power_nesting r.powerbag r.fix r.bfix pp_cclass r.cclass
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) r.census))
+
+let report_to_string r = Format.asprintf "%a" pp_report r

@@ -1,0 +1,55 @@
+(** Static complexity analysis: places an expression in the complexity
+    class assigned by the paper's theorems.
+
+    - BALG{^1} ⊆ LOGSPACE (Thm 4.4);
+    - BALG{^2} ⊆ PSPACE (Thm 5.1);
+    - BALG{^3}{_i} ⊆ hyper(⌊i/2⌋)-SPACE and the BALG{^k} generalisation
+      (Thm 6.2, Prop 6.3);
+    - with the powerbag, hyper(i−1)-SPACE (Prop 6.4);
+    - with IFP, Turing complete (Thm 6.6). *)
+
+type cclass =
+  | Logspace
+  | Ptime_bounded_fix
+      (** bounded fixpoint over BALG{^1} (§6 end; transitive closure) *)
+  | Pspace
+  | Hyper_space of int  (** contained in hyper(i)-SPACE *)
+  | Elementary
+  | Turing_complete
+      (** IFP present: no elementary bound guaranteed (completeness proven
+          for bag nesting ≥ 2) *)
+
+val pp_cclass : Format.formatter -> cclass -> unit
+val cclass_to_string : cclass -> string
+
+val power_nesting : Expr.t -> int
+(** Maximal number of [P]/[Pb] operators on a root-to-leaf path (§6). *)
+
+val uses_powerbag : Expr.t -> bool
+val uses_fix : Expr.t -> bool
+val uses_bfix : Expr.t -> bool
+
+val op_census : Expr.t -> (string * int) list
+(** Occurrences of each operator family, sorted by name. *)
+
+type report = {
+  bag_nesting : int;
+  power_nesting : int;
+  powerbag : bool;
+  fix : bool;
+  bfix : bool;
+  cclass : cclass;
+  census : (string * int) list;
+}
+
+val classify :
+  bag_nesting:int ->
+  power_nesting:int ->
+  powerbag:bool ->
+  fix:bool ->
+  bfix:bool ->
+  cclass
+
+val analyze : Typecheck.env -> Expr.t -> report
+val pp_report : Format.formatter -> report -> unit
+val report_to_string : report -> string

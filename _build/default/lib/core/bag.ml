@@ -1,0 +1,157 @@
+exception Too_large of string
+
+let pairs = Value.as_bag
+
+(* Merge two sorted association lists, combining multiplicities with [f]
+   (absent elements count zero) and dropping zero results.  Both inputs are
+   canonical, so the output is too. *)
+let merge f a b =
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], [] -> []
+    | (v, c) :: xs', [] -> cons v (f c Bignat.zero) xs' []
+    | [], (w, d) :: ys' -> cons w (f Bignat.zero d) [] ys'
+    | (v, c) :: xs', (w, d) :: ys' ->
+        let cv = Value.compare v w in
+        if cv < 0 then cons v (f c Bignat.zero) xs' ys
+        else if cv > 0 then cons w (f Bignat.zero d) xs ys'
+        else cons v (f c d) xs' ys'
+  and cons v c xs ys =
+    if Bignat.is_zero c then go xs ys else (v, c) :: go xs ys
+  in
+  Value.Bag (go (pairs a) (pairs b))
+
+let union_add a b = merge Bignat.add a b
+let diff a b = merge Bignat.monus a b
+let union_max a b = merge Bignat.max a b
+let inter a b = merge Bignat.min a b
+
+let subbag a b =
+  List.for_all
+    (fun (v, c) -> Bignat.compare c (Value.count_in v b) <= 0)
+    (pairs a)
+
+let product a b =
+  let bs = pairs b in
+  let combined =
+    List.concat_map
+      (fun (v, c) ->
+        let vt = Value.as_tuple v in
+        List.map
+          (fun (w, d) -> (Value.Tuple (vt @ Value.as_tuple w), Bignat.mul c d))
+          bs)
+      (pairs a)
+  in
+  Value.bag_of_assoc combined
+
+let scale k b =
+  if Bignat.is_zero k then Value.Bag []
+  else Value.Bag (List.map (fun (v, c) -> (v, Bignat.mul k c)) (pairs b))
+
+let destroy b =
+  List.fold_left
+    (fun acc (inner, c) -> union_add acc (scale c inner))
+    (Value.Bag []) (pairs b)
+
+let dedup b = Value.Bag (List.map (fun (v, _) -> (v, Bignat.one)) (pairs b))
+
+let map f b =
+  Value.bag_of_assoc (List.map (fun (v, c) -> (f v, c)) (pairs b))
+
+let select p b = Value.Bag (List.filter (fun (v, _) -> p v) (pairs b))
+
+(* Nest: group by the listed attributes; the remaining attributes keep
+   their multiplicities inside the per-group bag, each group occurs once. *)
+let nest ixs b =
+  let split v =
+    let vs = Value.as_tuple v in
+    let keep = List.map (fun i -> List.nth vs (i - 1)) ixs in
+    let rest = List.filteri (fun j _ -> not (List.mem (j + 1) ixs)) vs in
+    (keep, Value.Tuple rest)
+  in
+  let groups = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (v, c) ->
+      let keep, rest = split v in
+      (match Hashtbl.find_opt groups keep with
+      | None ->
+          order := keep :: !order;
+          Hashtbl.replace groups keep [ (rest, c) ]
+      | Some members -> Hashtbl.replace groups keep ((rest, c) :: members)))
+    (pairs b);
+  Value.bag_of_assoc
+    (List.map
+       (fun keep ->
+         let members = Hashtbl.find groups keep in
+         (Value.Tuple (keep @ [ Value.bag_of_assoc members ]), Bignat.one))
+       !order)
+
+(* Unnest: expand the bag-valued attribute [i] in place, multiplying
+   multiplicities. *)
+let unnest i b =
+  let expanded =
+    List.concat_map
+      (fun (v, c) ->
+        let vs = Value.as_tuple v in
+        let prefix = List.filteri (fun j _ -> j < i - 1) vs in
+        let suffix = List.filteri (fun j _ -> j > i - 1) vs in
+        List.map
+          (fun (member, d) ->
+            ( Value.Tuple (prefix @ Value.as_tuple member @ suffix),
+              Bignat.mul c d ))
+          (pairs (List.nth vs (i - 1))))
+      (pairs b)
+  in
+  Value.bag_of_assoc expanded
+
+let max_count b =
+  List.fold_left (fun acc (_, c) -> Bignat.max acc c) Bignat.zero (pairs b)
+
+(* Enumerate sub-multisets.  For every distinct element with multiplicity m
+   there are m+1 choices; the total number of subbags is prod (m_i + 1),
+   which we bound before materialising anything. *)
+let check_budget op max_support b =
+  let budget =
+    List.fold_left
+      (fun acc (_, c) ->
+        match Bignat.to_int_opt c with
+        | None -> raise (Too_large (op ^ ": multiplicity exceeds int range"))
+        | Some m ->
+            let acc = acc * (m + 1) in
+            if acc > max_support || acc < 0 then
+              raise
+                (Too_large
+                   (Printf.sprintf "%s: more than %d subbags" op max_support))
+            else acc)
+      1 (pairs b)
+  in
+  ignore budget
+
+(* All ways to keep 0..m_i copies of each element, in one pass.  [weight]
+   computes the multiplicity contributed by keeping k of m copies: 1 for the
+   powerset, C(m, k) for the powerbag. *)
+let enumerate_subbags weight b =
+  let rec go = function
+    | [] -> [ ([], Bignat.one) ]
+    | (v, c) :: rest ->
+        let tails = go rest in
+        let m = Bignat.to_int_exn c in
+        List.concat_map
+          (fun (tail, w) ->
+            List.init (m + 1) (fun k ->
+                let w' = Bignat.mul w (weight m k) in
+                if k = 0 then (tail, w')
+                else ((v, Bignat.of_int k) :: tail, w')))
+          tails
+  in
+  Value.bag_of_assoc
+    (List.map (fun (content, w) -> (Value.Bag content, w)) (go (pairs b)))
+
+let powerset ?(max_support = 1_000_000) b =
+  check_budget "powerset" max_support b;
+  enumerate_subbags (fun _ _ -> Bignat.one) b
+
+let powerbag ?(max_support = 1_000_000) b =
+  check_budget "powerbag" max_support b;
+  enumerate_subbags (fun m k -> Bignat.binomial m k) b

@@ -1,0 +1,77 @@
+(** The primitive bag operations of §3, as functions on bag {!Value.t}s.
+
+    Every function expects its bag arguments to be [Value.Bag] and raises
+    [Invalid_argument] otherwise; the typechecker rules this out for
+    well-typed algebra expressions.  Multiplicity arithmetic follows the
+    paper exactly: additive union sums counts, subtraction is truncated
+    ([sup (0, p - q)]), maximal union and intersection take sup and inf, the
+    Cartesian product multiplies counts, and the powerset yields {e one}
+    occurrence of every subbag whereas the powerbag distinguishes occurrences
+    ([prod C(m_i, k_i)] copies of each sub-multiset). *)
+
+exception Too_large of string
+(** Raised when an operation would materialise more distinct elements than
+    the caller's bound — the interpreter's tractability guard. *)
+
+(** {1 Boolean structure} *)
+
+val subbag : Value.t -> Value.t -> bool
+(** [subbag b b'] is the paper's [b ⊑ b']: every [n]-member of [b]
+    [p]-belongs to [b'] for some [p >= n]. *)
+
+(** {1 Basic bag operations} *)
+
+val union_add : Value.t -> Value.t -> Value.t
+val diff : Value.t -> Value.t -> Value.t
+val union_max : Value.t -> Value.t -> Value.t
+val inter : Value.t -> Value.t -> Value.t
+
+(** {1 Constructive operations} *)
+
+val product : Value.t -> Value.t -> Value.t
+(** Cartesian product of bags of tuples; concatenates tuple components and
+    multiplies multiplicities. *)
+
+val powerset : ?max_support:int -> Value.t -> Value.t
+(** [powerset b] is the bag of {e distinct} subbags of [b], each occurring
+    once (the operator chosen for BALG "for tractability reasons").
+    @raise Too_large if the result would have more than [max_support]
+    distinct subbags (default [1_000_000]) or if some multiplicity does not
+    fit an [int]. *)
+
+val powerbag : ?max_support:int -> Value.t -> Value.t
+(** [powerbag b] is [Pb] (Definition 5.1): occurrences are distinguished, so
+    the sub-multiset choosing [k_i] of [m_i] copies appears
+    [prod C(m_i, k_i)] times.  Same resource behaviour as {!powerset}. *)
+
+val destroy : Value.t -> Value.t
+(** [destroy b] is [δ]: additive union of the member bags, respecting outer
+    multiplicities ([δ {{x1, ..., xn}} = x1 ∪+ ... ∪+ xn]). *)
+
+(** {1 Filters} *)
+
+val map : (Value.t -> Value.t) -> Value.t -> Value.t
+(** Restructuring (MAP): images coalesce additively. *)
+
+val select : (Value.t -> bool) -> Value.t -> Value.t
+
+val dedup : Value.t -> Value.t
+(** Duplicate elimination [ε]. *)
+
+val nest : int list -> Value.t -> Value.t
+(** The set-nesting operator of §7 ([PG88, Won93]): group a bag of tuples by
+    the listed 1-based attributes; the remaining attributes — with their
+    multiplicities — form a bag appended as the last component, and every
+    group occurs once. *)
+
+val unnest : int -> Value.t -> Value.t
+(** Expand a bag-valued attribute in place; multiplicities multiply. *)
+
+(** {1 Helpers} *)
+
+val scale : Bignat.t -> Value.t -> Value.t
+(** Multiply every multiplicity by a constant (used by [destroy]). *)
+
+val max_count : Value.t -> Bignat.t
+(** Largest multiplicity occurring in the bag (zero for the empty bag);
+    powers the evaluator's growth meters. *)

@@ -1,0 +1,308 @@
+(** Derived operators and the paper's worked encodings.
+
+    Everything here is a {e builder}: an OCaml function assembling a BALG
+    expression ({!Expr.t}).  Each builder corresponds to a construction the
+    paper gives in prose — aggregate functions (§3), the operator
+    inter-definability identities (§3, Prop 3.1), the separating example
+    queries of §4, and the integer/domain machinery of §5–6. *)
+
+open Expr
+
+(** {1 Integers as bags (§3)}
+
+    An integer [i] is a bag containing [i] occurrences of the unary tuple
+    [<a>]. *)
+
+let nat_ty = Ty.nat
+
+let nat_lit ?(on = "a") n = Lit (Value.nat ~on n, nat_ty)
+
+(** [ones e]: the cardinality of [e] as an integer-bag — [MAP{_λx.<a>}(e)].
+    Works on bags of any element type. *)
+let ones = Expr.ones
+
+(** [count e] — the paper's [count(B) = π1({{<a>}} × B)]; requires a bag of
+    tuples. *)
+let count e =
+  proj_attrs [ 1 ] (Product (nat_lit 1, e))
+
+(** [sum e] — the paper's [sum(B) = δ(B)] on a bag of integer-bags. *)
+let sum e = Destroy e
+
+(** [average e]: on a bag of integer-bags, returns the integer-bag
+    [sum/count] when the division is exact, and the empty bag otherwise.
+    Built exactly in the spirit of the paper's [average] formula: powerset
+    the sum to generate all candidate integers [j], keep those with
+    [j * count = sum], and unwrap with [δ]. *)
+let average e =
+  let b = fresh_var "avg_in" and x = fresh_var "avg_cand" in
+  Let
+    ( b,
+      e,
+      Destroy
+        (Select
+           ( x,
+             proj_attrs [ 1 ] (Product (Var x, ones (Var b))),
+             sum (Var b),
+             Powerset (sum (Var b)) )) )
+
+(** [floor_average e]: like {!average} but rounding down — selects the
+    unique [j] with [j*c <= s < (j+1)*c] using two monus tests. *)
+let floor_average e =
+  let b = fresh_var "favg_in" and x = fresh_var "favg_cand" in
+  let c = ones (Var b) and s = sum (Var b) in
+  let j_times_c = proj_attrs [ 1 ] (Product (Var x, c)) in
+  let empty_nat = Lit (Value.Bag [], nat_ty) in
+  (* j*c <= s  and  (s - j*c) - (c - 1) = 0, i.e. s - j*c < c *)
+  let le_test = Select (x, Diff (j_times_c, s), empty_nat, Powerset s) in
+  let lt_test =
+    Select
+      ( x,
+        Diff (Diff (s, j_times_c), Diff (c, nat_lit 1)),
+        empty_nat,
+        le_test )
+  in
+  Let (b, e, Destroy lt_test)
+
+(** {1 The data definition language (§3)}
+
+    "All bags can be defined with atomic constants, and the four operations:
+    tupling τ, bagging β, additive union ∪+, and Cartesian product ×." *)
+
+(** [value_expr v]: an expression denoting [v] built from atom literals and
+    [τ]/[β]/[∪+] only (multiplicities by binary doubling, so the expression
+    is polylogarithmic in the counts). *)
+let rec value_expr (v : Value.t) : Expr.t =
+  match v with
+  | Value.Atom a -> Expr.atom a
+  | Value.Tuple vs -> Tuple (List.map value_expr vs)
+  | Value.Bag pairs ->
+      let scaled (x, count) =
+        (* count * {{x}} via doubling *)
+        let sing = Sing (value_expr x) in
+        let rec go count =
+          if Bignat.is_one count then sing
+          else
+            let half_doubled =
+              let h = go (Bignat.div count Bignat.two) in
+              UnionAdd (h, h)
+            in
+            if Bignat.is_even count then half_doubled
+            else UnionAdd (sing, half_doubled)
+        in
+        go count
+      in
+      (match List.map scaled pairs with
+      | [] ->
+          (* the empty bag needs a type; β then − of itself is the only
+             DDL-adjacent form, so fall back to a typed literal *)
+          Expr.Lit (v, Option.value (Value.infer v) ~default:(Ty.Bag Ty.Atom))
+      | first :: rest -> List.fold_left (fun acc e -> UnionAdd (acc, e)) first rest)
+
+(** {1 Cardinality comparison and generalized quantifiers (§4)} *)
+
+(** Example 4.2 verbatim: [π1(R×R) − π1(R×S)] is nonempty iff [|R| > |S|]
+    (for unary [R], [S]). *)
+let card_gt_paper r s =
+  Diff (proj_attrs [ 1 ] (Product (r, r)), proj_attrs [ 1 ] (Product (r, s)))
+
+(** Cardinality comparison for bags of any element type:
+    nonempty iff [card r > card s]. *)
+let card_gt r s = Diff (ones r, ones s)
+
+(** Empty iff [card r = card s] (the Härtig quantifier, negated). *)
+let card_neq r s = UnionAdd (Diff (ones r, ones s), Diff (ones s, ones r))
+
+(** Nonempty iff [card e >= k] (the counting quantifier "there exist at
+    least k"). *)
+let has_at_least k e =
+  if k <= 0 then invalid_arg "Derived.has_at_least: k must be positive";
+  Diff (ones e, nat_lit (k - 1))
+
+(** Example 4.1 verbatim: nonempty iff the in-degree of node [a] in the
+    binary edge relation [g] exceeds its out-degree. *)
+let indeg_gt_outdeg g node =
+  let x = fresh_var "deg" and y = fresh_var "deg" in
+  Diff
+    ( proj_attrs [ 2 ] (Select (x, Proj (2, Var x), node, g)),
+      proj_attrs [ 1 ] (Select (y, Proj (1, Var y), node, g)) )
+
+(** {1 Parity in the presence of an order (§4)}
+
+    [parity_even r leq] is nonempty iff the unary relation [r] (a set) has
+    even cardinality, given [leq], the reflexive total order on the elements
+    of [r] as a binary relation.  It is the paper's expression: there is an
+    [x] such that #[{y <= x}] = #[{y > x}]. *)
+let parity_even r leq =
+  let rv = fresh_var "par_r" and lv = fresh_var "par_leq" in
+  let x = fresh_var "par_x" and p = fresh_var "par_p" and u = fresh_var "par_u" in
+  let id_rel = Map (u, Tuple [ Proj (1, Var u); Proj (1, Var u) ], Var rv) in
+  let lt = Diff (Var lv, id_rel) in
+  let smaller_eq =
+    ones (Select (p, Proj (2, Var p), Proj (1, Var x), Var lv))
+  in
+  let greater = ones (Select (p, Proj (1, Var p), Proj (1, Var x), lt)) in
+  Let (rv, r, Let (lv, leq, Select (x, smaller_eq, greater, Var rv)))
+
+(** {1 Operator inter-definability (§3)} *)
+
+(** Additive union from maximal union (needs two atoms absent from the
+    data): [π1..k((B1 × {{<t1>}}) ∪ (B2 × {{<t2>}}))]. *)
+let unionadd_via_max ~arity b1 b2 =
+  let tag s =
+    Lit
+      ( Value.Bag [ (Value.Tuple [ Value.Atom s ], Bignat.one) ],
+        Ty.Bag (Ty.Tuple [ Ty.Atom ]) )
+  in
+  let keep = List.init arity (fun i -> i + 1) in
+  proj_attrs keep
+    (UnionMax (Product (b1, tag "%tag1"), Product (b2, tag "%tag2")))
+
+(** Subtraction from powerset (§3): [B1 − B2 = δ(σ{_λx. x ∪+ (B1∩B2) = B1}
+    (P(B1)))].  Note the intermediate bag nesting one level above the
+    input's — the §4 results show this increase is unavoidable in BALG{^1}. *)
+let diff_via_powerset b1 b2 =
+  let v1 = fresh_var "dp1" and v2 = fresh_var "dp2" and x = fresh_var "dpx" in
+  Let
+    ( v1,
+      b1,
+      Let
+        ( v2,
+          b2,
+          Destroy
+            (Select
+               ( x,
+                 UnionAdd (Var x, Inter (Var v1, Var v2)),
+                 Var v1,
+                 Powerset (Var v1) )) ) )
+
+(** Duplicate elimination from powerset, flat-tuple-bag case (Prop 3.1):
+    [ε(B) = δ(P(B) ∩ MAP{_β}(B))]. *)
+let dedup_via_powerset_flat b =
+  let v = fresh_var "epf" and x = fresh_var "epx" in
+  Let
+    ( v,
+      b,
+      Destroy (Inter (Powerset (Var v), Map (x, Sing (Var x), Var v))) )
+
+(** Duplicate elimination from powerset, nested-bag case (Prop 3.1):
+    [ε(B) = P(δ(B)) ∩ B] for [B : {{{{T}}}}]. *)
+let dedup_via_powerset_nested b =
+  let v = fresh_var "epn" in
+  Let (v, b, Inter (Powerset (Destroy (Var v)), Var v))
+
+(** {1 Exponentiation and quantification domains (§5, §6)} *)
+
+(** [exp2_via_powerset e]: an integer-bag of cardinality [2^(n+1)] where
+    [n = card e] — the paper's [E(B) = N(P(P(N(B))))] (Theorem 6.1); the
+    doubling is exponential in shape, the +1 in the exponent is harmless for
+    the constructions that iterate it. *)
+let exp2_via_powerset e = ones (Powerset (Powerset (ones e)))
+
+(** [exp2_via_powerbag e]: exactly [2^n] occurrences, the Lemma 5.7 variant
+    [E(B)] built from the powerbag. *)
+let exp2_via_powerbag e = ones (Powerbag (ones e))
+
+let rec iter_expr k f e = if k = 0 then e else iter_expr (k - 1) f (f e)
+
+(** [domain ~via_powerbag i e]: the paper's [D(B) = P(E{^i}(B))] — a bag
+    (set) of integer-bags representing [0 .. E^i(card e)], the bounded
+    quantification domain of Theorem 5.5 / 6.1. *)
+let domain ?(via_powerbag = false) i e =
+  let exp2 = if via_powerbag then exp2_via_powerbag else exp2_via_powerset in
+  Powerset (iter_expr i exp2 (ones e))
+
+(** {1 Miscellaneous query builders} *)
+
+(** Nonempty iff the (closed) value of [t] occurs in bag [b]. *)
+let mem_expr t b =
+  let z = fresh_var "mem" in
+  Select (z, Var z, t, b)
+
+(** The §4 self-join example [Q(B) = π{_1,4}(σ{_2=3}(B×B))] (binary [B]). *)
+let selfjoin b =
+  let w = fresh_var "sj" in
+  proj_attrs [ 1; 4 ] (Select (w, Proj (2, Var w), Proj (3, Var w), Product (b, b)))
+
+(** Distinct endpoints of a binary edge relation, as a unary relation. *)
+let graph_nodes g =
+  Dedup (UnionMax (proj_attrs [ 1 ] g, proj_attrs [ 2 ] g))
+
+(** Relational composition [π{_1,4}(σ{_2=3}(x × g))]. *)
+let compose x g =
+  let w = fresh_var "cmp" in
+  proj_attrs [ 1; 4 ] (Select (w, Proj (2, Var w), Proj (3, Var w), Product (x, g)))
+
+(** {1 Nesting (§7)} *)
+
+(** [nest_via_map ixs ~arity e]: the nest operator expressed with MAP,
+    selection and duplicate elimination only — witnessing §7's remark that
+    [nest] is a {e weaker} primitive than the powerset (it is definable
+    without any nesting-increasing operator beyond the output type itself).
+    Used as the oracle for the built-in {!Expr.Nest}. *)
+let nest_via_map ixs ~arity e =
+  let rest =
+    List.filter (fun i -> not (List.mem i ixs)) (List.init arity (fun i -> i + 1))
+  in
+  let ev = fresh_var "nv_in" and x = fresh_var "nv_key" and y = fresh_var "nv_m" in
+  let key_of v = Tuple (List.map (fun i -> Proj (i, Var v)) ixs) in
+  let group =
+    proj_attrs rest (Select (y, key_of y, Var x, Var ev))
+  in
+  Let
+    ( ev,
+      e,
+      Map
+        ( x,
+          Tuple (List.mapi (fun j _ -> Proj (j + 1, Var x)) ixs @ [ group ]),
+          Dedup (proj_attrs ixs (Var ev)) ) )
+
+(** GROUP BY with COUNT: [group_count ixs e] maps each group key to the
+    integer-bag of its group size (duplicates included) — the SQL
+    GROUP-BY/COUNT shape from the paper's introduction. *)
+let group_count ixs e =
+  let g = fresh_var "gc" in
+  let n = List.length ixs in
+  Map
+    ( g,
+      Tuple (List.init n (fun j -> Proj (j + 1, Var g)) @ [ ones (Proj (n + 1, Var g)) ]),
+      Nest (ixs, e) )
+
+(** GROUP BY with SUM: [group_sum ixs ~of_ ~arity e] groups the
+    [arity]-ary bag [e] by the attributes [ixs] and, per group, sums the
+    integer-bag-valued attribute [of_] with [δ] — SQL's
+    GROUP-BY/SUM, duplicates contributing multiplicatively as they must. *)
+let group_sum ixs ~of_ ~arity e =
+  if List.mem of_ ixs then invalid_arg "Derived.group_sum: summing a group key";
+  let g = fresh_var "gs" and y = fresh_var "gsm" in
+  let n = List.length ixs in
+  (* position of [of_] inside the group's residual tuple *)
+  let rest =
+    List.filter (fun i -> not (List.mem i ixs)) (List.init arity (fun i -> i + 1))
+  in
+  let j' =
+    match List.find_index (fun i -> i = of_) rest with
+    | Some j -> j + 1
+    | None -> invalid_arg "Derived.group_sum: attribute out of range"
+  in
+  Map
+    ( g,
+      Tuple
+        (List.init n (fun j -> Proj (j + 1, Var g))
+        @ [ Destroy (Map (y, Proj (j', Var y), Proj (n + 1, Var g))) ]),
+      Nest (ixs, e) )
+
+(** Transitive closure of a binary relation via the bounded fixpoint (§6
+    end): iterates edge composition inside the bound [nodes × nodes].  Lives
+    in BALG{^1} + bfix, witnessing that bounded fixpoints add expressive
+    power at bounded complexity. *)
+let transitive_closure g =
+  let gv = fresh_var "tc_g" and x = fresh_var "tc_x" in
+  Let
+    ( gv,
+      g,
+      BFix
+        ( Product (graph_nodes (Var gv), graph_nodes (Var gv)),
+          x,
+          Dedup (UnionMax (Var x, compose (Var x) (Var gv))),
+          Dedup (Var gv) ) )

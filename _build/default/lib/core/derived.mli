@@ -1,0 +1,108 @@
+(** Derived operators: the paper's worked encodings, as expression
+    builders.
+
+    Each function assembles a {!Expr.t}; nothing here extends the algebra —
+    these are the constructions the paper gives in prose to demonstrate its
+    expressive power. *)
+
+(** {1 Integers as bags (§3)} *)
+
+val nat_ty : Ty.t
+(** [{{<U>}}]. *)
+
+val nat_lit : ?on:string -> int -> Expr.t
+(** The integer [n] as a bag of [n] copies of [<a>]. *)
+
+val ones : ?on:string -> Expr.t -> Expr.t
+(** Cardinality as an integer-bag, for bags of any element type. *)
+
+val count : Expr.t -> Expr.t
+(** The paper's [count(B) = π1({{<a>}} × B)] (tuple bags only). *)
+
+val sum : Expr.t -> Expr.t
+(** [sum(B) = δ(B)] on a bag of integer-bags. *)
+
+val average : Expr.t -> Expr.t
+(** Exact average via powerset candidate selection; the empty bag when the
+    division is inexact. *)
+
+val floor_average : Expr.t -> Expr.t
+(** Rounds down; total on nonempty and empty inputs. *)
+
+(** {1 The data definition language (§3)} *)
+
+val value_expr : Value.t -> Expr.t
+(** An expression denoting the value, built from atom literals with
+    tupling, bagging and additive union only (§3's data definition
+    language); multiplicities are assembled by doubling.  Empty bags fall
+    back to a typed literal. *)
+
+(** {1 Cardinality comparison and quantifiers (§4)} *)
+
+val card_gt_paper : Expr.t -> Expr.t -> Expr.t
+(** Example 4.2 verbatim: [π1(R×R) − π1(R×S)], nonempty iff [|R| > |S|]
+    (unary inputs). *)
+
+val card_gt : Expr.t -> Expr.t -> Expr.t
+(** Any element type; nonempty iff [card r > card s]. *)
+
+val card_neq : Expr.t -> Expr.t -> Expr.t
+(** Empty iff equal cardinalities (negated Härtig quantifier). *)
+
+val has_at_least : int -> Expr.t -> Expr.t
+(** Counting quantifier [∃≥k].  @raise Invalid_argument if [k <= 0]. *)
+
+val indeg_gt_outdeg : Expr.t -> Expr.t -> Expr.t
+(** Example 4.1 verbatim, over a binary edge bag and a node expression. *)
+
+val parity_even : Expr.t -> Expr.t -> Expr.t
+(** §4: nonempty iff the unary set [r] has even positive cardinality, given
+    the reflexive total order [leq] on its elements as a binary relation. *)
+
+(** {1 Operator inter-definability (§3, Prop 3.1)} *)
+
+val unionadd_via_max : arity:int -> Expr.t -> Expr.t -> Expr.t
+val diff_via_powerset : Expr.t -> Expr.t -> Expr.t
+val dedup_via_powerset_flat : Expr.t -> Expr.t
+val dedup_via_powerset_nested : Expr.t -> Expr.t
+
+(** {1 Exponentiation and quantification domains (§5–6)} *)
+
+val exp2_via_powerset : Expr.t -> Expr.t
+(** Cardinality [2{^(n+1)}] — the Thm 6.1 doubling [E(B)]. *)
+
+val exp2_via_powerbag : Expr.t -> Expr.t
+(** Exactly [2{^n}] — the Lemma 5.7 powerbag variant. *)
+
+val iter_expr : int -> (Expr.t -> Expr.t) -> Expr.t -> Expr.t
+
+val domain : ?via_powerbag:bool -> int -> Expr.t -> Expr.t
+(** [D(B) = P(E{^i}(B))]: the bag of integer-bags [0..E{^i}(card B)]. *)
+
+(** {1 Query builders} *)
+
+val mem_expr : Expr.t -> Expr.t -> Expr.t
+(** Nonempty iff the (closed) first argument occurs in the bag. *)
+
+val selfjoin : Expr.t -> Expr.t
+(** The §4 example [Q(B) = π{_1,4}(σ{_2=3}(B×B))]. *)
+
+val graph_nodes : Expr.t -> Expr.t
+val compose : Expr.t -> Expr.t -> Expr.t
+
+(** {1 Nesting (§7)} *)
+
+val nest_via_map : int list -> arity:int -> Expr.t -> Expr.t
+(** The nest operator expressed with MAP/σ/ε only — §7's point that nest is
+    weaker than the powerset.  Oracle for {!Expr.Nest}. *)
+
+val group_count : int list -> Expr.t -> Expr.t
+(** SQL GROUP-BY/COUNT: each group key paired with its group size as an
+    integer-bag. *)
+
+val group_sum : int list -> of_:int -> arity:int -> Expr.t -> Expr.t
+(** SQL GROUP-BY/SUM over an integer-bag-valued attribute.
+    @raise Invalid_argument if [of_] is a grouping key or out of range. *)
+
+val transitive_closure : Expr.t -> Expr.t
+(** Via the bounded fixpoint (§6 end): BALG{^1} + bfix. *)

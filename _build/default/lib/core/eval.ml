@@ -1,0 +1,148 @@
+(** The reference interpreter for BALG.
+
+    Evaluation is exact: multiplicities are {!Bignat.t}s and every operator
+    follows the §3 semantics literally.  Because the algebra can express
+    queries of arbitrarily high hyper-exponential complexity (Prop 3.2,
+    Thm 5.5), the evaluator runs under a {e tractability guard}: a
+    configurable bound on the number of distinct elements and on the decimal
+    size of multiplicities, raising {!Resource_limit} instead of diverging.
+
+    The evaluator also carries {e meters} recording the largest intermediate
+    bag support and multiplicity seen; the complexity experiments (E10, E11,
+    E15) read the growth shapes claimed by Theorems 4.4, 5.1 and 6.2 off
+    these meters. *)
+
+exception Eval_error of string
+exception Resource_limit of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+type config = {
+  max_support : int;  (** bound on distinct elements per bag *)
+  max_count_digits : int;  (** bound on decimal digits of any multiplicity *)
+  max_fix_steps : int;  (** bound on fixpoint iterations *)
+}
+
+let default_config =
+  { max_support = 2_000_000; max_count_digits = 10_000; max_fix_steps = 100_000 }
+
+type meters = {
+  mutable max_support_seen : int;
+  mutable max_count_seen : Bignat.t;
+  mutable max_cardinal_seen : Bignat.t;
+  mutable ops : int;
+}
+
+let fresh_meters () =
+  {
+    max_support_seen = 0;
+    max_count_seen = Bignat.zero;
+    max_cardinal_seen = Bignat.zero;
+    ops = 0;
+  }
+
+module Env = Map.Make (String)
+
+type env = Value.t Env.t
+
+let env_of_list l = List.fold_left (fun m (x, v) -> Env.add x v m) Env.empty l
+
+let observe config meters v =
+  meters.ops <- meters.ops + 1;
+  (match v with
+  | Value.Bag pairs ->
+      let support = List.length pairs in
+      if support > meters.max_support_seen then
+        meters.max_support_seen <- support;
+      if support > config.max_support then
+        raise
+          (Resource_limit
+             (Printf.sprintf "bag support %d exceeds limit %d" support
+                config.max_support));
+      let mc = Bag.max_count v in
+      if Bignat.compare mc meters.max_count_seen > 0 then begin
+        meters.max_count_seen <- mc;
+        if Bignat.digits mc > config.max_count_digits then
+          raise
+            (Resource_limit
+               (Printf.sprintf "multiplicity with %d digits exceeds limit %d"
+                  (Bignat.digits mc) config.max_count_digits))
+      end;
+      let card = Value.cardinal v in
+      if Bignat.compare card meters.max_cardinal_seen > 0 then
+        meters.max_cardinal_seen <- card
+  | Value.Atom _ | Value.Tuple _ -> ());
+  v
+
+let rec eval_rec config meters env e =
+  let eval env e = eval_rec config meters env e in
+  let result =
+    match e with
+    | Expr.Var x -> (
+        match Env.find_opt x env with
+        | Some v -> v
+        | None -> error "unbound variable %s" x)
+    | Expr.Lit (v, _) -> v
+    | Expr.Tuple es -> Value.Tuple (List.map (eval env) es)
+    | Expr.Proj (i, e) -> (
+        match eval env e with
+        | Value.Tuple vs when i >= 1 && i <= List.length vs -> List.nth vs (i - 1)
+        | v -> error "cannot project attribute %d of %s" i (Value.to_string v))
+    | Expr.Sing e -> Value.Bag [ (eval env e, Bignat.one) ]
+    | Expr.UnionAdd (a, b) -> Bag.union_add (eval env a) (eval env b)
+    | Expr.Diff (a, b) -> Bag.diff (eval env a) (eval env b)
+    | Expr.UnionMax (a, b) -> Bag.union_max (eval env a) (eval env b)
+    | Expr.Inter (a, b) -> Bag.inter (eval env a) (eval env b)
+    | Expr.Product (a, b) -> Bag.product (eval env a) (eval env b)
+    | Expr.Powerset e ->
+        Bag.powerset ~max_support:config.max_support (eval env e)
+    | Expr.Powerbag e ->
+        Bag.powerbag ~max_support:config.max_support (eval env e)
+    | Expr.Destroy e -> Bag.destroy (eval env e)
+    | Expr.Map (x, body, e) ->
+        Bag.map (fun v -> eval (Env.add x v env) body) (eval env e)
+    | Expr.Select (x, l, r, e) ->
+        Bag.select
+          (fun v ->
+            let env' = Env.add x v env in
+            Value.equal (eval env' l) (eval env' r))
+          (eval env e)
+    | Expr.Dedup e -> Bag.dedup (eval env e)
+    | Expr.Nest (ixs, e) -> Bag.nest ixs (eval env e)
+    | Expr.Unnest (i, e) -> Bag.unnest i (eval env e)
+    | Expr.Let (x, e, body) -> eval (Env.add x (eval env e) env) body
+    | Expr.Fix (x, body, seed) ->
+        iterate config meters env ~x ~body ~bound:None (eval env seed)
+    | Expr.BFix (bound, x, body, seed) ->
+        let bound = eval env bound in
+        iterate config meters env ~x ~body ~bound:(Some bound) (eval env seed)
+  in
+  observe config meters result
+
+(* Inflationary iteration: X ↦ (body(X) ∪ X) [∩ bound].  With a bound the
+   chain is increasing and bounded, hence terminating; without one the step
+   limit applies (BALG + IFP is Turing complete, Thm 6.6). *)
+and iterate config meters env ~x ~body ~bound current =
+  let clamp v = match bound with None -> v | Some b -> Bag.inter v b in
+  let rec go steps current =
+    if steps > config.max_fix_steps then
+      raise
+        (Resource_limit
+           (Printf.sprintf "fixpoint did not converge within %d steps"
+              config.max_fix_steps));
+    let stepped = eval_rec config meters (Env.add x current env) body in
+    let next = clamp (Bag.union_max stepped current) in
+    if Value.equal next current then current else go (steps + 1) next
+  in
+  go 0 (clamp current)
+
+let eval ?(config = default_config) ?meters env e =
+  let meters = match meters with Some m -> m | None -> fresh_meters () in
+  eval_rec config meters env e
+
+(** Boolean convention for queries: a result is true when the output bag is
+    nonempty (cf. Example 4.1's [≠ ∅] tests). *)
+let truthy = function
+  | Value.Bag [] -> false
+  | Value.Bag _ -> true
+  | v -> error "truthiness of a non-bag value %s" (Value.to_string v)

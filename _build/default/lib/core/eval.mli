@@ -1,0 +1,43 @@
+(** The reference interpreter: exact §3 semantics under a tractability
+    guard.
+
+    The algebra deliberately contains queries of arbitrarily high
+    hyper-exponential complexity (Prop 3.2, Thm 5.5), so evaluation runs
+    under configurable bounds and raises {!Resource_limit} instead of
+    diverging.  {!meters} record the largest intermediate support,
+    multiplicity and cardinality seen — the observable the complexity
+    experiments measure. *)
+
+exception Eval_error of string
+exception Resource_limit of string
+
+type config = {
+  max_support : int;  (** bound on distinct elements per bag *)
+  max_count_digits : int;  (** bound on decimal digits of any multiplicity *)
+  max_fix_steps : int;  (** bound on fixpoint iterations *)
+}
+
+val default_config : config
+
+type meters = {
+  mutable max_support_seen : int;
+  mutable max_count_seen : Bignat.t;
+  mutable max_cardinal_seen : Bignat.t;
+  mutable ops : int;
+}
+
+val fresh_meters : unit -> meters
+
+module Env : Map.S with type key = string
+
+type env = Value.t Env.t
+
+val env_of_list : (string * Value.t) list -> env
+
+val eval : ?config:config -> ?meters:meters -> env -> Expr.t -> Value.t
+(** @raise Eval_error on dynamic type errors or unbound variables.
+    @raise Resource_limit when the guard trips. *)
+
+val truthy : Value.t -> bool
+(** The boolean convention of the paper's example queries: a bag result is
+    true iff nonempty.  @raise Eval_error on non-bag values. *)

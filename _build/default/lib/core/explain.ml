@@ -1,0 +1,153 @@
+(** Evaluation profiling: an EXPLAIN ANALYZE for bag-algebra queries.
+
+    [run] evaluates an expression exactly like {!Eval} while building a
+    profile tree: per AST node, the number of evaluations (binder bodies run
+    once per bag member), the largest result support/cardinality seen, and
+    the operator name.  This is how a user sees {e where} a query explodes —
+    the practical face of the paper's complexity results, and the
+    observable behind the optimiser experiments. *)
+
+type profile = {
+  op : string;
+  mutable calls : int;
+  mutable max_support : int;
+  mutable max_cardinal : Bignat.t;
+  children : profile list;
+}
+
+let op_name : Expr.t -> string = function
+  | Expr.Var x -> "var " ^ x
+  | Expr.Lit _ -> "lit"
+  | Expr.Tuple _ -> "tuple"
+  | Expr.Proj (i, _) -> Printf.sprintf "proj %d" i
+  | Expr.Sing _ -> "sing"
+  | Expr.UnionAdd _ -> "union_add"
+  | Expr.Diff _ -> "diff"
+  | Expr.UnionMax _ -> "union_max"
+  | Expr.Inter _ -> "inter"
+  | Expr.Product _ -> "product"
+  | Expr.Powerset _ -> "powerset"
+  | Expr.Powerbag _ -> "powerbag"
+  | Expr.Destroy _ -> "destroy"
+  | Expr.Map _ -> "map"
+  | Expr.Select _ -> "select"
+  | Expr.Dedup _ -> "dedup"
+  | Expr.Let (x, _, _) -> "let " ^ x
+  | Expr.Fix _ -> "fix"
+  | Expr.BFix _ -> "bfix"
+  | Expr.Nest (ixs, _) ->
+      Printf.sprintf "nest [%s]" (String.concat "," (List.map string_of_int ixs))
+  | Expr.Unnest (i, _) -> Printf.sprintf "unnest %d" i
+
+(* Build the profile skeleton following the AST, so repeated evaluations of
+   the same node (binder bodies, fixpoint bodies) accumulate in one cell. *)
+let rec skeleton e =
+  {
+    op = op_name e;
+    calls = 0;
+    max_support = 0;
+    max_cardinal = Bignat.zero;
+    children = List.map skeleton (Expr.children e);
+  }
+
+let observe p (v : Value.t) =
+  p.calls <- p.calls + 1;
+  match v with
+  | Value.Bag pairs ->
+      let support = List.length pairs in
+      if support > p.max_support then p.max_support <- support;
+      let card = Value.cardinal v in
+      if Bignat.compare card p.max_cardinal > 0 then p.max_cardinal <- card
+  | Value.Atom _ | Value.Tuple _ -> ()
+
+(** Evaluate while profiling.  Returns the result and the profile tree. *)
+let run ?config ?(env = Eval.Env.empty) e =
+  let root = skeleton e in
+  let config = Option.value config ~default:Eval.default_config in
+  let meters = Eval.fresh_meters () in
+  (* Mirror the evaluator's recursion, pairing each AST node with its
+     profile cell.  Evaluation itself is delegated to Eval for binder-free
+     leaves via direct construction, and re-implemented structurally here
+     for the traversal (kept in lockstep with Eval's semantics through the
+     shared Bag primitives). *)
+  let rec go env (e : Expr.t) (p : profile) : Value.t =
+    let child i = List.nth p.children i in
+    let result =
+      match e with
+      | Expr.Var x -> (
+          match Eval.Env.find_opt x env with
+          | Some v -> v
+          | None -> raise (Eval.Eval_error ("unbound variable " ^ x)))
+      | Expr.Lit (v, _) -> v
+      | Expr.Tuple es -> Value.Tuple (List.mapi (fun i e -> go env e (child i)) es)
+      | Expr.Proj (i, e0) -> (
+          match go env e0 (child 0) with
+          | Value.Tuple vs when i >= 1 && i <= List.length vs -> List.nth vs (i - 1)
+          | v ->
+              raise (Eval.Eval_error ("cannot project " ^ Value.to_string v)))
+      | Expr.Sing e0 -> Value.Bag [ (go env e0 (child 0), Bignat.one) ]
+      | Expr.UnionAdd (a, b) -> Bag.union_add (go env a (child 0)) (go env b (child 1))
+      | Expr.Diff (a, b) -> Bag.diff (go env a (child 0)) (go env b (child 1))
+      | Expr.UnionMax (a, b) -> Bag.union_max (go env a (child 0)) (go env b (child 1))
+      | Expr.Inter (a, b) -> Bag.inter (go env a (child 0)) (go env b (child 1))
+      | Expr.Product (a, b) -> Bag.product (go env a (child 0)) (go env b (child 1))
+      | Expr.Powerset e0 ->
+          Bag.powerset ~max_support:config.Eval.max_support (go env e0 (child 0))
+      | Expr.Powerbag e0 ->
+          Bag.powerbag ~max_support:config.Eval.max_support (go env e0 (child 0))
+      | Expr.Destroy e0 -> Bag.destroy (go env e0 (child 0))
+      | Expr.Map (x, body, e0) ->
+          Bag.map
+            (fun v -> go (Eval.Env.add x v env) body (child 0))
+            (go env e0 (child 1))
+      | Expr.Select (x, l, r, e0) ->
+          Bag.select
+            (fun v ->
+              let env' = Eval.Env.add x v env in
+              Value.equal (go env' l (child 0)) (go env' r (child 1)))
+            (go env e0 (child 2))
+      | Expr.Dedup e0 -> Bag.dedup (go env e0 (child 0))
+      | Expr.Nest (ixs, e0) -> Bag.nest ixs (go env e0 (child 0))
+      | Expr.Unnest (i, e0) -> Bag.unnest i (go env e0 (child 0))
+      | Expr.Let (x, e0, body) ->
+          let v = go env e0 (child 0) in
+          go (Eval.Env.add x v env) body (child 1)
+      | Expr.Fix (x, body, seed) ->
+          iterate env ~x ~body ~pbody:(child 0) ~bound:None (go env seed (child 1))
+      | Expr.BFix (bound, x, body, seed) ->
+          let b = go env bound (child 0) in
+          iterate env ~x ~body ~pbody:(child 1) ~bound:(Some b)
+            (go env seed (child 2))
+    in
+    observe p result;
+    (* also keep the global guard honest *)
+    (match result with
+    | Value.Bag pairs when List.length pairs > config.Eval.max_support ->
+        raise
+          (Eval.Resource_limit
+             (Printf.sprintf "bag support %d exceeds limit %d"
+                (List.length pairs) config.Eval.max_support))
+    | _ -> ());
+    result
+  and iterate env ~x ~body ~pbody ~bound current =
+    let clamp v = match bound with None -> v | Some b -> Bag.inter v b in
+    let rec loop steps current =
+      if steps > config.Eval.max_fix_steps then
+        raise (Eval.Resource_limit "fixpoint did not converge");
+      let stepped = go (Eval.Env.add x current env) body pbody in
+      let next = clamp (Bag.union_max stepped current) in
+      if Value.equal next current then current else loop (steps + 1) next
+    in
+    loop 0 (clamp current)
+  in
+  ignore meters;
+  let v = go env e root in
+  (v, root)
+
+let rec pp_profile ?(indent = 0) ppf p =
+  Format.fprintf ppf "%s%-14s calls=%d  max support=%d  max cardinality=%s@\n"
+    (String.make indent ' ') p.op p.calls p.max_support
+    (Bignat.to_string p.max_cardinal);
+  List.iter (pp_profile ~indent:(indent + 2) ppf) p.children
+
+let profile_to_string p = Format.asprintf "%a" (fun ppf -> pp_profile ppf) p

@@ -1,0 +1,21 @@
+(** Evaluation profiling: an EXPLAIN ANALYZE for bag-algebra queries.
+
+    Evaluates exactly like {!Eval} while recording, per AST node, how many
+    times it was evaluated (binder bodies run once per bag member, fixpoint
+    bodies once per iteration) and the largest result support / cardinality
+    seen — showing {e where} a query explodes. *)
+
+type profile = {
+  op : string;
+  mutable calls : int;
+  mutable max_support : int;
+  mutable max_cardinal : Bignat.t;
+  children : profile list;  (** in {!Expr.children} order *)
+}
+
+val run :
+  ?config:Eval.config -> ?env:Eval.env -> Expr.t -> Value.t * profile
+(** @raise Eval.Eval_error / Eval.Resource_limit like the evaluator. *)
+
+val pp_profile : ?indent:int -> Format.formatter -> profile -> unit
+val profile_to_string : profile -> string

@@ -1,0 +1,115 @@
+(** Univariate polynomials with arbitrary-precision integer coefficients.
+
+    These are the objects manipulated by the proof of Proposition 4.1: for
+    every BALG{^1} expression [e] and output tuple [t] there is a polynomial
+    [P{_t}] and a threshold [N{_t}] such that on the input family
+    [B{_n} = {{<a>:n}}], the multiplicity of [t] in [e(B{_n})] equals
+    [P{_t}(n)] for all [n > N{_t}].  {!Polyab} computes these polynomials;
+    this module supplies their arithmetic, evaluation, and the eventual-sign
+    analysis (via a Cauchy root bound) that drives the thresholds. *)
+
+type t = Bigint.t array
+(** coefficient of [n^i] at index [i]; canonical: no trailing zero
+    coefficients, the zero polynomial is [[||]] *)
+
+let normalize (a : Bigint.t array) : t =
+  let k = ref (Array.length a) in
+  while !k > 0 && Bigint.is_zero a.(!k - 1) do
+    decr k
+  done;
+  if !k = Array.length a then a else Array.sub a 0 !k
+
+let zero : t = [||]
+let const c = normalize [| c |]
+let one = const Bigint.one
+let of_int n = const (Bigint.of_int n)
+
+(** The monomial [n]. *)
+let x : t = [| Bigint.zero; Bigint.one |]
+
+let is_zero p = Array.length p = 0
+let degree p = Array.length p - 1
+let coeff p i = if i < Array.length p then p.(i) else Bigint.zero
+
+let equal p q =
+  Array.length p = Array.length q
+  && Array.for_all2 (fun a b -> Bigint.equal a b) p q
+
+let map2 f p q =
+  let l = max (Array.length p) (Array.length q) in
+  normalize (Array.init l (fun i -> f (coeff p i) (coeff q i)))
+
+let add p q = map2 Bigint.add p q
+let sub p q = map2 Bigint.sub p q
+let neg p = Array.map Bigint.neg p
+
+let mul p q =
+  if is_zero p || is_zero q then zero
+  else begin
+    let r = Array.make (Array.length p + Array.length q - 1) Bigint.zero in
+    Array.iteri
+      (fun i pi ->
+        Array.iteri (fun j qj -> r.(i + j) <- Bigint.add r.(i + j) (Bigint.mul pi qj)) q)
+      p;
+    normalize r
+  end
+
+let scale c p = normalize (Array.map (Bigint.mul c) p)
+
+(** Horner evaluation at a natural argument. *)
+let eval p (n : Bignat.t) =
+  let nz = Bigint.of_bignat n in
+  Array.fold_right (fun c acc -> Bigint.add c (Bigint.mul acc nz)) p Bigint.zero
+
+let eval_int p n = eval p (Bignat.of_int n)
+
+(** Sign of [P(n)] as [n → ∞]: the sign of the leading coefficient (0 for
+    the zero polynomial). *)
+let limit_sign p =
+  if is_zero p then 0 else Bigint.sign p.(Array.length p - 1)
+
+(** A threshold [N] beyond which the sign of [P(n)] equals {!limit_sign}:
+    the Cauchy bound [1 + max|a{_i}| / |a{_d}|] dominates every real root.
+    Returns 0 for constants. *)
+let sign_stable_from p =
+  if Array.length p <= 1 then 0
+  else begin
+    let lead = Bigint.abs p.(Array.length p - 1) in
+    let maxc =
+      Array.fold_left (fun acc c -> Bignat.max acc (Bigint.abs c)) Bignat.zero
+        (Array.sub p 0 (Array.length p - 1))
+    in
+    let q, r = Bignat.divmod maxc lead in
+    let bound = Bignat.add q (if Bignat.is_zero r then Bignat.one else Bignat.two) in
+    match Bignat.to_int_opt bound with
+    | Some b -> b
+    | None -> failwith "Poly.sign_stable_from: bound exceeds int range"
+  end
+
+(** Eventual comparison: the sign of [P(n) − Q(n)] for all large [n],
+    together with a threshold from which it is valid. *)
+let compare_eventually p q =
+  let d = sub p q in
+  (limit_sign d, sign_stable_from d)
+
+let pp ppf p =
+  if is_zero p then Format.pp_print_string ppf "0"
+  else begin
+    let first = ref true in
+    for i = Array.length p - 1 downto 0 do
+      let c = p.(i) in
+      if not (Bigint.is_zero c) then begin
+        if !first then first := false else Format.pp_print_string ppf " + ";
+        match i with
+        | 0 -> Bigint.pp ppf c
+        | 1 ->
+            if Bigint.equal c Bigint.one then Format.pp_print_string ppf "n"
+            else Format.fprintf ppf "%a*n" Bigint.pp c
+        | _ ->
+            if Bigint.equal c Bigint.one then Format.fprintf ppf "n^%d" i
+            else Format.fprintf ppf "%a*n^%d" Bigint.pp c i
+      end
+    done
+  end
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,52 @@
+(** Univariate polynomials with arbitrary-precision integer coefficients —
+    the objects of the Prop 4.1 occurrence-count analysis.
+
+    Canonical representation: coefficient of [n{^i}] at index [i], no
+    trailing zeros, the zero polynomial is the empty array. *)
+
+type t = Bigint.t array
+
+val zero : t
+val one : t
+val const : Bigint.t -> t
+val of_int : int -> t
+
+val x : t
+(** The monomial [n]. *)
+
+val is_zero : t -> bool
+
+val degree : t -> int
+(** [-1] for the zero polynomial. *)
+
+val coeff : t -> int -> Bigint.t
+val equal : t -> t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val scale : Bigint.t -> t -> t
+
+val eval : t -> Bignat.t -> Bigint.t
+(** Horner evaluation at a natural argument. *)
+
+val eval_int : t -> int -> Bigint.t
+
+val limit_sign : t -> int
+(** Sign of [P(n)] as [n → ∞] (the leading coefficient's sign; 0 for the
+    zero polynomial). *)
+
+val sign_stable_from : t -> int
+(** A threshold beyond which the sign of [P(n)] equals {!limit_sign}
+    (Cauchy root bound). *)
+
+val compare_eventually : t -> t -> int * int
+(** [(sign, threshold)]: the eventual sign of [P − Q] and a bound from
+    which it holds. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val normalize : Bigint.t array -> t
+(** Strip trailing zero coefficients (for building values directly). *)

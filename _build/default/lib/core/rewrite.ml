@@ -1,0 +1,323 @@
+(** Algebraic rewriting for BALG expressions.
+
+    §3 notes that the operations satisfy the classical laws (associativity
+    and commutativity of [∪+], [∪], [∩]; selections commute with products …)
+    and that these can drive optimisation "in the same spirit as
+    optimization of queries over sets".  It also warns, citing [CV93], that
+    classical {e set} techniques do not carry over: equivalences that hold
+    under set semantics can change multiplicities.
+
+    This module implements both sides: a library of {e bag-sound} rules
+    (used by the normaliser and the E18 experiment) and a library of
+    {e set-only} rules that are deliberately unsound for bags — the
+    experiment shows the randomized equivalence checker catching them. *)
+
+type rule = {
+  name : string;
+  applies : Typecheck.env -> Expr.t -> Expr.t option;
+      (** [Some e'] when the rule rewrites the given node *)
+}
+
+(* Expressions contain only atoms, ints, strings and arrays, so the
+   polymorphic comparison is a legitimate total order for normalising the
+   operand order of AC operators. *)
+let expr_compare : Expr.t -> Expr.t -> int = Stdlib.compare
+
+let arity_of env e =
+  match Typecheck.infer env e with
+  | Ty.Bag (Ty.Tuple ts) -> Some (List.length ts)
+  | _ -> None
+  | exception Typecheck.Type_error _ -> None
+
+(* Projection indices mentioned by a selection condition that only touches
+   its tuple variable through projections; None when the variable is used
+   some other way. *)
+let proj_indices_of x e =
+  let exception Other_use in
+  let acc = ref [] in
+  let rec go e =
+    match e with
+    | Expr.Proj (i, Expr.Var y) when String.equal x y ->
+        acc := i :: !acc
+    | Expr.Var y when String.equal x y -> raise Other_use
+    | _ -> List.iter go (Expr.children e)
+  in
+  match go e with () -> Some !acc | exception Other_use -> None
+
+(* Shift every Proj on [x] by [-k] (used when pushing a selection to the
+   right operand of a product). *)
+let rec shift_projs x k e =
+  match e with
+  | Expr.Proj (i, Expr.Var y) when String.equal x y -> Expr.Proj (i - k, Expr.Var y)
+  | Expr.Var _ | Expr.Lit _ -> e
+  | _ -> map_children (shift_projs x k) e
+
+and map_children f e =
+  match e with
+  | Expr.Var _ | Expr.Lit _ -> e
+  | Expr.Tuple es -> Expr.Tuple (List.map f es)
+  | Expr.Proj (i, e) -> Expr.Proj (i, f e)
+  | Expr.Sing e -> Expr.Sing (f e)
+  | Expr.UnionAdd (a, b) -> Expr.UnionAdd (f a, f b)
+  | Expr.Diff (a, b) -> Expr.Diff (f a, f b)
+  | Expr.UnionMax (a, b) -> Expr.UnionMax (f a, f b)
+  | Expr.Inter (a, b) -> Expr.Inter (f a, f b)
+  | Expr.Product (a, b) -> Expr.Product (f a, f b)
+  | Expr.Powerset e -> Expr.Powerset (f e)
+  | Expr.Powerbag e -> Expr.Powerbag (f e)
+  | Expr.Destroy e -> Expr.Destroy (f e)
+  | Expr.Map (x, body, e) -> Expr.Map (x, f body, f e)
+  | Expr.Select (x, l, r, e) -> Expr.Select (x, f l, f r, f e)
+  | Expr.Dedup e -> Expr.Dedup (f e)
+  | Expr.Nest (ixs, e) -> Expr.Nest (ixs, f e)
+  | Expr.Unnest (i, e) -> Expr.Unnest (i, f e)
+  | Expr.Let (x, e, body) -> Expr.Let (x, f e, f body)
+  | Expr.Fix (x, body, seed) -> Expr.Fix (x, f body, f seed)
+  | Expr.BFix (bound, x, body, seed) -> Expr.BFix (f bound, x, f body, f seed)
+
+let is_empty_lit = function
+  | Expr.Lit (Value.Bag [], _) -> true
+  | _ -> false
+
+(** {1 Bag-sound rules} *)
+
+let commute name ctor =
+  {
+    name;
+    applies =
+      (fun _ e ->
+        match ctor e with
+        | Some (a, b, rebuild) when expr_compare a b > 0 -> Some (rebuild b a)
+        | _ -> None);
+  }
+
+let rule_comm_unionadd =
+  commute "comm-union-add" (function
+    | Expr.UnionAdd (a, b) -> Some (a, b, fun x y -> Expr.UnionAdd (x, y))
+    | _ -> None)
+
+let rule_comm_unionmax =
+  commute "comm-union-max" (function
+    | Expr.UnionMax (a, b) -> Some (a, b, fun x y -> Expr.UnionMax (x, y))
+    | _ -> None)
+
+let rule_comm_inter =
+  commute "comm-inter" (function
+    | Expr.Inter (a, b) -> Some (a, b, fun x y -> Expr.Inter (x, y))
+    | _ -> None)
+
+let rule_assoc_unionadd =
+  {
+    name = "assoc-union-add";
+    applies =
+      (fun _ -> function
+        | Expr.UnionAdd (Expr.UnionAdd (a, b), c) ->
+            Some (Expr.UnionAdd (a, Expr.UnionAdd (b, c)))
+        | _ -> None);
+  }
+
+let rule_idempotent =
+  {
+    name = "idempotence";
+    applies =
+      (fun _ -> function
+        | Expr.Inter (a, b) when expr_compare a b = 0 -> Some a
+        | Expr.UnionMax (a, b) when expr_compare a b = 0 -> Some a
+        | Expr.Dedup (Expr.Dedup e) -> Some (Expr.Dedup e)
+        | Expr.Dedup (Expr.Powerset e) -> Some (Expr.Powerset e)
+        | _ -> None);
+  }
+
+let rule_self_difference =
+  {
+    name = "self-difference";
+    applies =
+      (fun env -> function
+        | Expr.Diff (a, b) when expr_compare a b = 0 -> (
+            match Typecheck.infer env a with
+            | ty -> Some (Expr.Lit (Value.Bag [], ty))
+            | exception Typecheck.Type_error _ -> None)
+        | _ -> None);
+  }
+
+let rule_empty_units =
+  {
+    name = "empty-units";
+    applies =
+      (fun env -> function
+        | Expr.UnionAdd (a, b) when is_empty_lit b -> Some a
+        | Expr.UnionAdd (a, b) when is_empty_lit a -> Some b
+        | Expr.UnionMax (a, b) when is_empty_lit b -> Some a
+        | Expr.UnionMax (a, b) when is_empty_lit a -> Some b
+        | Expr.Diff (a, b) when is_empty_lit b -> Some a
+        | Expr.Inter (a, b) when is_empty_lit a || is_empty_lit b -> (
+            match Typecheck.infer env a with
+            | ty -> Some (Expr.Lit (Value.Bag [], ty))
+            | exception Typecheck.Type_error _ -> None)
+        | _ -> None);
+  }
+
+let rule_destroy_sing =
+  {
+    name = "destroy-sing";
+    applies =
+      (fun env -> function
+        | Expr.Destroy (Expr.Sing e) -> (
+            match Typecheck.infer env e with
+            | Ty.Bag _ -> Some e
+            | _ -> None
+            | exception Typecheck.Type_error _ -> None)
+        | _ -> None);
+  }
+
+(** [unnest(nest)] with prefix keys is the identity: grouping on the first
+    [k] attributes and immediately expanding the appended group reproduces
+    the input bag, multiplicities included. *)
+let rule_unnest_nest =
+  {
+    name = "unnest-nest";
+    applies =
+      (fun _ -> function
+        | Expr.Unnest (i, Expr.Nest (ixs, e))
+          when i = List.length ixs + 1
+               && List.mapi (fun j _ -> j + 1) ixs = ixs ->
+            Some e
+        | _ -> None);
+  }
+
+let rule_map_identity =
+  {
+    name = "map-identity";
+    applies =
+      (fun _ -> function
+        | Expr.Map (x, Expr.Var y, e) when String.equal x y -> Some e
+        | _ -> None);
+  }
+
+let rule_map_fusion =
+  {
+    name = "map-fusion";
+    applies =
+      (fun _ -> function
+        | Expr.Map (x, outer, Expr.Map (y, inner, e)) ->
+            Some (Expr.Map (y, Expr.subst x inner outer, e))
+        | _ -> None);
+  }
+
+(** Selection pushdown through a product (the "push selections" of §3):
+    when the condition only touches attributes of one operand, filter that
+    operand before multiplying.  Sound for bags — multiplicities factor
+    through the product. *)
+let rule_select_pushdown =
+  {
+    name = "select-pushdown";
+    applies =
+      (fun env -> function
+        | Expr.Select (x, l, r, Expr.Product (a, b)) -> (
+            match (arity_of env a, proj_indices_of x l, proj_indices_of x r) with
+            | Some ka, Some il, Some ir ->
+                let ixs = il @ ir in
+                if ixs <> [] && List.for_all (fun i -> i <= ka) ixs then
+                  Some (Expr.Product (Expr.Select (x, l, r, a), b))
+                else if List.for_all (fun i -> i > ka) ixs && ixs <> [] then
+                  Some
+                    (Expr.Product
+                       ( a,
+                         Expr.Select (x, shift_projs x ka l, shift_projs x ka r, b)
+                       ))
+                else None
+            | _ -> None)
+        | _ -> None);
+  }
+
+let sound_rules =
+  [
+    rule_empty_units;
+    rule_idempotent;
+    rule_self_difference;
+    rule_destroy_sing;
+    rule_unnest_nest;
+    rule_map_identity;
+    rule_map_fusion;
+    rule_select_pushdown;
+    rule_assoc_unionadd;
+    rule_comm_unionadd;
+    rule_comm_unionmax;
+    rule_comm_inter;
+  ]
+
+(** {1 Set-only rules — deliberately unsound for bags (CV93)} *)
+
+(** [π{_1..k}(R × R) → R]: a classical conjunctive-query minimisation step.
+    Under sets it is an identity; under bags the left side has every tuple
+    with multiplicity [|R|] times its own. *)
+let rule_selfproduct_elim_setonly =
+  {
+    name = "self-product-projection (set-only)";
+    applies =
+      (fun env -> function
+        | Expr.Map (x, Expr.Tuple body, Expr.Product (a, b))
+          when expr_compare a b = 0 -> (
+            match arity_of env a with
+            | Some k
+              when List.length body = k
+                   && List.for_all2
+                        (fun i e ->
+                          match e with
+                          | Expr.Proj (j, Expr.Var y) ->
+                              j = i && String.equal y x
+                          | _ -> false)
+                        (List.init k (fun i -> i + 1))
+                        body ->
+                Some a
+            | _ -> None)
+        | _ -> None);
+  }
+
+(** [ε(e) → e]: the identity on sets, rarely on bags. *)
+let rule_dedup_elim_setonly =
+  {
+    name = "dedup-elimination (set-only)";
+    applies = (fun _ -> function Expr.Dedup e -> Some e | _ -> None);
+  }
+
+let set_only_rules = [ rule_selfproduct_elim_setonly; rule_dedup_elim_setonly ]
+
+(** {1 Driving} *)
+
+(* One bottom-up pass: rewrite children first, then try rules at the node
+   until none applies. *)
+let rewrite_pass env rules e =
+  let applied = ref [] in
+  let rec at_node e =
+    let rec fire e fuel =
+      if fuel = 0 then e
+      else
+        match
+          List.find_map
+            (fun r ->
+              match r.applies env e with
+              | Some e' when expr_compare e' e <> 0 -> Some (r.name, e')
+              | _ -> None)
+            rules
+        with
+        | Some (name, e') ->
+            applied := name :: !applied;
+            fire e' (fuel - 1)
+        | None -> e
+    in
+    fire (map_children at_node e) 16
+  in
+  let e' = at_node e in
+  (e', List.rev !applied)
+
+(** Rewrite to a fixpoint of the sound rules (bounded number of passes).
+    Returns the normal form and the rule applications performed. *)
+let normalize ?(rules = sound_rules) ?(max_passes = 8) env e =
+  let rec go passes e log =
+    if passes = 0 then (e, log)
+    else
+      let e', applied = rewrite_pass env rules e in
+      if applied = [] then (e, log) else go (passes - 1) e' (log @ applied)
+  in
+  go max_passes e []

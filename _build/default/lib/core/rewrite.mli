@@ -1,0 +1,63 @@
+(** Algebraic rewriting: the §3 laws as bag-sound rules, plus the [CV93]
+    set-only rules that the paper warns about.
+
+    Rules are applied bottom-up to a fixpoint by {!normalize}.  Soundness of
+    the default rule set is property-tested against the interpreter; the
+    {!set_only_rules} preserve set semantics but change multiplicities —
+    experiment E18 shows the randomized equivalence checker catching them. *)
+
+type rule = {
+  name : string;
+  applies : Typecheck.env -> Expr.t -> Expr.t option;
+      (** [Some e'] when the rule rewrites the given node *)
+}
+
+val expr_compare : Expr.t -> Expr.t -> int
+(** Structural total order on expressions (used to orient AC operators). *)
+
+(** {1 Bag-sound rules} *)
+
+val rule_comm_unionadd : rule
+val rule_comm_unionmax : rule
+val rule_comm_inter : rule
+val rule_assoc_unionadd : rule
+
+val rule_idempotent : rule
+(** [e ∩ e → e], [e ∪ e → e], [ε ε → ε], [ε P → P]. *)
+
+val rule_self_difference : rule
+val rule_empty_units : rule
+val rule_destroy_sing : rule
+
+val rule_unnest_nest : rule
+(** [unnest(nest)] with prefix keys is the identity. *)
+
+val rule_map_identity : rule
+val rule_map_fusion : rule
+
+val rule_select_pushdown : rule
+(** Push a selection into the product operand its condition touches —
+    sound for bags because multiplicities factor through the product. *)
+
+val sound_rules : rule list
+
+(** {1 Set-only rules (deliberately bag-unsound, [CV93])} *)
+
+val rule_selfproduct_elim_setonly : rule
+(** [π{_1..k}(R × R) → R]: conjunctive-query minimisation, an identity on
+    sets, wrong on bags. *)
+
+val rule_dedup_elim_setonly : rule
+
+val set_only_rules : rule list
+
+(** {1 Driving} *)
+
+val normalize :
+  ?rules:rule list ->
+  ?max_passes:int ->
+  Typecheck.env ->
+  Expr.t ->
+  Expr.t * string list
+(** Rewrite to a fixpoint (bounded); returns the normal form and the names
+    of the rule applications performed, in order. *)

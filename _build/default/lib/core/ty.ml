@@ -1,0 +1,67 @@
+(** Types of complex objects (§2 of the paper).
+
+    Types are built from the atomic type [U] with the tuple and bag
+    constructors.  The {e bag nesting} of a type is the maximal number of bag
+    nodes on a path from the root to a leaf; it is the parameter that defines
+    the restricted algebras [BALG]{^ k}. *)
+
+type t =
+  | Atom  (** the atomic type [U] *)
+  | Tuple of t list  (** tuple type [T1, ..., Tk] *)
+  | Bag of t  (** bag type [{{T}}] *)
+
+let rec equal a b =
+  match (a, b) with
+  | Atom, Atom -> true
+  | Tuple ts, Tuple us ->
+      List.length ts = List.length us && List.for_all2 equal ts us
+  | Bag t, Bag u -> equal t u
+  | (Atom | Tuple _ | Bag _), _ -> false
+
+let rec compare a b =
+  match (a, b) with
+  | Atom, Atom -> 0
+  | Atom, (Tuple _ | Bag _) -> -1
+  | Tuple _, Atom -> 1
+  | Tuple ts, Tuple us -> List.compare compare ts us
+  | Tuple _, Bag _ -> -1
+  | Bag t, Bag u -> compare t u
+  | Bag _, (Atom | Tuple _) -> 1
+
+(** Maximal number of bag constructors on a root-to-leaf path. *)
+let rec bag_nesting = function
+  | Atom -> 0
+  | Tuple ts -> List.fold_left (fun acc t -> max acc (bag_nesting t)) 0 ts
+  | Bag t -> 1 + bag_nesting t
+
+(** [BALG]{^ 1} types: [U]{^ k} and [{{U{^ k}}}] (§4). *)
+let is_unnested = function
+  | Atom -> true
+  | Tuple ts -> List.for_all (fun t -> equal t Atom) ts
+  | Bag Atom -> true
+  | Bag (Tuple ts) -> List.for_all (fun t -> equal t Atom) ts
+  | Bag (Bag _) -> false
+
+(** Standard shapes used throughout the reproduction. *)
+
+let atom = Atom
+let tuple ts = Tuple ts
+let bag t = Bag t
+
+(** The type of integers-as-bags: [{{<U>}}] (a bag of unary tuples, §3). *)
+let nat = Bag (Tuple [ Atom ])
+
+(** Flat relation of arity [k]: [{{<U, ..., U>}}]. *)
+let relation k = Bag (Tuple (List.init k (fun _ -> Atom)))
+
+let rec pp ppf = function
+  | Atom -> Format.pp_print_string ppf "U"
+  | Tuple ts ->
+      Format.fprintf ppf "<%a>"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp)
+        ts
+  | Bag t -> Format.fprintf ppf "{{%a}}" pp t
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,35 @@
+(** Types of complex objects (§2).
+
+    Types are built from the atomic type [U] with the tuple and bag
+    constructors.  The {e bag nesting} of a type — the maximal number of bag
+    nodes on a path from the root to a leaf — is the parameter defining the
+    restricted algebras BALG{^ k} studied in §4–6. *)
+
+type t =
+  | Atom  (** the atomic type [U] *)
+  | Tuple of t list  (** tuple type [<T1, ..., Tk>] *)
+  | Bag of t  (** bag type [{{T}}] *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val bag_nesting : t -> int
+(** Maximal number of bag constructors on a root-to-leaf path. *)
+
+val is_unnested : t -> bool
+(** The BALG{^1} types: [U{^k}] and [{{U{^k}}}] (§4). *)
+
+(** {1 Common shapes} *)
+
+val atom : t
+val tuple : t list -> t
+val bag : t -> t
+
+val nat : t
+(** The integer-as-bag type [{{<U>}}] (§3). *)
+
+val relation : int -> t
+(** [relation k] is the flat relation type [{{<U, ..., U>}}] of arity [k]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

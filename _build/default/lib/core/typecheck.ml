@@ -1,0 +1,162 @@
+(** Typing of algebra expressions.
+
+    The paper assumes all operations are typed polymorphically, with input
+    restrictions guaranteeing homogeneous output bags (§3); this module makes
+    those restrictions explicit.  It also exposes the measurements the
+    restricted algebras are defined by: the maximal bag nesting of any
+    intermediate type (the [k] of BALG{^ k}). *)
+
+exception Type_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+module Env = Map.Make (String)
+
+type env = Ty.t Env.t
+
+let env_of_list l = List.fold_left (fun m (x, t) -> Env.add x t m) Env.empty l
+
+(* [infer ~record env e] infers the type of [e]; [record] is called on the
+   type of every subexpression (used for nesting analysis). *)
+let rec infer_rec ~record env e =
+  let ty = infer_node ~record env e in
+  record ty;
+  ty
+
+and infer_node ~record env e =
+  let infer env e = infer_rec ~record env e in
+  match e with
+  | Expr.Var x -> (
+      match Env.find_opt x env with
+      | Some t -> t
+      | None -> error "unbound variable %s" x)
+  | Expr.Lit (v, ty) ->
+      if Value.has_type ty v then ty
+      else error "literal %s does not have declared type %s"
+        (Value.to_string v) (Ty.to_string ty)
+  | Expr.Tuple es -> Ty.Tuple (List.map (infer env) es)
+  | Expr.Proj (i, e) -> (
+      match infer env e with
+      | Ty.Tuple ts when i >= 1 && i <= List.length ts -> List.nth ts (i - 1)
+      | Ty.Tuple ts ->
+          error "projection index %d out of range (arity %d)" i (List.length ts)
+      | t -> error "projection of a non-tuple of type %s" (Ty.to_string t))
+  | Expr.Sing e -> Ty.Bag (infer env e)
+  | Expr.UnionAdd (a, b) | Expr.Diff (a, b) | Expr.UnionMax (a, b)
+  | Expr.Inter (a, b) ->
+      let ta = infer env a and tb = infer env b in
+      let bagly = function
+        | Ty.Bag _ -> ()
+        | t -> error "bag operation applied to non-bag of type %s" (Ty.to_string t)
+      in
+      bagly ta;
+      bagly tb;
+      if Ty.equal ta tb then ta
+      else error "bag operation on incompatible types %s and %s"
+        (Ty.to_string ta) (Ty.to_string tb)
+  | Expr.Product (a, b) -> (
+      match (infer env a, infer env b) with
+      | Ty.Bag (Ty.Tuple ts), Ty.Bag (Ty.Tuple us) -> Ty.Bag (Ty.Tuple (ts @ us))
+      | ta, tb ->
+          error "product requires bags of tuples, got %s and %s"
+            (Ty.to_string ta) (Ty.to_string tb))
+  | Expr.Powerset e | Expr.Powerbag e -> (
+      match infer env e with
+      | Ty.Bag t -> Ty.Bag (Ty.Bag t)
+      | t -> error "powerset of a non-bag of type %s" (Ty.to_string t))
+  | Expr.Destroy e -> (
+      match infer env e with
+      | Ty.Bag (Ty.Bag t) -> Ty.Bag t
+      | t -> error "bag-destroy of type %s (needs a bag of bags)" (Ty.to_string t))
+  | Expr.Map (x, body, e) -> (
+      match infer env e with
+      | Ty.Bag t -> Ty.Bag (infer (Env.add x t env) body)
+      | t -> error "MAP over a non-bag of type %s" (Ty.to_string t))
+  | Expr.Select (x, l, r, e) -> (
+      match infer env e with
+      | Ty.Bag t as tb ->
+          let env' = Env.add x t env in
+          let tl = infer env' l and tr = infer env' r in
+          if Ty.equal tl tr then tb
+          else error "selection compares %s with %s" (Ty.to_string tl)
+            (Ty.to_string tr)
+      | t -> error "selection over a non-bag of type %s" (Ty.to_string t))
+  | Expr.Dedup e -> (
+      match infer env e with
+      | Ty.Bag _ as t -> t
+      | t -> error "dedup of a non-bag of type %s" (Ty.to_string t))
+  | Expr.Nest (ixs, e) -> (
+      match infer env e with
+      | Ty.Bag (Ty.Tuple ts) ->
+          let arity = List.length ts in
+          if ixs = [] then error "nest needs at least one grouping attribute";
+          if List.length (List.sort_uniq compare ixs) <> List.length ixs then
+            error "nest: duplicate grouping attribute";
+          List.iter
+            (fun i ->
+              if i < 1 || i > arity then
+                error "nest attribute %d out of range (arity %d)" i arity)
+            ixs;
+          let keep = List.map (fun i -> List.nth ts (i - 1)) ixs in
+          let rest =
+            List.filteri (fun j _ -> not (List.mem (j + 1) ixs)) ts
+          in
+          Ty.Bag (Ty.Tuple (keep @ [ Ty.Bag (Ty.Tuple rest) ]))
+      | t -> error "nest over a non-tuple-bag of type %s" (Ty.to_string t))
+  | Expr.Unnest (i, e) -> (
+      match infer env e with
+      | Ty.Bag (Ty.Tuple ts) when i >= 1 && i <= List.length ts -> (
+          match List.nth ts (i - 1) with
+          | Ty.Bag (Ty.Tuple us) ->
+              let prefix = List.filteri (fun j _ -> j < i - 1) ts in
+              let suffix = List.filteri (fun j _ -> j > i - 1) ts in
+              Ty.Bag (Ty.Tuple (prefix @ us @ suffix))
+          | t ->
+              error "unnest attribute %d has type %s (needs a bag of tuples)" i
+                (Ty.to_string t))
+      | t -> error "unnest over %s (attribute %d)" (Ty.to_string t) i)
+  | Expr.Let (x, e, body) -> infer (Env.add x (infer env e) env) body
+  | Expr.Fix (x, body, seed) -> (
+      match infer env seed with
+      | Ty.Bag _ as t ->
+          let tb = infer (Env.add x t env) body in
+          if Ty.equal t tb then t
+          else error "fixpoint body has type %s, seed has type %s"
+            (Ty.to_string tb) (Ty.to_string t)
+      | t -> error "fixpoint seed must be a bag, got %s" (Ty.to_string t))
+  | Expr.BFix (bound, x, body, seed) -> (
+      match infer env seed with
+      | Ty.Bag _ as t ->
+          let tbound = infer env bound in
+          if not (Ty.equal tbound t) then
+            error "bounded fixpoint bound has type %s, seed has type %s"
+              (Ty.to_string tbound) (Ty.to_string t);
+          let tb = infer (Env.add x t env) body in
+          if Ty.equal t tb then t
+          else error "bounded fixpoint body has type %s, seed has type %s"
+            (Ty.to_string tb) (Ty.to_string t)
+      | t -> error "bounded fixpoint seed must be a bag, got %s" (Ty.to_string t))
+
+let infer env e = infer_rec ~record:(fun _ -> ()) env e
+
+(** Result type together with the types of {e all} subexpressions. *)
+let infer_all env e =
+  let acc = ref [] in
+  let t = infer_rec ~record:(fun ty -> acc := ty :: !acc) env e in
+  (t, List.rev !acc)
+
+(** Maximal bag nesting over every intermediate type — the [k] such that the
+    expression lives in BALG{^ k} (given the environment's types). *)
+let max_nesting env e =
+  let _, tys = infer_all env e in
+  List.fold_left (fun acc t -> max acc (Ty.bag_nesting t)) 0 tys
+
+(** Enforce the BALG{^ k} restriction: every intermediate type has bag
+    nesting at most [k]. *)
+let check_nesting k env e =
+  let n = max_nesting env e in
+  if n > k then
+    error "expression uses bag nesting %d, exceeding the BALG^%d restriction" n k
+
+let well_typed env e =
+  match infer env e with _ -> true | exception Type_error _ -> false

@@ -1,0 +1,29 @@
+(** Typing of algebra expressions, and the BALG{^k} nesting measure.
+
+    The paper assumes polymorphic typing with input restrictions that keep
+    output bags homogeneous (§3); {!infer} makes those restrictions explicit
+    and {!max_nesting} computes the [k] of the smallest BALG{^k} the
+    expression lives in. *)
+
+exception Type_error of string
+
+module Env : Map.S with type key = string
+
+type env = Ty.t Env.t
+
+val env_of_list : (string * Ty.t) list -> env
+
+val infer : env -> Expr.t -> Ty.t
+(** @raise Type_error with a descriptive message. *)
+
+val infer_all : env -> Expr.t -> Ty.t * Ty.t list
+(** Result type together with the types of all subexpressions (used for
+    nesting analysis). *)
+
+val max_nesting : env -> Expr.t -> int
+(** Maximal bag nesting over every intermediate type. *)
+
+val check_nesting : int -> env -> Expr.t -> unit
+(** Enforce the BALG{^k} restriction.  @raise Type_error on violation. *)
+
+val well_typed : env -> Expr.t -> bool

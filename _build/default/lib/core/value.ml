@@ -1,0 +1,169 @@
+(** Complex-object values: atoms, tuples, and bags with {!Bignat.t}
+    multiplicities.
+
+    Bags are kept in a canonical form — elements sorted by {!compare},
+    strictly positive coalesced counts — so that structural operations on the
+    representation implement bag equality and the subbag order directly.  An
+    element [o] {e n-belongs} to a bag when its stored count is [n] (§2). *)
+
+type t =
+  | Atom of string
+  | Tuple of t list
+  | Bag of (t * Bignat.t) list
+      (** invariant: strictly increasing in {!compare}, counts > 0 *)
+
+let rec compare a b =
+  match (a, b) with
+  | Atom x, Atom y -> String.compare x y
+  | Atom _, (Tuple _ | Bag _) -> -1
+  | Tuple _, Atom _ -> 1
+  | Tuple xs, Tuple ys -> List.compare compare xs ys
+  | Tuple _, Bag _ -> -1
+  | Bag xs, Bag ys ->
+      List.compare
+        (fun (v, c) (w, d) ->
+          let cv = compare v w in
+          if cv <> 0 then cv else Bignat.compare c d)
+        xs ys
+  | Bag _, (Atom _ | Tuple _) -> 1
+
+let equal a b = compare a b = 0
+
+(** {1 Constructors} *)
+
+let atom s = Atom s
+let tuple vs = Tuple vs
+
+(* Canonicalise an arbitrary association list into a bag: sort, coalesce
+   counts additively, drop zeros. *)
+let bag_of_assoc (pairs : (t * Bignat.t) list) : t =
+  let sorted =
+    List.sort (fun (v, _) (w, _) -> compare v w)
+      (List.filter (fun (_, c) -> not (Bignat.is_zero c)) pairs)
+  in
+  let rec coalesce = function
+    | [] -> []
+    | [ p ] -> [ p ]
+    | (v, c) :: (w, d) :: rest when compare v w = 0 ->
+        coalesce ((v, Bignat.add c d) :: rest)
+    | p :: rest -> p :: coalesce rest
+  in
+  Bag (coalesce sorted)
+
+let bag_of_list vs = bag_of_assoc (List.map (fun v -> (v, Bignat.one)) vs)
+let empty_bag = Bag []
+
+(** The bag [B{^t}{_i}]: exactly [i] occurrences of [t] and nothing else. *)
+let replicate count v = if Bignat.is_zero count then Bag [] else Bag [ (v, count) ]
+
+(** Integer-as-bag encoding of §3: [n] occurrences of the unary tuple
+    [<a>]. *)
+let nat ?(on = "a") n = replicate (Bignat.of_int n) (Tuple [ Atom on ])
+
+(** {1 Accessors} *)
+
+let as_bag = function
+  | Bag pairs -> pairs
+  | Atom _ | Tuple _ -> invalid_arg "Value.as_bag: not a bag"
+
+let as_tuple = function
+  | Tuple vs -> vs
+  | Atom _ | Bag _ -> invalid_arg "Value.as_tuple: not a tuple"
+
+let is_bag = function Bag _ -> true | Atom _ | Tuple _ -> false
+let is_empty_bag = function Bag [] -> true | _ -> false
+
+(** Multiplicity with which [v] belongs to bag [b] (zero if absent). *)
+let count_in v b =
+  match List.assoc_opt v (as_bag b) with None -> Bignat.zero | Some c -> c
+
+(** Total number of occurrences — the paper's size of a bag. *)
+let cardinal b =
+  List.fold_left (fun acc (_, c) -> Bignat.add acc c) Bignat.zero (as_bag b)
+
+let support b = List.map fst (as_bag b)
+let support_size b = List.length (as_bag b)
+
+(** {1 Structure measures} *)
+
+let rec bag_nesting = function
+  | Atom _ -> 0
+  | Tuple vs -> List.fold_left (fun acc v -> max acc (bag_nesting v)) 0 vs
+  | Bag pairs ->
+      1 + List.fold_left (fun acc (v, _) -> max acc (bag_nesting v)) 0 pairs
+
+(** Size of the standard encoding (§2): duplicates are counted explicitly.
+    Returned as a {!Bignat.t} because sizes can themselves explode. *)
+let rec encoded_size = function
+  | Atom _ -> Bignat.one
+  | Tuple vs ->
+      List.fold_left (fun acc v -> Bignat.add acc (encoded_size v)) Bignat.one vs
+  | Bag pairs ->
+      List.fold_left
+        (fun acc (v, c) -> Bignat.add acc (Bignat.mul c (encoded_size v)))
+        Bignat.one pairs
+
+(** All atomic constants occurring in a value. *)
+let atoms v =
+  let module S = Set.Make (String) in
+  let rec go acc = function
+    | Atom s -> S.add s acc
+    | Tuple vs -> List.fold_left go acc vs
+    | Bag pairs -> List.fold_left (fun acc (v, _) -> go acc v) acc pairs
+  in
+  S.elements (go S.empty v)
+
+(** {1 Typing} *)
+
+(** [has_type ty v] checks [v] against [ty]; an empty bag inhabits every bag
+    type. *)
+let rec has_type ty v =
+  match (ty, v) with
+  | Ty.Atom, Atom _ -> true
+  | Ty.Tuple ts, Tuple vs ->
+      List.length ts = List.length vs && List.for_all2 has_type ts vs
+  | Ty.Bag t, Bag pairs -> List.for_all (fun (v, _) -> has_type t v) pairs
+  | (Ty.Atom | Ty.Tuple _ | Ty.Bag _), _ -> false
+
+(** Best-effort type inference.  Returns [None] for heterogeneous bags; an
+    empty bag infers as a bag of atoms (the least informative choice —
+    prefer {!has_type} when a type is known). *)
+let rec infer = function
+  | Atom _ -> Some Ty.Atom
+  | Tuple vs ->
+      let tys = List.map infer vs in
+      if List.exists Option.is_none tys then None
+      else Some (Ty.Tuple (List.map Option.get tys))
+  | Bag [] -> Some (Ty.Bag Ty.Atom)
+  | Bag ((v0, _) :: rest) -> (
+      match infer v0 with
+      | None -> None
+      | Some t ->
+          if List.for_all (fun (v, _) -> has_type t v) rest then Some (Ty.Bag t)
+          else None)
+
+(** {1 Rendering} *)
+
+let rec pp ppf = function
+  | Atom s -> Format.fprintf ppf "'%s" s
+  | Tuple vs ->
+      Format.fprintf ppf "<%a>"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp)
+        vs
+  | Bag pairs ->
+      let pp_pair ppf (v, c) =
+        if Bignat.is_one c then pp ppf v
+        else Format.fprintf ppf "%a:%a" pp v Bignat.pp c
+      in
+      Format.fprintf ppf "{{%a}}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_pair)
+        pairs
+
+let to_string v = Format.asprintf "%a" pp v
+
+(** Decode an integer-as-bag value back to its count (total cardinality). *)
+let nat_value b = cardinal b

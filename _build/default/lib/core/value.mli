@@ -1,0 +1,91 @@
+(** Complex-object values: atoms, tuples, and bags with {!Bignat.t}
+    multiplicities.
+
+    Bags are kept canonical — elements strictly increasing in {!compare},
+    multiplicities strictly positive and coalesced — so structural equality
+    is bag equality.  An element [o] {e n-belongs} to a bag when its stored
+    multiplicity is [n] (§2). *)
+
+type t =
+  | Atom of string
+  | Tuple of t list
+  | Bag of (t * Bignat.t) list
+      (** canonical: strictly increasing keys, positive counts.  Use
+          {!bag_of_assoc} / {!bag_of_list} to construct. *)
+
+val compare : t -> t -> int
+(** Total order: atoms < tuples < bags; lexicographic within a kind. *)
+
+val equal : t -> t -> bool
+
+(** {1 Constructors} *)
+
+val atom : string -> t
+val tuple : t list -> t
+
+val bag_of_assoc : (t * Bignat.t) list -> t
+(** Canonicalises: sorts, coalesces equal elements additively, drops zero
+    counts. *)
+
+val bag_of_list : t list -> t
+(** Each occurrence counts once; duplicates in the list accumulate. *)
+
+val empty_bag : t
+
+val replicate : Bignat.t -> t -> t
+(** [replicate i t] is the paper's [B{^t}{_i}]: exactly [i] occurrences of
+    [t]. *)
+
+val nat : ?on:string -> int -> t
+(** The §3 integer encoding: [nat n] is a bag of [n] occurrences of the
+    unary tuple [<a>] (atom name configurable). *)
+
+(** {1 Accessors} *)
+
+val as_bag : t -> (t * Bignat.t) list
+(** @raise Invalid_argument on non-bags. *)
+
+val as_tuple : t -> t list
+(** @raise Invalid_argument on non-tuples. *)
+
+val is_bag : t -> bool
+val is_empty_bag : t -> bool
+
+val count_in : t -> t -> Bignat.t
+(** [count_in v b]: multiplicity of [v] in bag [b] (zero when absent). *)
+
+val cardinal : t -> Bignat.t
+(** Total number of occurrences — the paper's size of a bag. *)
+
+val support : t -> t list
+(** Distinct elements, in increasing order. *)
+
+val support_size : t -> int
+
+(** {1 Structure measures} *)
+
+val bag_nesting : t -> int
+
+val encoded_size : t -> Bignat.t
+(** Size of the §2 standard encoding, where duplicates are written out
+    explicitly. *)
+
+val atoms : t -> string list
+(** All atomic constants occurring in the value, sorted. *)
+
+(** {1 Typing} *)
+
+val has_type : Ty.t -> t -> bool
+(** The empty bag inhabits every bag type. *)
+
+val infer : t -> Ty.t option
+(** Best-effort inference; [None] on heterogeneous bags, [Bag Atom] for the
+    empty bag. *)
+
+(** {1 Rendering} *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val nat_value : t -> Bignat.t
+(** Decode an integer-as-bag back to its number (the cardinality). *)

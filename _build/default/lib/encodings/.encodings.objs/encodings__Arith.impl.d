@@ -1,0 +1,1 @@
+lib/encodings/arith.ml: Balg Derived Eval Expr Fun List Ty Value

@@ -1,0 +1,1 @@
+lib/encodings/arith.mli: Balg Eval Expr

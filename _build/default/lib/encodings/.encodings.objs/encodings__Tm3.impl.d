@@ -1,0 +1,1 @@
+lib/encodings/tm3.ml: Balg Derived Eval Expr List Turing Ty Value

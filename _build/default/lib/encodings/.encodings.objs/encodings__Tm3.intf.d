@@ -1,0 +1,1 @@
+lib/encodings/tm3.mli: Balg Eval Expr Turing Ty

@@ -1,0 +1,1 @@
+lib/encodings/tmifp.ml: Balg Bignat Derived Eval Expr List Turing Ty Typecheck Value

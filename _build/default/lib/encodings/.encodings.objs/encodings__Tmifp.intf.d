@@ -1,0 +1,1 @@
+lib/encodings/tmifp.mli: Balg Eval Expr Turing Ty Typecheck Value

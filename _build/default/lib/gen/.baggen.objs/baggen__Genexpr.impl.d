@@ -1,0 +1,1 @@
+lib/gen/genexpr.ml: Balg Expr Genval List Random Ty Value

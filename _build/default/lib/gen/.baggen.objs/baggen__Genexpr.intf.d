@@ -1,0 +1,1 @@
+lib/gen/genexpr.mli: Balg Expr Random Ty Value

@@ -1,0 +1,1 @@
+lib/gen/genval.ml: Array Balg Bignat List Printf Random Set Ty Value

@@ -1,0 +1,1 @@
+lib/gen/genval.mli: Balg Random Ty Value

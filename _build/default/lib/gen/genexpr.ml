@@ -1,0 +1,107 @@
+(** Random BALG{^1} expression generators.
+
+    Used by the Prop 4.2 simulation test (BALG{^1} without subtraction has
+    the same membership behaviour as the relational algebra without
+    difference) and by the randomized equivalence checks of the rewriting
+    engine.  Expressions are generated type-directed: every generated
+    expression denotes a bag of flat tuples of a known arity over the given
+    environment. *)
+
+open Balg
+
+type env_spec = (string * int) list
+(** database bag names with their tuple arities *)
+
+let pick rng l = List.nth l (Random.State.int rng (List.length l))
+
+(** [flat ~allow_diff ~allow_dedup rng env depth arity] generates a BALG{^1}
+    expression of type [{{U{^arity}}}] over [env]. *)
+let rec flat ?(allow_diff = true) ?(allow_dedup = true) rng (env : env_spec)
+    depth arity =
+  let recur = flat ~allow_diff ~allow_dedup rng env in
+  let base () =
+    let candidates = List.filter (fun (_, a) -> a = arity) env in
+    match candidates with
+    | [] ->
+        (* No database bag of this arity: project one down or build a
+           constant bag. *)
+        let wider = List.filter (fun (_, a) -> a > arity) env in
+        (match wider with
+        | [] ->
+            Expr.Lit
+              ( Value.bag_of_list
+                  [ Value.Tuple (List.init arity (fun i -> Value.Atom (Genval.atom_name i))) ],
+                Ty.relation arity )
+        | _ ->
+            let name, a = pick rng wider in
+            let ixs = List.init arity (fun _ -> 1 + Random.State.int rng a) in
+            Expr.proj_attrs ixs (Expr.Var name))
+    | _ -> Expr.Var (fst (pick rng candidates))
+  in
+  if depth <= 0 then base ()
+  else
+    let choice = Random.State.int rng 10 in
+    match choice with
+    | 0 | 1 -> Expr.UnionAdd (recur (depth - 1) arity, recur (depth - 1) arity)
+    | 2 -> Expr.UnionMax (recur (depth - 1) arity, recur (depth - 1) arity)
+    | 3 -> Expr.Inter (recur (depth - 1) arity, recur (depth - 1) arity)
+    | 4 when allow_diff ->
+        Expr.Diff (recur (depth - 1) arity, recur (depth - 1) arity)
+    | 5 when arity >= 2 ->
+        (* split the arity across a product *)
+        let left = 1 + Random.State.int rng (arity - 1) in
+        Expr.Product (recur (depth - 1) left, recur (depth - 1) (arity - left))
+    | 6 ->
+        (* select on equality of two attributes *)
+        let e = recur (depth - 1) arity in
+        let i = 1 + Random.State.int rng arity
+        and j = 1 + Random.State.int rng arity in
+        let x = Expr.fresh_var "gsel" in
+        Expr.Select (x, Expr.Proj (i, Expr.Var x), Expr.Proj (j, Expr.Var x), e)
+    | 7 ->
+        (* projection / attribute duplication from a wider expression *)
+        let wide = arity + Random.State.int rng 2 in
+        let e = recur (depth - 1) wide in
+        let ixs = List.init arity (fun _ -> 1 + Random.State.int rng wide) in
+        Expr.proj_attrs ixs e
+    | 8 when allow_dedup -> Expr.Dedup (recur (depth - 1) arity)
+    | _ -> base ()
+
+(** [nested rng env depth arity]: a small BALG{^2} expression of type
+    [{{U{^arity}}}] — like {!flat} but allowed to detour through one level
+    of bag nesting (powerset/destroy, nest/unnest, singleton/destroy).
+    Sizes are kept small so powersets stay materialisable. *)
+let rec nested rng (env : env_spec) depth arity =
+  if depth <= 0 then flat rng env 0 arity
+  else
+    match Random.State.int rng 8 with
+    | 0 ->
+        (* destroy of a powerset: back to the same type *)
+        Expr.Destroy (Expr.Powerset (nested rng env (depth - 1) arity))
+    | 1 ->
+        (* destroy of a singleton *)
+        Expr.Destroy (Expr.Sing (nested rng env (depth - 1) arity))
+    | 2 when arity >= 2 ->
+        (* nest then unnest on a prefix key: the identity, exercised *)
+        let keys = 1 + Random.State.int rng (arity - 1) in
+        Expr.Unnest
+          (keys + 1, Expr.Nest (List.init keys (fun i -> i + 1),
+                                nested rng env (depth - 1) arity))
+    | 3 ->
+        Expr.Dedup (nested rng env (depth - 1) arity)
+    | 4 ->
+        Expr.UnionAdd (nested rng env (depth - 1) arity, nested rng env (depth - 1) arity)
+    | 5 ->
+        Expr.Inter (nested rng env (depth - 1) arity, nested rng env (depth - 1) arity)
+    | _ -> flat rng env depth arity
+
+let env_types (env : env_spec) : (string * Ty.t) list =
+  List.map (fun (name, a) -> (name, Ty.relation a)) env
+
+(** Random instance for an environment spec: every bag gets random flat
+    tuples. *)
+let instance rng ?(n_atoms = 4) ?(size = 6) ?(max_count = 3) (env : env_spec) =
+  List.map
+    (fun (name, arity) ->
+      (name, Genval.flat_bag rng ~n_atoms ~arity ~size ~max_count))
+    env

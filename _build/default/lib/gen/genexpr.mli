@@ -1,0 +1,34 @@
+(** Type-directed random BALG{^1} expression generation, for the Prop 4.2
+    simulation test and the rewriting soundness properties. *)
+
+open Balg
+
+type env_spec = (string * int) list
+(** database bag names with their tuple arities *)
+
+val flat :
+  ?allow_diff:bool ->
+  ?allow_dedup:bool ->
+  Random.State.t ->
+  env_spec ->
+  int ->
+  int ->
+  Expr.t
+(** [flat rng env depth arity]: a BALG{^1} expression of type
+    [{{U{^arity}}}] over [env]; always well-typed. *)
+
+val nested : Random.State.t -> env_spec -> int -> int -> Expr.t
+(** Like {!flat} but allowed to detour through one level of bag nesting
+    (powerset-destroy, nest-unnest, singleton-destroy) — a BALG{^2}
+    fuzzing generator with flat input/output type. *)
+
+val env_types : env_spec -> (string * Ty.t) list
+
+val instance :
+  Random.State.t ->
+  ?n_atoms:int ->
+  ?size:int ->
+  ?max_count:int ->
+  env_spec ->
+  (string * Value.t) list
+(** A random database instance matching the spec. *)

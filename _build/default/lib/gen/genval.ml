@@ -1,0 +1,113 @@
+(** Random nested-bag databases and workloads.
+
+    All generators are deterministic functions of an explicit
+    [Random.State.t], so experiments are reproducible from a seed. *)
+
+open Balg
+
+let alphabet = [| "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h"; "i"; "j" |]
+
+let atom_name i =
+  if i < Array.length alphabet then alphabet.(i) else Printf.sprintf "c%d" i
+
+(** A random atom among [n_atoms] constants. *)
+let atom rng ~n_atoms = Value.Atom (atom_name (Random.State.int rng n_atoms))
+
+(** A random flat tuple of the given arity. *)
+let flat_tuple rng ~n_atoms ~arity =
+  Value.Tuple (List.init arity (fun _ -> atom rng ~n_atoms))
+
+(** A random bag of flat tuples: [size] draws with multiplicities in
+    [1..max_count]. *)
+let flat_bag rng ~n_atoms ~arity ~size ~max_count =
+  Value.bag_of_assoc
+    (List.init size (fun _ ->
+         ( flat_tuple rng ~n_atoms ~arity,
+           Bignat.of_int (1 + Random.State.int rng max_count) )))
+
+(** A random value of an arbitrary type (bags get supports of at most
+    [width]). *)
+let rec of_type rng ~n_atoms ~width ~max_count (ty : Ty.t) =
+  match ty with
+  | Ty.Atom -> atom rng ~n_atoms
+  | Ty.Tuple ts -> Value.Tuple (List.map (of_type rng ~n_atoms ~width ~max_count) ts)
+  | Ty.Bag t ->
+      let n = Random.State.int rng (width + 1) in
+      Value.bag_of_assoc
+        (List.init n (fun _ ->
+             ( of_type rng ~n_atoms ~width ~max_count t,
+               Bignat.of_int (1 + Random.State.int rng max_count) )))
+
+(** A random directed graph on [n] named nodes with edge probability [p],
+    as a binary relation (set). *)
+let graph rng ~n ~p =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && Random.State.float rng 1.0 < p then
+        edges :=
+          Value.Tuple [ Value.Atom (atom_name i); Value.Atom (atom_name j) ]
+          :: !edges
+    done
+  done;
+  Value.bag_of_list !edges
+
+(** A random unary relation (set) over [n_atoms] constants: each constant is
+    included independently with probability [p]. *)
+let unary_relation rng ~n_atoms ~p =
+  let members = ref [] in
+  for i = 0 to n_atoms - 1 do
+    if Random.State.float rng 1.0 < p then
+      members := Value.Tuple [ Value.Atom (atom_name i) ] :: !members
+  done;
+  Value.bag_of_list !members
+
+(** The reflexive total order (by atom name index) over the first [n_atoms]
+    constants, restricted to the members of unary relation [r]. *)
+let leq_relation r =
+  let members =
+    List.map
+      (fun v -> match v with Value.Tuple [ a ] -> a | _ -> v)
+      (Value.support r)
+  in
+  let pairs =
+    List.concat_map
+      (fun x ->
+        List.filter_map
+          (fun y ->
+            if Value.compare x y <= 0 then Some (Value.Tuple [ x; y ]) else None)
+          members)
+      members
+  in
+  Value.bag_of_list pairs
+
+(** Reference transitive closure of a binary relation (set semantics), used
+    as the oracle for the algebra's bounded-fixpoint TC. *)
+let transitive_closure_ref g =
+  let module VS = Set.Make (struct
+    type t = Value.t * Value.t
+
+    let compare (a, b) (c, d) =
+      let cv = Value.compare a c in
+      if cv <> 0 then cv else Value.compare b d
+  end) in
+  let edges =
+    List.filter_map
+      (fun v ->
+        match v with Value.Tuple [ x; y ] -> Some (x, y) | _ -> None)
+      (Value.support g)
+  in
+  let rec saturate acc =
+    let next =
+      VS.fold
+        (fun (a, b) acc ->
+          VS.fold
+            (fun (c, d) acc -> if Value.equal b c then VS.add (a, d) acc else acc)
+            acc acc)
+        acc acc
+    in
+    if VS.cardinal next = VS.cardinal acc then acc else saturate next
+  in
+  let closed = saturate (VS.of_list edges) in
+  Value.bag_of_list
+    (List.map (fun (a, b) -> Value.Tuple [ a; b ]) (VS.elements closed))

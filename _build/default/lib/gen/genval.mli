@@ -1,0 +1,29 @@
+(** Reproducible random nested-bag databases and workloads.  Every
+    generator is a deterministic function of the given [Random.State.t]. *)
+
+open Balg
+
+val atom_name : int -> string
+val atom : Random.State.t -> n_atoms:int -> Value.t
+val flat_tuple : Random.State.t -> n_atoms:int -> arity:int -> Value.t
+
+val flat_bag :
+  Random.State.t -> n_atoms:int -> arity:int -> size:int -> max_count:int -> Value.t
+(** [size] random tuples with multiplicities in [1..max_count]. *)
+
+val of_type :
+  Random.State.t -> n_atoms:int -> width:int -> max_count:int -> Ty.t -> Value.t
+(** A random value of an arbitrary type (bag supports at most [width]). *)
+
+val graph : Random.State.t -> n:int -> p:float -> Value.t
+(** Random directed graph as a binary relation (set), edge probability [p]. *)
+
+val unary_relation : Random.State.t -> n_atoms:int -> p:float -> Value.t
+
+val leq_relation : Value.t -> Value.t
+(** The reflexive total order on the members of a unary relation, as a
+    binary relation — the order assumed by the §4 parity query. *)
+
+val transitive_closure_ref : Value.t -> Value.t
+(** Reference transitive closure (set semantics); the oracle for the
+    algebra's bounded-fixpoint TC. *)

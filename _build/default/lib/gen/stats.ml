@@ -1,0 +1,32 @@
+(** Small statistics helpers for the Monte-Carlo experiments (E8: the
+    asymptotic probability of cardinality comparison is 1/2, so BALG{^1}
+    admits no 0–1 law). *)
+
+let mean xs =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let variance xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+      let m = mean xs in
+      let n = float_of_int (List.length xs) in
+      List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs /. (n -. 1.)
+
+let stderr xs =
+  match xs with
+  | [] -> nan
+  | _ -> sqrt (variance xs /. float_of_int (List.length xs))
+
+(** [bernoulli ~trials rng f] estimates [P(f rng = true)] with its standard
+    error. *)
+let bernoulli ~trials rng f =
+  let hits = ref 0 in
+  for _ = 1 to trials do
+    if f rng then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int trials in
+  let se = sqrt (p *. (1. -. p) /. float_of_int trials) in
+  (p, se)

@@ -1,0 +1,9 @@
+(** Monte-Carlo helpers for the asymptotic-probability experiments (E8). *)
+
+val mean : float list -> float
+val variance : float list -> float
+val stderr : float list -> float
+
+val bernoulli :
+  trials:int -> Random.State.t -> (Random.State.t -> bool) -> float * float
+(** Estimated probability with its standard error. *)

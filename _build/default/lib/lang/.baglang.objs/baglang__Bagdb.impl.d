@@ -1,0 +1,1 @@
+lib/lang/bagdb.ml: Balg Eval Lexer List Parser Printf String Ty Typecheck Value

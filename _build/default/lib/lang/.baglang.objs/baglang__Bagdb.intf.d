@@ -1,0 +1,1 @@
+lib/lang/bagdb.mli: Balg Eval Ty Typecheck Value

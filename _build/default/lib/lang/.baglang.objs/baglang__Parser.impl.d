@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Balg Bignat Expr Lexer List Printf Ty Value

@@ -1,0 +1,1 @@
+lib/lang/parser.mli: Balg Expr Lexer Ty Value

@@ -1,0 +1,1 @@
+lib/lang/sqlish.ml: Balg Derived Expr List Printf String Ty Typecheck Value

@@ -1,0 +1,1 @@
+lib/lang/sqlish.mli: Balg Expr Ty Typecheck Value

@@ -1,0 +1,63 @@
+(** The [.bagdb] database file format.
+
+    A database is a sequence of named, typed bags:
+    {v
+    # edges of a small graph, with a duplicate
+    bag G : {{<U, U>}} = {{ <'a,'b>, <'b,'a>:2 }}
+    bag R : {{<U>}}    = {{ <'a>, <'b>, <'c> }}
+    v}
+
+    [#] starts a line comment.  Every declared value is checked against its
+    declared type at load time. *)
+
+open Balg
+
+exception Db_error of string
+
+type t = (string * Ty.t * Value.t) list
+
+let parse (source : string) : t =
+  let st = { Parser.toks = Lexer.tokenize source } in
+  let rec decls acc =
+    match Parser.peek st with
+    | Lexer.EOF, _ -> List.rev acc
+    | Lexer.IDENT "bag", _ ->
+        Parser.advance st;
+        let name = Parser.expect_ident st in
+        Parser.expect st Lexer.COLON;
+        let ty = Parser.parse_ty st in
+        Parser.expect st Lexer.EQUAL;
+        let v = Parser.parse_value st in
+        if not (Value.has_type ty v) then
+          raise
+            (Db_error
+               (Printf.sprintf "bag %s: value %s does not have declared type %s"
+                  name (Value.to_string v) (Ty.to_string ty)));
+        decls ((name, ty, v) :: acc)
+    | t, _ ->
+        raise
+          (Db_error
+             (Printf.sprintf "expected 'bag', found %s" (Lexer.token_to_string t)))
+  in
+  let db = decls [] in
+  let names = List.map (fun (n, _, _) -> n) db in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    raise (Db_error "duplicate bag names in database");
+  db
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  parse content
+
+let type_env (db : t) = Typecheck.env_of_list (List.map (fun (n, ty, _) -> (n, ty)) db)
+let value_env (db : t) = Eval.env_of_list (List.map (fun (n, _, v) -> (n, v)) db)
+
+let render (db : t) =
+  String.concat "\n"
+    (List.map
+       (fun (n, ty, v) ->
+         Printf.sprintf "bag %s : %s = %s" n (Ty.to_string ty) (Value.to_string v))
+       db)

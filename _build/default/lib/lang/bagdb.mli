@@ -1,0 +1,25 @@
+(** The [.bagdb] database file format: named, typed bags.
+
+    {v
+    # comment
+    bag G : {{<U, U>}} = {{ <'a,'b>, <'b,'a>:2 }}
+    v} *)
+
+open Balg
+
+exception Db_error of string
+
+type t = (string * Ty.t * Value.t) list
+
+val parse : string -> t
+(** Values are checked against their declared types; duplicate bag names
+    are rejected.  @raise Db_error. *)
+
+val load : string -> t
+(** Read and {!parse} a file. *)
+
+val type_env : t -> Typecheck.env
+val value_env : t -> Eval.env
+
+val render : t -> string
+(** Re-parseable textual form. *)

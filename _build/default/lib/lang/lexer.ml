@@ -1,0 +1,183 @@
+(** Hand-rolled lexer for the BALG surface syntax.
+
+    Tokens cover expressions ([map(x -> e, e)], [e ++ e], [pi[1,4](e)], ...),
+    values ([{{ <'a,'b>:3 }}]) and types ([{{<U,U>}}]).  Because [--] is the
+    bag-subtraction operator, line comments use [#] instead. *)
+
+type token =
+  | IDENT of string
+  | ATOM of string  (** ['name] *)
+  | INT of string  (** kept as a string: counts may exceed [int] *)
+  | LBAG  (** [{{] *)
+  | RBAG  (** [}}] *)
+  | LANGLE
+  | RANGLE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | COLON
+  | DOT
+  | ARROW  (** [->] *)
+  | EQEQ  (** [==] *)
+  | EQUAL  (** [=] *)
+  | STAR
+  | PLUSPLUS  (** [++] *)
+  | MINUSMINUS  (** [--] *)
+  | WEDGE  (** [/\ ] *)
+  | VEE  (** [\/] *)
+  | EOF
+
+exception Lex_error of string * int  (** message, offset *)
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '%'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | ATOM s -> Printf.sprintf "atom '%s" s
+  | INT s -> Printf.sprintf "integer %s" s
+  | LBAG -> "'{{'"
+  | RBAG -> "'}}'"
+  | LANGLE -> "'<'"
+  | RANGLE -> "'>'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | COMMA -> "','"
+  | COLON -> "':'"
+  | DOT -> "'.'"
+  | ARROW -> "'->'"
+  | EQEQ -> "'=='"
+  | EQUAL -> "'='"
+  | STAR -> "'*'"
+  | PLUSPLUS -> "'++'"
+  | MINUSMINUS -> "'--'"
+  | WEDGE -> "'/\\'"
+  | VEE -> "'\\/'"
+  | EOF -> "end of input"
+
+(** Tokenise a whole string.  [#] starts a line comment. *)
+let tokenize (s : string) : (token * int) list =
+  let n = String.length s in
+  let toks = ref [] in
+  let emit t pos = toks := (t, pos) :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some s.[!i + k] else None in
+  while !i < n do
+    let c = s.[!i] and pos = !i in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '#' then begin
+      while !i < n && s.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '{' && peek 1 = Some '{' then begin
+      emit LBAG pos;
+      i := !i + 2
+    end
+    else if c = '}' && peek 1 = Some '}' then begin
+      emit RBAG pos;
+      i := !i + 2
+    end
+    else if c = '-' && peek 1 = Some '>' then begin
+      emit ARROW pos;
+      i := !i + 2
+    end
+    else if c = '-' && peek 1 = Some '-' then begin
+      emit MINUSMINUS pos;
+      i := !i + 2
+    end
+    else if c = '+' && peek 1 = Some '+' then begin
+      emit PLUSPLUS pos;
+      i := !i + 2
+    end
+    else if c = '=' && peek 1 = Some '=' then begin
+      emit EQEQ pos;
+      i := !i + 2
+    end
+    else if c = '/' && peek 1 = Some '\\' then begin
+      emit WEDGE pos;
+      i := !i + 2
+    end
+    else if c = '\\' && peek 1 = Some '/' then begin
+      emit VEE pos;
+      i := !i + 2
+    end
+    else if c = '=' then begin
+      emit EQUAL pos;
+      incr i
+    end
+    else if c = '<' then begin
+      emit LANGLE pos;
+      incr i
+    end
+    else if c = '>' then begin
+      emit RANGLE pos;
+      incr i
+    end
+    else if c = '(' then begin
+      emit LPAREN pos;
+      incr i
+    end
+    else if c = ')' then begin
+      emit RPAREN pos;
+      incr i
+    end
+    else if c = '[' then begin
+      emit LBRACKET pos;
+      incr i
+    end
+    else if c = ']' then begin
+      emit RBRACKET pos;
+      incr i
+    end
+    else if c = ',' then begin
+      emit COMMA pos;
+      incr i
+    end
+    else if c = ':' then begin
+      emit COLON pos;
+      incr i
+    end
+    else if c = '.' then begin
+      emit DOT pos;
+      incr i
+    end
+    else if c = '*' then begin
+      emit STAR pos;
+      incr i
+    end
+    else if c = '\'' then begin
+      incr i;
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do
+        incr i
+      done;
+      if !i = start then raise (Lex_error ("empty atom name", pos));
+      emit (ATOM (String.sub s start (!i - start))) pos
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit s.[!i] do
+        incr i
+      done;
+      emit (INT (String.sub s start (!i - start))) pos
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do
+        incr i
+      done;
+      emit (IDENT (String.sub s start (!i - start))) pos
+    end
+    else raise (Lex_error (Printf.sprintf "unexpected character %C" c, pos))
+  done;
+  emit EOF n;
+  List.rev !toks

@@ -1,0 +1,37 @@
+(** Hand-rolled lexer for the BALG surface syntax.
+
+    [#] starts a line comment.  Identifiers may contain [%] (so the
+    pretty-printer's fresh binder names round-trip) and ['] (OCaml-style
+    primes); atoms are written ['name]. *)
+
+type token =
+  | IDENT of string
+  | ATOM of string
+  | INT of string  (** kept textual: counts may exceed [int] *)
+  | LBAG  (** [{{] *)
+  | RBAG  (** [}}] *)
+  | LANGLE
+  | RANGLE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | COLON
+  | DOT
+  | ARROW  (** [->] *)
+  | EQEQ  (** [==] *)
+  | EQUAL
+  | STAR
+  | PLUSPLUS  (** [++] *)
+  | MINUSMINUS  (** [--] *)
+  | WEDGE  (** the intersection operator, slash-backslash *)
+  | VEE  (** the maximal union operator, backslash-slash *)
+  | EOF
+
+exception Lex_error of string * int  (** message, byte offset *)
+
+val token_to_string : token -> string
+
+val tokenize : string -> (token * int) list
+(** Tokens with their byte offsets; always ends with [EOF]. *)

@@ -1,0 +1,196 @@
+(** A miniature SQL frontend over the bag algebra.
+
+    The paper's opening motivation is that SQL evaluates over bags: without
+    DISTINCT, projections keep duplicates and COUNT/SUM/AVG are sensitive to
+    them.  This module compiles a SELECT / FROM / WHERE / GROUP BY fragment
+    to BALG expressions, making that connection executable:
+
+    - FROM is a Cartesian product,
+    - WHERE equality predicates are selections,
+    - plain SELECT is a MAP (bag projection: duplicates survive),
+    - DISTINCT is [ε],
+    - GROUP BY is the §7 nest operator, with COUNT/SUM/AVG computed from
+      the per-group bag using the paper's integer-as-bag aggregates. *)
+
+open Balg
+
+exception Sql_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Sql_error s)) fmt
+
+type table = {
+  tname : string;
+  columns : string list;
+  col_types : Ty.t list;
+}
+
+let table tname cols = { tname; columns = List.map fst cols; col_types = List.map snd cols }
+
+type col = string * string
+(** (alias, column) *)
+
+type item =
+  | Column of col
+  | Count_star  (** COUNT-star: group size, duplicates included *)
+  | Sum_of of col  (** SUM over an integer-bag-typed column *)
+  | Avg_of of col  (** AVG (floor) over an integer-bag-typed column *)
+
+type cond =
+  | Col_eq of col * col
+  | Const_eq of col * Value.t
+
+type query = {
+  select : item list;
+  distinct : bool;
+  from : (string * string) list;  (** (table name, alias) *)
+  where : cond list;
+  group_by : col list;
+}
+
+let select ?(distinct = false) items ~from ?(where = []) ?(group_by = []) () =
+  { select = items; distinct; from; where; group_by }
+
+(* Column resolution: FROM builds one wide tuple; [layout] maps
+   (alias, column) to its 1-based position and type. *)
+let layout tables from =
+  let find_table name =
+    match List.find_opt (fun t -> String.equal t.tname name) tables with
+    | Some t -> t
+    | None -> err "unknown table %s" name
+  in
+  let _, positions, types =
+    List.fold_left
+      (fun (offset, positions, types) (tn, alias) ->
+        let t = find_table tn in
+        let cols =
+          List.mapi (fun i c -> ((alias, c), offset + i + 1)) t.columns
+        in
+        (offset + List.length t.columns, positions @ cols, types @ t.col_types))
+      (0, [], []) from
+  in
+  (positions, types)
+
+let resolve positions (alias, c) =
+  match List.assoc_opt (alias, c) positions with
+  | Some i -> i
+  | None -> err "unknown column %s.%s" alias c
+
+(** Compile a query to a BALG expression over variables named by the FROM
+    tables. *)
+let compile ~tables (q : query) : Expr.t =
+  if q.from = [] then err "empty FROM clause";
+  let positions, types = layout tables q.from in
+  let width = List.length types in
+  (* FROM: product of the table variables *)
+  let from_expr =
+    match q.from with
+    | [] -> assert false
+    | (t0, _) :: rest ->
+        List.fold_left
+          (fun acc (t, _) -> Expr.Product (acc, Expr.Var t))
+          (Expr.Var t0) rest
+  in
+  (* WHERE: a selection per condition *)
+  let where_expr =
+    List.fold_left
+      (fun acc cond ->
+        let x = Expr.fresh_var "sql_w" in
+        match cond with
+        | Col_eq (c1, c2) ->
+            Expr.Select
+              ( x,
+                Expr.Proj (resolve positions c1, Expr.Var x),
+                Expr.Proj (resolve positions c2, Expr.Var x),
+                acc )
+        | Const_eq (c, v) ->
+            let ty = List.nth types (resolve positions c - 1) in
+            Expr.Select
+              (x, Expr.Proj (resolve positions c, Expr.Var x), Expr.Lit (v, ty), acc))
+      from_expr q.where
+  in
+  let aggregates_present =
+    List.exists
+      (function Count_star | Sum_of _ | Avg_of _ -> true | Column _ -> false)
+      q.select
+  in
+  let check_nat_col what c =
+    let ty = List.nth types (resolve positions c - 1) in
+    if not (Ty.equal ty Ty.nat) then
+      err "%s needs an integer-bag column, %s.%s : %s" what (fst c) (snd c)
+        (Ty.to_string ty)
+  in
+  let body =
+    if q.group_by = [] then
+      if aggregates_present then begin
+        (* whole-bag aggregates: nest on nothing is not allowed, so compute
+           directly from the selected rows *)
+        match q.select with
+        | [ Count_star ] -> Derived.ones where_expr
+        | [ Sum_of c ] ->
+            check_nat_col "SUM" c;
+            let y = Expr.fresh_var "sql_s" in
+            Expr.Destroy
+              (Expr.Map (y, Expr.Proj (resolve positions c, Expr.Var y), where_expr))
+        | [ Avg_of c ] ->
+            check_nat_col "AVG" c;
+            let y = Expr.fresh_var "sql_a" in
+            Derived.floor_average
+              (Expr.Map (y, Expr.Proj (resolve positions c, Expr.Var y), where_expr))
+        | _ -> err "ungrouped aggregates must be the only SELECT item"
+      end
+      else begin
+        let x = Expr.fresh_var "sql_p" in
+        let project = function
+          | Column c -> Expr.Proj (resolve positions c, Expr.Var x)
+          | Count_star | Sum_of _ | Avg_of _ -> assert false
+        in
+        Expr.Map (x, Expr.Tuple (List.map project q.select), where_expr)
+      end
+    else begin
+      (* GROUP BY: nest on the key positions, then map each group *)
+      let key_positions = List.map (resolve positions) q.group_by in
+      if List.length (List.sort_uniq compare key_positions) <> List.length key_positions
+      then err "duplicate GROUP BY column";
+      let nested = Expr.Nest (key_positions, where_expr) in
+      let g = Expr.fresh_var "sql_g" in
+      let group_bag = Expr.Proj (List.length key_positions + 1, Expr.Var g) in
+      (* position of a column inside the group's residual tuple *)
+      let residual =
+        List.filter
+          (fun i -> not (List.mem i key_positions))
+          (List.init width (fun i -> i + 1))
+      in
+      let in_group c =
+        let p = resolve positions c in
+        match List.find_index (fun i -> i = p) residual with
+        | Some j -> j + 1
+        | None -> err "column %s.%s is a GROUP BY key, not aggregable" (fst c) (snd c)
+      in
+      let project = function
+        | Column c -> (
+            let p = resolve positions c in
+            match List.find_index (fun i -> i = p) key_positions with
+            | Some j -> Expr.Proj (j + 1, Expr.Var g)
+            | None ->
+                err "column %s.%s must appear in GROUP BY or an aggregate"
+                  (fst c) (snd c))
+        | Count_star -> Derived.ones group_bag
+        | Sum_of c ->
+            check_nat_col "SUM" c;
+            let y = Expr.fresh_var "sql_gs" in
+            Expr.Destroy (Expr.Map (y, Expr.Proj (in_group c, Expr.Var y), group_bag))
+        | Avg_of c ->
+            check_nat_col "AVG" c;
+            let y = Expr.fresh_var "sql_ga" in
+            Derived.floor_average
+              (Expr.Map (y, Expr.Proj (in_group c, Expr.Var y), group_bag))
+      in
+      Expr.Map (g, Expr.Tuple (List.map project q.select), nested)
+    end
+  in
+  if q.distinct then Expr.Dedup body else body
+
+(** Typing environment induced by a table list. *)
+let type_env tables =
+  Typecheck.env_of_list
+    (List.map (fun t -> (t.tname, Ty.Bag (Ty.Tuple t.col_types))) tables)

@@ -1,0 +1,49 @@
+(** A miniature SQL frontend compiled onto the bag algebra.
+
+    The paper's opening observation made executable: SQL evaluates over
+    bags, so projections keep duplicates, DISTINCT is [ε], and
+    COUNT/SUM/AVG are duplicate-sensitive.  FROM compiles to products,
+    WHERE to selections, GROUP BY to the §7 nest operator, and the
+    aggregates to the paper's integer-as-bag encodings. *)
+
+open Balg
+
+exception Sql_error of string
+
+type table = { tname : string; columns : string list; col_types : Ty.t list }
+
+val table : string -> (string * Ty.t) list -> table
+
+type col = string * string
+(** (alias, column) *)
+
+type item =
+  | Column of col
+  | Count_star  (** group size, duplicates included *)
+  | Sum_of of col  (** SUM over an integer-bag-typed column *)
+  | Avg_of of col  (** floor AVG over an integer-bag-typed column *)
+
+type cond = Col_eq of col * col | Const_eq of col * Value.t
+
+type query = {
+  select : item list;
+  distinct : bool;
+  from : (string * string) list;  (** (table name, alias) *)
+  where : cond list;
+  group_by : col list;
+}
+
+val select :
+  ?distinct:bool ->
+  item list ->
+  from:(string * string) list ->
+  ?where:cond list ->
+  ?group_by:col list ->
+  unit ->
+  query
+
+val compile : tables:table list -> query -> Expr.t
+(** @raise Sql_error on unknown tables/columns, aggregates over
+    non-integer columns, bare columns outside GROUP BY, etc. *)
+
+val type_env : table list -> Typecheck.env

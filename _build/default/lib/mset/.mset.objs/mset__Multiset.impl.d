@@ -1,0 +1,1 @@
+lib/mset/multiset.ml: Bignat List Map Option

@@ -1,0 +1,1 @@
+lib/mset/multiset.mli: Bignat

@@ -1,0 +1,78 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Elt : ORDERED) = struct
+  module M = Map.Make (Elt)
+
+  type elt = Elt.t
+
+  (* Invariant: every stored multiplicity is strictly positive. *)
+  type t = Bignat.t M.t
+
+  let empty = M.empty
+  let is_empty = M.is_empty
+
+  let add ?(count = Bignat.one) x b =
+    if Bignat.is_zero count then b
+    else
+      M.update x
+        (function None -> Some count | Some c -> Some (Bignat.add c count))
+        b
+
+  let singleton x = add x empty
+  let count x b = match M.find_opt x b with None -> Bignat.zero | Some c -> c
+  let mem x b = M.mem x b
+  let support b = List.map fst (M.bindings b)
+  let support_size b = M.cardinal b
+  let cardinal b = M.fold (fun _ c acc -> Bignat.add c acc) b Bignat.zero
+  let of_list l = List.fold_left (fun b x -> add x b) empty l
+  let to_list b = M.bindings b
+
+  let merge_counts f a b =
+    M.merge
+      (fun _ ca cb ->
+        let ca = Option.value ca ~default:Bignat.zero
+        and cb = Option.value cb ~default:Bignat.zero in
+        let c = f ca cb in
+        if Bignat.is_zero c then None else Some c)
+      a b
+
+  let union_add a b = merge_counts Bignat.add a b
+  let union_max a b = merge_counts Bignat.max a b
+  let inter a b = merge_counts Bignat.min a b
+  let diff a b = merge_counts Bignat.monus a b
+
+  let subbag a b =
+    M.for_all (fun x c -> Bignat.compare c (count x b) <= 0) a
+
+  let dedup b = M.map (fun _ -> Bignat.one) b
+  let equal a b = M.equal Bignat.equal a b
+  let compare a b = M.compare Bignat.compare a b
+  let fold f b acc = M.fold f b acc
+  let iter f b = M.iter f b
+
+  let map f b =
+    M.fold (fun x c acc -> add ~count:c (f x) acc) b empty
+
+  let filter p b = M.filter (fun x _ -> p x) b
+  let for_all p b = M.for_all p b
+  let exists p b = M.exists p b
+  let partition p b = M.partition (fun x _ -> p x) b
+
+  let scale k b =
+    if Bignat.is_zero k then empty else M.map (fun c -> Bignat.mul k c) b
+
+  let remove ?(count = Bignat.one) x b =
+    M.update x
+      (function
+        | None -> None
+        | Some c ->
+            let c' = Bignat.monus c count in
+            if Bignat.is_zero c' then None else Some c')
+      b
+
+  let choose_opt b = M.min_binding_opt b
+end

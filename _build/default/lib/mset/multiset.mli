@@ -1,0 +1,89 @@
+(** Generic counted multisets (bags) over an ordered element type.
+
+    This is the OCaml-level counterpart of the paper's bag datatype: a finite
+    map from elements to positive {!Bignat.t} multiplicities.  The concrete
+    nested-bag values of the interpreter live in [Core.Value]; this functor
+    serves generators, statistics and tests that need bags of plain OCaml
+    values. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Elt : ORDERED) : sig
+  type elt = Elt.t
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+
+  val singleton : elt -> t
+  (** A bag in which the element 1-belongs. *)
+
+  val add : ?count:Bignat.t -> elt -> t -> t
+  (** [add ~count x b] increases the multiplicity of [x] by [count]
+      (default 1).  Adding a zero count is the identity. *)
+
+  val count : elt -> t -> Bignat.t
+  (** Multiplicity of an element; {!Bignat.zero} when absent. *)
+
+  val mem : elt -> t -> bool
+
+  val support : t -> elt list
+  (** Distinct elements in increasing order. *)
+
+  val support_size : t -> int
+
+  val cardinal : t -> Bignat.t
+  (** Total number of occurrences (the paper's bag size). *)
+
+  val of_list : elt list -> t
+  val to_list : t -> (elt * Bignat.t) list
+
+  val union_add : t -> t -> t
+  (** Additive union: multiplicities are summed. *)
+
+  val union_max : t -> t -> t
+  (** Maximal union: multiplicities are maximised. *)
+
+  val inter : t -> t -> t
+  (** Intersection: multiplicities are minimised. *)
+
+  val diff : t -> t -> t
+  (** Monus difference: multiplicities are [sup (0, p - q)]. *)
+
+  val subbag : t -> t -> bool
+  (** [subbag b b'] iff every [n]-member of [b] [p]-belongs to [b'] with
+      [p >= n]. *)
+
+  val dedup : t -> t
+  (** Duplicate elimination: every multiplicity collapses to one. *)
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+
+  val fold : (elt -> Bignat.t -> 'a -> 'a) -> t -> 'a -> 'a
+  val iter : (elt -> Bignat.t -> unit) -> t -> unit
+
+  val map : (elt -> elt) -> t -> t
+  (** Restructuring in the MAP sense: images coalesce additively. *)
+
+  val filter : (elt -> bool) -> t -> t
+
+  val for_all : (elt -> Bignat.t -> bool) -> t -> bool
+  val exists : (elt -> Bignat.t -> bool) -> t -> bool
+
+  val partition : (elt -> bool) -> t -> t * t
+  (** Elements satisfying the predicate, and the rest. *)
+
+  val scale : Bignat.t -> t -> t
+  (** Multiply every multiplicity; scaling by zero empties the bag. *)
+
+  val remove : ?count:Bignat.t -> elt -> t -> t
+  (** Decrease a multiplicity (monus); default removes one occurrence. *)
+
+  val choose_opt : t -> (elt * Bignat.t) option
+  (** Smallest element with its multiplicity, if any. *)
+end

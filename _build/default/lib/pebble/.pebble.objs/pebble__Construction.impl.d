@@ -1,0 +1,1 @@
+lib/pebble/construction.ml: Balg Derived Expr Format List Printf String Ty Value

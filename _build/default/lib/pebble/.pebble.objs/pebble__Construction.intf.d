@@ -1,0 +1,1 @@
+lib/pebble/construction.mli: Balg Expr Format Ty Value

@@ -1,0 +1,1 @@
+lib/pebble/game.ml: Array Construction Format Hashtbl List Option String

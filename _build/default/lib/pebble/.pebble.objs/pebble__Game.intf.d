@@ -1,0 +1,1 @@
+lib/pebble/game.mli: Construction Format

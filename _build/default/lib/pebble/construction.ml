@@ -1,0 +1,122 @@
+(** The Lemma 5.4 construction: the star graphs [G{_k,T}] and [G'{_k,T}]
+    (Fig. 1) whose nodes are sets of atomic constants.
+
+    Atoms are integers [1..n] ([n] even); a set of atoms is a bit mask.  The
+    central node [α] is the full set; the other nodes are the two families
+    [In{_n}] and [Out{_n}] of (n/2)-subsets built inductively so that for
+    every atom [i], exactly half the members of each family contain [i]
+    (Property (1) of the proof).  In [G] every [In] node points at [α] and
+    [α] points at every [Out] node; [G'] flips one [α → o] edge, making the
+    in-degree of [α] exceed its out-degree. *)
+
+type mask = int
+
+let full_mask n = (1 lsl n) - 1
+let mem_atom i (s : mask) = s land (1 lsl (i - 1)) <> 0
+let set_cardinal (s : mask) =
+  let rec go acc s = if s = 0 then acc else go (acc + (s land 1)) (s lsr 1) in
+  go 0 s
+
+let atoms_of_mask n (s : mask) =
+  List.filter (fun i -> mem_atom i s) (List.init n (fun i -> i + 1))
+
+(** [in_out n] is the pair [(In{_n}, Out{_n})] for even [n >= 4]. *)
+let rec in_out n =
+  if n < 4 || n mod 2 <> 0 then
+    invalid_arg "Construction.in_out: n must be even and >= 4";
+  if n = 4 then
+    (* In_4 = { {1,2}, {3,4} },  Out_4 = { {1,3}, {2,4} } *)
+    ([ 0b0011; 0b1100 ], [ 0b0101; 0b1010 ])
+  else begin
+    let inn, out = in_out (n - 2) in
+    let bit_n1 = 1 lsl (n - 2) and bit_n2 = 1 lsl (n - 1) in
+    ( List.map (fun s -> s lor bit_n1) inn @ List.map (fun s -> s lor bit_n2) out,
+      List.map (fun s -> s lor bit_n1) out @ List.map (fun s -> s lor bit_n2) inn )
+  end
+
+(** Property (1): for every atom [i], exactly half of [In{_n}] (resp.
+    [Out{_n}]) contains [i]. *)
+let property_one n =
+  let inn, out = in_out n in
+  let holds family =
+    List.for_all
+      (fun i ->
+        2 * List.length (List.filter (mem_atom i) family) = List.length family)
+      (List.init n (fun i -> i + 1))
+  in
+  holds inn && holds out
+
+type graph = {
+  n : int;
+  alpha : mask;
+  in_nodes : mask list;
+  out_nodes : mask list;
+  edges : (mask * mask) list;
+}
+
+(** The graph [G{_n}]: balanced star. *)
+let g_balanced n =
+  let inn, out = in_out n in
+  let alpha = full_mask n in
+  {
+    n;
+    alpha;
+    in_nodes = inn;
+    out_nodes = out;
+    edges =
+      List.map (fun s -> (s, alpha)) inn @ List.map (fun s -> (alpha, s)) out;
+  }
+
+(** The graph [G'{_n}]: one [α → o] edge inverted, so
+    indeg(α) = outdeg(α) + 2. *)
+let g_flipped n =
+  let g = g_balanced n in
+  match g.out_nodes with
+  | [] -> invalid_arg "Construction.g_flipped"
+  | o :: _ ->
+      let edges =
+        List.map
+          (fun (x, y) -> if x = g.alpha && y = o then (o, g.alpha) else (x, y))
+          g.edges
+      in
+      { g with edges }
+
+let nodes g = g.alpha :: (g.in_nodes @ g.out_nodes)
+
+let in_degree g v = List.length (List.filter (fun (_, y) -> y = v) g.edges)
+let out_degree g v = List.length (List.filter (fun (x, _) -> x = v) g.edges)
+
+(** {1 Conversion to a nested-bag database}
+
+    Nodes become set values (bags of atoms with multiplicity one); the edge
+    relation is a bag of pairs, of type [{{< {{U}}, {{U}} >}}] — bag nesting
+    two, the setting of Theorem 5.2. *)
+
+open Balg
+
+let atom_value i = Value.Atom (Printf.sprintf "u%d" i)
+
+let node_value n (s : mask) =
+  Value.bag_of_list (List.map atom_value (atoms_of_mask n s))
+
+let edge_ty = Ty.Bag (Ty.Tuple [ Ty.Bag Ty.Atom; Ty.Bag Ty.Atom ])
+
+let edges_value g =
+  Value.bag_of_list
+    (List.map
+       (fun (x, y) -> Value.Tuple [ node_value g.n x; node_value g.n y ])
+       g.edges)
+
+(** The separating BALG{^2} query of Theorem 5.2: in-degree of [α] exceeds
+    its out-degree.  Same shape as Example 4.1, one nesting level up. *)
+let phi_query g =
+  Derived.indeg_gt_outdeg (Expr.Var "G")
+    (Expr.Lit (node_value g.n g.alpha, Ty.Bag Ty.Atom))
+
+(** ASCII rendering of Fig. 1 (the star for a given [n]). *)
+let render_figure ppf g =
+  let show s = "{" ^ String.concat "," (List.map string_of_int (atoms_of_mask g.n s)) ^ "}" in
+  Format.fprintf ppf "G_{k,T} for n=%d:  alpha = %s@\n" g.n (show g.alpha);
+  List.iter
+    (fun (x, y) -> Format.fprintf ppf "  %s -> %s@\n" (show x) (show y))
+    g.edges

@@ -1,0 +1,56 @@
+(** The Lemma 5.4 construction: the Fig. 1 star graphs whose nodes are sets
+    of atomic constants, with the inductive [In{_n}]/[Out{_n}] families. *)
+
+type mask = int
+(** a set of atoms [1..n] as a bit mask *)
+
+val full_mask : int -> mask
+val mem_atom : int -> mask -> bool
+val set_cardinal : mask -> int
+val atoms_of_mask : int -> mask -> int list
+
+val in_out : int -> mask list * mask list
+(** [(In{_n}, Out{_n})] for even [n >= 4]: disjoint families of
+    (n/2)-subsets, [2^(n/2−1)] members each.
+    @raise Invalid_argument on odd or small [n]. *)
+
+val property_one : int -> bool
+(** Property (1): every atom lies in exactly half of each family. *)
+
+type graph = {
+  n : int;
+  alpha : mask;  (** the central node: the full set *)
+  in_nodes : mask list;
+  out_nodes : mask list;
+  edges : (mask * mask) list;
+}
+
+val g_balanced : int -> graph
+(** [G{_n}]: every [In] node points at [α], [α] points at every [Out]
+    node — in-degree equals out-degree at [α]. *)
+
+val g_flipped : int -> graph
+(** [G'{_n}]: one [α → o] edge inverted. *)
+
+val nodes : graph -> mask list
+val in_degree : graph -> mask -> int
+val out_degree : graph -> mask -> int
+
+(** {1 Conversion to a nested-bag database (Theorem 5.2)} *)
+
+open Balg
+
+val atom_value : int -> Value.t
+val node_value : int -> mask -> Value.t
+
+val edge_ty : Ty.t
+(** [{{< {{U}}, {{U}} >}}] — bag nesting two. *)
+
+val edges_value : graph -> Value.t
+
+val phi_query : graph -> Expr.t
+(** The separating BALG{^2} query: in-degree of [α] exceeds its
+    out-degree (over the variable [G]). *)
+
+val render_figure : Format.formatter -> graph -> unit
+(** ASCII rendering of Fig. 1. *)

@@ -1,0 +1,161 @@
+(** The object pebble game of [GV90] (Theorem 5.3), specialised to the
+    Lemma 5.4 structures.
+
+    Objects are either atoms or sets of atoms — the completion domain for
+    the type set T = [{U, {U}}].  The spoiler picks an object in either
+    structure; the duplicator answers in the other; the duplicator wins the
+    [k]-move game if the chosen pairs always induce a partial isomorphism
+    (equality, atom–set membership, and the edge relation must all be
+    preserved).
+
+    Two engines are provided:
+
+    - {!duplicator_wins_exhaustive}: full minimax search over every object
+      (feasible only for tiny [n]); the ground truth.
+    - {!duplicator_strategy_wins}: the proof's strategy — the duplicator
+      maintains the set of atom permutations consistent with the pairs
+      chosen so far and always answers with a permutation image, which
+      preserves memberships and equalities for free; only edge consistency
+      filters candidates.  Property (1) guarantees survival for [n > 2^k]. *)
+
+type obj = OAtom of int | OSet of Construction.mask
+
+let pp_obj n ppf = function
+  | OAtom i -> Format.fprintf ppf "atom %d" i
+  | OSet s ->
+      Format.fprintf ppf "{%s}"
+        (String.concat ","
+           (List.map string_of_int (Construction.atoms_of_mask n s)))
+
+let has_edge (g : Construction.graph) x y = List.mem (x, y) g.Construction.edges
+
+(* The pairs are stored as (object in A, object in B). *)
+let partial_iso ga gb pairs =
+  let ok_pair (o1, o1') (o2, o2') =
+    match ((o1, o1'), (o2, o2')) with
+    | (OAtom a, OAtom a'), (OAtom b, OAtom b') -> (a = b) = (a' = b')
+    | (OAtom a, OAtom a'), (OSet s, OSet s')
+    | (OSet s, OSet s'), (OAtom a, OAtom a') ->
+        Construction.mem_atom a s = Construction.mem_atom a' s'
+    | (OSet s, OSet s'), (OSet t, OSet t') ->
+        (s = t) = (s' = t')
+        && has_edge ga s t = has_edge gb s' t'
+        && has_edge ga t s = has_edge gb t' s'
+    | (OAtom _, OSet _), _
+    | (OSet _, OAtom _), _
+    | _, (OAtom _, OSet _)
+    | _, (OSet _, OAtom _) ->
+        false (* kind mismatch within a pair *)
+  in
+  let rec go = function
+    | [] -> true
+    | p :: rest -> List.for_all (ok_pair p) (p :: rest) && go rest
+  in
+  go pairs
+
+(** Every object of the completion domain: all atoms and all sets of
+    atoms. *)
+let all_objects n =
+  List.init n (fun i -> OAtom (i + 1))
+  @ List.init (1 lsl n) (fun s -> OSet s)
+
+(** {1 Exhaustive minimax} *)
+
+let duplicator_wins_exhaustive ~k ga gb =
+  let domain_a = all_objects ga.Construction.n
+  and domain_b = all_objects gb.Construction.n in
+  let rec dup_wins k pairs =
+    if k = 0 then true
+    else
+      List.for_all
+        (fun (in_a, o) ->
+          let answers = if in_a then domain_b else domain_a in
+          List.exists
+            (fun o' ->
+              let pair = if in_a then (o, o') else (o', o) in
+              partial_iso ga gb (pair :: pairs) && dup_wins (k - 1) (pair :: pairs))
+            answers)
+        (List.map (fun o -> (true, o)) domain_a
+        @ List.map (fun o -> (false, o)) domain_b)
+  in
+  dup_wins k []
+
+(** {1 The permutation strategy of the Lemma 5.4 proof} *)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          List.map (fun p -> x :: p) (permutations (List.filter (( <> ) x) l)))
+        l
+
+(* A permutation as an array: pi.(i-1) is the image of atom i. *)
+let all_perms n =
+  List.map Array.of_list (permutations (List.init n (fun i -> i + 1)))
+
+let apply_mask pi s =
+  let r = ref 0 in
+  Array.iteri (fun i img -> if s land (1 lsl i) <> 0 then r := !r lor (1 lsl (img - 1))) pi;
+  !r
+
+let apply_obj pi = function
+  | OAtom a -> OAtom pi.(a - 1)
+  | OSet s -> OSet (apply_mask pi s)
+
+let invert pi =
+  let inv = Array.make (Array.length pi) 0 in
+  Array.iteri (fun i img -> inv.(img - 1) <- i + 1) pi;
+  inv
+
+(* Group live permutations by the answer they propose for [o] (forward
+   image when the spoiler played in A, preimage otherwise). *)
+let buckets perms ~in_a o =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun pi ->
+      let answer = if in_a then apply_obj pi o else apply_obj (invert pi) o in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt tbl answer) in
+      Hashtbl.replace tbl answer (pi :: existing))
+    perms;
+  Hashtbl.fold (fun answer ps acc -> (answer, ps) :: acc) tbl []
+
+(** Play the [k]-move game with the duplicator following the permutation
+    strategy (answer with the image under a consistent permutation, pick the
+    candidate with the most surviving permutations among the
+    edge-consistent ones).  Returns [true] when the strategy survives every
+    spoiler play. *)
+let duplicator_strategy_wins ~k ga gb =
+  let n = ga.Construction.n in
+  let domain = all_objects n in
+  let moves =
+    List.map (fun o -> (true, o)) domain @ List.map (fun o -> (false, o)) domain
+  in
+  let rec survive k pairs perms =
+    if k = 0 then true
+    else
+      List.for_all
+        (fun (in_a, o) ->
+          let candidates = buckets perms ~in_a o in
+          let valid =
+            List.filter
+              (fun (answer, _) ->
+                let pair = if in_a then (o, answer) else (answer, o) in
+                partial_iso ga gb (pair :: pairs))
+              candidates
+          in
+          let sorted =
+            List.sort
+              (fun (_, p1) (_, p2) -> compare (List.length p2) (List.length p1))
+              valid
+          in
+          (* try the candidate keeping the most permutations alive first,
+             backtracking over the other permutation-consistent answers *)
+          List.exists
+            (fun (answer, live) ->
+              let pair = if in_a then (o, answer) else (answer, o) in
+              survive (k - 1) (pair :: pairs) live)
+            sorted)
+        moves
+  in
+  survive k [] (all_perms n)

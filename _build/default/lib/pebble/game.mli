@@ -1,0 +1,37 @@
+(** The [GV90] object pebble game (Theorem 5.3), specialised to the
+    Lemma 5.4 structures.
+
+    Objects are atoms or sets of atoms (the completion domain for
+    T = [{U, {U}}]).  The duplicator wins the [k]-move game when the chosen
+    pairs always induce a partial isomorphism (equality, atom–set
+    membership, and the edge relation). *)
+
+type obj = OAtom of int | OSet of Construction.mask
+
+val pp_obj : int -> Format.formatter -> obj -> unit
+
+val partial_iso :
+  Construction.graph -> Construction.graph -> (obj * obj) list -> bool
+(** Pairs are [(object in A, object in B)]. *)
+
+val all_objects : int -> obj list
+(** The full completion domain: all atoms and all sets of atoms. *)
+
+val duplicator_wins_exhaustive :
+  k:int -> Construction.graph -> Construction.graph -> bool
+(** Ground-truth minimax over the whole domain; exponential — use for tiny
+    [n] and [k] only. *)
+
+(** {1 The proof's permutation strategy} *)
+
+val all_perms : int -> int array list
+val apply_mask : int array -> Construction.mask -> Construction.mask
+val apply_obj : int array -> obj -> obj
+val invert : int array -> int array
+
+val duplicator_strategy_wins :
+  k:int -> Construction.graph -> Construction.graph -> bool
+(** The duplicator answers with images under atom permutations consistent
+    with the play so far (memberships and equalities are then preserved for
+    free; edge consistency filters candidates, with backtracking).
+    Lemma 5.4: survives every spoiler play when [n > 2^k]. *)

@@ -1,0 +1,1 @@
+lib/ralg/calc.ml: Bag Balg Bignat Format List Printf Rel String Value

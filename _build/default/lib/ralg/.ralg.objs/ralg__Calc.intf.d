@@ -1,0 +1,1 @@
+lib/ralg/calc.mli: Balg Format Rel Value

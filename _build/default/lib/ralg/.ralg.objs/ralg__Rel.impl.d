@@ -1,0 +1,1 @@
+lib/ralg/rel.ml: Balg Bignat List Value

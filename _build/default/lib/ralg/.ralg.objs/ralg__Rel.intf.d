@@ -1,0 +1,1 @@
+lib/ralg/rel.mli: Balg Value

@@ -1,0 +1,1 @@
+lib/ralg/reval.ml: Bag Balg Expr Format List Map Rel String Value

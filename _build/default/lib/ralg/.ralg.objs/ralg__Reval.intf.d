@@ -1,0 +1,1 @@
+lib/ralg/reval.mli: Balg Expr Map Value

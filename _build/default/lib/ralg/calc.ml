@@ -1,0 +1,145 @@
+(** CALC{_1}: the calculus with quantification over sets of tuples of atoms
+    (§5, after [HS91] and [AB87]).
+
+    CALC{_1} is the logic whose expressive power Theorem 5.3 ties to the
+    pebble game and to RALG{^2}: a typed calculus over the constructible
+    types [U], [<U,...,U>] and [{<U,...,U>}], with the logical predicates
+    [∈], [⊆] and [=], evaluated under {e active-domain} semantics — each
+    quantified variable of type [T] ranges over [dom(T, A)], the objects of
+    type [T] built from the atomic constants of the input structure.
+
+    This module evaluates CALC{_1} formulas directly (the domains are
+    exponential in the input, which is the point: RALG{^2} is PSPACE).  The
+    tests use it to cross-check the algebra on concrete queries, completing
+    the [AB87] correspondence exercised by Theorem 5.2's separation. *)
+
+open Balg
+
+exception Calc_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Calc_error s)) fmt
+
+(** The CALC{_1} types: atoms, tuples of atoms, sets of tuples of atoms. *)
+type vty = VAtom | VTuple of int | VSet of int
+
+let pp_vty ppf = function
+  | VAtom -> Format.pp_print_string ppf "U"
+  | VTuple k -> Format.fprintf ppf "U^%d" k
+  | VSet k -> Format.fprintf ppf "{U^%d}" k
+
+type term =
+  | TVar of string
+  | TConst of string  (** an atom *)
+  | TComp of term * int  (** tuple component, 1-based *)
+
+type formula =
+  | Rel of string * term  (** [R(t)]: membership in a named database set *)
+  | Eq of term * term
+  | Mem of term * term  (** [t ∈ S] *)
+  | Sub of term * term  (** [S ⊆ S'] *)
+  | True
+  | And of formula * formula
+  | Or of formula * formula
+  | Not of formula
+  | Exists of string * vty * formula
+  | Forall of string * vty * formula
+
+(** A structure: named sets of flat tuples (set semantics). *)
+type structure = (string * Rel.t) list
+
+let active_atoms (db : structure) : Value.t list =
+  let atoms =
+    List.concat_map
+      (fun (_, r) -> List.concat_map Value.atoms (Rel.to_list r))
+      db
+  in
+  List.map (fun a -> Value.Atom a)
+    (List.sort_uniq String.compare atoms)
+
+(* dom(T, A): all objects of type T over the active atoms. *)
+let rec tuples_of atoms k =
+  if k = 0 then [ [] ]
+  else
+    List.concat_map
+      (fun rest -> List.map (fun a -> a :: rest) atoms)
+      (tuples_of atoms (k - 1))
+
+let domain_of (db : structure) : vty -> Value.t list =
+  let atoms = active_atoms db in
+  fun vty ->
+    match vty with
+    | VAtom -> atoms
+    | VTuple k -> List.map (fun vs -> Value.Tuple vs) (tuples_of atoms k)
+    | VSet k ->
+        let members = List.map (fun vs -> Value.Tuple vs) (tuples_of atoms k) in
+        if List.length members > 20 then
+          err "set domain over %d tuples is too large to enumerate"
+            (List.length members);
+        List.fold_left
+          (fun acc m -> acc @ List.map (fun s -> m :: s) acc)
+          [ [] ] members
+        |> List.map Value.bag_of_list
+
+type env = (string * Value.t) list
+
+let rec eval_term (env : env) = function
+  | TVar x -> (
+      match List.assoc_opt x env with
+      | Some v -> v
+      | None -> err "unbound variable %s" x)
+  | TConst a -> Value.Atom a
+  | TComp (t, i) -> (
+      match eval_term env t with
+      | Value.Tuple vs when i >= 1 && i <= List.length vs -> List.nth vs (i - 1)
+      | v -> err "component %d of non-tuple %s" i (Value.to_string v))
+
+let rec holds (db : structure) (env : env) = function
+  | True -> true
+  | Rel (r, t) -> (
+      match List.assoc_opt r db with
+      | Some rel -> Rel.mem (eval_term env t) rel
+      | None -> err "unknown relation %s" r)
+  | Eq (t1, t2) -> Value.equal (eval_term env t1) (eval_term env t2)
+  | Mem (t, s) -> (
+      match eval_term env s with
+      | Value.Bag _ as b -> not (Bignat.is_zero (Value.count_in (eval_term env t) b))
+      | v -> err "∈ on non-set %s" (Value.to_string v))
+  | Sub (s1, s2) -> (
+      match (eval_term env s1, eval_term env s2) with
+      | (Value.Bag _ as b1), (Value.Bag _ as b2) -> Bag.subbag b1 b2
+      | _ -> err "⊆ on non-sets")
+  | And (f, g) -> holds db env f && holds db env g
+  | Or (f, g) -> holds db env f || holds db env g
+  | Not f -> not (holds db env f)
+  | Exists (x, vty, f) ->
+      List.exists (fun v -> holds db ((x, v) :: env) f) (domain_of db vty)
+  | Forall (x, vty, f) ->
+      List.for_all (fun v -> holds db ((x, v) :: env) f) (domain_of db vty)
+
+(** [query db (x, vty) phi]: the set of objects of type [vty] satisfying
+    the formula with free variable [x] — the CALC{_1} query semantics. *)
+let query (db : structure) ((x, vty) : string * vty) (phi : formula) : Rel.t =
+  Rel.of_list
+    (List.filter (fun v -> holds db [ (x, v) ] phi) (domain_of db vty))
+
+(** A closed formula as a boolean query. *)
+let sentence (db : structure) (phi : formula) : bool = holds db [] phi
+
+(** {1 Rendering} *)
+
+let rec pp_term ppf = function
+  | TVar x -> Format.pp_print_string ppf x
+  | TConst a -> Format.fprintf ppf "'%s" a
+  | TComp (t, i) -> Format.fprintf ppf "%a.%d" pp_term t i
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | Rel (r, t) -> Format.fprintf ppf "%s(%a)" r pp_term t
+  | Eq (t1, t2) -> Format.fprintf ppf "%a = %a" pp_term t1 pp_term t2
+  | Mem (t, s) -> Format.fprintf ppf "%a ∈ %a" pp_term t pp_term s
+  | Sub (s1, s2) -> Format.fprintf ppf "%a ⊆ %a" pp_term s1 pp_term s2
+  | And (f, g) -> Format.fprintf ppf "(%a ∧ %a)" pp f pp g
+  | Or (f, g) -> Format.fprintf ppf "(%a ∨ %a)" pp f pp g
+  | Not f -> Format.fprintf ppf "¬%a" pp f
+  | Exists (x, vty, f) -> Format.fprintf ppf "∃%s:%a. %a" x pp_vty vty pp f
+  | Forall (x, vty, f) -> Format.fprintf ppf "∀%s:%a. %a" x pp_vty vty pp f

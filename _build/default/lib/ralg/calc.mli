@@ -1,0 +1,56 @@
+(** CALC{_1}: the calculus with quantification over sets of tuples of atoms
+    (§5, after [HS91] and [AB87]) — the logic Theorem 5.3 ties to the pebble
+    game and to RALG{^2}.
+
+    Typed variables range, under {e active-domain} semantics, over the
+    objects of their type built from the input's atomic constants; set
+    domains are exponential, which is the PSPACE of Theorem 5.1 made
+    concrete. *)
+
+open Balg
+
+exception Calc_error of string
+
+type vty = VAtom | VTuple of int | VSet of int
+
+val pp_vty : Format.formatter -> vty -> unit
+
+type term =
+  | TVar of string
+  | TConst of string
+  | TComp of term * int  (** tuple component, 1-based *)
+
+type formula =
+  | Rel of string * term  (** membership in a named database set *)
+  | Eq of term * term
+  | Mem of term * term  (** [t ∈ S] *)
+  | Sub of term * term  (** [S ⊆ S'] *)
+  | True
+  | And of formula * formula
+  | Or of formula * formula
+  | Not of formula
+  | Exists of string * vty * formula
+  | Forall of string * vty * formula
+
+type structure = (string * Rel.t) list
+(** named sets of flat tuples *)
+
+val active_atoms : structure -> Value.t list
+
+val domain_of : structure -> vty -> Value.t list
+(** [dom(T, A)].  @raise Calc_error when a set domain would need more than
+    20 base tuples (2{^20}+ objects). *)
+
+type env = (string * Value.t) list
+
+val eval_term : env -> term -> Value.t
+val holds : structure -> env -> formula -> bool
+
+val query : structure -> string * vty -> formula -> Rel.t
+(** The objects of the given type satisfying the formula with one free
+    variable. *)
+
+val sentence : structure -> formula -> bool
+
+val pp_term : Format.formatter -> term -> unit
+val pp : Format.formatter -> formula -> unit

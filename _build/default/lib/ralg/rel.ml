@@ -1,0 +1,96 @@
+(** Nested relations: the set-semantics baseline (RALG / RALG{^k}).
+
+    A relation is a finite {e set} of complex objects.  We reuse
+    {!Balg.Value.t} for object representation — a set is a bag in which every
+    multiplicity is one, recursively — but all operations here are genuine
+    set operations, implemented independently of the bag interpreter, so the
+    baseline can be compared against BALG rather than being derived from
+    it. *)
+
+open Balg
+
+type t = Value.t list
+(** strictly increasing in [Value.compare] *)
+
+let of_list vs = List.sort_uniq Value.compare vs
+let to_list (r : t) : Value.t list = r
+let empty : t = []
+let is_empty r = r = []
+let mem v (r : t) = List.exists (Value.equal v) r
+let cardinal = List.length
+
+(** Deep conversion: forgets multiplicities at every level. *)
+let rec set_value_of (v : Value.t) : Value.t =
+  match v with
+  | Value.Atom _ -> v
+  | Value.Tuple vs -> Value.Tuple (List.map set_value_of vs)
+  | Value.Bag pairs ->
+      Value.bag_of_assoc
+        (List.map (fun (x, _) -> (set_value_of x, Bignat.one)) pairs)
+
+let of_value v = List.map set_value_of (Value.support v)
+let to_value (r : t) : Value.t = Value.bag_of_list r
+
+(** [is_set_value v] checks the recursive all-multiplicities-one
+    invariant. *)
+let rec is_set_value (v : Value.t) =
+  match v with
+  | Value.Atom _ -> true
+  | Value.Tuple vs -> List.for_all is_set_value vs
+  | Value.Bag pairs ->
+      List.for_all (fun (x, c) -> Bignat.is_one c && is_set_value x) pairs
+
+let rec merge_union a b =
+  match (a, b) with
+  | [], r | r, [] -> r
+  | x :: xs, y :: ys ->
+      let c = Value.compare x y in
+      if c < 0 then x :: merge_union xs b
+      else if c > 0 then y :: merge_union a ys
+      else x :: merge_union xs ys
+
+let union = merge_union
+
+let rec inter a b =
+  match (a, b) with
+  | [], _ | _, [] -> []
+  | x :: xs, y :: ys ->
+      let c = Value.compare x y in
+      if c < 0 then inter xs b
+      else if c > 0 then inter a ys
+      else x :: inter xs ys
+
+let rec diff a b =
+  match (a, b) with
+  | [], _ -> []
+  | r, [] -> r
+  | x :: xs, y :: ys ->
+      let c = Value.compare x y in
+      if c < 0 then x :: diff xs b
+      else if c > 0 then diff a ys
+      else diff xs ys
+
+let subset a b = List.for_all (fun x -> mem x b) a
+
+let product (a : t) (b : t) : t =
+  of_list
+    (List.concat_map
+       (fun x ->
+         List.map (fun y -> Value.Tuple (Value.as_tuple x @ Value.as_tuple y)) b)
+       a)
+
+let map f (r : t) : t = of_list (List.map f r)
+let select p (r : t) : t = List.filter p r
+
+(** All subsets, as set values. *)
+let powerset (r : t) : t =
+  let subsets =
+    List.fold_left
+      (fun acc x -> acc @ List.map (fun s -> x :: s) acc)
+      [ [] ] r
+  in
+  of_list (List.map (fun s -> Value.bag_of_list s) subsets)
+
+(** Set-flatten a set of sets. *)
+let destroy (r : t) : t =
+  of_list (List.concat_map (fun v -> List.map fst (Value.as_bag v)) r)

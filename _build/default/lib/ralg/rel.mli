@@ -1,0 +1,50 @@
+(** Nested relations: the set-semantics baseline (RALG / RALG{^k}).
+
+    A relation is a finite set of complex objects, represented as a strictly
+    increasing {!Balg.Value.t} list.  All operations are genuine set
+    operations, implemented independently of the bag interpreter so the
+    baseline comparisons of Prop 4.2 / Thm 5.2 are between two real
+    implementations. *)
+
+open Balg
+
+type t = Value.t list
+(** strictly increasing in [Value.compare] *)
+
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+val empty : t
+val is_empty : t -> bool
+val mem : Value.t -> t -> bool
+val cardinal : t -> int
+
+val set_value_of : Value.t -> Value.t
+(** Deep conversion: forgets multiplicities at every level. *)
+
+val of_value : Value.t -> t
+(** Support of a bag value, deeply converted to sets. *)
+
+val to_value : t -> Value.t
+(** As a bag value with all multiplicities one. *)
+
+val is_set_value : Value.t -> bool
+(** The recursive all-multiplicities-one invariant. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+
+val product : t -> t -> t
+(** Tuple concatenation on sets of tuples. *)
+
+val map : (Value.t -> Value.t) -> t -> t
+(** Image set (no multiplicities to coalesce). *)
+
+val select : (Value.t -> bool) -> t -> t
+
+val powerset : t -> t
+(** All subsets, as set values. *)
+
+val destroy : t -> t
+(** Set-flatten a set of sets. *)

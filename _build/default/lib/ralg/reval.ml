@@ -1,0 +1,90 @@
+(** Set-semantics (nested relational algebra) evaluation of BALG syntax.
+
+    This is the baseline the paper compares BALG against.  The operators of
+    the nested relation algebra carry the same names as the bag operators and
+    "when applied to bags where each element occurs at most once, behave
+    exactly as the corresponding relational operations" (§3) — here they are
+    interpreted over genuine sets via {!Rel}:
+
+    - [∪+] and [∪] both become set union;
+    - [−], [∩], [×], [P], [σ] become their set versions;
+    - [MAP] is the relational restructuring (image set);
+    - [ε] is the identity;
+    - [Pb] is rejected: distinguishing duplicates is meaningless on sets.
+
+    Together with {!Balg.Eval} this gives the two sides of Proposition 4.2
+    (BALG{^1} without [−] ≡ RALG without [−] on set inputs) and of the
+    separation theorems (Prop 4.3, Thm 5.2). *)
+
+open Balg
+
+exception Ralg_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Ralg_error s)) fmt
+
+module Env = Map.Make (String)
+
+type env = Value.t Env.t
+
+let env_of_list l =
+  List.fold_left (fun m (x, v) -> Env.add x (Rel.set_value_of v) m) Env.empty l
+
+let as_rel v = Rel.of_value v
+
+let rec eval (env : env) (e : Expr.t) : Value.t =
+  match e with
+  | Expr.Var x -> (
+      match Env.find_opt x env with
+      | Some v -> v
+      | None -> error "unbound variable %s" x)
+  | Expr.Lit (v, _) -> Rel.set_value_of v
+  | Expr.Tuple es -> Value.Tuple (List.map (eval env) es)
+  | Expr.Proj (i, e) -> (
+      match eval env e with
+      | Value.Tuple vs when i >= 1 && i <= List.length vs -> List.nth vs (i - 1)
+      | v -> error "cannot project attribute %d of %s" i (Value.to_string v))
+  | Expr.Sing e -> Value.bag_of_list [ eval env e ]
+  | Expr.UnionAdd (a, b) | Expr.UnionMax (a, b) ->
+      Rel.to_value (Rel.union (as_rel (eval env a)) (as_rel (eval env b)))
+  | Expr.Diff (a, b) ->
+      Rel.to_value (Rel.diff (as_rel (eval env a)) (as_rel (eval env b)))
+  | Expr.Inter (a, b) ->
+      Rel.to_value (Rel.inter (as_rel (eval env a)) (as_rel (eval env b)))
+  | Expr.Product (a, b) ->
+      Rel.to_value (Rel.product (as_rel (eval env a)) (as_rel (eval env b)))
+  | Expr.Powerset e -> Rel.to_value (Rel.powerset (as_rel (eval env e)))
+  | Expr.Powerbag _ -> error "powerbag has no set semantics"
+  | Expr.Destroy e -> Rel.to_value (Rel.destroy (as_rel (eval env e)))
+  | Expr.Map (x, body, e) ->
+      Rel.to_value
+        (Rel.map (fun v -> eval (Env.add x v env) body) (as_rel (eval env e)))
+  | Expr.Select (x, l, r, e) ->
+      Rel.to_value
+        (Rel.select
+           (fun v ->
+             let env' = Env.add x v env in
+             Value.equal (eval env' l) (eval env' r))
+           (as_rel (eval env e)))
+  | Expr.Dedup e -> eval env e
+  | Expr.Nest (ixs, e) ->
+      (* set semantics: nested groups are sets *)
+      Rel.set_value_of (Bag.nest ixs (eval env e))
+  | Expr.Unnest (i, e) -> Rel.set_value_of (Bag.unnest i (eval env e))
+  | Expr.Let (x, e, body) -> eval (Env.add x (eval env e) env) body
+  | Expr.Fix (x, body, seed) -> iterate env ~x ~body ~bound:None (eval env seed)
+  | Expr.BFix (bound, x, body, seed) ->
+      let bound = as_rel (eval env bound) in
+      iterate env ~x ~body ~bound:(Some bound) (eval env seed)
+
+and iterate env ~x ~body ~bound current =
+  let clamp r = match bound with None -> r | Some b -> Rel.inter r b in
+  let rec go steps current =
+    if steps > 100_000 then error "fixpoint did not converge";
+    let stepped = as_rel (eval (Env.add x (Rel.to_value current) env) body) in
+    let next = clamp (Rel.union stepped current) in
+    if Rel.to_list next = Rel.to_list current then current else go (steps + 1) next
+  in
+  Rel.to_value (go 0 (clamp (as_rel current)))
+
+(** Membership test used by the Proposition 4.2 comparison. *)
+let member env e v = Rel.mem (Rel.set_value_of v) (as_rel (eval env e))

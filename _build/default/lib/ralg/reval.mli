@@ -1,0 +1,24 @@
+(** Set-semantics (nested relational algebra) evaluation of BALG syntax —
+    the other side of Proposition 4.2 and the separation theorems.
+
+    [∪+] and [∪] both become set union, [−]/[∩]/[×]/[P]/[σ]/MAP their set
+    versions, [ε] is the identity, [nest] groups into sets, and [Pb] is
+    rejected (duplicates are meaningless on sets). *)
+
+open Balg
+
+exception Ralg_error of string
+
+module Env : Map.S with type key = string
+
+type env = Value.t Env.t
+
+val env_of_list : (string * Value.t) list -> env
+(** Inputs are deeply converted to sets on entry. *)
+
+val eval : env -> Expr.t -> Value.t
+(** The result is always a set value.  @raise Ralg_error on [Pb], dynamic
+    type errors, or unbound variables. *)
+
+val member : env -> Expr.t -> Value.t -> bool
+(** Membership in the set result (the Prop 4.2 observable). *)

@@ -1,0 +1,188 @@
+(** Deterministic single-tape Turing machines.
+
+    This is the reference operational semantics for the paper's
+    machine-simulation theorems: Theorem 6.1 encodes runs of such machines
+    into BALG{^3} expressions, Theorem 6.6 into BALG + IFP; the encodings are
+    validated against {!run}. *)
+
+type move = Left | Right
+
+type symbol = string
+type state = string
+
+type t = {
+  name : string;
+  blank : symbol;
+  delta : (state * symbol) -> (state * symbol * move) option;
+      (** [None] halts the machine *)
+  start : state;
+  accept : state;
+  states : state list;  (** all states, for the algebraic encodings *)
+  alphabet : symbol list;  (** all tape symbols, including the blank *)
+}
+
+(** A configuration: a finite window of tape, 1-based head position and
+    current state.  The tape array is as long as the space the run may
+    touch. *)
+type config = { tape : symbol array; head : int; state : state }
+
+let initial ?(space = 0) tm input =
+  let space = max space (List.length input + 2) in
+  let tape = Array.make space tm.blank in
+  List.iteri (fun i s -> tape.(i) <- s) input;
+  { tape; head = 1; state = tm.start }
+
+exception Out_of_space
+
+(** One transition; [None] when the machine has halted. *)
+let step tm (c : config) : config option =
+  match tm.delta (c.state, c.tape.(c.head - 1)) with
+  | None -> None
+  | Some (q', s', mv) ->
+      let tape = Array.copy c.tape in
+      tape.(c.head - 1) <- s';
+      let head = match mv with Left -> c.head - 1 | Right -> c.head + 1 in
+      if head < 1 || head > Array.length tape then raise Out_of_space;
+      Some { tape; head; state = q' }
+
+type outcome = Accepted of config | Halted of config | Ran_out_of_fuel
+
+(** Run to halting (at most [fuel] steps). *)
+let run ?(fuel = 10_000) ?space tm input =
+  let rec go fuel c =
+    if fuel = 0 then Ran_out_of_fuel
+    else
+      match step tm c with
+      | None -> if c.state = tm.accept then Accepted c else Halted c
+      | Some c' -> go (fuel - 1) c'
+  in
+  go fuel (initial ?space tm input)
+
+let accepts ?fuel ?space tm input =
+  match run ?fuel ?space tm input with
+  | Accepted _ -> true
+  | Halted _ | Ran_out_of_fuel -> false
+
+(** The whole run as a list of configurations (initial one first). *)
+let trace ?(fuel = 10_000) ?space tm input =
+  let rec go fuel c acc =
+    if fuel = 0 then List.rev acc
+    else
+      match step tm c with
+      | None -> List.rev acc
+      | Some c' -> go (fuel - 1) c' (c' :: acc)
+  in
+  let c0 = initial ?space tm input in
+  go fuel c0 [ c0 ]
+
+(** {1 Example machines} *)
+
+(** Accepts unary strings (of [1]s) of even length: scans right flipping
+    between two states, accepts on the blank in the even state. *)
+let parity_even =
+  {
+    name = "unary-parity";
+    blank = "_";
+    start = "qe";
+    accept = "qa";
+    states = [ "qe"; "qo"; "qa" ];
+    alphabet = [ "1"; "_" ];
+    delta =
+      (function
+      | "qe", "1" -> Some ("qo", "1", Right)
+      | "qo", "1" -> Some ("qe", "1", Right)
+      | "qe", "_" -> Some ("qa", "_", Right)
+      | _ -> None);
+  }
+
+(** Unary successor: scans to the first blank, writes a [1], accepts.  The
+    output tape holds n+1 ones. *)
+let unary_successor =
+  {
+    name = "unary-successor";
+    blank = "_";
+    start = "qs";
+    accept = "qa";
+    states = [ "qs"; "qa" ];
+    alphabet = [ "1"; "_" ];
+    delta =
+      (function
+      | "qs", "1" -> Some ("qs", "1", Right)
+      | "qs", "_" -> Some ("qa", "1", Right)
+      | _ -> None);
+  }
+
+(** A one-move machine over the single-symbol alphabet [1]: reads a [1] and
+    accepts one cell to the right.  Small enough for the full Theorem 6.1
+    powerset encoding to be evaluated exactly. *)
+let tiny_step =
+  {
+    name = "tiny-step";
+    blank = "1";
+    start = "q0";
+    accept = "qf";
+    states = [ "q0"; "qf" ];
+    alphabet = [ "1" ];
+    delta =
+      (function "q0", "1" -> Some ("qf", "1", Right) | _ -> None);
+  }
+
+(** Exercises Left moves: walks right to the first blank, steps back onto
+    the last [1] and accepts there.  Requires a nonempty unary input. *)
+let bouncer =
+  {
+    name = "bouncer";
+    blank = "_";
+    start = "qr";
+    accept = "qa";
+    states = [ "qr"; "ql"; "qa" ];
+    alphabet = [ "1"; "_" ];
+    delta =
+      (function
+      | "qr", "1" -> Some ("qr", "1", Right)
+      | "qr", "_" -> Some ("ql", "_", Left)
+      | "ql", "1" -> Some ("qa", "1", Right)
+      | _ -> None);
+  }
+
+(** Binary increment, most-significant bit first.  The input must start
+    with a [0] (a padding bit) so the carry never falls off the left end:
+    e.g. [0;1;1] (= 3) becomes [1;0;0] (= 4). *)
+let binary_increment =
+  {
+    name = "binary-increment";
+    blank = "_";
+    start = "qr";
+    accept = "qa";
+    states = [ "qr"; "qc"; "qa" ];
+    alphabet = [ "0"; "1"; "_" ];
+    delta =
+      (function
+      | "qr", "0" -> Some ("qr", "0", Right)
+      | "qr", "1" -> Some ("qr", "1", Right)
+      | "qr", "_" -> Some ("qc", "_", Left)
+      | "qc", "1" -> Some ("qc", "0", Left)
+      | "qc", "0" -> Some ("qa", "1", Right)
+      | _ -> None);
+  }
+
+let unary n = List.init n (fun _ -> "1")
+
+(** Binary encoding/decoding, MSB first, with the padding bit required by
+    {!binary_increment}. *)
+let to_binary n =
+  let rec bits n = if n = 0 then [] else (string_of_int (n land 1)) :: bits (n lsr 1) in
+  "0" :: List.rev (bits n)
+
+let of_binary_tape (c : config) =
+  Array.fold_left
+    (fun acc s ->
+      match s with
+      | "0" -> acc * 2
+      | "1" -> (acc * 2) + 1
+      | _ -> acc)
+    0 c.tape
+
+(** Number of [1]s left on the tape. *)
+let ones_on_tape (c : config) =
+  Array.fold_left (fun acc s -> if s = "1" then acc + 1 else acc) 0 c.tape

@@ -1,0 +1,64 @@
+(** Deterministic single-tape Turing machines — the reference semantics for
+    the paper's simulation theorems (6.1 and 6.6). *)
+
+type move = Left | Right
+type symbol = string
+type state = string
+
+type t = {
+  name : string;
+  blank : symbol;
+  delta : state * symbol -> (state * symbol * move) option;
+      (** [None] halts the machine *)
+  start : state;
+  accept : state;
+  states : state list;  (** all states, for the algebraic encodings *)
+  alphabet : symbol list;  (** all tape symbols, including the blank *)
+}
+
+type config = { tape : symbol array; head : int (** 1-based *); state : state }
+
+exception Out_of_space
+(** Raised when the head leaves the allocated tape window. *)
+
+val initial : ?space:int -> t -> symbol list -> config
+(** Tape window of at least [input length + 2] cells. *)
+
+val step : t -> config -> config option
+
+type outcome = Accepted of config | Halted of config | Ran_out_of_fuel
+
+val run : ?fuel:int -> ?space:int -> t -> symbol list -> outcome
+val accepts : ?fuel:int -> ?space:int -> t -> symbol list -> bool
+
+val trace : ?fuel:int -> ?space:int -> t -> symbol list -> config list
+(** All configurations, initial first. *)
+
+(** {1 Example machines} *)
+
+val parity_even : t
+(** Accepts unary inputs of even length. *)
+
+val unary_successor : t
+(** Halts accepting with [n+1] ones on the tape. *)
+
+val tiny_step : t
+(** One move over a single-symbol alphabet; small enough for the full
+    Theorem 6.1 powerset encoding to be evaluated exactly. *)
+
+val bouncer : t
+(** Exercises Left moves; requires a nonempty unary input. *)
+
+val binary_increment : t
+(** Binary increment (MSB first); the input needs a leading [0] padding
+    bit. *)
+
+val unary : int -> symbol list
+
+val to_binary : int -> symbol list
+(** MSB-first with the padding bit. *)
+
+val of_binary_tape : config -> int
+(** Decode the binary number left on the tape (blanks ignored). *)
+
+val ones_on_tape : config -> int

@@ -1,0 +1,1 @@
+test/test_analyze.ml: Alcotest Analyze Balg Derived Expr String Ty Typecheck

@@ -1,0 +1,1 @@
+test/test_bag.ml: Alcotest Bag Baggen Balg Bignat List Mset Printf QCheck QCheck_alcotest Random Value

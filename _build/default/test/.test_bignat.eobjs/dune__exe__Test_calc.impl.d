@@ -1,0 +1,1 @@
+test/test_calc.ml: Alcotest Balg Derived Expr Fun List Ralg Value

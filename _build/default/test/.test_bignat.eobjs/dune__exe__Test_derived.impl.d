@@ -1,0 +1,1 @@
+test/test_derived.ml: Alcotest Bag Baggen Balg Bignat Derived Eval Expr Gen List Printf QCheck QCheck_alcotest Random Ty Value

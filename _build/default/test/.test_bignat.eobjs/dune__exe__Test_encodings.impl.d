@@ -1,0 +1,1 @@
+test/test_encodings.ml: Alcotest Analyze Balg Bignat Derived Encodings Eval List Printf QCheck QCheck_alcotest Turing Ty Typecheck Value

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Baggen Balg Bignat Derived Eval Expr Gen List QCheck QCheck_alcotest Random Ty Typecheck Value

@@ -1,0 +1,1 @@
+test/test_explain.ml: Alcotest Bag Balg Derived Eval Explain Expr List Option String Value

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Analyze Bag Baggen Baglang Balg Eval Expr Gen List QCheck QCheck_alcotest Random Rewrite Stdlib Typecheck Value

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Analyze Bag Baglang Balg Bignat Derived Eval Expr Filename List Printf Rewrite Sys Ty Typecheck Value

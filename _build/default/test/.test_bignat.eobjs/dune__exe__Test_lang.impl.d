@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Baggen Baglang Balg Bignat Derived Eval Expr Gen List QCheck QCheck_alcotest Random Stdlib Ty Typecheck Value

@@ -1,0 +1,1 @@
+test/test_laws.ml: Alcotest Bag Baggen Balg Bignat List QCheck QCheck_alcotest Random Ty Value

@@ -1,0 +1,1 @@
+test/test_mset.ml: Alcotest Bignat Int List Mset Printf QCheck QCheck_alcotest String

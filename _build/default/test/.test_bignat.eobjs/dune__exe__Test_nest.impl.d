@@ -1,0 +1,1 @@
+test/test_nest.ml: Alcotest Analyze Baggen Baglang Balg Bignat Derived Eval Expr Gen List QCheck QCheck_alcotest Ralg Random Rewrite Stdlib Ty Typecheck Value

@@ -1,0 +1,1 @@
+test/test_pebble.ml: Alcotest Balg Eval Format List Pebble Printf String Typecheck

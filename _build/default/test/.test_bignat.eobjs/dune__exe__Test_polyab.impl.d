@@ -1,0 +1,1 @@
+test/test_polyab.ml: Alcotest Array Baggen Balg Bigint Derived Expr Gen List Poly Polyab Printf QCheck QCheck_alcotest Random Ty Typecheck Value

@@ -1,0 +1,1 @@
+test/test_ralg.ml: Alcotest Bag Baggen Balg Bignat Derived Eval Expr Gen List QCheck QCheck_alcotest Ralg Random Value

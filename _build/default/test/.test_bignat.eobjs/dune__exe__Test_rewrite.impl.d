@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Baggen Balg Eval Expr Fun Gen List QCheck QCheck_alcotest Ralg Random Rewrite Stdlib Ty Typecheck Value

@@ -1,0 +1,1 @@
+test/test_sqlish.ml: Alcotest Bag Baglang Balg Bignat Eval Ty Typecheck Value

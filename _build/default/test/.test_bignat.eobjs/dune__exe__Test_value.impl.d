@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Baggen Balg Bignat Gen List QCheck QCheck_alcotest Random Stdlib Ty Value

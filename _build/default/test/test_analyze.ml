@@ -1,0 +1,77 @@
+(* Tests for the static complexity analyzer (power nesting, classification
+   per Thm 4.4 / 5.1 / 6.2, Prop 6.4, Thm 6.6). *)
+
+open Balg
+
+let env1 = Typecheck.env_of_list [ ("R", Ty.relation 1); ("G", Ty.relation 2) ]
+
+let cclass = Alcotest.testable Analyze.pp_cclass (fun a b -> a = b)
+
+let test_power_nesting () =
+  Alcotest.(check int) "no powerset" 0
+    (Analyze.power_nesting (Derived.selfjoin (Expr.Var "G")));
+  Alcotest.(check int) "single" 1
+    (Analyze.power_nesting (Expr.Powerset (Expr.Var "R")));
+  Alcotest.(check int) "nested" 2
+    (Analyze.power_nesting (Expr.Powerset (Expr.Destroy (Expr.Powerset (Expr.Var "R")))));
+  (* parallel powersets on different branches do not nest *)
+  Alcotest.(check int) "parallel branches" 1
+    (Analyze.power_nesting
+       Expr.(Destroy (Powerset (Var "R")) ++ Destroy (Powerset (Var "R"))));
+  Alcotest.(check int) "powerbag counts too" 2
+    (Analyze.power_nesting (Expr.Powerbag (Expr.Destroy (Expr.Powerset (Expr.Var "R")))))
+
+let classify e = (Analyze.analyze env1 e).Analyze.cclass
+
+let test_classification () =
+  Alcotest.check cclass "flat query is LOGSPACE" Analyze.Logspace
+    (classify (Derived.selfjoin (Expr.Var "G")));
+  Alcotest.check cclass "Example 4.1 is LOGSPACE" Analyze.Logspace
+    (classify (Derived.indeg_gt_outdeg (Expr.Var "G") (Expr.atom "a")));
+  Alcotest.check cclass "one powerset level is PSPACE" Analyze.Pspace
+    (classify (Expr.Destroy (Expr.Powerset (Expr.Var "R"))));
+  Alcotest.check cclass "diff-via-powerset is PSPACE" Analyze.Pspace
+    (classify (Derived.diff_via_powerset (Expr.Var "R") (Expr.Var "R")));
+  Alcotest.check cclass "TC via bfix" Analyze.Ptime_bounded_fix
+    (classify (Derived.transitive_closure (Expr.Var "G")));
+  Alcotest.check cclass "IFP is Turing-complete territory" Analyze.Turing_complete
+    (classify (Expr.Fix ("X", Expr.Var "X", Expr.Var "G")))
+
+let test_hyper_classification () =
+  (* nesting 3: P applied to a bag of bags *)
+  let pp3 = Expr.Powerset (Expr.Powerset (Expr.Var "R")) in
+  let r3 = Analyze.analyze env1 pp3 in
+  Alcotest.(check int) "bag nesting 3" 3 r3.Analyze.bag_nesting;
+  Alcotest.(check int) "power nesting 2" 2 r3.Analyze.power_nesting;
+  Alcotest.check cclass "hyper(1)-SPACE" (Analyze.Hyper_space 1) r3.Analyze.cclass;
+  (* ddPP twice: power nesting 4 -> hyper(2) *)
+  let ddpp e = Expr.Destroy (Expr.Destroy (Expr.Powerset (Expr.Powerset e))) in
+  let e4 = ddpp (ddpp (Expr.Var "R")) in
+  Alcotest.check cclass "hyper(2)-SPACE" (Analyze.Hyper_space 2) (classify e4);
+  (* powerbag at nesting 2 escapes PSPACE *)
+  let pb = Expr.Destroy (Expr.Powerbag (Expr.Var "R")) in
+  Alcotest.check cclass "Pb at nesting 2" (Analyze.Hyper_space 0) (classify pb)
+
+let test_flags_census () =
+  let e = Expr.Destroy (Expr.Powerbag (Expr.Var "R")) in
+  let r = Analyze.analyze env1 e in
+  Alcotest.(check bool) "powerbag flag" true r.Analyze.powerbag;
+  Alcotest.(check bool) "no fix" false r.Analyze.fix;
+  Alcotest.(check (list (pair string int))) "census"
+    [ ("destroy", 1); ("powerbag", 1); ("var", 1) ]
+    r.Analyze.census;
+  (* report renders *)
+  Alcotest.(check bool) "report mentions class" true
+    (String.length (Analyze.report_to_string r) > 0)
+
+let () =
+  Alcotest.run "analyze"
+    [
+      ( "analysis",
+        [
+          Alcotest.test_case "power nesting" `Quick test_power_nesting;
+          Alcotest.test_case "classification" `Quick test_classification;
+          Alcotest.test_case "hyper hierarchy" `Quick test_hyper_classification;
+          Alcotest.test_case "flags and census" `Quick test_flags_census;
+        ] );
+    ]

@@ -1,0 +1,226 @@
+(* Tests for the primitive bag operations, including the paper's exact
+   multiplicity laws for powerset / powerbag / destroy (§3, Prop 3.2). *)
+
+open Balg
+module B = Bignat
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let a = Value.Atom "a"
+let b = Value.Atom "b"
+let c = Value.Atom "c"
+let bag = Value.bag_of_list
+let bagc l = Value.bag_of_assoc (List.map (fun (v, n) -> (v, B.of_int n)) l)
+
+let test_union_add () =
+  Alcotest.check value "counts sum"
+    (bagc [ (a, 3); (b, 1); (c, 1) ])
+    (Bag.union_add (bagc [ (a, 2); (b, 1) ]) (bagc [ (a, 1); (c, 1) ]))
+
+let test_diff () =
+  Alcotest.check value "monus per element"
+    (bagc [ (a, 1) ])
+    (Bag.diff (bagc [ (a, 3); (b, 1) ]) (bagc [ (a, 2); (b, 5) ]));
+  Alcotest.check value "diff with empty" (bagc [ (a, 3) ])
+    (Bag.diff (bagc [ (a, 3) ]) Value.empty_bag)
+
+let test_union_max_inter () =
+  let x = bagc [ (a, 2); (b, 1) ] and y = bagc [ (a, 1); (b, 4); (c, 2) ] in
+  Alcotest.check value "max" (bagc [ (a, 2); (b, 4); (c, 2) ]) (Bag.union_max x y);
+  Alcotest.check value "inter" (bagc [ (a, 1); (b, 1) ]) (Bag.inter x y)
+
+let test_subbag () =
+  Alcotest.(check bool) "subbag by counts" true
+    (Bag.subbag (bagc [ (a, 2) ]) (bagc [ (a, 3); (b, 1) ]));
+  Alcotest.(check bool) "count exceeds" false
+    (Bag.subbag (bagc [ (a, 4) ]) (bagc [ (a, 3); (b, 1) ]));
+  Alcotest.(check bool) "empty always" true
+    (Bag.subbag Value.empty_bag (bagc [ (a, 1) ]))
+
+let test_product () =
+  let l = bagc [ (Value.Tuple [ a ], 2) ]
+  and r = bagc [ (Value.Tuple [ b ], 3); (Value.Tuple [ c ], 1) ] in
+  Alcotest.check value "counts multiply, tuples concatenate"
+    (bagc [ (Value.Tuple [ a; b ], 6); (Value.Tuple [ a; c ], 2) ])
+    (Bag.product l r)
+
+let test_destroy () =
+  let inner1 = bagc [ (a, 1); (b, 2) ] and inner2 = bagc [ (a, 3) ] in
+  let nested = Value.bag_of_assoc [ (inner1, B.of_int 2); (inner2, B.one) ] in
+  Alcotest.check value "weighted additive union"
+    (bagc [ (a, 5); (b, 4) ])
+    (Bag.destroy nested)
+
+let test_dedup_scale_map_select () =
+  Alcotest.check value "dedup" (bagc [ (a, 1); (b, 1) ])
+    (Bag.dedup (bagc [ (a, 5); (b, 2) ]));
+  Alcotest.check value "scale" (bagc [ (a, 10) ]) (Bag.scale (B.of_int 5) (bagc [ (a, 2) ]));
+  Alcotest.check value "scale by zero" Value.empty_bag
+    (Bag.scale B.zero (bagc [ (a, 2) ]));
+  Alcotest.check value "map coalesces additively" (bagc [ (c, 7) ])
+    (Bag.map (fun _ -> c) (bagc [ (a, 5); (b, 2) ]));
+  Alcotest.check value "select" (bagc [ (a, 5) ])
+    (Bag.select (Value.equal a) (bagc [ (a, 5); (b, 2) ]))
+
+(* §5: "the powerbag of [{{a, a}}] differs from its powerset" — the paper's
+   exact example. *)
+let test_paper_example_aa () =
+  let aa = bagc [ (a, 2) ] in
+  Alcotest.check value "powerset {{a,a}}"
+    (bag [ Value.empty_bag; bagc [ (a, 1) ]; bagc [ (a, 2) ] ])
+    (Bag.powerset aa);
+  Alcotest.check value "powerbag {{a,a}}"
+    (Value.bag_of_assoc
+       [
+         (Value.empty_bag, B.one);
+         (bagc [ (a, 1) ], B.of_int 2);
+         (bagc [ (a, 2) ], B.one);
+       ])
+    (Bag.powerbag aa)
+
+(* §1: powerbag of n occurrences of one constant has cardinality 2^n, its
+   powerset has cardinality n+1. *)
+let test_powerset_powerbag_cardinality () =
+  List.iter
+    (fun n ->
+      let bn = Value.replicate (B.of_int n) a in
+      Alcotest.(check string)
+        (Printf.sprintf "powerset card at n=%d" n)
+        (string_of_int (n + 1))
+        (B.to_string (Value.cardinal (Bag.powerset bn)));
+      Alcotest.(check string)
+        (Printf.sprintf "powerbag card at n=%d" n)
+        (B.to_string (B.pow2 n))
+        (B.to_string (Value.cardinal (Bag.powerbag bn))))
+    [ 0; 1; 2; 5; 10 ]
+
+(* Prop 3.2's claim: for B with k constants of multiplicity m each,
+   δ(P(B)) contains m(m+1)^k / 2 occurrences of each constant, and
+   δ(δ(P(P(B)))) contains 2^((m+1)^k − 2) · (m+1)^k · m occurrences. *)
+let test_prop32_claim () =
+  let check_dp k m =
+    let bag_km =
+      Value.bag_of_assoc
+        (List.init k (fun i ->
+             (Value.Atom (Printf.sprintf "x%d" i), B.of_int m)))
+    in
+    let dp = Bag.destroy (Bag.powerset bag_km) in
+    let expected = B.div (B.mul (B.of_int m) (B.pow (B.of_int (m + 1)) k)) B.two in
+    List.iter
+      (fun v ->
+        Alcotest.(check string)
+          (Printf.sprintf "dP count k=%d m=%d" k m)
+          (B.to_string expected)
+          (B.to_string (Value.count_in v dp)))
+      (Value.support dp)
+  in
+  List.iter (fun (k, m) -> check_dp k m) [ (1, 1); (1, 3); (2, 2); (3, 1); (2, 3) ];
+  (* the ddPP form, small parameters only *)
+  let check_ddpp k m =
+    let bag_km =
+      Value.bag_of_assoc
+        (List.init k (fun i ->
+             (Value.Atom (Printf.sprintf "x%d" i), B.of_int m)))
+    in
+    let v = Bag.destroy (Bag.destroy (Bag.powerset (Bag.powerset bag_km))) in
+    let mp1k = B.to_int_exn (B.pow (B.of_int (m + 1)) k) in
+    let expected = B.mul (B.pow2 (mp1k - 2)) (B.mul (B.of_int mp1k) (B.of_int m)) in
+    List.iter
+      (fun x ->
+        Alcotest.(check string)
+          (Printf.sprintf "ddPP count k=%d m=%d" k m)
+          (B.to_string expected)
+          (B.to_string (Value.count_in x v)))
+      (Value.support v)
+  in
+  List.iter (fun (k, m) -> check_ddpp k m) [ (1, 1); (1, 2); (2, 1); (1, 3) ]
+
+let test_powerset_structure () =
+  let v = bagc [ (a, 1); (b, 2) ] in
+  let p = Bag.powerset v in
+  (* (1+1)*(2+1) = 6 distinct subbags, each once *)
+  Alcotest.(check int) "distinct subbags" 6 (Value.support_size p);
+  Alcotest.(check string) "each once" "1" (B.to_string (Bag.max_count p));
+  List.iter
+    (fun (sub, _) ->
+      Alcotest.(check bool) "is a subbag" true (Bag.subbag sub v))
+    (Value.as_bag p)
+
+let test_powerbag_total () =
+  (* total cardinality of Pb(B) is 2^|B| for any B *)
+  let v = bagc [ (a, 2); (b, 1); (c, 3) ] in
+  Alcotest.(check string) "2^6" (B.to_string (B.pow2 6))
+    (B.to_string (Value.cardinal (Bag.powerbag v)))
+
+let test_too_large_guard () =
+  let big = Value.replicate (B.of_int 100) a in
+  (match Bag.powerset ~max_support:50 big with
+  | exception Bag.Too_large _ -> ()
+  | _ -> Alcotest.fail "expected Too_large");
+  match Bag.powerset ~max_support:200 big with
+  | v -> Alcotest.(check int) "101 subbags fit" 101 (Value.support_size v)
+  | exception Bag.Too_large _ -> Alcotest.fail "should fit"
+
+(* --- cross-check against the generic multiset -------------------------- *)
+
+module MS = Mset.Multiset.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+let to_ms v = List.fold_left (fun m (x, c) -> MS.add ~count:c x m) MS.empty (Value.as_bag v)
+let of_ms m = Value.Bag (MS.to_list m)
+
+let gen_flat_bag =
+  QCheck.Gen.map
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      Baggen.Genval.flat_bag rng ~n_atoms:4 ~arity:1 ~size:6 ~max_count:4)
+    QCheck.Gen.int
+
+let arb_bag = QCheck.make ~print:Value.to_string gen_flat_bag
+
+let agree name balg_op ms_op =
+  QCheck.Test.make ~name ~count:300
+    QCheck.(pair arb_bag arb_bag)
+    (fun (x, y) ->
+      Value.equal (balg_op x y) (of_ms (ms_op (to_ms x) (to_ms y))))
+
+let props = List.map QCheck_alcotest.to_alcotest
+  [
+    agree "union_add agrees with Multiset" Bag.union_add MS.union_add;
+    agree "union_max agrees with Multiset" Bag.union_max MS.union_max;
+    agree "inter agrees with Multiset" Bag.inter MS.inter;
+    agree "diff agrees with Multiset" Bag.diff MS.diff;
+    QCheck.Test.make ~name:"destroy of powerset halves" ~count:100 arb_bag
+      (fun v ->
+        (* every element's count in δ(P(B)) is (card subbag sum) / 2 -- check
+           the global identity: card(δ(P(B))) = card(B) * |P(B)| / 2 *)
+        let p = Bag.powerset v in
+        let lhs = Value.cardinal (Bag.destroy p) in
+        let rhs = B.div (B.mul (Value.cardinal v) (Value.cardinal p)) B.two in
+        B.equal lhs rhs);
+  ]
+
+let () =
+  Alcotest.run "bag"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "union_add" `Quick test_union_add;
+          Alcotest.test_case "diff" `Quick test_diff;
+          Alcotest.test_case "union_max / inter" `Quick test_union_max_inter;
+          Alcotest.test_case "subbag" `Quick test_subbag;
+          Alcotest.test_case "product" `Quick test_product;
+          Alcotest.test_case "destroy" `Quick test_destroy;
+          Alcotest.test_case "dedup/scale/map/select" `Quick test_dedup_scale_map_select;
+          Alcotest.test_case "paper example {{a,a}}" `Quick test_paper_example_aa;
+          Alcotest.test_case "P vs Pb cardinalities" `Quick test_powerset_powerbag_cardinality;
+          Alcotest.test_case "Prop 3.2 exact counts" `Quick test_prop32_claim;
+          Alcotest.test_case "powerset structure" `Quick test_powerset_structure;
+          Alcotest.test_case "powerbag total" `Quick test_powerbag_total;
+          Alcotest.test_case "resource guard" `Quick test_too_large_guard;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,183 @@
+(* Tests for the CALC1 calculus evaluator and its correspondence with the
+   set-semantics algebra ([AB87], §5). *)
+
+open Balg
+module Calc = Ralg.Calc
+module Rel = Ralg.Rel
+module Reval = Ralg.Reval
+
+let a x = Value.Atom x
+let t1 x = Value.Tuple [ a x ]
+let t2 x y = Value.Tuple [ a x; a y ]
+
+let g_rel = Rel.of_list [ t2 "x" "y"; t2 "y" "z"; t2 "x" "x" ]
+let r_rel = Rel.of_list [ t1 "x"; t1 "y" ]
+let db = [ ("G", g_rel); ("R", r_rel) ]
+
+let test_terms () =
+  Alcotest.(check bool) "component access" true
+    (Calc.holds db
+       [ ("t", t2 "x" "y") ]
+       (Calc.Eq (Calc.TComp (Calc.TVar "t", 2), Calc.TConst "y")));
+  match Calc.holds db [] (Calc.Eq (Calc.TComp (Calc.TConst "x", 1), Calc.TConst "x")) with
+  | exception Calc.Calc_error _ -> ()
+  | _ -> Alcotest.fail "component of atom must fail"
+
+let test_relation_atoms () =
+  Alcotest.(check bool) "G(<x,y>)" true
+    (Calc.holds db [ ("v", t2 "x" "y") ] (Calc.Rel ("G", Calc.TVar "v")));
+  Alcotest.(check bool) "not G(<z,z>)" false
+    (Calc.holds db [ ("v", t2 "z" "z") ] (Calc.Rel ("G", Calc.TVar "v")))
+
+let test_quantifiers () =
+  (* ∃v : U^2. G(v) ∧ v.1 = v.2  — the self-loop *)
+  let selfloop =
+    Calc.Exists
+      ( "v",
+        Calc.VTuple 2,
+        Calc.And
+          ( Calc.Rel ("G", Calc.TVar "v"),
+            Calc.Eq (Calc.TComp (Calc.TVar "v", 1), Calc.TComp (Calc.TVar "v", 2)) ) )
+  in
+  Alcotest.(check bool) "self-loop exists" true (Calc.sentence db selfloop);
+  (* ∀u : U. ∃v : U^2. G(v) ∧ v.1 = u — false: z has no outgoing edge *)
+  let all_sources =
+    Calc.Forall
+      ( "u",
+        Calc.VAtom,
+        Calc.Exists
+          ( "v",
+            Calc.VTuple 2,
+            Calc.And
+              ( Calc.Rel ("G", Calc.TVar "v"),
+                Calc.Eq (Calc.TComp (Calc.TVar "v", 1), Calc.TVar "u") ) ) )
+  in
+  Alcotest.(check bool) "not every atom is a source" false
+    (Calc.sentence db all_sources)
+
+let test_set_quantifier () =
+  (* ∃S : {U^1}. ∀u : U. (u ∈ S-as-tuples ↔ R(<u>)) — S = R exists *)
+  let phi =
+    Calc.Exists
+      ( "S",
+        Calc.VSet 1,
+        Calc.Forall
+          ( "u",
+            Calc.VAtom,
+            Calc.And
+              ( Calc.Or
+                  ( Calc.Not (Calc.Mem (Calc.TVar "ut", Calc.TVar "S")),
+                    Calc.Rel ("R", Calc.TVar "ut") ),
+                Calc.Or
+                  ( Calc.Not (Calc.Rel ("R", Calc.TVar "ut")),
+                    Calc.Mem (Calc.TVar "ut", Calc.TVar "S") ) ) ) )
+  in
+  (* bind ut := <u> via an inner exists-with-equality *)
+  let phi =
+    match phi with
+    | Calc.Exists (s, vty, Calc.Forall (u, uty, body)) ->
+        Calc.Exists
+          ( s,
+            vty,
+            Calc.Forall
+              ( u,
+                uty,
+                Calc.Exists
+                  ( "ut",
+                    Calc.VTuple 1,
+                    Calc.And
+                      ( Calc.Eq (Calc.TComp (Calc.TVar "ut", 1), Calc.TVar u),
+                        body ) ) ) )
+    | _ -> assert false
+  in
+  Alcotest.(check bool) "the set R is in the completion domain" true
+    (Calc.sentence db phi)
+
+let test_subset_predicate () =
+  (* every set quantified below is a subset of the full tuple domain *)
+  let phi =
+    Calc.Forall
+      ( "S",
+        Calc.VSet 1,
+        Calc.Exists
+          ( "T",
+            Calc.VSet 1,
+            Calc.And (Calc.Sub (Calc.TVar "S", Calc.TVar "T"), Calc.True) ) )
+  in
+  Alcotest.(check bool) "⊆ with the full set witness" true (Calc.sentence db phi)
+
+(* CALC1 query ≡ algebra query on concrete cases (the AB87 correspondence,
+   spot-checked) *)
+let test_calc_vs_algebra_projection () =
+  (* { u : U^1 | ∃v : U^2. G(v) ∧ v.1 = u.1 } == dedup(pi1(G)) *)
+  let calc_result =
+    Calc.query db ("u", Calc.VTuple 1)
+      (Calc.Exists
+         ( "v",
+           Calc.VTuple 2,
+           Calc.And
+             ( Calc.Rel ("G", Calc.TVar "v"),
+               Calc.Eq (Calc.TComp (Calc.TVar "v", 1), Calc.TComp (Calc.TVar "u", 1)) ) ))
+  in
+  let algebra_result =
+    Reval.eval
+      (Reval.env_of_list [ ("G", Rel.to_value g_rel) ])
+      (Expr.Dedup (Expr.proj_attrs [ 1 ] (Expr.Var "G")))
+  in
+  Alcotest.(check bool) "projection agrees" true
+    (Value.equal (Rel.to_value calc_result) algebra_result)
+
+let test_calc_vs_algebra_join () =
+  (* { u : U^2 | ∃v ∃w. G(v) ∧ G(w) ∧ v.2 = w.1 ∧ u = <v.1, w.2> } == pi_{1,4} sigma_{2=3} (G x G) *)
+  let comp t i = Calc.TComp (t, i) in
+  let calc_result =
+    Calc.query db ("u", Calc.VTuple 2)
+      (Calc.Exists
+         ( "v",
+           Calc.VTuple 2,
+           Calc.Exists
+             ( "w",
+               Calc.VTuple 2,
+               Calc.And
+                 ( Calc.And (Calc.Rel ("G", Calc.TVar "v"), Calc.Rel ("G", Calc.TVar "w")),
+                   Calc.And
+                     ( Calc.Eq (comp (Calc.TVar "v") 2, comp (Calc.TVar "w") 1),
+                       Calc.And
+                         ( Calc.Eq (comp (Calc.TVar "u") 1, comp (Calc.TVar "v") 1),
+                           Calc.Eq (comp (Calc.TVar "u") 2, comp (Calc.TVar "w") 2) ) ) ) ) ))
+  in
+  let algebra_result =
+    Reval.eval
+      (Reval.env_of_list [ ("G", Rel.to_value g_rel) ])
+      (Derived.selfjoin (Expr.Var "G"))
+  in
+  Alcotest.(check bool) "join agrees" true
+    (Value.equal (Rel.to_value calc_result) algebra_result)
+
+let test_domain_guard () =
+  (* set domains over too many tuples are refused, not diverging *)
+  let big_db =
+    [ ("B", Rel.of_list (List.map (fun i -> t2 (string_of_int i) (string_of_int i)) (List.init 5 Fun.id))) ]
+  in
+  match Calc.sentence big_db (Calc.Exists ("S", Calc.VSet 2, Calc.True)) with
+  | exception Calc.Calc_error _ -> ()
+  | _ -> Alcotest.fail "expected Calc_error on huge set domain"
+
+let () =
+  Alcotest.run "calc"
+    [
+      ( "calculus",
+        [
+          Alcotest.test_case "terms" `Quick test_terms;
+          Alcotest.test_case "relations" `Quick test_relation_atoms;
+          Alcotest.test_case "quantifiers" `Quick test_quantifiers;
+          Alcotest.test_case "set quantifier" `Quick test_set_quantifier;
+          Alcotest.test_case "subset predicate" `Quick test_subset_predicate;
+          Alcotest.test_case "domain guard" `Quick test_domain_guard;
+        ] );
+      ( "AB87 correspondence",
+        [
+          Alcotest.test_case "projection" `Quick test_calc_vs_algebra_projection;
+          Alcotest.test_case "join" `Quick test_calc_vs_algebra_join;
+        ] );
+    ]

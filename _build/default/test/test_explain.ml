@@ -1,0 +1,91 @@
+(* Tests for the evaluation profiler: results agree with Eval, binder
+   bodies accumulate calls, fixpoints iterate, guards still fire. *)
+
+open Balg
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let rel2 l =
+  Value.bag_of_list
+    (List.map (fun (x, y) -> Value.Tuple [ Value.Atom x; Value.Atom y ]) l)
+
+let g = rel2 [ ("a", "b"); ("b", "c"); ("c", "d") ]
+let env = Eval.env_of_list [ ("G", g) ]
+
+let rec find_op op (p : Explain.profile) =
+  if p.Explain.op = op then Some p
+  else List.find_map (find_op op) p.Explain.children
+
+let test_agrees_with_eval () =
+  let queries =
+    [
+      Derived.selfjoin (Expr.Var "G");
+      Derived.transitive_closure (Expr.Var "G");
+      Expr.Powerset (Expr.proj_attrs [ 1 ] (Expr.Var "G"));
+      Derived.indeg_gt_outdeg (Expr.Var "G") (Expr.atom "b");
+    ]
+  in
+  List.iter
+    (fun q ->
+      let v, _ = Explain.run ~env q in
+      Alcotest.check value "profiled result equals Eval" (Eval.eval env q) v)
+    queries
+
+let test_binder_call_counts () =
+  (* map body runs once per distinct member *)
+  let q = Expr.proj_attrs [ 1 ] (Expr.Var "G") in
+  let _, p = Explain.run ~env q in
+  (match find_op "tuple" p with
+  | Some body -> Alcotest.(check int) "3 body evaluations" 3 body.Explain.calls
+  | None -> Alcotest.fail "no tuple node");
+  match find_op "map" p with
+  | Some m ->
+      Alcotest.(check int) "map evaluated once" 1 m.Explain.calls;
+      Alcotest.(check int) "result support" 3 m.Explain.max_support
+  | None -> Alcotest.fail "no map node"
+
+let test_fixpoint_iterations_visible () =
+  let q = Derived.transitive_closure (Expr.Var "G") in
+  let _, p = Explain.run ~env q in
+  match find_op "bfix" p with
+  | Some fx ->
+      Alcotest.(check bool) "fixpoint recorded" true (fx.Explain.calls >= 1);
+      (* the body (second child: bound, body, seed) iterates; its union_max
+         runs once per fixpoint step *)
+      let body_profile = List.nth fx.Explain.children 1 in
+      let body = find_op "union_max" body_profile in
+      Alcotest.(check bool) "body iterated" true
+        ((Option.get body).Explain.calls >= 2)
+  | None -> Alcotest.fail "no bfix node"
+
+let test_guard_fires () =
+  let config = { Eval.default_config with Eval.max_support = 3 } in
+  let q = Expr.Powerset (Expr.proj_attrs [ 1 ] (Expr.Var "G")) in
+  match Explain.run ~config ~env q with
+  | exception (Eval.Resource_limit _ | Bag.Too_large _) -> ()
+  | _ -> Alcotest.fail "expected a guard exception"
+
+let test_rendering () =
+  let q = Derived.selfjoin (Expr.Var "G") in
+  let _, p = Explain.run ~env q in
+  let s = Explain.profile_to_string p in
+  Alcotest.(check bool) "mentions product" true
+    (String.length s > 0
+    && List.exists
+         (fun line ->
+           String.length (String.trim line) > 0
+           && String.starts_with ~prefix:"product" (String.trim line))
+         (String.split_on_char '\n' s))
+
+let () =
+  Alcotest.run "explain"
+    [
+      ( "profiler",
+        [
+          Alcotest.test_case "agrees with Eval" `Quick test_agrees_with_eval;
+          Alcotest.test_case "binder call counts" `Quick test_binder_call_counts;
+          Alcotest.test_case "fixpoint iterations" `Quick test_fixpoint_iterations_visible;
+          Alcotest.test_case "guards still fire" `Quick test_guard_fires;
+          Alcotest.test_case "rendering" `Quick test_rendering;
+        ] );
+    ]

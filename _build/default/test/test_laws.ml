@@ -1,0 +1,142 @@
+(* Property tests for the algebraic laws stated in §3 ("the operations
+   satisfy some algebraic properties, such as associativity, commutativity,
+   etc.") and the structural laws the rewriting engine relies on.  These are
+   laws of the *interpreter*, checked on random nested values. *)
+
+open Balg
+module B = Bignat
+
+let gen_flat =
+  QCheck.Gen.map
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      Baggen.Genval.flat_bag rng ~n_atoms:4 ~arity:2 ~size:5 ~max_count:4)
+    QCheck.Gen.int
+
+let arb = QCheck.make ~print:Value.to_string gen_flat
+
+let gen_nested =
+  QCheck.Gen.map
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      Baggen.Genval.of_type rng ~n_atoms:3 ~width:3 ~max_count:3
+        (Ty.Bag (Ty.Bag Ty.Atom)))
+    QCheck.Gen.int
+
+let arb_nested = QCheck.make ~print:Value.to_string gen_nested
+
+let t name count arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let pair2 = QCheck.pair arb arb
+let triple3 = QCheck.triple arb arb arb
+
+let laws_binary =
+  [
+    t "∪+ commutative" 300 pair2 (fun (a, b) ->
+        Value.equal (Bag.union_add a b) (Bag.union_add b a));
+    t "∪+ associative" 300 triple3 (fun (a, b, c) ->
+        Value.equal
+          (Bag.union_add a (Bag.union_add b c))
+          (Bag.union_add (Bag.union_add a b) c));
+    t "∪max commutative" 300 pair2 (fun (a, b) ->
+        Value.equal (Bag.union_max a b) (Bag.union_max b a));
+    t "∪max associative" 300 triple3 (fun (a, b, c) ->
+        Value.equal
+          (Bag.union_max a (Bag.union_max b c))
+          (Bag.union_max (Bag.union_max a b) c));
+    t "∩ commutative" 300 pair2 (fun (a, b) ->
+        Value.equal (Bag.inter a b) (Bag.inter b a));
+    t "∩ associative" 300 triple3 (fun (a, b, c) ->
+        Value.equal (Bag.inter a (Bag.inter b c)) (Bag.inter (Bag.inter a b) c));
+    t "∩ distributes over ∪max" 300 triple3 (fun (a, b, c) ->
+        Value.equal
+          (Bag.inter a (Bag.union_max b c))
+          (Bag.union_max (Bag.inter a b) (Bag.inter a c)));
+    t "∪max distributes over ∩" 300 triple3 (fun (a, b, c) ->
+        Value.equal
+          (Bag.union_max a (Bag.inter b c))
+          (Bag.inter (Bag.union_max a b) (Bag.union_max a c)));
+    t "monus galois: (a−b)+b∩a = a ... (a−b) = a−(a∩b)" 300 pair2 (fun (a, b) ->
+        Value.equal (Bag.diff a b) (Bag.diff a (Bag.inter a b)));
+    t "a = (a−b) ∪+ (a∩b)" 300 pair2 (fun (a, b) ->
+        Value.equal a (Bag.union_add (Bag.diff a b) (Bag.inter a b)));
+    t "∪+ = ∪max + ∩ (counts)" 300 pair2 (fun (a, b) ->
+        Value.equal (Bag.union_add a b)
+          (Bag.union_add (Bag.union_max a b) (Bag.inter a b)));
+  ]
+
+let laws_product =
+  [
+    t "× distributes over ∪+ (left)" 200 triple3 (fun (a, b, c) ->
+        Value.equal
+          (Bag.product a (Bag.union_add b c))
+          (Bag.union_add (Bag.product a b) (Bag.product a c)));
+    t "× with empty annihilates" 200 arb (fun a ->
+        Value.equal (Bag.product a Value.empty_bag) Value.empty_bag);
+    t "card(a×b) = card a · card b" 200 pair2 (fun (a, b) ->
+        B.equal
+          (Value.cardinal (Bag.product a b))
+          (B.mul (Value.cardinal a) (Value.cardinal b)));
+  ]
+
+let laws_structure =
+  [
+    t "ε idempotent" 300 arb (fun a -> Value.equal (Bag.dedup (Bag.dedup a)) (Bag.dedup a));
+    t "ε distributes over ∪max" 300 pair2 (fun (a, b) ->
+        Value.equal
+          (Bag.dedup (Bag.union_max a b))
+          (Bag.union_max (Bag.dedup a) (Bag.dedup b)));
+    t "subbag is a partial order (antisym)" 300 pair2 (fun (a, b) ->
+        if Bag.subbag a b && Bag.subbag b a then Value.equal a b else true);
+    t "∩ is the meet" 300 pair2 (fun (a, b) ->
+        Bag.subbag (Bag.inter a b) a && Bag.subbag (Bag.inter a b) b);
+    t "∪max is the join" 300 pair2 (fun (a, b) ->
+        Bag.subbag a (Bag.union_max a b) && Bag.subbag b (Bag.union_max a b));
+    t "scale(k) multiplies cardinality" 200 arb (fun a ->
+        B.equal
+          (Value.cardinal (Bag.scale (B.of_int 3) a))
+          (B.mul (B.of_int 3) (Value.cardinal a)));
+  ]
+
+let laws_nested =
+  [
+    t "δ is additive: δ(x ∪+ y) = δx ∪+ δy" 200
+      (QCheck.pair arb_nested arb_nested)
+      (fun (a, b) ->
+        Value.equal
+          (Bag.destroy (Bag.union_add a b))
+          (Bag.union_add (Bag.destroy a) (Bag.destroy b)));
+    t "every member of P(b) is a subbag" 100 arb (fun a ->
+        QCheck.assume (Value.support_size a <= 4);
+        List.for_all (fun (s, _) -> Bag.subbag s a) (Value.as_bag (Bag.powerset a)));
+    t "P(b) has card prod(m_i+1)" 100 arb (fun a ->
+        QCheck.assume (Value.support_size a <= 4);
+        let expected =
+          List.fold_left
+            (fun acc (_, c) -> B.mul acc (B.succ c))
+            B.one (Value.as_bag a)
+        in
+        B.equal (Value.cardinal (Bag.powerset a)) expected);
+    t "card Pb(b) = 2^card b" 100 arb (fun a ->
+        QCheck.assume (Value.support_size a <= 4);
+        match B.to_int_opt (Value.cardinal a) with
+        | Some n when n <= 16 ->
+            B.equal (Value.cardinal (Bag.powerbag a)) (B.pow2 n)
+        | _ -> true);
+    t "P(b) refines Pb(b): same support" 100 arb (fun a ->
+        QCheck.assume (Value.support_size a <= 4);
+        Value.equal (Bag.dedup (Bag.powerbag a)) (Bag.powerset a));
+    t "nest then unnest is the identity" 200 arb (fun a ->
+        QCheck.assume (not (Value.is_empty_bag a));
+        Value.equal (Bag.unnest 2 (Bag.nest [ 1 ] a)) a);
+  ]
+
+let () =
+  Alcotest.run "laws"
+    [
+      ("binary operators (§3)", laws_binary);
+      ("product", laws_product);
+      ("structure", laws_structure);
+      ("nested operators", laws_nested);
+    ]

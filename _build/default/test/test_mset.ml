@@ -1,0 +1,121 @@
+(* Tests for the generic multiset functor. *)
+
+module MS = Mset.Multiset.Make (Int)
+module B = Bignat
+
+let nat = Alcotest.testable B.pp B.equal
+
+let ms_of l = MS.of_list l
+
+let test_basics () =
+  Alcotest.(check bool) "empty" true (MS.is_empty MS.empty);
+  let b = ms_of [ 1; 2; 2; 3 ] in
+  Alcotest.(check bool) "nonempty" false (MS.is_empty b);
+  Alcotest.check nat "count 2" (B.of_int 2) (MS.count 2 b);
+  Alcotest.check nat "count absent" B.zero (MS.count 9 b);
+  Alcotest.(check bool) "mem" true (MS.mem 3 b);
+  Alcotest.(check bool) "not mem" false (MS.mem 9 b);
+  Alcotest.(check (list int)) "support" [ 1; 2; 3 ] (MS.support b);
+  Alcotest.(check int) "support size" 3 (MS.support_size b);
+  Alcotest.check nat "cardinal" (B.of_int 4) (MS.cardinal b)
+
+let test_add_zero () =
+  let b = MS.add ~count:B.zero 5 MS.empty in
+  Alcotest.(check bool) "adding zero count is identity" true (MS.is_empty b)
+
+let test_ops () =
+  let a = ms_of [ 1; 1; 2 ] and b = ms_of [ 1; 2; 2; 3 ] in
+  Alcotest.(check bool) "union_add" true
+    (MS.equal (MS.union_add a b) (ms_of [ 1; 1; 1; 2; 2; 2; 3 ]));
+  Alcotest.(check bool) "union_max" true
+    (MS.equal (MS.union_max a b) (ms_of [ 1; 1; 2; 2; 3 ]));
+  Alcotest.(check bool) "inter" true (MS.equal (MS.inter a b) (ms_of [ 1; 2 ]));
+  Alcotest.(check bool) "diff" true (MS.equal (MS.diff a b) (ms_of [ 1 ]));
+  Alcotest.(check bool) "diff other way" true
+    (MS.equal (MS.diff b a) (ms_of [ 2; 3 ]));
+  Alcotest.(check bool) "dedup" true (MS.equal (MS.dedup a) (ms_of [ 1; 2 ]))
+
+let test_subbag () =
+  let a = ms_of [ 1; 1 ] and b = ms_of [ 1; 1; 2 ] in
+  Alcotest.(check bool) "subbag" true (MS.subbag a b);
+  Alcotest.(check bool) "not subbag" false (MS.subbag b a);
+  Alcotest.(check bool) "empty subbag" true (MS.subbag MS.empty a)
+
+let test_map_filter () =
+  let a = ms_of [ 1; 2; 3; 4 ] in
+  (* map coalesces additively *)
+  let halved = MS.map (fun x -> x / 2) a in
+  Alcotest.check nat "1/2 and 2/2 hit 0 and 1" (B.of_int 1) (MS.count 0 halved);
+  Alcotest.check nat "coalesce" (B.of_int 2) (MS.count 1 halved);
+  let evens = MS.filter (fun x -> x mod 2 = 0) a in
+  Alcotest.(check (list int)) "filter" [ 2; 4 ] (MS.support evens)
+
+let test_extensions () =
+  let b = ms_of [ 1; 1; 2; 3 ] in
+  Alcotest.(check bool) "for_all" true (MS.for_all (fun _ c -> B.compare c B.zero > 0) b);
+  Alcotest.(check bool) "exists" true (MS.exists (fun x _ -> x = 3) b);
+  let evens, odds = MS.partition (fun x -> x mod 2 = 0) b in
+  Alcotest.(check (list int)) "partition evens" [ 2 ] (MS.support evens);
+  Alcotest.(check (list int)) "partition odds" [ 1; 3 ] (MS.support odds);
+  Alcotest.check nat "scale" (B.of_int 8) (MS.cardinal (MS.scale (B.of_int 2) b));
+  Alcotest.(check bool) "scale by zero" true (MS.is_empty (MS.scale B.zero b));
+  let b' = MS.remove 1 b in
+  Alcotest.check nat "remove one occurrence" B.one (MS.count 1 b');
+  Alcotest.(check bool) "remove all" false (MS.mem 1 (MS.remove ~count:(B.of_int 5) 1 b));
+  (match MS.choose_opt b with
+  | Some (1, c) -> Alcotest.check nat "choose smallest" (B.of_int 2) c
+  | _ -> Alcotest.fail "expected smallest element 1");
+  Alcotest.(check (option (pair int (testable B.pp B.equal)))) "choose empty" None
+    (MS.choose_opt MS.empty)
+
+let gen_mset =
+  QCheck.Gen.(map ms_of (list_size (int_bound 12) (int_bound 5)))
+
+let arb_mset =
+  QCheck.make
+    ~print:(fun b ->
+      String.concat ","
+        (List.map
+           (fun (x, c) -> Printf.sprintf "%d:%s" x (B.to_string c))
+           (MS.to_list b)))
+    gen_mset
+
+let prop_lattice =
+  QCheck.Test.make ~name:"inter/union_max form a lattice" ~count:300
+    QCheck.(pair arb_mset arb_mset)
+    (fun (a, b) ->
+      MS.subbag (MS.inter a b) a
+      && MS.subbag (MS.inter a b) b
+      && MS.subbag a (MS.union_max a b)
+      && MS.subbag b (MS.union_max a b))
+
+let prop_inclusion_exclusion =
+  QCheck.Test.make ~name:"inter + union_max counts = add counts" ~count:300
+    QCheck.(pair arb_mset arb_mset)
+    (fun (a, b) ->
+      MS.equal
+        (MS.union_add (MS.inter a b) (MS.union_max a b))
+        (MS.union_add a b))
+
+let prop_diff_galois =
+  QCheck.Test.make ~name:"diff then add recovers union_max" ~count:300
+    QCheck.(pair arb_mset arb_mset)
+    (fun (a, b) -> MS.equal (MS.union_add (MS.diff a b) (MS.inter a b)) a)
+
+let props = List.map QCheck_alcotest.to_alcotest
+  [ prop_lattice; prop_inclusion_exclusion; prop_diff_galois ]
+
+let () =
+  Alcotest.run "mset"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "add zero" `Quick test_add_zero;
+          Alcotest.test_case "binary ops" `Quick test_ops;
+          Alcotest.test_case "subbag" `Quick test_subbag;
+          Alcotest.test_case "map/filter" `Quick test_map_filter;
+          Alcotest.test_case "extensions" `Quick test_extensions;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,166 @@
+(* Tests for the rewriting engine: sound rules preserve bag semantics on
+   random expressions and instances; the set-only rules are flagged by the
+   same randomized check (the CV93 phenomenon) while remaining valid under
+   set semantics. *)
+
+open Balg
+module Reval = Ralg.Reval
+
+let env_spec = [ ("R", 1); ("S", 2) ]
+let tenv = Typecheck.env_of_list (Baggen.Genexpr.env_types env_spec)
+
+let eval_on inst e = Eval.eval (Eval.env_of_list inst) e
+
+let equivalent_bag ?(trials = 25) rng e1 e2 =
+  List.for_all
+    (fun _ ->
+      let inst = Baggen.Genexpr.instance rng env_spec in
+      Value.equal (eval_on inst e1) (eval_on inst e2))
+    (List.init trials Fun.id)
+
+let equivalent_set ?(trials = 25) rng e1 e2 =
+  List.for_all
+    (fun _ ->
+      let inst = Baggen.Genexpr.instance rng env_spec in
+      Value.equal
+        (Reval.eval (Reval.env_of_list inst) e1)
+        (Reval.eval (Reval.env_of_list inst) e2))
+    (List.init trials Fun.id)
+
+(* --- unit rules ----------------------------------------------------------- *)
+
+let norm e = fst (Rewrite.normalize tenv e)
+
+let expr_eq = Alcotest.testable Expr.pp (fun a b -> Stdlib.compare a b = 0)
+
+let test_units () =
+  let r = Expr.Var "R" in
+  let emp = Expr.empty (Ty.relation 1) in
+  Alcotest.check expr_eq "union with empty" r (norm (Expr.UnionAdd (r, emp)));
+  Alcotest.check expr_eq "diff with empty" r (norm (Expr.Diff (r, emp)));
+  Alcotest.check expr_eq "inter with empty" emp (norm (Expr.Inter (r, emp)));
+  Alcotest.check expr_eq "self difference" emp (norm (Expr.Diff (r, r)));
+  Alcotest.check expr_eq "self intersection" r (norm (Expr.Inter (r, r)));
+  Alcotest.check expr_eq "dedup dedup" (Expr.Dedup r) (norm (Expr.Dedup (Expr.Dedup r)));
+  Alcotest.check expr_eq "dedup powerset" (Expr.Powerset r)
+    (norm (Expr.Dedup (Expr.Powerset r)));
+  Alcotest.check expr_eq "destroy sing" r (norm (Expr.Destroy (Expr.Sing r)));
+  Alcotest.check expr_eq "map identity" r (norm (Expr.Map ("x", Expr.Var "x", r)))
+
+let test_commutation_normalises () =
+  let a = Expr.Var "R" and b = Expr.Dedup (Expr.Var "R") in
+  (* whatever the input order, both orders normalise identically *)
+  Alcotest.check expr_eq "orientation canonical"
+    (norm Expr.(a ++ b))
+    (norm Expr.(b ++ a))
+
+let test_map_fusion () =
+  let g = Expr.Var "S" in
+  let inner = Expr.proj_attrs [ 2; 1 ] g in
+  let outer =
+    Expr.Map ("z", Expr.Tuple [ Expr.Proj (2, Expr.Var "z") ], inner)
+  in
+  let fused = norm outer in
+  (* fused form has a single Map *)
+  let rec count_maps e =
+    (match e with Expr.Map _ -> 1 | _ -> 0)
+    + List.fold_left (fun acc c -> acc + count_maps c) 0 (Expr.children e)
+  in
+  Alcotest.(check int) "one map after fusion" 1 (count_maps fused);
+  let rng = Random.State.make [| 7 |] in
+  Alcotest.(check bool) "fusion preserves semantics" true
+    (equivalent_bag rng outer fused)
+
+let test_select_pushdown () =
+  let x = "x" in
+  let cond_left =
+    Expr.Select (x, Expr.Proj (1, Expr.Var x), Expr.atom "a",
+      Expr.Product (Expr.Var "R", Expr.Var "S"))
+  in
+  let pushed = norm cond_left in
+  (match pushed with
+  | Expr.Product (Expr.Select _, _) -> ()
+  | e -> Alcotest.failf "expected pushed-left product, got %s" (Expr.to_string e));
+  let cond_right =
+    Expr.Select (x, Expr.Proj (3, Expr.Var x), Expr.atom "a",
+      Expr.Product (Expr.Var "R", Expr.Var "S"))
+  in
+  (match norm cond_right with
+  | Expr.Product (_, Expr.Select _) -> ()
+  | e -> Alcotest.failf "expected pushed-right product, got %s" (Expr.to_string e));
+  let rng = Random.State.make [| 11 |] in
+  Alcotest.(check bool) "pushdown left preserves semantics" true
+    (equivalent_bag rng cond_left (norm cond_left));
+  Alcotest.(check bool) "pushdown right preserves semantics" true
+    (equivalent_bag rng cond_right (norm cond_right))
+
+(* --- randomized soundness -------------------------------------------------- *)
+
+let prop_normalize_sound =
+  QCheck.Test.make ~name:"normal form is bag-equivalent" ~count:120
+    QCheck.(make Gen.int)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let e = Baggen.Genexpr.flat rng env_spec 4 (1 + Random.State.int rng 2) in
+      let e', _ = Rewrite.normalize tenv e in
+      equivalent_bag ~trials:10 rng e e')
+
+let prop_normalize_welltyped =
+  QCheck.Test.make ~name:"normal form stays well-typed" ~count:120
+    QCheck.(make Gen.int)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let e = Baggen.Genexpr.flat rng env_spec 4 (1 + Random.State.int rng 2) in
+      let ty = Typecheck.infer tenv e in
+      let e', _ = Rewrite.normalize tenv e in
+      Ty.equal ty (Typecheck.infer tenv e'))
+
+(* --- CV93: set-only rules break bag semantics ------------------------------ *)
+
+let test_selfproduct_rule_cv93 () =
+  let r = Expr.Var "R" in
+  let q = Expr.proj_attrs [ 1 ] (Expr.Product (r, r)) in
+  let rewritten, log =
+    Rewrite.normalize ~rules:Rewrite.set_only_rules tenv q
+  in
+  Alcotest.(check bool) "rule fired" true
+    (List.exists (fun n -> n = "self-product-projection (set-only)") log);
+  Alcotest.check expr_eq "rewrites to R" r rewritten;
+  let rng = Random.State.make [| 3 |] in
+  Alcotest.(check bool) "valid under set semantics" true
+    (equivalent_set rng q rewritten);
+  Alcotest.(check bool) "INVALID under bag semantics" false
+    (equivalent_bag rng q rewritten)
+
+let test_dedup_rule_cv93 () =
+  let q = Expr.Dedup (Expr.proj_attrs [ 1 ] (Expr.Var "S")) in
+  let rewritten, _ =
+    Rewrite.normalize ~rules:[ List.nth Rewrite.set_only_rules 1 ] tenv q
+  in
+  let rng = Random.State.make [| 5 |] in
+  Alcotest.(check bool) "valid under set semantics" true
+    (equivalent_set rng q rewritten);
+  Alcotest.(check bool) "INVALID under bag semantics" false
+    (equivalent_bag rng q rewritten)
+
+let () =
+  Alcotest.run "rewrite"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "units and idempotence" `Quick test_units;
+          Alcotest.test_case "commutation" `Quick test_commutation_normalises;
+          Alcotest.test_case "map fusion" `Quick test_map_fusion;
+          Alcotest.test_case "selection pushdown" `Quick test_select_pushdown;
+        ] );
+      ( "soundness",
+        [
+          QCheck_alcotest.to_alcotest prop_normalize_sound;
+          QCheck_alcotest.to_alcotest prop_normalize_welltyped;
+        ] );
+      ( "cv93",
+        [
+          Alcotest.test_case "self-product projection" `Quick test_selfproduct_rule_cv93;
+          Alcotest.test_case "dedup elimination" `Quick test_dedup_rule_cv93;
+        ] );
+    ]

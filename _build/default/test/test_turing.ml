@@ -1,0 +1,103 @@
+(* Tests for the Turing machine substrate. *)
+
+module Tm = Turing.Tm
+
+let test_parity_machine () =
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "parity accepts %d iff even" n)
+        (n mod 2 = 0)
+        (Tm.accepts Tm.parity_even (Tm.unary n)))
+    [ 0; 1; 2; 3; 4; 5; 8; 9 ]
+
+let test_successor_machine () =
+  List.iter
+    (fun n ->
+      match Tm.run ~space:(n + 3) Tm.unary_successor (Tm.unary n) with
+      | Tm.Accepted c ->
+          Alcotest.(check int)
+            (Printf.sprintf "successor of %d" n)
+            (n + 1) (Tm.ones_on_tape c)
+      | Tm.Halted _ | Tm.Ran_out_of_fuel -> Alcotest.fail "expected acceptance")
+    [ 0; 1; 2; 5 ]
+
+let test_bouncer () =
+  Alcotest.(check bool) "bouncer accepts nonempty" true
+    (Tm.accepts Tm.bouncer (Tm.unary 3));
+  (* ends on the last 1: head = n+1 after the final Right move *)
+  match Tm.run Tm.bouncer (Tm.unary 3) with
+  | Tm.Accepted c -> Alcotest.(check int) "head position" 4 c.Tm.head
+  | _ -> Alcotest.fail "expected acceptance"
+
+let test_tiny_step () =
+  Alcotest.(check bool) "tiny accepts" true
+    (Tm.accepts ~space:2 Tm.tiny_step [ "1"; "1" ])
+
+let test_binary_increment () =
+  List.iter
+    (fun n ->
+      match Tm.run Tm.binary_increment (Tm.to_binary n) with
+      | Tm.Accepted c ->
+          Alcotest.(check int)
+            (Printf.sprintf "increment of %d" n)
+            (n + 1) (Tm.of_binary_tape c)
+      | _ -> Alcotest.fail "expected acceptance")
+    [ 0; 1; 2; 3; 7; 12; 255 ]
+
+let test_trace () =
+  let tr = Tm.trace ~space:4 Tm.parity_even (Tm.unary 2) in
+  Alcotest.(check int) "3 steps + initial" 4 (List.length tr);
+  let first = List.hd tr in
+  Alcotest.(check string) "starts in start state" "qe" first.Tm.state;
+  Alcotest.(check int) "head starts at 1" 1 first.Tm.head
+
+let test_fuel () =
+  let spin =
+    {
+      Tm.name = "spin";
+      blank = "_";
+      start = "q";
+      accept = "qa";
+      states = [ "q"; "qa" ];
+      alphabet = [ "_" ];
+      delta =
+        (function "q", "_" -> Some ("q", "_", Right) | _ -> None);
+    }
+  in
+  match Tm.run ~fuel:10 ~space:100 spin [] with
+  | Tm.Ran_out_of_fuel -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+let test_out_of_space () =
+  (* moving left from cell 1 must raise *)
+  let lefty =
+    {
+      Tm.name = "lefty";
+      blank = "_";
+      start = "q";
+      accept = "qa";
+      states = [ "q"; "qa" ];
+      alphabet = [ "_" ];
+      delta = (function "q", "_" -> Some ("q", "_", Tm.Left) | _ -> None);
+    }
+  in
+  match Tm.run ~space:3 lefty [] with
+  | exception Tm.Out_of_space -> ()
+  | _ -> Alcotest.fail "expected Out_of_space"
+
+let () =
+  Alcotest.run "turing"
+    [
+      ( "machines",
+        [
+          Alcotest.test_case "parity" `Quick test_parity_machine;
+          Alcotest.test_case "successor" `Quick test_successor_machine;
+          Alcotest.test_case "bouncer (left moves)" `Quick test_bouncer;
+          Alcotest.test_case "tiny step" `Quick test_tiny_step;
+          Alcotest.test_case "binary increment" `Quick test_binary_increment;
+          Alcotest.test_case "trace" `Quick test_trace;
+          Alcotest.test_case "fuel" `Quick test_fuel;
+          Alcotest.test_case "out of space" `Quick test_out_of_space;
+        ] );
+    ]
