@@ -14,7 +14,7 @@ let check_mark ok = if ok then "ok" else "MISMATCH"
 
 let ev ?config ?(env = []) e = Eval.eval ?config (Eval.env_of_list env) e
 
-let rel1 l = Value.bag_of_list (List.map (fun x -> Value.Tuple [ Value.Atom x ]) l)
+let rel1 l = Value.bag_of_list (List.map (fun x -> Value.tuple [ Value.atom x ]) l)
 
 (* ------------------------------------------------------------------ E1 *)
 
@@ -24,7 +24,7 @@ let e01_powerset_vs_powerbag () =
     "card Pb(b_n)" "paper: 2^n";
   List.iter
     (fun n ->
-      let bn = Value.replicate (B.of_int n) (Value.Atom "a") in
+      let bn = Value.replicate (B.of_int n) (Value.atom "a") in
       let p = Value.cardinal (Bag.powerset bn) in
       let pb = Value.cardinal (Bag.powerbag bn) in
       Printf.printf "%4d | %12s %12d | %18s %18s  %s\n" n (B.to_string p) (n + 1)
@@ -44,10 +44,10 @@ let e02_duplicate_explosion () =
     (fun (k, m) ->
       let b =
         Value.bag_of_assoc
-          (List.init k (fun i -> (Value.Atom (Printf.sprintf "x%d" i), B.of_int m)))
+          (List.init k (fun i -> (Value.atom (Printf.sprintf "x%d" i), B.of_int m)))
       in
       let dp = Bag.destroy (Bag.powerset b) in
-      let measured = Value.count_in (Value.Atom "x0") dp in
+      let measured = Value.count_in (Value.atom "x0") dp in
       let formula = B.div (B.mul (B.of_int m) (B.pow (B.of_int (m + 1)) k)) B.two in
       Printf.printf "%3d %3d | %16s | %16s  %s\n" k m (B.to_string measured)
         (B.to_string formula)
@@ -60,10 +60,10 @@ let e02_duplicate_explosion () =
     (fun (k, m) ->
       let b =
         Value.bag_of_assoc
-          (List.init k (fun i -> (Value.Atom (Printf.sprintf "x%d" i), B.of_int m)))
+          (List.init k (fun i -> (Value.atom (Printf.sprintf "x%d" i), B.of_int m)))
       in
       let v = Bag.destroy (Bag.destroy (Bag.powerset (Bag.powerset b))) in
-      let measured = Value.count_in (Value.Atom "x0") v in
+      let measured = Value.count_in (Value.atom "x0") v in
       let n = B.to_int_exn (B.pow (B.of_int (m + 1)) k) in
       let formula = B.mul (B.pow2 (n - 2)) (B.mul (B.of_int n) (B.of_int m)) in
       Printf.printf "%3d %3d | %28s | %28s  %s\n" k m (B.to_string measured)
@@ -148,13 +148,13 @@ let e05_selfjoin_table () =
       let b =
         Value.bag_of_assoc
           [
-            (Value.Tuple [ Value.Atom "a"; Value.Atom "b" ], B.of_int n);
-            (Value.Tuple [ Value.Atom "b"; Value.Atom "a" ], B.of_int m);
+            (Value.tuple [ Value.atom "a"; Value.atom "b" ], B.of_int n);
+            (Value.tuple [ Value.atom "b"; Value.atom "a" ], B.of_int m);
           ]
       in
       let q = ev (Derived.selfjoin (Expr.lit b (Ty.relation 2))) in
       let c x y =
-        B.to_int_exn (Value.count_in (Value.Tuple [ Value.Atom x; Value.Atom y ]) q)
+        B.to_int_exn (Value.count_in (Value.tuple [ Value.atom x; Value.atom y ]) q)
       in
       Printf.printf "%3d %3d | %6d %6d %6d %6d | %s\n" n m (c "a" "b") (c "b" "a")
         (c "a" "a") (c "b" "b")
@@ -165,8 +165,8 @@ let e05_selfjoin_table () =
   let b =
     Value.bag_of_assoc
       [
-        (Value.Tuple [ Value.Atom "a"; Value.Atom "b" ], B.of_int 2);
-        (Value.Tuple [ Value.Atom "b"; Value.Atom "a" ], B.of_int 3);
+        (Value.tuple [ Value.atom "a"; Value.atom "b" ], B.of_int 2);
+        (Value.tuple [ Value.atom "b"; Value.atom "a" ], B.of_int 3);
       ]
   in
   let prod = ev Expr.(lit b (Ty.relation 2) *** lit b (Ty.relation 2)) in
@@ -176,7 +176,7 @@ let e05_selfjoin_table () =
          (Expr.lit prod (Ty.relation 4)))
   in
   let c bag x =
-    B.to_string (Value.count_in (Value.Tuple (List.map (fun s -> Value.Atom s) x)) bag)
+    B.to_string (Value.count_in (Value.tuple (List.map (fun s -> Value.atom s) x)) bag)
   in
   Printf.printf "  BxB:  abab=%s (n^2)  baba=%s (m^2)  baab=%s abba=%s (nm)\n"
     (c prod [ "a"; "b"; "a"; "b" ])
@@ -209,7 +209,7 @@ let e06_polynomial_counts () =
     (fun (name, e) ->
       let a = Polyab.analyze ~input:"B" e in
       let poly =
-        match Polyab.polynomial_of a (Value.Tuple [ Value.Atom "a" ]) with
+        match Polyab.polynomial_of a (Value.tuple [ Value.atom "a" ]) with
         | Some p -> Poly.to_string p
         | None -> "0"
       in
@@ -241,10 +241,14 @@ let e07_degree_compare () =
       let count f =
         List.length
           (List.filter
-             (fun v -> match v with Value.Tuple [ x; y ] -> f x y | _ -> false)
+             (fun v ->
+               match Value.view v with
+               | Value.Tuple [ x; y ] -> f x y
+               | _ -> false)
              (Value.support g))
       in
-      count (fun _ y -> y = Value.Atom node) > count (fun x _ -> x = Value.Atom node)
+      count (fun _ y -> Value.equal y (Value.atom node))
+      > count (fun x _ -> Value.equal x (Value.atom node))
     in
     let algebra =
       Eval.truthy
@@ -320,7 +324,7 @@ let e10_balg1_growth () =
   List.iter
     (fun n ->
       let meters = Eval.fresh_meters () in
-      let bn = Value.replicate (B.of_int n) (Value.Tuple [ Value.Atom "a" ]) in
+      let bn = Value.replicate (B.of_int n) (Value.tuple [ Value.atom "a" ]) in
       ignore (Eval.eval ~meters (Eval.env_of_list [ ("B", bn) ]) q);
       Printf.printf "%6d | %16s | %16d  %s\n" n
         (B.to_string meters.Eval.max_count_seen)
@@ -337,7 +341,7 @@ let e11_balg2_growth () =
   section "E11" "BALG^2: one exponential, then polynomial" "Thm 5.1 / Prop 3.2";
   Printf.printf "max multiplicity in (delta P)^i (B_n), n = 3:\n";
   Printf.printf "%3s | %-30s\n" "i" "max count";
-  let v = ref (Value.replicate (B.of_int 3) (Value.Atom "a")) in
+  let v = ref (Value.replicate (B.of_int 3) (Value.atom "a")) in
   let prev = ref B.one in
   List.iter
     (fun i ->
@@ -464,7 +468,7 @@ let e15_power_hierarchy () =
   section "E15" "the power-nesting hierarchy" "Thm 6.2 / Prop 6.3-6.4";
   Printf.printf
     "growth of card((delta delta P P)^i (b_n)) vs the hyper scale, n = 2:\n";
-  let v = ref (Value.replicate B.two (Value.Atom "a")) in
+  let v = ref (Value.replicate B.two (Value.atom "a")) in
   (let rec go i =
      if i <= 2 then begin
        v := Bag.destroy (Bag.destroy (Bag.powerset (Bag.powerset !v)));
@@ -643,7 +647,7 @@ let e20_nest () =
     \  it lives in BALG^2 ∪ {nest} − {P}, but not in RALG^2 ∪ {nest} − {P}\n"
     r.Analyze.power_nesting;
   (* grouping aggregates: the SQL GROUP BY shape via nest *)
-  let t2 x y = Value.Tuple [ Value.Atom x; Value.Atom y ] in
+  let t2 x y = Value.tuple [ Value.atom x; Value.atom y ] in
   let sales =
     Value.bag_of_assoc
       [
@@ -662,7 +666,7 @@ let e21_calculus () =
   let module Calc = Ralg.Calc in
   let module Rel = Ralg.Rel in
   let module Reval = Ralg.Reval in
-  let t2 x y = Value.Tuple [ Value.Atom x; Value.Atom y ] in
+  let t2 x y = Value.tuple [ Value.atom x; Value.atom y ] in
   let g_rel = Rel.of_list [ t2 "x" "y"; t2 "y" "z"; t2 "x" "x"; t2 "z" "x" ] in
   let db = [ ("G", g_rel) ] in
   let comp t i = Calc.TComp (t, i) in

@@ -14,7 +14,7 @@ let rng = Random.State.make [| 20260705 |]
 
 let bag12 =
   Value.bag_of_list
-    (List.init 12 (fun i -> Value.Tuple [ Value.Atom (Printf.sprintf "t%02d" i) ]))
+    (List.init 12 (fun i -> Value.tuple [ Value.atom (Printf.sprintf "t%02d" i) ]))
 
 let binary20 = Baggen.Genval.flat_bag rng ~n_atoms:6 ~arity:2 ~size:20 ~max_count:3
 
@@ -22,7 +22,7 @@ let graph8 = Baggen.Genval.graph rng ~n:8 ~p:0.3
 
 let rel10 =
   Value.bag_of_list
-    (List.init 10 (fun i -> Value.Tuple [ Value.Atom (Printf.sprintf "e%02d" i) ]))
+    (List.init 10 (fun i -> Value.tuple [ Value.atom (Printf.sprintf "e%02d" i) ]))
 
 let leq10 = Baggen.Genval.leq_relation rel10
 
@@ -130,7 +130,119 @@ let run_benchmarks () =
       else Printf.printf "  %-48s %12.2f ms/run\n" name (est /. 1_000_000.))
     (List.sort compare rows)
 
+(* ------------------------------------------------------------------ *)
+(* --json: a machine-readable run for CI.  Hand-rolled measurement — a
+   calibrated batch size, the median over repeated batches, allocation
+   words from [Gc.allocated_bytes], and the evaluator's memo meters. *)
+
+type jbench = {
+  jname : string;
+  jrun : unit -> unit;
+  jmeters : Eval.meters option;  (** shared by every run of this bench *)
+}
+
+let json_benches () =
+  let metered name q =
+    let m = Eval.fresh_meters () in
+    {
+      jname = name;
+      jrun = (fun () -> ignore (Eval.eval ~meters:m (Eval.env_of_list []) q));
+      jmeters = Some m;
+    }
+  in
+  let plain name f = { jname = name; jrun = f; jmeters = None } in
+  [
+    plain "powerset_12" (fun () -> ignore (Bag.powerset bag12));
+    plain "destroy_powerset_12" (fun () -> ignore (Bag.destroy (Bag.powerset bag12)));
+    metered "selfjoin_binary20" selfjoin_q;
+    metered "transitive_closure_graph8" tc_q;
+    metered "parity_card10" parity_q;
+    metered "card_compare_10" card_q;
+    metered "group_count_binary20"
+      (Derived.group_count [ 1 ] (Expr.lit binary20 (Ty.relation 2)));
+    plain "product_binary20" (fun () -> ignore (Bag.product binary20 binary20));
+    plain "parse_tc_query" (fun () ->
+        ignore (Baglang.Parser.expr_of_string parse_input));
+  ]
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let measure b =
+  b.jrun ();
+  (* warmup *)
+  let rec calibrate k =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to k do
+      b.jrun ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt >= 1e-3 || k >= 1_000_000 then k else calibrate (k * 4)
+  in
+  let k = calibrate 1 in
+  let samples =
+    List.init 15 (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to k do
+          b.jrun ()
+        done;
+        (Unix.gettimeofday () -. t0) /. float k *. 1e9)
+  in
+  let median =
+    let sorted = List.sort Float.compare samples in
+    List.nth sorted (List.length sorted / 2)
+  in
+  let a0 = Gc.allocated_bytes () in
+  for _ = 1 to k do
+    b.jrun ()
+  done;
+  let alloc_words =
+    (Gc.allocated_bytes () -. a0) /. float k /. float (Sys.word_size / 8)
+  in
+  (median, alloc_words)
+
+let run_json () =
+  let out = "BENCH_eval.json" in
+  let rows =
+    List.map
+      (fun b ->
+        let median, alloc = measure b in
+        Printf.printf "  %-28s %12.0f ns/run  %10.0f words/run\n%!" b.jname
+          median alloc;
+        let memo =
+          match b.jmeters with
+          | None -> "null"
+          | Some m ->
+              let total = m.Eval.memo_hits + m.Eval.memo_misses in
+              if total = 0 then "null"
+              else
+                Printf.sprintf "%.4f" (float m.Eval.memo_hits /. float total)
+        in
+        Printf.sprintf
+          "    {\"name\": \"%s\", \"median_ns\": %.1f, \
+           \"alloc_words_per_run\": %.1f, \"memo_hit_rate\": %s}"
+          (json_escape b.jname) median alloc memo)
+      (json_benches ())
+  in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"balg-bench-v1\",\n  \"benchmarks\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" rows);
+  close_out oc;
+  Printf.printf "wrote %s\n" out
+
 let () =
-  Experiments.run_all ();
-  run_benchmarks ();
-  print_endline "\nAll experiments completed."
+  if Array.exists (( = ) "--json") Sys.argv then run_json ()
+  else begin
+    Experiments.run_all ();
+    run_benchmarks ();
+    print_endline "\nAll experiments completed."
+  end

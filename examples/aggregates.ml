@@ -10,7 +10,7 @@
 
 open Balg
 
-let line c p = Value.Tuple [ Value.atom c; Value.atom p ]
+let line c p = Value.tuple [ Value.atom c; Value.atom p ]
 
 let ledger =
   Value.bag_of_assoc

@@ -7,7 +7,7 @@
 
 open Balg
 
-let edge a b = Value.Tuple [ Value.atom a; Value.atom b ]
+let edge a b = Value.tuple [ Value.atom a; Value.atom b ]
 
 (* A hub-and-spoke flight network: many flights into hub, fewer out. *)
 let flights =

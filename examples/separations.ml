@@ -10,7 +10,7 @@
 
 open Balg
 
-let rel1 l = Value.bag_of_list (List.map (fun x -> Value.Tuple [ Value.atom x ]) l)
+let rel1 l = Value.bag_of_list (List.map (fun x -> Value.tuple [ Value.atom x ]) l)
 
 let () =
   print_endline "== separations between BALG^1 and the relational algebra ==\n";

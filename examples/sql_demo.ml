@@ -11,7 +11,7 @@
 open Balg
 module Sql = Baglang.Sqlish
 
-let row c p q = Value.Tuple [ Value.Atom c; Value.Atom p; Value.nat q ]
+let row c p q = Value.tuple [ Value.atom c; Value.atom p; Value.nat q ]
 
 let orders =
   Value.bag_of_assoc

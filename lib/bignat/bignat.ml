@@ -48,6 +48,10 @@ let hash (n : t) = Hashtbl.hash n
 
 let add (a : t) (b : t) : t =
   let la = Array.length a and lb = Array.length b in
+  if la <= 1 && lb <= 1 then
+    (* single-limb operands: the sum fits well within an int *)
+    of_int ((if la = 0 then 0 else a.(0)) + if lb = 0 then 0 else b.(0))
+  else
   let lr = Stdlib.max la lb + 1 in
   let r = Array.make lr 0 in
   let carry = ref 0 in
@@ -89,6 +93,9 @@ let monus a b = if compare a b <= 0 then zero else sub_unchecked a b
 let mul (a : t) (b : t) : t =
   let la = Array.length a and lb = Array.length b in
   if la = 0 || lb = 0 then zero
+  else if la = 1 && lb = 1 then
+    (* limb product < 10^18 < max_int *)
+    of_int (a.(0) * b.(0))
   else begin
     let r = Array.make (la + lb) 0 in
     for i = 0 to la - 1 do

@@ -2,106 +2,196 @@ exception Too_large of string
 
 let pairs = Value.as_bag
 
+(* Hash table over values, keyed by the precomputed structural hash. *)
+module VH = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
 (* Merge two sorted association lists, combining multiplicities with [f]
    (absent elements count zero) and dropping zero results.  Both inputs are
-   canonical, so the output is too. *)
+   canonical, so the output is too.  Tail-recursive: bags with hundreds of
+   thousands of distinct elements come out of the Prop 3.2 workloads. *)
 let merge f a b =
-  let rec go xs ys =
+  let rec go acc xs ys =
     match (xs, ys) with
-    | [], [] -> []
-    | (v, c) :: xs', [] -> cons v (f c Bignat.zero) xs' []
-    | [], (w, d) :: ys' -> cons w (f Bignat.zero d) [] ys'
+    | [], [] -> List.rev acc
+    | (v, c) :: xs', [] -> go (push v (f c Bignat.zero) acc) xs' []
+    | [], (w, d) :: ys' -> go (push w (f Bignat.zero d) acc) [] ys'
     | (v, c) :: xs', (w, d) :: ys' ->
         let cv = Value.compare v w in
-        if cv < 0 then cons v (f c Bignat.zero) xs' ys
-        else if cv > 0 then cons w (f Bignat.zero d) xs ys'
-        else cons v (f c d) xs' ys'
-  and cons v c xs ys =
-    if Bignat.is_zero c then go xs ys else (v, c) :: go xs ys
-  in
-  Value.Bag (go (pairs a) (pairs b))
+        if cv < 0 then go (push v (f c Bignat.zero) acc) xs' ys
+        else if cv > 0 then go (push w (f Bignat.zero d) acc) xs ys'
+        else go (push v (f c d) acc) xs' ys'
+  and push v c acc = if Bignat.is_zero c then acc else (v, c) :: acc in
+  Value.of_sorted_assoc (go [] (pairs a) (pairs b))
 
 let union_add a b = merge Bignat.add a b
 let diff a b = merge Bignat.monus a b
 let union_max a b = merge Bignat.max a b
 let inter a b = merge Bignat.min a b
 
+(* One linear co-walk of the two sorted supports instead of a count_in probe
+   per element. *)
 let subbag a b =
-  List.for_all
-    (fun (v, c) -> Bignat.compare c (Value.count_in v b) <= 0)
-    (pairs a)
-
-let product a b =
-  let bs = pairs b in
-  let combined =
-    List.concat_map
-      (fun (v, c) ->
-        let vt = Value.as_tuple v in
-        List.map
-          (fun (w, d) -> (Value.Tuple (vt @ Value.as_tuple w), Bignat.mul c d))
-          bs)
-      (pairs a)
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], _ -> true
+    | _ :: _, [] -> false
+    | (v, c) :: xs', (w, d) :: ys' ->
+        let cv = Value.compare v w in
+        if cv < 0 then false
+        else if cv > 0 then go xs ys'
+        else Bignat.compare c d <= 0 && go xs' ys'
   in
-  Value.bag_of_assoc combined
+  go (pairs a) (pairs b)
+
+(* Cartesian product.  When every element of [a] is a tuple of one fixed
+   arity, nested-loop order over the two sorted supports already yields the
+   concatenated tuples in canonical order: distinct [(v, w)] pairs
+   concatenate to distinct tuples, and because all prefixes have the same
+   length the first component dominates the comparison.  The result then
+   goes through the trusted constructor — no re-sort, no coalescing. *)
+let product a b =
+  let pa = pairs a in
+  let bs = List.map (fun (w, d) -> (Value.as_tuple w, d)) (pairs b) in
+  let rows =
+    List.fold_left
+      (fun acc (v, c) ->
+        let vt = Value.as_tuple v in
+        List.fold_left
+          (fun acc (wt, d) -> (Value.tuple (vt @ wt), Bignat.mul c d) :: acc)
+          acc bs)
+      [] pa
+  in
+  let uniform_arity =
+    match pa with
+    | [] -> true
+    | (v0, _) :: rest ->
+        let k = List.length (Value.as_tuple v0) in
+        List.for_all (fun (v, _) -> List.length (Value.as_tuple v) = k) rest
+  in
+  if uniform_arity then Value.of_sorted_assoc (List.rev rows)
+  else Value.bag_of_assoc rows
 
 let scale k b =
-  if Bignat.is_zero k then Value.Bag []
-  else Value.Bag (List.map (fun (v, c) -> (v, Bignat.mul k c)) (pairs b))
+  if Bignat.is_zero k then Value.empty_bag
+  else
+    Value.of_sorted_assoc
+      (List.map (fun (v, c) -> (v, Bignat.mul k c)) (pairs b))
 
 let destroy b =
   List.fold_left
     (fun acc (inner, c) -> union_add acc (scale c inner))
-    (Value.Bag []) (pairs b)
+    Value.empty_bag (pairs b)
 
-let dedup b = Value.Bag (List.map (fun (v, _) -> (v, Bignat.one)) (pairs b))
+let dedup b =
+  Value.of_sorted_assoc (List.map (fun (v, _) -> (v, Bignat.one)) (pairs b))
 
 let map f b =
   Value.bag_of_assoc (List.map (fun (v, c) -> (f v, c)) (pairs b))
 
-let select p b = Value.Bag (List.filter (fun (v, _) -> p v) (pairs b))
+let select p b =
+  Value.of_sorted_assoc (List.filter (fun (v, _) -> p v) (pairs b))
+
+(* Generalized projection — MAP λx.<α_{i1}(x), ..., α_{ik}(x)> as a direct
+   kernel; the evaluator compiles that Map shape straight to this. *)
+let proj ixs b =
+  let ixs = Array.of_list ixs in
+  let rows =
+    List.map
+      (fun (v, c) ->
+        let vs = Array.of_list (Value.as_tuple v) in
+        let n = Array.length vs in
+        ( Value.tuple
+            (Array.to_list
+               (Array.map
+                  (fun i ->
+                    if i < 1 || i > n then
+                      invalid_arg "Bag.proj: attribute out of range"
+                    else vs.(i - 1))
+                  ixs)),
+          c ))
+      (pairs b)
+  in
+  Value.bag_of_assoc rows
+
+(* σ_{i=j} — positional-equality selection as a direct kernel; filtering a
+   canonical bag preserves canonicity. *)
+let select_eq i j b =
+  Value.of_sorted_assoc
+    (List.filter
+       (fun (v, _) ->
+         let vs = Value.as_tuple v in
+         match (List.nth_opt vs (i - 1), List.nth_opt vs (j - 1)) with
+         | Some x, Some y -> Value.equal x y
+         | _ -> invalid_arg "Bag.select_eq: attribute out of range")
+       (pairs b))
 
 (* Nest: group by the listed attributes; the remaining attributes keep
-   their multiplicities inside the per-group bag, each group occurs once. *)
+   their multiplicities inside the per-group bag, each group occurs once.
+   Groups are keyed by the key-tuple's structural hash — values that are
+   [Value.equal] land in the same group no matter how they were built — and
+   each tuple is split through an array, not repeated [List.nth]. *)
 let nest ixs b =
+  let ixs_arr = Array.of_list ixs in
   let split v =
-    let vs = Value.as_tuple v in
-    let keep = List.map (fun i -> List.nth vs (i - 1)) ixs in
-    let rest = List.filteri (fun j _ -> not (List.mem (j + 1) ixs)) vs in
-    (keep, Value.Tuple rest)
+    let vs = Array.of_list (Value.as_tuple v) in
+    let n = Array.length vs in
+    let kept = Array.make n false in
+    Array.iter
+      (fun i ->
+        if i < 1 || i > n then invalid_arg "Bag.nest: attribute out of range"
+        else kept.(i - 1) <- true)
+      ixs_arr;
+    let keep = Array.to_list (Array.map (fun i -> vs.(i - 1)) ixs_arr) in
+    let rest = ref [] in
+    for j = n - 1 downto 0 do
+      if not kept.(j) then rest := vs.(j) :: !rest
+    done;
+    (keep, Value.tuple !rest)
   in
-  let groups = Hashtbl.create 16 in
+  let groups : (Value.t * Bignat.t) list ref VH.t = VH.create 16 in
   let order = ref [] in
   List.iter
     (fun (v, c) ->
       let keep, rest = split v in
-      (match Hashtbl.find_opt groups keep with
+      let key = Value.tuple keep in
+      match VH.find_opt groups key with
       | None ->
-          order := keep :: !order;
-          Hashtbl.replace groups keep [ (rest, c) ]
-      | Some members -> Hashtbl.replace groups keep ((rest, c) :: members)))
+          order := key :: !order;
+          VH.add groups key (ref [ (rest, c) ])
+      | Some members -> members := (rest, c) :: !members)
     (pairs b);
   Value.bag_of_assoc
-    (List.map
-       (fun keep ->
-         let members = Hashtbl.find groups keep in
-         (Value.Tuple (keep @ [ Value.bag_of_assoc members ]), Bignat.one))
+    (List.rev_map
+       (fun key ->
+         let members = !(VH.find groups key) in
+         ( Value.tuple (Value.as_tuple key @ [ Value.bag_of_assoc members ]),
+           Bignat.one ))
        !order)
 
 (* Unnest: expand the bag-valued attribute [i] in place, multiplying
    multiplicities. *)
 let unnest i b =
   let expanded =
-    List.concat_map
-      (fun (v, c) ->
-        let vs = Value.as_tuple v in
-        let prefix = List.filteri (fun j _ -> j < i - 1) vs in
-        let suffix = List.filteri (fun j _ -> j > i - 1) vs in
-        List.map
-          (fun (member, d) ->
-            ( Value.Tuple (prefix @ Value.as_tuple member @ suffix),
-              Bignat.mul c d ))
-          (pairs (List.nth vs (i - 1))))
-      (pairs b)
+    List.fold_left
+      (fun acc (v, c) ->
+        let vs = Array.of_list (Value.as_tuple v) in
+        let n = Array.length vs in
+        if i < 1 || i > n then invalid_arg "Bag.unnest: attribute out of range";
+        let prefix = Array.to_list (Array.sub vs 0 (i - 1)) in
+        let suffix = Array.to_list (Array.sub vs i (n - i)) in
+        List.fold_left
+          (fun acc (member, d) ->
+            ( Value.tuple (prefix @ Value.as_tuple member @ suffix),
+              Bignat.mul c d )
+            :: acc)
+          acc
+          (pairs vs.(i - 1)))
+      [] (pairs b)
   in
   Value.bag_of_assoc expanded
 
@@ -128,25 +218,36 @@ let check_budget op max_support b =
   in
   ignore budget
 
-(* All ways to keep 0..m_i copies of each element, in one pass.  [weight]
-   computes the multiplicity contributed by keeping k of m copies: 1 for the
-   powerset, C(m, k) for the powerbag. *)
+(* All ways to keep 0..m_i copies of each element.  [weight] computes the
+   multiplicity contributed by keeping k of m copies: 1 for the powerset,
+   C(m, k) for the powerbag.  Because the support is processed in sorted
+   order and smaller elements are consed onto tails drawn from the rest of
+   the support, every generated content list is itself canonical — the
+   trusted constructor applies — and the k = 0 choice reuses the tail
+   as-is, so common suffixes are physically shared across subbags.  Weights
+   and small counts are computed once per distinct element, not once per
+   subbag. *)
 let enumerate_subbags weight b =
   let rec go = function
     | [] -> [ ([], Bignat.one) ]
     | (v, c) :: rest ->
         let tails = go rest in
         let m = Bignat.to_int_exn c in
-        List.concat_map
-          (fun (tail, w) ->
-            List.init (m + 1) (fun k ->
-                let w' = Bignat.mul w (weight m k) in
-                if k = 0 then (tail, w')
-                else ((v, Bignat.of_int k) :: tail, w')))
-          tails
+        let wts = Array.init (m + 1) (fun k -> weight m k) in
+        let counts = Array.init m (fun k -> Bignat.of_int (k + 1)) in
+        List.fold_left
+          (fun acc (tail, w) ->
+            let acc = ref ((tail, Bignat.mul w wts.(0)) :: acc) in
+            for k = 1 to m do
+              acc := ((v, counts.(k - 1)) :: tail, Bignat.mul w wts.(k)) :: !acc
+            done;
+            !acc)
+          [] tails
   in
   Value.bag_of_assoc
-    (List.map (fun (content, w) -> (Value.Bag content, w)) (go (pairs b)))
+    (List.rev_map
+       (fun (content, w) -> (Value.of_sorted_assoc content, w))
+       (go (pairs b)))
 
 let powerset ?(max_support = 1_000_000) b =
   check_budget "powerset" max_support b;

@@ -58,6 +58,20 @@ val select : (Value.t -> bool) -> Value.t -> Value.t
 val dedup : Value.t -> Value.t
 (** Duplicate elimination [ε]. *)
 
+val proj : int list -> Value.t -> Value.t
+(** [proj ixs b] is the generalized projection
+    [MAP λx.<α_{i1}(x), ..., α_{ik}(x)>] over a bag of tuples — the direct
+    kernel behind the evaluator's compiled fast path for that Map shape.
+    @raise Invalid_argument on non-tuple elements or out-of-range
+    attributes. *)
+
+val select_eq : int -> int -> Value.t -> Value.t
+(** [select_eq i j b] is [σ_{i=j} b]: keep the tuples whose [i]-th and
+    [j]-th components are equal.  Direct kernel behind the compiled fast
+    path for [Select (x, Proj (i, Var x), Proj (j, Var x), e)].
+    @raise Invalid_argument on non-tuple elements or out-of-range
+    attributes. *)
+
 val nest : int list -> Value.t -> Value.t
 (** The set-nesting operator of §7 ([PG88, Won93]): group a bag of tuples by
     the listed 1-based attributes; the remaining attributes — with their

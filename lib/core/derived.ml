@@ -52,7 +52,7 @@ let floor_average e =
   let b = fresh_var "favg_in" and x = fresh_var "favg_cand" in
   let c = ones (Var b) and s = sum (Var b) in
   let j_times_c = proj_attrs [ 1 ] (Product (Var x, c)) in
-  let empty_nat = Lit (Value.Bag [], nat_ty) in
+  let empty_nat = Lit (Value.bag_of_assoc [], nat_ty) in
   (* j*c <= s  and  (s - j*c) - (c - 1) = 0, i.e. s - j*c < c *)
   let le_test = Select (x, Diff (j_times_c, s), empty_nat, Powerset s) in
   let lt_test =
@@ -73,7 +73,7 @@ let floor_average e =
     [τ]/[β]/[∪+] only (multiplicities by binary doubling, so the expression
     is polylogarithmic in the counts). *)
 let rec value_expr (v : Value.t) : Expr.t =
-  match v with
+  match Value.view v with
   | Value.Atom a -> Expr.atom a
   | Value.Tuple vs -> Tuple (List.map value_expr vs)
   | Value.Bag pairs ->
@@ -151,7 +151,7 @@ let parity_even r leq =
 let unionadd_via_max ~arity b1 b2 =
   let tag s =
     Lit
-      ( Value.Bag [ (Value.Tuple [ Value.Atom s ], Bignat.one) ],
+      ( Value.bag_of_assoc [ (Value.tuple [ Value.atom s ], Bignat.one) ],
         Ty.Bag (Ty.Tuple [ Ty.Atom ]) )
   in
   let keep = List.init arity (fun i -> i + 1) in

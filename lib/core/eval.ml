@@ -7,6 +7,15 @@
     configurable bound on the number of distinct elements and on the decimal
     size of multiplicities, raising {!Resource_limit} instead of diverging.
 
+    The expression is {e compiled} to a closure tree before evaluation:
+    each operator node gets a stable integer id, and operator nodes whose
+    free variables are all {e stable} (not bound by a MAP/σ binder applied
+    per element, nor by a fixpoint binder that changes every iteration) are
+    backed by a memo table keyed by (node id, fingerprint of the free-var
+    bindings).  [Fix]/[BFix] iteration and repeated [Let]-bound subqueries
+    then hit cache instead of re-evaluating; the meters record hit/miss
+    counts.
+
     The evaluator also carries {e meters} recording the largest intermediate
     bag support and multiplicity seen; the complexity experiments (E10, E11,
     E15) read the growth shapes claimed by Theorems 4.4, 5.1 and 6.2 off
@@ -31,6 +40,8 @@ type meters = {
   mutable max_count_seen : Bignat.t;
   mutable max_cardinal_seen : Bignat.t;
   mutable ops : int;
+  mutable memo_hits : int;
+  mutable memo_misses : int;
 }
 
 let fresh_meters () =
@@ -39,6 +50,8 @@ let fresh_meters () =
     max_count_seen = Bignat.zero;
     max_cardinal_seen = Bignat.zero;
     ops = 0;
+    memo_hits = 0;
+    memo_misses = 0;
   }
 
 module Env = Map.Make (String)
@@ -49,9 +62,26 @@ let env_of_list l = List.fold_left (fun m (x, v) -> Env.add x v m) Env.empty l
 
 let observe config meters v =
   meters.ops <- meters.ops + 1;
-  (match v with
+  (match Value.view v with
   | Value.Bag pairs ->
-      let support = List.length pairs in
+      (* One walk for all three measures; the cardinal stays in machine
+         arithmetic until a count (or the sum) leaves [int] range. *)
+      let support = ref 0 in
+      let mc = ref Bignat.zero in
+      let icard = ref 0 in
+      List.iter
+        (fun (_, c) ->
+          incr support;
+          if Bignat.compare c !mc > 0 then mc := c;
+          if !icard >= 0 then
+            icard :=
+              (match Bignat.to_int_opt c with
+              | Some n ->
+                  let s = !icard + n in
+                  if s < 0 then -1 else s
+              | None -> -1))
+        pairs;
+      let support = !support and mc = !mc in
       if support > meters.max_support_seen then
         meters.max_support_seen <- support;
       if support > config.max_support then
@@ -59,7 +89,6 @@ let observe config meters v =
           (Resource_limit
              (Printf.sprintf "bag support %d exceeds limit %d" support
                 config.max_support));
-      let mc = Bag.max_count v in
       if Bignat.compare mc meters.max_count_seen > 0 then begin
         meters.max_count_seen <- mc;
         if Bignat.digits mc > config.max_count_digits then
@@ -68,69 +97,217 @@ let observe config meters v =
                (Printf.sprintf "multiplicity with %d digits exceeds limit %d"
                   (Bignat.digits mc) config.max_count_digits))
       end;
-      let card = Value.cardinal v in
+      let card =
+        if !icard >= 0 then Bignat.of_int !icard else Value.cardinal v
+      in
       if Bignat.compare card meters.max_cardinal_seen > 0 then
         meters.max_cardinal_seen <- card
   | Value.Atom _ | Value.Tuple _ -> ());
   v
 
-let rec eval_rec config meters env e =
-  let eval env e = eval_rec config meters env e in
-  let result =
+(* ------------------------------------------------------------------ *)
+(* Compilation to closures, with memoisation of stable operator nodes. *)
+
+type state = {
+  config : config;
+  meters : meters;
+  memo : (int * int, ((Value.t option list * Value.t) list ref)) Hashtbl.t;
+      (** (node id, binding fingerprint) -> verified (bindings, result) *)
+}
+
+(* Keep the table from growing without bound inside huge fixpoints; a reset
+   loses cached work but never correctness. *)
+let memo_capacity = 1 lsl 16
+
+let binding_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some v, Some w -> Value.equal v w
+  | None, Some _ | Some _, None -> false
+
+let bindings_equal xs ys = List.for_all2 binding_equal xs ys
+
+let fingerprint vals =
+  List.fold_left
+    (fun h v ->
+      match v with
+      | None -> (h * 0x01000193) lxor 0x5bd1e995
+      | Some v -> (h * 0x01000193) lxor Value.hash v)
+    0x811c9dc5 vals
+
+type compiled = state -> env -> Value.t
+
+(* [volatile] holds the binders whose bindings change per element or per
+   fixpoint iteration; nodes mentioning them would only churn the table. *)
+let rec compile ctr volatile e : compiled =
+  let raw = compile_node ctr volatile e in
+  let run st env = observe st.config st.meters (raw st env) in
+  let memoisable =
     match e with
-    | Expr.Var x -> (
+    | Expr.Var _ | Expr.Lit _ | Expr.Tuple _ | Expr.Proj _ | Expr.Sing _ ->
+        false
+    | _ -> Expr.Vars.disjoint (Expr.free_vars e) volatile
+  in
+  if not memoisable then run
+  else begin
+    incr ctr;
+    let id = !ctr in
+    let fv = Expr.Vars.elements (Expr.free_vars e) in
+    fun st env ->
+      let vals = List.map (fun x -> Env.find_opt x env) fv in
+      let key = (id, fingerprint vals) in
+      let compute () =
+        st.meters.memo_misses <- st.meters.memo_misses + 1;
+        run st env
+      in
+      match Hashtbl.find_opt st.memo key with
+      | Some entries -> (
+          match
+            List.find_opt (fun (vs, _) -> bindings_equal vs vals) !entries
+          with
+          | Some (_, r) ->
+              st.meters.memo_hits <- st.meters.memo_hits + 1;
+              r
+          | None ->
+              let r = compute () in
+              entries := (vals, r) :: !entries;
+              r)
+      | None ->
+          let r = compute () in
+          if Hashtbl.length st.memo >= memo_capacity then
+            Hashtbl.reset st.memo;
+          Hashtbl.add st.memo key (ref [ (vals, r) ]);
+          r
+  end
+
+and compile_node ctr volatile e : compiled =
+  let sub e = compile ctr volatile e in
+  let under x e = compile ctr (Expr.Vars.add x volatile) e in
+  let stable x e = compile ctr (Expr.Vars.remove x volatile) e in
+  match e with
+  | Expr.Var x -> (
+      fun _st env ->
         match Env.find_opt x env with
         | Some v -> v
         | None -> error "unbound variable %s" x)
-    | Expr.Lit (v, _) -> v
-    | Expr.Tuple es -> Value.Tuple (List.map (eval env) es)
-    | Expr.Proj (i, e) -> (
-        match eval env e with
-        | Value.Tuple vs when i >= 1 && i <= List.length vs -> List.nth vs (i - 1)
-        | v -> error "cannot project attribute %d of %s" i (Value.to_string v))
-    | Expr.Sing e -> Value.Bag [ (eval env e, Bignat.one) ]
-    | Expr.UnionAdd (a, b) -> Bag.union_add (eval env a) (eval env b)
-    | Expr.Diff (a, b) -> Bag.diff (eval env a) (eval env b)
-    | Expr.UnionMax (a, b) -> Bag.union_max (eval env a) (eval env b)
-    | Expr.Inter (a, b) -> Bag.inter (eval env a) (eval env b)
-    | Expr.Product (a, b) -> Bag.product (eval env a) (eval env b)
-    | Expr.Powerset e ->
-        Bag.powerset ~max_support:config.max_support (eval env e)
-    | Expr.Powerbag e ->
-        Bag.powerbag ~max_support:config.max_support (eval env e)
-    | Expr.Destroy e -> Bag.destroy (eval env e)
-    | Expr.Map (x, body, e) ->
-        Bag.map (fun v -> eval (Env.add x v env) body) (eval env e)
-    | Expr.Select (x, l, r, e) ->
+  | Expr.Lit (v, _) -> fun _st _env -> v
+  | Expr.Tuple es ->
+      let cs = List.map sub es in
+      fun st env -> Value.tuple (List.map (fun c -> c st env) cs)
+  | Expr.Proj (i, e) -> (
+      let c = sub e in
+      fun st env ->
+        let v = c st env in
+        match Value.view v with
+        | Value.Tuple vs when i >= 1 && i <= List.length vs ->
+            List.nth vs (i - 1)
+        | _ -> error "cannot project attribute %d of %s" i (Value.to_string v))
+  | Expr.Sing e ->
+      let c = sub e in
+      fun st env -> Value.of_sorted_assoc [ (c st env, Bignat.one) ]
+  | Expr.UnionAdd (a, b) ->
+      let ca = sub a and cb = sub b in
+      fun st env -> Bag.union_add (ca st env) (cb st env)
+  | Expr.Diff (a, b) ->
+      let ca = sub a and cb = sub b in
+      fun st env -> Bag.diff (ca st env) (cb st env)
+  | Expr.UnionMax (a, b) ->
+      let ca = sub a and cb = sub b in
+      fun st env -> Bag.union_max (ca st env) (cb st env)
+  | Expr.Inter (a, b) ->
+      let ca = sub a and cb = sub b in
+      fun st env -> Bag.inter (ca st env) (cb st env)
+  | Expr.Product (a, b) ->
+      let ca = sub a and cb = sub b in
+      fun st env -> Bag.product (ca st env) (cb st env)
+  | Expr.Powerset e ->
+      let c = sub e in
+      fun st env -> Bag.powerset ~max_support:st.config.max_support (c st env)
+  | Expr.Powerbag e ->
+      let c = sub e in
+      fun st env -> Bag.powerbag ~max_support:st.config.max_support (c st env)
+  | Expr.Destroy e ->
+      let c = sub e in
+      fun st env -> Bag.destroy (c st env)
+  (* Generalized projection MAP λx.<α_{i1}(x), ...> runs as the direct
+     {!Bag.proj} kernel; on malformed data ([Invalid_argument]) the generic
+     closure replays the bag so error behaviour is unchanged. *)
+  | Expr.Map (x, (Expr.Tuple comps as body), e)
+    when List.for_all
+           (function Expr.Proj (_, Expr.Var y) -> y = x | _ -> false)
+           comps ->
+      let ixs =
+        List.map (function Expr.Proj (i, _) -> i | _ -> assert false) comps
+      in
+      let cbody = under x body and c = sub e in
+      fun st env ->
+        let b = c st env in
+        (try Bag.proj ixs b
+         with Invalid_argument _ ->
+           Bag.map (fun v -> cbody st (Env.add x v env)) b)
+  | Expr.Map (x, body, e) ->
+      let cbody = under x body and c = sub e in
+      fun st env -> Bag.map (fun v -> cbody st (Env.add x v env)) (c st env)
+  (* σ_{i=j}: positional-equality selection runs as {!Bag.select_eq}, with
+     the same generic fallback on malformed data. *)
+  | Expr.Select
+      ( x,
+        (Expr.Proj (i, Expr.Var x1) as l),
+        (Expr.Proj (j, Expr.Var x2) as r),
+        e )
+    when x1 = x && x2 = x ->
+      let cl = under x l and cr = under x r and c = sub e in
+      fun st env ->
+        let b = c st env in
+        (try Bag.select_eq i j b
+         with Invalid_argument _ ->
+           Bag.select
+             (fun v ->
+               let env' = Env.add x v env in
+               Value.equal (cl st env') (cr st env'))
+             b)
+  | Expr.Select (x, l, r, e) ->
+      let cl = under x l and cr = under x r and c = sub e in
+      fun st env ->
         Bag.select
           (fun v ->
             let env' = Env.add x v env in
-            Value.equal (eval env' l) (eval env' r))
-          (eval env e)
-    | Expr.Dedup e -> Bag.dedup (eval env e)
-    | Expr.Nest (ixs, e) -> Bag.nest ixs (eval env e)
-    | Expr.Unnest (i, e) -> Bag.unnest i (eval env e)
-    | Expr.Let (x, e, body) -> eval (Env.add x (eval env e) env) body
-    | Expr.Fix (x, body, seed) ->
-        iterate config meters env ~x ~body ~bound:None (eval env seed)
-    | Expr.BFix (bound, x, body, seed) ->
-        let bound = eval env bound in
-        iterate config meters env ~x ~body ~bound:(Some bound) (eval env seed)
-  in
-  observe config meters result
+            Value.equal (cl st env') (cr st env'))
+          (c st env)
+  | Expr.Dedup e ->
+      let c = sub e in
+      fun st env -> Bag.dedup (c st env)
+  | Expr.Nest (ixs, e) ->
+      let c = sub e in
+      fun st env -> Bag.nest ixs (c st env)
+  | Expr.Unnest (i, e) ->
+      let c = sub e in
+      fun st env -> Bag.unnest i (c st env)
+  | Expr.Let (x, e, body) ->
+      let c = sub e and cbody = stable x body in
+      fun st env -> cbody st (Env.add x (c st env) env)
+  | Expr.Fix (x, body, seed) ->
+      let cbody = under x body and cseed = sub seed in
+      fun st env -> iterate st env ~x ~cbody ~bound:None (cseed st env)
+  | Expr.BFix (bound, x, body, seed) ->
+      let cbound = sub bound and cbody = under x body and cseed = sub seed in
+      fun st env ->
+        let bound = cbound st env in
+        iterate st env ~x ~cbody ~bound:(Some bound) (cseed st env)
 
 (* Inflationary iteration: X ↦ (body(X) ∪ X) [∩ bound].  With a bound the
    chain is increasing and bounded, hence terminating; without one the step
-   limit applies (BALG + IFP is Turing complete, Thm 6.6). *)
-and iterate config meters env ~x ~body ~bound current =
+   limit applies (BALG + IFP is Turing complete, Thm 6.6).  The stability
+   check benefits from the hash tags: unequal iterates refute in O(1). *)
+and iterate st env ~x ~cbody ~bound current =
   let clamp v = match bound with None -> v | Some b -> Bag.inter v b in
   let rec go steps current =
-    if steps > config.max_fix_steps then
+    if steps > st.config.max_fix_steps then
       raise
         (Resource_limit
            (Printf.sprintf "fixpoint did not converge within %d steps"
-              config.max_fix_steps));
-    let stepped = eval_rec config meters (Env.add x current env) body in
+              st.config.max_fix_steps));
+    let stepped = cbody st (Env.add x current env) in
     let next = clamp (Bag.union_max stepped current) in
     if Value.equal next current then current else go (steps + 1) next
   in
@@ -138,11 +315,14 @@ and iterate config meters env ~x ~body ~bound current =
 
 let eval ?(config = default_config) ?meters env e =
   let meters = match meters with Some m -> m | None -> fresh_meters () in
-  eval_rec config meters env e
+  let run = compile (ref 0) Expr.Vars.empty e in
+  run { config; meters; memo = Hashtbl.create 64 } env
 
 (** Boolean convention for queries: a result is true when the output bag is
     nonempty (cf. Example 4.1's [≠ ∅] tests). *)
-let truthy = function
+let truthy v =
+  match Value.view v with
   | Value.Bag [] -> false
   | Value.Bag _ -> true
-  | v -> error "truthiness of a non-bag value %s" (Value.to_string v)
+  | Value.Atom _ | Value.Tuple _ ->
+      error "truthiness of a non-bag value %s" (Value.to_string v)

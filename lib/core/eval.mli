@@ -24,6 +24,10 @@ type meters = {
   mutable max_count_seen : Bignat.t;
   mutable max_cardinal_seen : Bignat.t;
   mutable ops : int;
+  mutable memo_hits : int;
+      (** stable subexpressions answered from the memo table *)
+  mutable memo_misses : int;
+      (** memoisable subexpressions that had to be computed *)
 }
 
 val fresh_meters : unit -> meters

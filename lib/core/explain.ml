@@ -52,7 +52,7 @@ let rec skeleton e =
 
 let observe p (v : Value.t) =
   p.calls <- p.calls + 1;
-  match v with
+  match Value.view v with
   | Value.Bag pairs ->
       let support = List.length pairs in
       if support > p.max_support then p.max_support <- support;
@@ -79,13 +79,14 @@ let run ?config ?(env = Eval.Env.empty) e =
           | Some v -> v
           | None -> raise (Eval.Eval_error ("unbound variable " ^ x)))
       | Expr.Lit (v, _) -> v
-      | Expr.Tuple es -> Value.Tuple (List.mapi (fun i e -> go env e (child i)) es)
+      | Expr.Tuple es -> Value.tuple (List.mapi (fun i e -> go env e (child i)) es)
       | Expr.Proj (i, e0) -> (
-          match go env e0 (child 0) with
+          let v = go env e0 (child 0) in
+          match Value.view v with
           | Value.Tuple vs when i >= 1 && i <= List.length vs -> List.nth vs (i - 1)
-          | v ->
+          | _ ->
               raise (Eval.Eval_error ("cannot project " ^ Value.to_string v)))
-      | Expr.Sing e0 -> Value.Bag [ (go env e0 (child 0), Bignat.one) ]
+      | Expr.Sing e0 -> Value.bag_of_assoc [ (go env e0 (child 0), Bignat.one) ]
       | Expr.UnionAdd (a, b) -> Bag.union_add (go env a (child 0)) (go env b (child 1))
       | Expr.Diff (a, b) -> Bag.diff (go env a (child 0)) (go env b (child 1))
       | Expr.UnionMax (a, b) -> Bag.union_max (go env a (child 0)) (go env b (child 1))
@@ -121,7 +122,7 @@ let run ?config ?(env = Eval.Env.empty) e =
     in
     observe p result;
     (* also keep the global guard honest *)
-    (match result with
+    (match Value.view result with
     | Value.Bag pairs when List.length pairs > config.Eval.max_support ->
         raise
           (Eval.Resource_limit

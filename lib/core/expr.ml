@@ -50,8 +50,8 @@ type t =
 
 let var x = Var x
 let lit v ty = Lit (v, ty)
-let atom s = Lit (Value.Atom s, Ty.Atom)
-let empty ty = Lit (Value.Bag [], ty)
+let atom s = Lit (Value.atom s, Ty.Atom)
+let empty ty = Lit (Value.empty_bag, ty)
 let tuple es = Tuple es
 let proj i e = Proj (i, e)
 let sing e = Sing e
@@ -79,7 +79,7 @@ let proj_attrs ixs e =
 (** [ones e] is [MAP{_λx.<a>}(e)]: a bag of [card e] copies of the unary
     tuple [<a>] — the integer-as-bag image of the cardinality of [e]. *)
 let ones ?(on = "a") e =
-  Map ("%one", Tuple [ Lit (Value.Atom on, Ty.Atom) ], e)
+  Map ("%one", Tuple [ Lit (Value.atom on, Ty.Atom) ], e)
 
 (** {1 Traversal} *)
 
@@ -191,7 +191,7 @@ let rec pp ppf e =
   let list = Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp in
   match e with
   | Var x -> Format.pp_print_string ppf x
-  | Lit (Value.Bag [], ty) -> Format.fprintf ppf "empty(%a)" Ty.pp ty
+  | Lit (v, ty) when Value.is_empty_bag v -> Format.fprintf ppf "empty(%a)" Ty.pp ty
   | Lit (v, _) -> Value.pp ppf v
   | Tuple es -> Format.fprintf ppf "<%a>" list es
   | Proj (i, e) -> Format.fprintf ppf "%a.%d" pp_atomic e i

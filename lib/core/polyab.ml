@@ -39,7 +39,7 @@ type ctx = {
 
 let bump ctx n = if n > ctx.threshold then ctx.threshold <- n
 
-let input_tuple = Value.Tuple [ Value.Atom "a" ]
+let input_tuple = Value.tuple [ Value.atom "a" ]
 
 let merge_entries f (a : entries) (b : entries) : entries =
   let keys =
@@ -73,11 +73,14 @@ type res = Abag of entries | Cval of Value.t
 
 let as_entries = function
   | Abag e -> e
-  | Cval (Value.Bag pairs) ->
-      (* a concrete bag literal: constant polynomials *)
-      List.map (fun (v, c) -> (v, Poly.const (Bigint.of_bignat c))) pairs
-  | Cval v ->
-      unsupported "expected a bag, found concrete value %s" (Value.to_string v)
+  | Cval v -> (
+      match Value.view v with
+      | Value.Bag pairs ->
+          (* a concrete bag literal: constant polynomials *)
+          List.map (fun (v, c) -> (v, Poly.const (Bigint.of_bignat c))) pairs
+      | Value.Atom _ | Value.Tuple _ ->
+          unsupported "expected a bag, found concrete value %s"
+            (Value.to_string v))
 
 let as_conc = function
   | Cval v -> v
@@ -92,11 +95,12 @@ let rec ainterp ctx (e : Expr.t) : res =
       | Some (Abs entries) -> Abag entries
       | None -> unsupported "unbound variable %s" x)
   | Expr.Lit (v, _) -> Cval v
-  | Expr.Tuple es -> Cval (Value.Tuple (List.map (fun e -> as_conc (ainterp ctx e)) es))
+  | Expr.Tuple es -> Cval (Value.tuple (List.map (fun e -> as_conc (ainterp ctx e)) es))
   | Expr.Proj (i, e) -> (
-      match as_conc (ainterp ctx e) with
+      let v = as_conc (ainterp ctx e) in
+      match Value.view v with
       | Value.Tuple vs when i >= 1 && i <= List.length vs -> Cval (List.nth vs (i - 1))
-      | v -> unsupported "projection %d of %s" i (Value.to_string v))
+      | _ -> unsupported "projection %d of %s" i (Value.to_string v))
   | Expr.UnionAdd (a, b) ->
       Abag (merge_entries Poly.add (as_entries (ainterp ctx a)) (as_entries (ainterp ctx b)))
   | Expr.Diff (a, b) ->
@@ -118,7 +122,7 @@ let rec ainterp ctx (e : Expr.t) : res =
           (fun (t1, p1) ->
             List.map
               (fun (t2, p2) ->
-                (Value.Tuple (Value.as_tuple t1 @ Value.as_tuple t2), Poly.mul p1 p2))
+                (Value.tuple (Value.as_tuple t1 @ Value.as_tuple t2), Poly.mul p1 p2))
               eb)
           ea
       in
@@ -204,7 +208,7 @@ let agrees_with_eval ~input e analysis ~n =
         | None -> None)
       analysis.entries
   in
-  Value.equal (Value.Bag concrete) (Value.bag_of_assoc predicted)
+  Value.equal (Value.bag_of_assoc concrete) (Value.bag_of_assoc predicted)
 
 (** The structural consequence used by Prop 4.5: every output count is a
     polynomial, hence eventually monotone; [bag-even] (count alternating

@@ -76,7 +76,7 @@ and map_children f e =
   | Expr.BFix (bound, x, body, seed) -> Expr.BFix (f bound, x, f body, f seed)
 
 let is_empty_lit = function
-  | Expr.Lit (Value.Bag [], _) -> true
+  | Expr.Lit (v, _) -> Value.is_empty_bag v
   | _ -> false
 
 (** {1 Bag-sound rules} *)
@@ -135,7 +135,7 @@ let rule_self_difference =
       (fun env -> function
         | Expr.Diff (a, b) when expr_compare a b = 0 -> (
             match Typecheck.infer env a with
-            | ty -> Some (Expr.Lit (Value.Bag [], ty))
+            | ty -> Some (Expr.Lit (Value.bag_of_assoc [], ty))
             | exception Typecheck.Type_error _ -> None)
         | _ -> None);
   }
@@ -152,7 +152,7 @@ let rule_empty_units =
         | Expr.Diff (a, b) when is_empty_lit b -> Some a
         | Expr.Inter (a, b) when is_empty_lit a || is_empty_lit b -> (
             match Typecheck.infer env a with
-            | ty -> Some (Expr.Lit (Value.Bag [], ty))
+            | ty -> Some (Expr.Lit (Value.bag_of_assoc [], ty))
             | exception Typecheck.Type_error _ -> None)
         | _ -> None);
   }

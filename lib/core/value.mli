@@ -4,19 +4,42 @@
     Bags are kept canonical — elements strictly increasing in {!compare},
     multiplicities strictly positive and coalesced — so structural equality
     is bag equality.  An element [o] {e n-belongs} to a bag when its stored
-    multiplicity is [n] (§2). *)
+    multiplicity is [n] (§2).
 
-type t =
+    The representation is {e tagged}: every node carries a precomputed
+    structural hash and a saturating encoded-size tag, maintained by the
+    smart constructors.  Tags give {!equal} an O(1) refutation fast path and
+    let bag kernels bucket by hash instead of deep-comparing.  Because [t]
+    is abstract, the tag invariants (hash and size always agree with the
+    structure) cannot be broken from outside; inspect values through
+    {!view}. *)
+
+type t
+
+type view =
   | Atom of string
   | Tuple of t list
   | Bag of (t * Bignat.t) list
-      (** canonical: strictly increasing keys, positive counts.  Use
-          {!bag_of_assoc} / {!bag_of_list} to construct. *)
+      (** canonical: strictly increasing keys, positive counts. *)
+
+val view : t -> view
+(** One-level pattern-matching view of a value.  O(1). *)
 
 val compare : t -> t -> int
-(** Total order: atoms < tuples < bags; lexicographic within a kind. *)
+(** Total order: atoms < tuples < bags; lexicographic within a kind.
+    Physically equal (sub)values short-circuit to 0 without a walk. *)
 
 val equal : t -> t -> bool
+(** O(1) when the answer is [false] and the hash or size tags differ, and
+    when the arguments are physically equal; a structural walk otherwise. *)
+
+val hash : t -> int
+(** Precomputed structural hash: [equal a b] implies [hash a = hash b].
+    O(1) — use it to key hash tables over values. *)
+
+val size_tag : t -> int
+(** Saturating machine-int approximation of {!encoded_size}: exact whenever
+    the encoded size fits an [int], [max_int] otherwise.  O(1). *)
 
 (** {1 Constructors} *)
 
@@ -24,11 +47,19 @@ val atom : string -> t
 val tuple : t list -> t
 
 val bag_of_assoc : (t * Bignat.t) list -> t
-(** Canonicalises: sorts, coalesces equal elements additively, drops zero
-    counts. *)
+(** Canonicalises: coalesces equal elements additively (bucketing by
+    {!hash}, so only distinct elements are deep-compared), drops zero
+    counts, sorts the distinct support. *)
 
 val bag_of_list : t list -> t
 (** Each occurrence counts once; duplicates in the list accumulate. *)
+
+val of_sorted_assoc : (t * Bignat.t) list -> t
+(** Trusted constructor for kernels: the input {b must} already be
+    canonical (strictly increasing in {!compare}, counts positive).  Only
+    the tags are computed; the list is not inspected for order.  Feeding it
+    a non-canonical list silently breaks bag equality — use
+    {!bag_of_assoc} unless you can prove the invariant. *)
 
 val empty_bag : t
 
@@ -52,7 +83,8 @@ val is_bag : t -> bool
 val is_empty_bag : t -> bool
 
 val count_in : t -> t -> Bignat.t
-(** [count_in v b]: multiplicity of [v] in bag [b] (zero when absent). *)
+(** [count_in v b]: multiplicity of [v] in bag [b] (zero when absent).
+    Scans the sorted support and stops at the first element above [v]. *)
 
 val cardinal : t -> Bignat.t
 (** Total number of occurrences — the paper's size of a bag. *)

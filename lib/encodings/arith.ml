@@ -81,7 +81,7 @@ let rec depth_of = function
    {{<>}}. *)
 let domain_power domain1 d =
   if d = 0 then
-    Expr.Lit (Value.bag_of_list [ Value.Tuple [] ], Ty.Bag (Ty.Tuple []))
+    Expr.Lit (Value.bag_of_list [ Value.tuple [] ], Ty.Bag (Ty.Tuple []))
   else
     let rec go k = if k = 1 then domain1 else Expr.Product (go (k - 1), domain1) in
     go d
@@ -129,7 +129,7 @@ let compile_sentence ~domain1 ~input f =
 (** Literal quantification domain [0..bound], for tests and experiments. *)
 let literal_domain1 bound =
   Expr.Lit
-    ( Value.bag_of_list (List.init (bound + 1) (fun i -> Value.Tuple [ Value.nat i ])),
+    ( Value.bag_of_list (List.init (bound + 1) (fun i -> Value.tuple [ Value.nat i ])),
       Ty.Bag (Ty.Tuple [ Ty.nat ]) )
 
 (** The paper's domain over the input bag: wraps

@@ -34,7 +34,7 @@ let window_ty = Ty.Bag (Ty.Tuple [ Ty.nat; Ty.Atom; Ty.Atom ])
 (** A bag of 1-tuples wrapping the integer-bags [1..m]. *)
 let literal_domain m =
   Expr.Lit
-    ( Value.bag_of_list (List.init m (fun i -> Value.Tuple [ Value.nat (i + 1) ])),
+    ( Value.bag_of_list (List.init m (fun i -> Value.tuple [ Value.nat (i + 1) ])),
       Ty.Bag (Ty.Tuple [ Ty.nat ]) )
 
 (** The paper's domain: all subbags of [E^i(B)] wrapped into 1-tuples
@@ -47,7 +47,7 @@ let paper_domain i b =
 
 let atoms_bag_of names =
   Expr.Lit
-    ( Value.bag_of_list (List.map (fun s -> Value.Tuple [ Value.Atom s ]) names),
+    ( Value.bag_of_list (List.map (fun s -> Value.tuple [ Value.atom s ]) names),
       Ty.Bag (Ty.Tuple [ Ty.Atom ]) )
 
 (** [space_expr ~domain tm]: the bag of all candidate cells
@@ -69,11 +69,11 @@ let enc_value tm ~space input =
     Value.bag_of_list
       (List.init space (fun i ->
            let j = i + 1 in
-           Value.Tuple
+           Value.tuple
              [
                Value.nat j;
-               Value.Atom (sym_at j);
-               Value.Atom (if j = 1 then tm.Turing.Tm.start else marker);
+               Value.atom (sym_at j);
+               Value.atom (if j = 1 then tm.Turing.Tm.start else marker);
              ]))
   in
   Expr.Lit (Value.bag_of_list [ tape ], Ty.Bag window_ty)
@@ -151,7 +151,7 @@ let tm_expr ~domain tm ~space input =
   let phi_contig e =
     let w = fresh_var "t61_s" in
     let one_tuple =
-      Lit (Value.bag_of_list [ Value.Tuple [ Value.nat 1 ] ], Ty.Bag (Ty.Tuple [ Ty.nat ]))
+      Lit (Value.bag_of_list [ Value.tuple [ Value.nat 1 ] ], Ty.Bag (Ty.Tuple [ Ty.nat ]))
     in
     let succs = Map (w, Tuple [ succ_nat (Proj (1, Var w)) ], all_times xv) in
     Select
@@ -191,7 +191,7 @@ let tm_expr ~domain tm ~space input =
           (Derived.ones
              (Select (u, Proj (4, Var u), atom tm.Turing.Tm.accept, xv))),
         Lit
-          ( Value.bag_of_list [ Value.Tuple [ Value.Atom "a" ] ],
+          ( Value.bag_of_list [ Value.tuple [ Value.atom "a" ] ],
             Ty.Bag (Ty.Tuple [ Ty.Atom ]) ),
         e )
   in

@@ -25,7 +25,7 @@ let succ_nat e = Expr.UnionAdd (e, nat1)
     on, blanks up to [space], head on cell 1 in the start state. *)
 let seed_value (tm : Turing.Tm.t) ~space input =
   let cell j sym st =
-    Value.Tuple [ Value.nat 1; Value.nat j; Value.Atom sym; Value.Atom st ]
+    Value.tuple [ Value.nat 1; Value.nat j; Value.atom sym; Value.atom st ]
   in
   let sym_at j =
     match List.nth_opt input (j - 1) with Some s -> s | None -> tm.Turing.Tm.blank

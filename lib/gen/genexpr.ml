@@ -30,7 +30,7 @@ let rec flat ?(allow_diff = true) ?(allow_dedup = true) rng (env : env_spec)
         | [] ->
             Expr.Lit
               ( Value.bag_of_list
-                  [ Value.Tuple (List.init arity (fun i -> Value.Atom (Genval.atom_name i))) ],
+                  [ Value.tuple (List.init arity (fun i -> Value.atom (Genval.atom_name i))) ],
                 Ty.relation arity )
         | _ ->
             let name, a = pick rng wider in

@@ -11,11 +11,11 @@ let atom_name i =
   if i < Array.length alphabet then alphabet.(i) else Printf.sprintf "c%d" i
 
 (** A random atom among [n_atoms] constants. *)
-let atom rng ~n_atoms = Value.Atom (atom_name (Random.State.int rng n_atoms))
+let atom rng ~n_atoms = Value.atom (atom_name (Random.State.int rng n_atoms))
 
 (** A random flat tuple of the given arity. *)
 let flat_tuple rng ~n_atoms ~arity =
-  Value.Tuple (List.init arity (fun _ -> atom rng ~n_atoms))
+  Value.tuple (List.init arity (fun _ -> atom rng ~n_atoms))
 
 (** A random bag of flat tuples: [size] draws with multiplicities in
     [1..max_count]. *)
@@ -30,7 +30,7 @@ let flat_bag rng ~n_atoms ~arity ~size ~max_count =
 let rec of_type rng ~n_atoms ~width ~max_count (ty : Ty.t) =
   match ty with
   | Ty.Atom -> atom rng ~n_atoms
-  | Ty.Tuple ts -> Value.Tuple (List.map (of_type rng ~n_atoms ~width ~max_count) ts)
+  | Ty.Tuple ts -> Value.tuple (List.map (of_type rng ~n_atoms ~width ~max_count) ts)
   | Ty.Bag t ->
       let n = Random.State.int rng (width + 1) in
       Value.bag_of_assoc
@@ -46,7 +46,7 @@ let graph rng ~n ~p =
     for j = 0 to n - 1 do
       if i <> j && Random.State.float rng 1.0 < p then
         edges :=
-          Value.Tuple [ Value.Atom (atom_name i); Value.Atom (atom_name j) ]
+          Value.tuple [ Value.atom (atom_name i); Value.atom (atom_name j) ]
           :: !edges
     done
   done;
@@ -58,7 +58,7 @@ let unary_relation rng ~n_atoms ~p =
   let members = ref [] in
   for i = 0 to n_atoms - 1 do
     if Random.State.float rng 1.0 < p then
-      members := Value.Tuple [ Value.Atom (atom_name i) ] :: !members
+      members := Value.tuple [ Value.atom (atom_name i) ] :: !members
   done;
   Value.bag_of_list !members
 
@@ -67,7 +67,7 @@ let unary_relation rng ~n_atoms ~p =
 let leq_relation r =
   let members =
     List.map
-      (fun v -> match v with Value.Tuple [ a ] -> a | _ -> v)
+      (fun v -> match Value.view v with Value.Tuple [ a ] -> a | _ -> v)
       (Value.support r)
   in
   let pairs =
@@ -75,7 +75,7 @@ let leq_relation r =
       (fun x ->
         List.filter_map
           (fun y ->
-            if Value.compare x y <= 0 then Some (Value.Tuple [ x; y ]) else None)
+            if Value.compare x y <= 0 then Some (Value.tuple [ x; y ]) else None)
           members)
       members
   in
@@ -94,7 +94,7 @@ let transitive_closure_ref g =
   let edges =
     List.filter_map
       (fun v ->
-        match v with Value.Tuple [ x; y ] -> Some (x, y) | _ -> None)
+        match Value.view v with Value.Tuple [ x; y ] -> Some (x, y) | _ -> None)
       (Value.support g)
   in
   let rec saturate acc =
@@ -110,4 +110,4 @@ let transitive_closure_ref g =
   in
   let closed = saturate (VS.of_list edges) in
   Value.bag_of_list
-    (List.map (fun (a, b) -> Value.Tuple [ a; b ]) (VS.elements closed))
+    (List.map (fun (a, b) -> Value.tuple [ a; b ]) (VS.elements closed))

@@ -98,7 +98,7 @@ let rec parse_value st : Value.t =
   match peek st with
   | Lexer.ATOM a, _ ->
       advance st;
-      Value.Atom a
+      Value.atom a
   | Lexer.LANGLE, _ ->
       advance st;
       let rec items acc =
@@ -111,7 +111,7 @@ let rec parse_value st : Value.t =
             items acc
         | _ -> items (parse_value st :: acc)
       in
-      Value.Tuple (items [])
+      Value.tuple (items [])
   | Lexer.LBAG, _ ->
       advance st;
       let rec items acc =

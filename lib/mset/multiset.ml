@@ -28,7 +28,29 @@ module Make (Elt : ORDERED) = struct
   let support b = List.map fst (M.bindings b)
   let support_size b = M.cardinal b
   let cardinal b = M.fold (fun _ c acc -> Bignat.add c acc) b Bignat.zero
-  let of_list l = List.fold_left (fun b x -> add x b) empty l
+  (* Bulk construction: one sort, then coalesce equal neighbours, so each
+     distinct element is inserted into the map exactly once.  Much cheaper
+     than repeated [add] on duplicate-heavy input. *)
+  let of_assoc pairs =
+    let sorted =
+      List.sort
+        (fun (x, _) (y, _) -> Elt.compare x y)
+        (List.filter (fun (_, c) -> not (Bignat.is_zero c)) pairs)
+    in
+    let rec go acc = function
+      | [] -> acc
+      | (x, c) :: tl ->
+          let rec take c = function
+            | (y, d) :: rest when Elt.compare x y = 0 ->
+                take (Bignat.add c d) rest
+            | rest -> (c, rest)
+          in
+          let c, rest = take c tl in
+          go (M.add x c acc) rest
+    in
+    go M.empty sorted
+
+  let of_list l = of_assoc (List.map (fun x -> (x, Bignat.one)) l)
   let to_list b = M.bindings b
 
   let merge_counts f a b =

@@ -40,6 +40,13 @@ module Make (Elt : ORDERED) : sig
   (** Total number of occurrences (the paper's bag size). *)
 
   val of_list : elt list -> t
+
+  val of_assoc : (elt * Bignat.t) list -> t
+  (** Bulk constructor: counts of equal elements are summed, zero counts are
+      dropped.  Sorts once and inserts each distinct element exactly once,
+      so it is preferred over folding {!add} for large or duplicate-heavy
+      input. *)
+
   val to_list : t -> (elt * Bignat.t) list
 
   val union_add : t -> t -> t

@@ -94,7 +94,7 @@ let out_degree g v = List.length (List.filter (fun (x, _) -> x = v) g.edges)
 
 open Balg
 
-let atom_value i = Value.Atom (Printf.sprintf "u%d" i)
+let atom_value i = Value.atom (Printf.sprintf "u%d" i)
 
 let node_value n (s : mask) =
   Value.bag_of_list (List.map atom_value (atoms_of_mask n s))
@@ -104,7 +104,7 @@ let edge_ty = Ty.Bag (Ty.Tuple [ Ty.Bag Ty.Atom; Ty.Bag Ty.Atom ])
 let edges_value g =
   Value.bag_of_list
     (List.map
-       (fun (x, y) -> Value.Tuple [ node_value g.n x; node_value g.n y ])
+       (fun (x, y) -> Value.tuple [ node_value g.n x; node_value g.n y ])
        g.edges)
 
 (** The separating BALG{^2} query of Theorem 5.2: in-degree of [α] exceeds

@@ -53,7 +53,7 @@ let active_atoms (db : structure) : Value.t list =
       (fun (_, r) -> List.concat_map Value.atoms (Rel.to_list r))
       db
   in
-  List.map (fun a -> Value.Atom a)
+  List.map (fun a -> Value.atom a)
     (List.sort_uniq String.compare atoms)
 
 (* dom(T, A): all objects of type T over the active atoms. *)
@@ -69,9 +69,9 @@ let domain_of (db : structure) : vty -> Value.t list =
   fun vty ->
     match vty with
     | VAtom -> atoms
-    | VTuple k -> List.map (fun vs -> Value.Tuple vs) (tuples_of atoms k)
+    | VTuple k -> List.map (fun vs -> Value.tuple vs) (tuples_of atoms k)
     | VSet k ->
-        let members = List.map (fun vs -> Value.Tuple vs) (tuples_of atoms k) in
+        let members = List.map (fun vs -> Value.tuple vs) (tuples_of atoms k) in
         if List.length members > 20 then
           err "set domain over %d tuples is too large to enumerate"
             (List.length members);
@@ -87,11 +87,12 @@ let rec eval_term (env : env) = function
       match List.assoc_opt x env with
       | Some v -> v
       | None -> err "unbound variable %s" x)
-  | TConst a -> Value.Atom a
+  | TConst a -> Value.atom a
   | TComp (t, i) -> (
-      match eval_term env t with
+      let v = eval_term env t in
+      match Value.view v with
       | Value.Tuple vs when i >= 1 && i <= List.length vs -> List.nth vs (i - 1)
-      | v -> err "component %d of non-tuple %s" i (Value.to_string v))
+      | _ -> err "component %d of non-tuple %s" i (Value.to_string v))
 
 let rec holds (db : structure) (env : env) = function
   | True -> true
@@ -100,14 +101,15 @@ let rec holds (db : structure) (env : env) = function
       | Some rel -> Rel.mem (eval_term env t) rel
       | None -> err "unknown relation %s" r)
   | Eq (t1, t2) -> Value.equal (eval_term env t1) (eval_term env t2)
-  | Mem (t, s) -> (
-      match eval_term env s with
-      | Value.Bag _ as b -> not (Bignat.is_zero (Value.count_in (eval_term env t) b))
-      | v -> err "∈ on non-set %s" (Value.to_string v))
-  | Sub (s1, s2) -> (
-      match (eval_term env s1, eval_term env s2) with
-      | (Value.Bag _ as b1), (Value.Bag _ as b2) -> Bag.subbag b1 b2
-      | _ -> err "⊆ on non-sets")
+  | Mem (t, s) ->
+      let b = eval_term env s in
+      if Value.is_bag b then
+        not (Bignat.is_zero (Value.count_in (eval_term env t) b))
+      else err "∈ on non-set %s" (Value.to_string b)
+  | Sub (s1, s2) ->
+      let b1 = eval_term env s1 and b2 = eval_term env s2 in
+      if Value.is_bag b1 && Value.is_bag b2 then Bag.subbag b1 b2
+      else err "⊆ on non-sets"
   | And (f, g) -> holds db env f && holds db env g
   | Or (f, g) -> holds db env f || holds db env g
   | Not f -> not (holds db env f)

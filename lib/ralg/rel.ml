@@ -21,9 +21,9 @@ let cardinal = List.length
 
 (** Deep conversion: forgets multiplicities at every level. *)
 let rec set_value_of (v : Value.t) : Value.t =
-  match v with
+  match Value.view v with
   | Value.Atom _ -> v
-  | Value.Tuple vs -> Value.Tuple (List.map set_value_of vs)
+  | Value.Tuple vs -> Value.tuple (List.map set_value_of vs)
   | Value.Bag pairs ->
       Value.bag_of_assoc
         (List.map (fun (x, _) -> (set_value_of x, Bignat.one)) pairs)
@@ -34,7 +34,7 @@ let to_value (r : t) : Value.t = Value.bag_of_list r
 (** [is_set_value v] checks the recursive all-multiplicities-one
     invariant. *)
 let rec is_set_value (v : Value.t) =
-  match v with
+  match Value.view v with
   | Value.Atom _ -> true
   | Value.Tuple vs -> List.for_all is_set_value vs
   | Value.Bag pairs ->
@@ -76,7 +76,7 @@ let product (a : t) (b : t) : t =
   of_list
     (List.concat_map
        (fun x ->
-         List.map (fun y -> Value.Tuple (Value.as_tuple x @ Value.as_tuple y)) b)
+         List.map (fun y -> Value.tuple (Value.as_tuple x @ Value.as_tuple y)) b)
        a)
 
 let map f (r : t) : t = of_list (List.map f r)

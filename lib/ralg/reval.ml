@@ -38,11 +38,12 @@ let rec eval (env : env) (e : Expr.t) : Value.t =
       | Some v -> v
       | None -> error "unbound variable %s" x)
   | Expr.Lit (v, _) -> Rel.set_value_of v
-  | Expr.Tuple es -> Value.Tuple (List.map (eval env) es)
+  | Expr.Tuple es -> Value.tuple (List.map (eval env) es)
   | Expr.Proj (i, e) -> (
-      match eval env e with
+      let v = eval env e in
+      match Value.view v with
       | Value.Tuple vs when i >= 1 && i <= List.length vs -> List.nth vs (i - 1)
-      | v -> error "cannot project attribute %d of %s" i (Value.to_string v))
+      | _ -> error "cannot project attribute %d of %s" i (Value.to_string v))
   | Expr.Sing e -> Value.bag_of_list [ eval env e ]
   | Expr.UnionAdd (a, b) | Expr.UnionMax (a, b) ->
       Rel.to_value (Rel.union (as_rel (eval env a)) (as_rel (eval env b)))

@@ -1,0 +1,13 @@
+#!/bin/sh
+# CI entry point: build, run the test suite, then emit the machine-readable
+# benchmark report (BENCH_eval.json, uploaded as an artifact by the
+# workflow).
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+dune exec bench/main.exe -- --json
+
+echo "--- BENCH_eval.json ---"
+cat BENCH_eval.json

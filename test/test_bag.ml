@@ -6,9 +6,9 @@ module B = Bignat
 
 let value = Alcotest.testable Value.pp Value.equal
 
-let a = Value.Atom "a"
-let b = Value.Atom "b"
-let c = Value.Atom "c"
+let a = Value.atom "a"
+let b = Value.atom "b"
+let c = Value.atom "c"
 let bag = Value.bag_of_list
 let bagc l = Value.bag_of_assoc (List.map (fun (v, n) -> (v, B.of_int n)) l)
 
@@ -38,10 +38,10 @@ let test_subbag () =
     (Bag.subbag Value.empty_bag (bagc [ (a, 1) ]))
 
 let test_product () =
-  let l = bagc [ (Value.Tuple [ a ], 2) ]
-  and r = bagc [ (Value.Tuple [ b ], 3); (Value.Tuple [ c ], 1) ] in
+  let l = bagc [ (Value.tuple [ a ], 2) ]
+  and r = bagc [ (Value.tuple [ b ], 3); (Value.tuple [ c ], 1) ] in
   Alcotest.check value "counts multiply, tuples concatenate"
-    (bagc [ (Value.Tuple [ a; b ], 6); (Value.Tuple [ a; c ], 2) ])
+    (bagc [ (Value.tuple [ a; b ], 6); (Value.tuple [ a; c ], 2) ])
     (Bag.product l r)
 
 let test_destroy () =
@@ -102,7 +102,7 @@ let test_prop32_claim () =
     let bag_km =
       Value.bag_of_assoc
         (List.init k (fun i ->
-             (Value.Atom (Printf.sprintf "x%d" i), B.of_int m)))
+             (Value.atom (Printf.sprintf "x%d" i), B.of_int m)))
     in
     let dp = Bag.destroy (Bag.powerset bag_km) in
     let expected = B.div (B.mul (B.of_int m) (B.pow (B.of_int (m + 1)) k)) B.two in
@@ -120,7 +120,7 @@ let test_prop32_claim () =
     let bag_km =
       Value.bag_of_assoc
         (List.init k (fun i ->
-             (Value.Atom (Printf.sprintf "x%d" i), B.of_int m)))
+             (Value.atom (Printf.sprintf "x%d" i), B.of_int m)))
     in
     let v = Bag.destroy (Bag.destroy (Bag.powerset (Bag.powerset bag_km))) in
     let mp1k = B.to_int_exn (B.pow (B.of_int (m + 1)) k) in
@@ -170,7 +170,7 @@ module MS = Mset.Multiset.Make (struct
 end)
 
 let to_ms v = List.fold_left (fun m (x, c) -> MS.add ~count:c x m) MS.empty (Value.as_bag v)
-let of_ms m = Value.Bag (MS.to_list m)
+let of_ms m = Value.bag_of_assoc (MS.to_list m)
 
 let gen_flat_bag =
   QCheck.Gen.map

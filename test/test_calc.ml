@@ -6,9 +6,9 @@ module Calc = Ralg.Calc
 module Rel = Ralg.Rel
 module Reval = Ralg.Reval
 
-let a x = Value.Atom x
-let t1 x = Value.Tuple [ a x ]
-let t2 x y = Value.Tuple [ a x; a y ]
+let a x = Value.atom x
+let t1 x = Value.tuple [ a x ]
+let t2 x y = Value.tuple [ a x; a y ]
 
 let g_rel = Rel.of_list [ t2 "x" "y"; t2 "y" "z"; t2 "x" "x" ]
 let r_rel = Rel.of_list [ t1 "x"; t1 "y" ]

@@ -9,11 +9,11 @@ let value = Alcotest.testable Value.pp Value.equal
 let ev ?(env = []) e = Eval.eval (Eval.env_of_list env) e
 let truthy ?env e = Eval.truthy (ev ?env e)
 
-let rel1 l = Value.bag_of_list (List.map (fun x -> Value.Tuple [ Value.Atom x ]) l)
+let rel1 l = Value.bag_of_list (List.map (fun x -> Value.tuple [ Value.atom x ]) l)
 
 let rel2 l =
   Value.bag_of_list
-    (List.map (fun (x, y) -> Value.Tuple [ Value.Atom x; Value.Atom y ]) l)
+    (List.map (fun (x, y) -> Value.tuple [ Value.atom x; Value.atom y ]) l)
 
 let nat_of e = B.to_int_exn (Value.nat_value (ev e))
 
@@ -32,7 +32,7 @@ let test_count () =
   Alcotest.(check int) "count of empty" 0
     (nat_of (Derived.count (Expr.empty (Ty.relation 2))));
   (* counts duplicates *)
-  let dup = Value.bag_of_assoc [ (Value.Tuple [ Value.Atom "a" ], B.of_int 5) ] in
+  let dup = Value.bag_of_assoc [ (Value.tuple [ Value.atom "a" ], B.of_int 5) ] in
   Alcotest.(check int) "count respects duplicates" 5
     (nat_of (Derived.count (Expr.lit dup (Ty.relation 1))))
 
@@ -196,7 +196,11 @@ let prop_ddl_completeness =
       (* only DDL constructors (plus typed empty-bag leaves) appear *)
       let rec ddl_only e =
         (match e with
-        | Expr.Lit (Value.Atom _, _) | Expr.Lit (Value.Bag [], _) -> true
+        | Expr.Lit (v, _) -> (
+            match Value.view v with
+            | Value.Atom _ -> true
+            | Value.Bag [] -> true
+            | _ -> false)
         | Expr.Tuple _ | Expr.Sing _ | Expr.UnionAdd _ -> true
         | _ -> false)
         && List.for_all ddl_only (Expr.children e)

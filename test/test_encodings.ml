@@ -52,7 +52,7 @@ let test_ifp_binary_increment () =
       let cells =
         List.sort
           (fun a b ->
-            match (a, b) with
+            match (Value.view a, Value.view b) with
             | Value.Tuple (j1 :: _), Value.Tuple (j2 :: _) ->
                 Bignat.compare (Value.nat_value j1) (Value.nat_value j2)
             | _ -> 0)
@@ -61,9 +61,12 @@ let test_ifp_binary_increment () =
       let decoded =
         List.fold_left
           (fun acc cell ->
-            match cell with
-            | Value.Tuple [ _; Value.Atom "0"; _ ] -> acc * 2
-            | Value.Tuple [ _; Value.Atom "1"; _ ] -> (acc * 2) + 1
+            match Value.view cell with
+            | Value.Tuple [ _; sym; _ ] -> (
+                match Value.view sym with
+                | Value.Atom "0" -> acc * 2
+                | Value.Atom "1" -> (acc * 2) + 1
+                | _ -> acc)
             | _ -> acc)
           0 cells
       in

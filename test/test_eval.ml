@@ -7,14 +7,14 @@ module B = Bignat
 let value = Alcotest.testable Value.pp Value.equal
 let ty = Alcotest.testable Ty.pp Ty.equal
 
-let a = Value.Atom "a"
-let b = Value.Atom "b"
+let a = Value.atom "a"
+let b = Value.atom "b"
 let bagc l = Value.bag_of_assoc (List.map (fun (v, n) -> (v, B.of_int n)) l)
-let rel1 l = Value.bag_of_list (List.map (fun x -> Value.Tuple [ Value.Atom x ]) l)
+let rel1 l = Value.bag_of_list (List.map (fun x -> Value.tuple [ Value.atom x ]) l)
 
 let rel2 l =
   Value.bag_of_list
-    (List.map (fun (x, y) -> Value.Tuple [ Value.Atom x; Value.Atom y ]) l)
+    (List.map (fun (x, y) -> Value.tuple [ Value.atom x; Value.atom y ]) l)
 
 let ev ?(env = []) e = Eval.eval (Eval.env_of_list env) e
 let tc ?(env = []) e = Typecheck.infer (Typecheck.env_of_list env) e
@@ -56,7 +56,7 @@ let test_typecheck_errors () =
       tc ~env
         (Expr.select "x" (Expr.Proj (1, Expr.Var "x")) (Expr.Var "x") (Expr.Var "G")));
   expect_type_error "bad literal" (fun () ->
-      tc (Expr.Lit (Value.Atom "a", Ty.relation 1)))
+      tc (Expr.Lit (Value.atom "a", Ty.relation 1)))
 
 let test_nesting_measure () =
   let env = Typecheck.env_of_list [ ("G", Ty.relation 2) ] in
@@ -73,7 +73,7 @@ let test_nesting_measure () =
 
 let test_eval_basics () =
   Alcotest.check value "atom" a (ev (Expr.atom "a"));
-  Alcotest.check value "tuple" (Value.Tuple [ a; b ])
+  Alcotest.check value "tuple" (Value.tuple [ a; b ])
     (ev (Expr.Tuple [ Expr.atom "a"; Expr.atom "b" ]));
   Alcotest.check value "proj" b
     (ev (Expr.Proj (2, Expr.Tuple [ Expr.atom "a"; Expr.atom "b" ])));
@@ -105,7 +105,7 @@ let test_eval_map_select () =
   (* map coalesces: project first column *)
   Alcotest.check value "projection merges duplicates"
     (Value.bag_of_assoc
-       [ (Value.Tuple [ a ], B.of_int 2); (Value.Tuple [ b ], B.one) ])
+       [ (Value.tuple [ a ], B.of_int 2); (Value.tuple [ b ], B.one) ])
     (ev (Expr.proj_attrs [ 1 ] lg))
 
 let test_eval_product_powerset () =
@@ -118,7 +118,7 @@ let test_eval_product_powerset () =
     (Value.support_size (ev (Expr.Powerset lr)));
   Alcotest.check value "destroy . powerset counts"
     (Value.bag_of_assoc
-       [ (Value.Tuple [ a ], B.of_int 2); (Value.Tuple [ b ], B.of_int 2) ])
+       [ (Value.tuple [ a ], B.of_int 2); (Value.tuple [ b ], B.of_int 2) ])
     (ev (Expr.Destroy (Expr.Powerset lr)))
 
 let test_binder_scoping () =
@@ -168,7 +168,7 @@ let test_fix_divergence_guard () =
 
 let test_meters () =
   let meters = Eval.fresh_meters () in
-  let r = Value.replicate (B.of_int 8) (Value.Tuple [ a ]) in
+  let r = Value.replicate (B.of_int 8) (Value.tuple [ a ]) in
   let e = Expr.Powerset (Expr.lit r (Ty.relation 1)) in
   ignore (Eval.eval ~meters (Eval.env_of_list []) e);
   Alcotest.(check int) "support meter" 9 meters.Eval.max_support_seen;

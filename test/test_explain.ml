@@ -7,7 +7,7 @@ let value = Alcotest.testable Value.pp Value.equal
 
 let rel2 l =
   Value.bag_of_list
-    (List.map (fun (x, y) -> Value.Tuple [ Value.Atom x; Value.Atom y ]) l)
+    (List.map (fun (x, y) -> Value.tuple [ Value.atom x; Value.atom y ]) l)
 
 let g = rel2 [ ("a", "b"); ("b", "c"); ("c", "d") ]
 let env = Eval.env_of_list [ ("G", g) ]

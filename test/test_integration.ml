@@ -34,7 +34,7 @@ let test_follower_counts () =
   (* bob->cleo is recorded twice; projection must keep the duplicate *)
   let v = pipeline "pi[2](Follows)" in
   Alcotest.(check string) "cleo followed 3 times (with duplicate)" "3"
-    (Bignat.to_string (Value.count_in (Value.Tuple [ Value.Atom "cleo" ]) v))
+    (Bignat.to_string (Value.count_in (Value.tuple [ Value.atom "cleo" ]) v))
 
 let test_popularity_query () =
   (* who has strictly more inbound than outbound edges? *)
@@ -71,20 +71,20 @@ let ev ?config ?(env = []) e = Eval.eval ?config (Eval.env_of_list env) e
 
 let test_empty_bag_ops () =
   let e1 = Expr.empty (Ty.relation 1) in
-  Alcotest.check value "product with empty" (Value.Bag [])
+  Alcotest.check value "product with empty" (Value.bag_of_assoc [])
     (ev Expr.(e1 *** e1));
   Alcotest.check value "powerset of empty has one member"
     (Value.bag_of_list [ Value.empty_bag ])
     (ev (Expr.Powerset e1));
-  Alcotest.check value "destroy of powerset of empty" (Value.Bag [])
+  Alcotest.check value "destroy of powerset of empty" (Value.bag_of_assoc [])
     (ev (Expr.Destroy (Expr.Powerset e1)));
-  Alcotest.check value "ones of empty" (Value.Bag []) (ev (Derived.ones e1))
+  Alcotest.check value "ones of empty" (Value.bag_of_assoc []) (ev (Derived.ones e1))
 
 let test_deeply_nested_values () =
   (* bag of bags of bags: nesting 3 round-trips through powerset/destroy *)
   let v3 =
     Value.bag_of_list
-      [ Value.bag_of_list [ Value.bag_of_list [ Value.Atom "a" ] ] ]
+      [ Value.bag_of_list [ Value.bag_of_list [ Value.atom "a" ] ] ]
   in
   let t3 = Ty.Bag (Ty.Bag (Ty.Bag Ty.Atom)) in
   let e = Expr.Destroy (Expr.Sing (Expr.lit v3 t3)) in
@@ -123,7 +123,7 @@ let test_support_guard () =
   let config = { Eval.default_config with Eval.max_support = 10 } in
   let big =
     Value.bag_of_list
-      (List.init 20 (fun i -> Value.Tuple [ Value.Atom (string_of_int i) ]))
+      (List.init 20 (fun i -> Value.tuple [ Value.atom (string_of_int i) ]))
   in
   match ev ~config Expr.(Expr.lit big (Ty.relation 1) *** Expr.lit big (Ty.relation 1)) with
   | exception Eval.Resource_limit _ -> ()
@@ -132,7 +132,7 @@ let test_support_guard () =
 let test_digit_guard () =
   let config = { Eval.default_config with Eval.max_count_digits = 5 } in
   (* repeated squaring of multiplicities: 10 -> 100 -> 10^4 -> 10^8 *)
-  let b = Expr.lit (Value.replicate (Bignat.of_int 10) (Value.Tuple [ Value.Atom "a" ])) (Ty.relation 1) in
+  let b = Expr.lit (Value.replicate (Bignat.of_int 10) (Value.tuple [ Value.atom "a" ])) (Ty.relation 1) in
   let rec squared k e = if k = 0 then e else squared (k - 1) (Expr.proj_attrs [ 1 ] Expr.(e *** e)) in
   match ev ~config (squared 3 b) with
   | exception Eval.Resource_limit _ -> ()
@@ -140,14 +140,14 @@ let test_digit_guard () =
 
 let test_powerset_guard_through_eval () =
   let config = { Eval.default_config with Eval.max_support = 100 } in
-  let b = Expr.lit (Value.replicate (Bignat.of_int 500) (Value.Atom "a")) (Ty.Bag Ty.Atom) in
+  let b = Expr.lit (Value.replicate (Bignat.of_int 500) (Value.atom "a")) (Ty.Bag Ty.Atom) in
   match ev ~config (Expr.Powerset b) with
   | exception Bag.Too_large _ -> ()
   | _ -> Alcotest.fail "expected Too_large"
 
 let test_meters_cardinal () =
   let meters = Eval.fresh_meters () in
-  let b = Expr.lit (Value.replicate (Bignat.of_int 7) (Value.Tuple [ Value.Atom "a" ])) (Ty.relation 1) in
+  let b = Expr.lit (Value.replicate (Bignat.of_int 7) (Value.tuple [ Value.atom "a" ])) (Ty.relation 1) in
   ignore (Eval.eval ~meters (Eval.env_of_list []) Expr.(b *** b));
   Alcotest.(check string) "cardinal meter sees 49" "49"
     (Bignat.to_string meters.Eval.max_cardinal_seen);

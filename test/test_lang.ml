@@ -44,16 +44,16 @@ let test_parse_ty () =
     (Parser.ty_of_string "{{ {{ U }} }}")
 
 let test_parse_value () =
-  Alcotest.check value "atom" (Value.Atom "a") (Parser.value_of_string "'a");
+  Alcotest.check value "atom" (Value.atom "a") (Parser.value_of_string "'a");
   Alcotest.check value "bag with counts"
     (Value.bag_of_assoc
-       [ (Value.Tuple [ Value.Atom "a"; Value.Atom "b" ], Bignat.of_int 3) ])
+       [ (Value.tuple [ Value.atom "a"; Value.atom "b" ], Bignat.of_int 3) ])
     (Parser.value_of_string "{{ <'a, 'b>:3 }}");
   Alcotest.check value "coalescing"
-    (Value.bag_of_assoc [ (Value.Atom "x", Bignat.of_int 5) ])
+    (Value.bag_of_assoc [ (Value.atom "x", Bignat.of_int 5) ])
     (Parser.value_of_string "{{ 'x:2, 'x:3 }}");
   Alcotest.check value "big count"
-    (Value.replicate (Bignat.of_string "123456789012345678901") (Value.Atom "x"))
+    (Value.replicate (Bignat.of_string "123456789012345678901") (Value.atom "x"))
     (Parser.value_of_string "{{ 'x:123456789012345678901 }}")
 
 (* --- parsing expressions ---------------------------------------------------- *)
@@ -88,11 +88,11 @@ let test_parse_constructs () =
 let test_parse_projection () =
   let e = Parser.expr_of_string "map(x -> <x.2, x.1>, G)" in
   let g =
-    Value.bag_of_list [ Value.Tuple [ Value.Atom "a"; Value.Atom "b" ] ]
+    Value.bag_of_list [ Value.tuple [ Value.atom "a"; Value.atom "b" ] ]
   in
   let v = Eval.eval (Eval.env_of_list [ ("G", g) ]) e in
   Alcotest.check value "swap via surface syntax"
-    (Value.bag_of_list [ Value.Tuple [ Value.Atom "b"; Value.Atom "a" ] ])
+    (Value.bag_of_list [ Value.tuple [ Value.atom "b"; Value.atom "a" ] ])
     v
 
 let test_parse_pi_sugar () =
@@ -136,7 +136,7 @@ let test_bagdb_load () =
   let _, ty_r, v_r = List.hd db in
   Alcotest.check ty "declared type" (Ty.relation 1) ty_r;
   Alcotest.(check string) "duplicate kept" "2"
-    (Bignat.to_string (Value.count_in (Value.Tuple [ Value.Atom "b" ]) v_r))
+    (Bignat.to_string (Value.count_in (Value.tuple [ Value.atom "b" ]) v_r))
 
 let test_bagdb_type_mismatch () =
   match Bagdb.parse "bag R : {{<U>}} = {{ 'a }}" with

@@ -9,7 +9,7 @@ module Reval = Ralg.Reval
 let value = Alcotest.testable Value.pp Value.equal
 let ty = Alcotest.testable Ty.pp Ty.equal
 
-let t2 x y = Value.Tuple [ Value.Atom x; Value.Atom y ]
+let t2 x y = Value.tuple [ Value.atom x; Value.atom y ]
 
 let sales =
   Value.bag_of_assoc
@@ -26,13 +26,13 @@ let test_nest_semantics () =
   let nested = ev (Expr.Nest ([ 1 ], lit2)) in
   Alcotest.(check int) "two groups" 2 (Value.support_size nested);
   let ada_group =
-    Value.Tuple
+    Value.tuple
       [
-        Value.Atom "ada";
+        Value.atom "ada";
         Value.bag_of_assoc
           [
-            (Value.Tuple [ Value.Atom "widget" ], B.of_int 3);
-            (Value.Tuple [ Value.Atom "gadget" ], B.one);
+            (Value.tuple [ Value.atom "widget" ], B.of_int 3);
+            (Value.tuple [ Value.atom "gadget" ], B.one);
           ];
       ]
   in
@@ -69,9 +69,9 @@ let test_unnest_semantics () =
 
 let test_unnest_multiplicities () =
   (* outer count 2 x inner count 3 = 6 *)
-  let inner = Value.bag_of_assoc [ (Value.Tuple [ Value.Atom "x" ], B.of_int 3) ] in
+  let inner = Value.bag_of_assoc [ (Value.tuple [ Value.atom "x" ], B.of_int 3) ] in
   let outer =
-    Value.bag_of_assoc [ (Value.Tuple [ Value.Atom "k"; inner ], B.of_int 2) ]
+    Value.bag_of_assoc [ (Value.tuple [ Value.atom "k"; inner ], B.of_int 2) ]
   in
   let t = Ty.Bag (Ty.Tuple [ Ty.Atom; Ty.Bag (Ty.Tuple [ Ty.Atom ]) ]) in
   let flat = ev (Expr.Unnest (2, Expr.lit outer t)) in
@@ -85,14 +85,14 @@ let test_group_count () =
       (who ^ " count")
       "1"
       (B.to_string
-         (Value.count_in (Value.Tuple [ Value.Atom who; Value.nat n ]) counts))
+         (Value.count_in (Value.tuple [ Value.atom who; Value.nat n ]) counts))
   in
   expect "ada" 4;
   expect "bob" 2
 
 let test_group_sum () =
   (* <customer, amount-as-integer-bag> *)
-  let row c n = Value.Tuple [ Value.Atom c; Value.nat n ] in
+  let row c n = Value.tuple [ Value.atom c; Value.nat n ] in
   let ledger =
     Value.bag_of_assoc
       [ (row "ada" 5, B.of_int 2); (row "ada" 1, B.one); (row "bob" 7, B.one) ]
@@ -101,9 +101,9 @@ let test_group_sum () =
   let sums = ev (Derived.group_sum [ 1 ] ~of_:2 ~arity:2 (Expr.lit ledger t)) in
   (* ada: 5*2 + 1 = 11 *)
   Alcotest.(check string) "ada sum" "1"
-    (B.to_string (Value.count_in (Value.Tuple [ Value.Atom "ada"; Value.nat 11 ]) sums));
+    (B.to_string (Value.count_in (Value.tuple [ Value.atom "ada"; Value.nat 11 ]) sums));
   Alcotest.(check string) "bob sum" "1"
-    (B.to_string (Value.count_in (Value.Tuple [ Value.Atom "bob"; Value.nat 7 ]) sums))
+    (B.to_string (Value.count_in (Value.tuple [ Value.atom "bob"; Value.nat 7 ]) sums))
 
 (* nest is definable from MAP + select + dedup (§7): the built-in operator
    agrees with the derived form on random bags *)

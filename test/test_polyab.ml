@@ -43,7 +43,7 @@ let test_sign_analysis () =
 
 let b = "B"
 let input_ty = [ (b, Ty.relation 1) ]
-let t_a = Value.Tuple [ Value.Atom "a" ]
+let t_a = Value.tuple [ Value.atom "a" ]
 
 let analyze e =
   (* every analysed expression must also typecheck *)
@@ -72,7 +72,7 @@ let test_union_product () =
   check_agreement Expr.(Var b ++ Var b);
   check_agreement Expr.(Var b *** Var b);
   let a = analyze Expr.(Var b *** Var b) in
-  (match Polyab.polynomial_of a (Value.Tuple [ Value.Atom "a"; Value.Atom "a" ]) with
+  (match Polyab.polynomial_of a (Value.tuple [ Value.atom "a"; Value.atom "a" ]) with
   | Some p -> Alcotest.check poly "product squares" (Poly.mul Poly.x Poly.x) p
   | None -> Alcotest.fail "missing tuple")
 
@@ -103,7 +103,7 @@ let test_map_select () =
   (* map to a constant: all n occurrences collapse onto <c> *)
   let e = Expr.map "x" (Expr.Tuple [ Expr.atom "c" ]) (Expr.Var b) in
   let a = analyze e in
-  (match Polyab.polynomial_of a (Value.Tuple [ Value.Atom "c" ]) with
+  (match Polyab.polynomial_of a (Value.tuple [ Value.atom "c" ]) with
   | Some p -> Alcotest.check poly "collapse onto constant" Poly.x p
   | None -> Alcotest.fail "missing entry");
   check_agreement e;

@@ -7,24 +7,24 @@ module Reval = Ralg.Reval
 
 let value = Alcotest.testable Value.pp Value.equal
 
-let rel1 l = Value.bag_of_list (List.map (fun x -> Value.Tuple [ Value.Atom x ]) l)
+let rel1 l = Value.bag_of_list (List.map (fun x -> Value.tuple [ Value.atom x ]) l)
 
 let rel2 l =
   Value.bag_of_list
-    (List.map (fun (x, y) -> Value.Tuple [ Value.Atom x; Value.Atom y ]) l)
+    (List.map (fun (x, y) -> Value.tuple [ Value.atom x; Value.atom y ]) l)
 
 (* --- Rel ----------------------------------------------------------------- *)
 
 let test_rel_basics () =
-  let r = Rel.of_list [ Value.Atom "b"; Value.Atom "a"; Value.Atom "b" ] in
+  let r = Rel.of_list [ Value.atom "b"; Value.atom "a"; Value.atom "b" ] in
   Alcotest.(check int) "dedup on of_list" 2 (Rel.cardinal r);
-  Alcotest.(check bool) "mem" true (Rel.mem (Value.Atom "a") r);
-  Alcotest.(check bool) "not mem" false (Rel.mem (Value.Atom "z") r);
+  Alcotest.(check bool) "mem" true (Rel.mem (Value.atom "a") r);
+  Alcotest.(check bool) "not mem" false (Rel.mem (Value.atom "z") r);
   Alcotest.(check bool) "empty" true (Rel.is_empty Rel.empty)
 
 let test_rel_setops () =
-  let a = Rel.of_list [ Value.Atom "a"; Value.Atom "b" ]
-  and b = Rel.of_list [ Value.Atom "b"; Value.Atom "c" ] in
+  let a = Rel.of_list [ Value.atom "a"; Value.atom "b" ]
+  and b = Rel.of_list [ Value.atom "b"; Value.atom "c" ] in
   Alcotest.(check int) "union" 3 (Rel.cardinal (Rel.union a b));
   Alcotest.(check int) "inter" 1 (Rel.cardinal (Rel.inter a b));
   Alcotest.(check int) "diff" 1 (Rel.cardinal (Rel.diff a b));
@@ -34,12 +34,12 @@ let test_rel_setops () =
 let test_set_value_of () =
   let noisy =
     Value.bag_of_assoc
-      [ (Value.bag_of_assoc [ (Value.Atom "a", B.of_int 3) ], B.of_int 2) ]
+      [ (Value.bag_of_assoc [ (Value.atom "a", B.of_int 3) ], B.of_int 2) ]
   in
   let cleaned = Rel.set_value_of noisy in
   Alcotest.(check bool) "deep dedup" true (Rel.is_set_value cleaned);
   Alcotest.check value "value"
-    (Value.bag_of_list [ Value.bag_of_list [ Value.Atom "a" ] ])
+    (Value.bag_of_list [ Value.bag_of_list [ Value.atom "a" ] ])
     cleaned
 
 (* --- Reval ---------------------------------------------------------------- *)
@@ -63,7 +63,7 @@ let test_reval_union_semantics () =
     Eval.eval (Eval.env_of_list [ ("G", g) ]) (Expr.proj_attrs [ 1 ] (Expr.Var "G"))
   in
   Alcotest.(check string) "bag projection keeps count" "2"
-    (B.to_string (Value.count_in (Value.Tuple [ Value.Atom "a" ]) bag_result))
+    (B.to_string (Value.count_in (Value.tuple [ Value.atom "a" ]) bag_result))
 
 let test_reval_powerbag_rejected () =
   match ev_set ~env:[ ("R", rel1 [ "a" ]) ] (Expr.Powerbag (Expr.Var "R")) with

@@ -13,7 +13,7 @@ let orders_table =
 
 let products_table = Sql.table "Products" [ ("product", Ty.Atom); ("colour", Ty.Atom) ]
 
-let row c p q = Value.Tuple [ Value.Atom c; Value.Atom p; Value.nat q ]
+let row c p q = Value.tuple [ Value.atom c; Value.atom p; Value.nat q ]
 
 let orders =
   Value.bag_of_assoc
@@ -26,8 +26,8 @@ let orders =
 let products =
   Value.bag_of_list
     [
-      Value.Tuple [ Value.Atom "widget"; Value.Atom "red" ];
-      Value.Tuple [ Value.Atom "gadget"; Value.Atom "blue" ];
+      Value.tuple [ Value.atom "widget"; Value.atom "red" ];
+      Value.tuple [ Value.atom "gadget"; Value.atom "blue" ];
     ]
 
 let tables = [ orders_table; products_table ]
@@ -44,7 +44,7 @@ let test_projection_keeps_duplicates () =
   in
   let v = run q in
   Alcotest.(check string) "ada appears thrice" "3"
-    (B.to_string (Value.count_in (Value.Tuple [ Value.Atom "ada" ]) v))
+    (B.to_string (Value.count_in (Value.tuple [ Value.atom "ada" ]) v))
 
 let test_distinct () =
   let q =
@@ -61,12 +61,12 @@ let test_where () =
     Sql.select
       [ Sql.Column ("o", "product") ]
       ~from:[ ("Orders", "o") ]
-      ~where:[ Sql.Const_eq (("o", "customer"), Value.Atom "ada") ]
+      ~where:[ Sql.Const_eq (("o", "customer"), Value.atom "ada") ]
       ()
   in
   let v = run q in
   Alcotest.(check string) "ada's widgets (x2)" "2"
-    (B.to_string (Value.count_in (Value.Tuple [ Value.Atom "widget" ]) v))
+    (B.to_string (Value.count_in (Value.tuple [ Value.atom "widget" ]) v))
 
 let test_join () =
   let q =
@@ -78,7 +78,7 @@ let test_join () =
   in
   let v = run q in
   Alcotest.(check string) "ada buys red twice" "2"
-    (B.to_string (Value.count_in (Value.Tuple [ Value.Atom "ada"; Value.Atom "red" ]) v))
+    (B.to_string (Value.count_in (Value.tuple [ Value.atom "ada"; Value.atom "red" ]) v))
 
 let test_count_star () =
   let q = Sql.select [ Sql.Count_star ] ~from:[ ("Orders", "o") ] () in
@@ -107,8 +107,8 @@ let test_group_by () =
   Alcotest.check value "per-customer count and sum"
     (Value.bag_of_list
        [
-         Value.Tuple [ Value.Atom "ada"; Value.nat 3; Value.nat 11 ];
-         Value.Tuple [ Value.Atom "bob"; Value.nat 1; Value.nat 7 ];
+         Value.tuple [ Value.atom "ada"; Value.nat 3; Value.nat 11 ];
+         Value.tuple [ Value.atom "bob"; Value.nat 1; Value.nat 7 ];
        ])
     v
 

@@ -6,9 +6,9 @@ module B = Bignat
 let value = Alcotest.testable Value.pp Value.equal
 let ty = Alcotest.testable Ty.pp Ty.equal
 
-let a = Value.Atom "a"
-let b = Value.Atom "b"
-let t2 x y = Value.Tuple [ x; y ]
+let a = Value.atom "a"
+let b = Value.atom "b"
+let t2 x y = Value.tuple [ x; y ]
 
 let test_bag_canonical () =
   let b1 = Value.bag_of_assoc [ (b, B.of_int 2); (a, B.one); (b, B.one) ] in
@@ -17,13 +17,13 @@ let test_bag_canonical () =
   let b3 = Value.bag_of_assoc [ (a, B.zero) ] in
   Alcotest.check value "zero counts dropped" Value.empty_bag b3;
   Alcotest.check value "of_list" b2
-    (Value.bag_of_list [ Value.Atom "b"; a; Value.Atom "b"; Value.Atom "b" ])
+    (Value.bag_of_list [ Value.atom "b"; a; Value.atom "b"; Value.atom "b" ])
 
 let test_counts () =
   let bag = Value.bag_of_list [ a; a; b ] in
   Alcotest.(check string) "count a" "2" (B.to_string (Value.count_in a bag));
   Alcotest.(check string) "count absent" "0"
-    (B.to_string (Value.count_in (Value.Atom "z") bag));
+    (B.to_string (Value.count_in (Value.atom "z") bag));
   Alcotest.(check string) "cardinal" "3" (B.to_string (Value.cardinal bag));
   Alcotest.(check int) "support" 2 (Value.support_size bag)
 
@@ -40,7 +40,7 @@ let test_bag_nesting () =
     (Value.bag_nesting (Value.bag_of_list [ Value.bag_of_list [ a ] ]));
   Alcotest.(check int) "tuple mixes" 2
     (Value.bag_nesting
-       (Value.Tuple [ a; Value.bag_of_list [ Value.bag_of_list [ b ] ] ]))
+       (Value.tuple [ a; Value.bag_of_list [ Value.bag_of_list [ b ] ] ]))
 
 let test_encoded_size () =
   (* duplicates are counted explicitly, per the paper's standard encoding *)
@@ -71,7 +71,7 @@ let test_ty_measures () =
   Alcotest.(check string) "pp" "{{<U, U>}}" (Ty.to_string (Ty.relation 2))
 
 let test_atoms () =
-  let v = Value.Tuple [ a; Value.bag_of_list [ b; Value.Atom "c" ] ] in
+  let v = Value.tuple [ a; Value.bag_of_list [ b; Value.atom "c" ] ] in
   Alcotest.(check (list string)) "atoms" [ "a"; "b"; "c" ] (Value.atoms v)
 
 let test_pp () =
