@@ -139,6 +139,9 @@ type jbench = {
   jname : string;
   jrun : unit -> unit;
   jmeters : Eval.meters option;  (** shared by every run of this bench *)
+  jquery : Expr.t option;
+      (** evaluator benches keep their query so one extra governed run can
+          collect a telemetry summary for the report *)
 }
 
 let json_benches () =
@@ -148,9 +151,10 @@ let json_benches () =
       jname = name;
       jrun = (fun () -> ignore (Eval.eval ~meters:m (Eval.env_of_list []) q));
       jmeters = Some m;
+      jquery = Some q;
     }
   in
-  let plain name f = { jname = name; jrun = f; jmeters = None } in
+  let plain name f = { jname = name; jrun = f; jmeters = None; jquery = None } in
   [
     plain "powerset_12" (fun () -> ignore (Bag.powerset bag12));
     plain "destroy_powerset_12" (fun () -> ignore (Bag.destroy (Bag.powerset bag12)));
@@ -209,6 +213,18 @@ let measure b =
   in
   (median, alloc_words)
 
+(* One governed run per evaluator bench, outside the timing loops, to fold
+   a per-query telemetry summary (steps, spans, peak support, memo counts)
+   into the report. *)
+let telemetry_field b =
+  match b.jquery with
+  | None -> "null"
+  | Some q ->
+      let t = Telemetry.create () in
+      (match Eval.run ~telemetry:t (Eval.env_of_list []) q with
+      | Ok _ | Error _ -> ());
+      Telemetry.summary_json t
+
 let run_json () =
   let out = "BENCH_eval.json" in
   let rows =
@@ -228,8 +244,9 @@ let run_json () =
         in
         Printf.sprintf
           "    {\"name\": \"%s\", \"median_ns\": %.1f, \
-           \"alloc_words_per_run\": %.1f, \"memo_hit_rate\": %s}"
-          (json_escape b.jname) median alloc memo)
+           \"alloc_words_per_run\": %.1f, \"memo_hit_rate\": %s, \
+           \"telemetry\": %s}"
+          (json_escape b.jname) median alloc memo (telemetry_field b))
       (json_benches ())
   in
   let oc = open_out out in
@@ -239,10 +256,190 @@ let run_json () =
   close_out oc;
   Printf.printf "wrote %s\n" out
 
+(* ------------------------------------------------------------------ *)
+(* --gate BASELINE: the benchmark-regression gate.  Re-measures every
+   json bench three times and keeps the best median (cold-cache noise only
+   ever slows a run down), reads the committed baseline back with a
+   hand-rolled scanner for our own one-row-per-line schema, and compares
+   *calibrated* ratios: each bench's current/baseline ratio is divided by
+   the median ratio across all benches, so a uniformly faster or slower CI
+   machine cancels out and only relative regressions remain.  Any bench
+   whose calibrated ratio exceeds the threshold fails the gate. *)
+
+let gate_threshold = 1.25
+
+let arg_values flag =
+  let n = Array.length Sys.argv in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else if Sys.argv.(i) = flag && i + 1 < n then
+      go (i + 2) (Sys.argv.(i + 1) :: acc)
+    else go (i + 1) acc
+  in
+  go 1 []
+
+let arg_value flag = match arg_values flag with v :: _ -> Some v | [] -> None
+
+(* [--handicap NAME=FACTOR] multiplies NAME's measured median, simulating a
+   regression in exactly one bench — the self-test that the gate actually
+   fires.  (A uniform slowdown would be cancelled by calibration; a
+   single-bench one cannot be.) *)
+let handicaps () =
+  List.map
+    (fun spec ->
+      match String.index_opt spec '=' with
+      | Some i ->
+          ( String.sub spec 0 i,
+            float_of_string
+              (String.sub spec (i + 1) (String.length spec - i - 1)) )
+      | None -> failwith ("bad --handicap (want NAME=FACTOR): " ^ spec))
+    (arg_values "--handicap")
+
+(* baseline scanner: rows are written one per line by [run_json], so
+   extracting ["name"]/["median_ns"] per line is a full parse of our own
+   schema *)
+let scan_field line key =
+  let n = String.length line and m = String.length key in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub line i m = key then Some (i + m)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+      let rec skip i =
+        if i < n && (line.[i] = ':' || line.[i] = ' ' || line.[i] = '"') then
+          skip (i + 1)
+        else i
+      in
+      let start = skip i in
+      let rec stop i =
+        if
+          i < n
+          && (match line.[i] with
+             | '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true
+             | c -> not (c = '"' || c = ',' || c = '}'))
+        then stop (i + 1)
+        else i
+      in
+      let fin = stop start in
+      if fin > start then Some (String.sub line start (fin - start)) else None
+
+let parse_baseline path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match (scan_field line "\"name\"", scan_field line "\"median_ns\"") with
+       | Some name, Some med -> rows := (name, float_of_string med) :: !rows
+       | _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !rows
+
+let median_of xs =
+  let sorted = List.sort Float.compare xs in
+  List.nth sorted (List.length sorted / 2)
+
+let best_of_3 b =
+  List.fold_left min infinity (List.init 3 (fun _ -> fst (measure b)))
+
+let run_gate baseline_path =
+  let baseline = parse_baseline baseline_path in
+  if baseline = [] then begin
+    Printf.eprintf "gate: no benchmarks found in %s\n" baseline_path;
+    exit 1
+  end;
+  let hc = handicaps () in
+  let current =
+    List.map
+      (fun b ->
+        Printf.printf "  measuring %-28s ...%!" b.jname;
+        let med = best_of_3 b in
+        let med =
+          match List.assoc_opt b.jname hc with
+          | Some f ->
+              Printf.printf " (handicap x%g)" f;
+              med *. f
+          | None -> med
+        in
+        Printf.printf " %12.0f ns\n%!" med;
+        (b.jname, med))
+      (json_benches ())
+  in
+  let joined =
+    List.filter_map
+      (fun (name, cur) ->
+        match List.assoc_opt name baseline with
+        | Some base when base > 0. -> Some (name, base, cur, cur /. base)
+        | _ ->
+            Printf.printf "  note: %s has no baseline entry, skipped\n" name;
+            None)
+      current
+  in
+  if joined = [] then begin
+    Printf.eprintf "gate: no benchmarks in common with the baseline\n";
+    exit 1
+  end;
+  let cal = median_of (List.map (fun (_, _, _, r) -> r) joined) in
+  Printf.printf "calibration: median current/baseline ratio = %.3f\n" cal;
+  let rows =
+    List.map
+      (fun (name, base, cur, r) ->
+        let adj = r /. cal in
+        (name, base, cur, adj, adj > gate_threshold))
+      joined
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "## Benchmark gate\n\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Calibration factor %.3f (median raw ratio); threshold %.2fx.\n\n" cal
+       gate_threshold);
+  Buffer.add_string buf
+    "| benchmark | baseline ns | current ns | calibrated ratio | status |\n";
+  Buffer.add_string buf "|---|---:|---:|---:|---|\n";
+  List.iter
+    (fun (name, base, cur, adj, failed) ->
+      Buffer.add_string buf
+        (Printf.sprintf "| %s | %.0f | %.0f | %.2fx | %s |\n" name base cur adj
+           (if failed then "**FAIL**" else "ok")))
+    rows;
+  let table = Buffer.contents buf in
+  print_newline ();
+  print_string table;
+  let summary_file =
+    match arg_value "--summary" with
+    | Some f -> Some f
+    | None -> Sys.getenv_opt "GITHUB_STEP_SUMMARY"
+  in
+  (match summary_file with
+  | Some f ->
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 f in
+      output_string oc table;
+      close_out oc
+  | None -> ());
+  let failures = List.filter (fun (_, _, _, _, failed) -> failed) rows in
+  if failures <> [] then begin
+    Printf.eprintf "gate: %d benchmark(s) regressed beyond %.0f%%\n"
+      (List.length failures)
+      ((gate_threshold -. 1.) *. 100.);
+    exit 1
+  end;
+  Printf.printf "gate: all %d benchmarks within %.0f%% of baseline\n"
+    (List.length rows)
+    ((gate_threshold -. 1.) *. 100.)
+
 let () =
-  if Array.exists (( = ) "--json") Sys.argv then run_json ()
-  else begin
-    Experiments.run_all ();
-    run_benchmarks ();
-    print_endline "\nAll experiments completed."
-  end
+  match arg_value "--gate" with
+  | Some baseline -> run_gate baseline
+  | None ->
+      if Array.exists (( = ) "--json") Sys.argv then run_json ()
+      else begin
+        Experiments.run_all ();
+        run_benchmarks ();
+        print_endline "\nAll experiments completed."
+      end

@@ -4,7 +4,13 @@
      balgi eval      -d db.bagdb "pi[1](G * G)"     evaluate a query
      balgi analyze   -d db.bagdb "powerset(R)"      static complexity report
      balgi normalize -d db.bagdb "R /\ R"           rewrite to normal form
-     balgi repl      -d db.bagdb                    interactive loop *)
+     balgi repl      -d db.bagdb                    interactive loop
+
+   Evaluation runs under the Budget governor: --fuel / --max-support /
+   --max-size / --max-count-digits / --max-fix-steps / --timeout set the
+   limits, and exhaustion is reported as a located, structured verdict
+   (exit code 2).  --stats prints the telemetry span tree and per-operator
+   table; --trace adds time/allocation/memo columns per span. *)
 
 open Balg
 module Parser = Baglang.Parser
@@ -30,23 +36,74 @@ let check db e =
       Printf.eprintf "type error: %s\n" msg;
       exit 1
 
-let eval_checked db e =
-  try Eval.eval (Bagdb.value_env db) e with
-  | Eval.Eval_error msg ->
-      Printf.eprintf "evaluation error: %s\n" msg;
-      exit 1
-  | Eval.Resource_limit msg | Bag.Too_large msg ->
-      Printf.eprintf "tractability guard: %s\n" msg;
-      exit 2
+(* --- budget / telemetry options ------------------------------------------ *)
+
+type opts = {
+  limits : Budget.limits;
+  stats : bool;
+  trace : bool;
+}
+
+let make_opts fuel max_support max_size max_count_digits max_fix_steps timeout
+    stats trace =
+  let d = Budget.default in
+  let pick o dflt = Option.value o ~default:dflt in
+  {
+    limits =
+      {
+        Budget.fuel = pick fuel d.Budget.fuel;
+        max_support = pick max_support d.Budget.max_support;
+        max_size = pick max_size d.Budget.max_size;
+        max_count_digits = pick max_count_digits d.Budget.max_count_digits;
+        max_fix_steps = pick max_fix_steps d.Budget.max_fix_steps;
+        deadline_s = timeout;
+      };
+    stats;
+    trace;
+  }
+
+let print_stats opts budget telemetry =
+  match telemetry with
+  | Some t when opts.stats || opts.trace ->
+      print_endline "--- telemetry span tree ---";
+      print_string (Telemetry.to_string ~trace:opts.trace t);
+      print_endline "--- per-operator totals ---";
+      List.iter
+        (fun a ->
+          Printf.printf "  %-12s nodes=%-3d calls=%-8d steps=%-10d peak support=%d"
+            a.Telemetry.a_op a.Telemetry.a_spans a.Telemetry.a_invocations
+            a.Telemetry.a_steps a.Telemetry.a_peak_support;
+          if a.Telemetry.a_memo_hits + a.Telemetry.a_memo_misses > 0 then
+            Printf.printf "  memo=%d/%d" a.Telemetry.a_memo_hits
+              (a.Telemetry.a_memo_hits + a.Telemetry.a_memo_misses);
+          print_newline ())
+        (Telemetry.per_op t);
+      Printf.printf "total steps: %d  (governor fuel spent: %d)\n"
+        (Telemetry.total_steps t)
+        (Budget.fuel_spent budget)
+  | _ -> ()
 
 (* --- subcommand bodies --------------------------------------------------- *)
 
-let run_eval db_path query =
+let run_eval db_path opts query =
   let db = load_db db_path in
   let e = parse_query query in
   let ty = check db e in
-  let v = eval_checked db e in
-  Printf.printf "%s : %s\n" (Value.to_string v) (Ty.to_string ty)
+  let budget = Budget.start opts.limits in
+  let telemetry =
+    if opts.stats || opts.trace then Some (Telemetry.create ()) else None
+  in
+  match Eval.run ~budget ?telemetry (Bagdb.value_env db) e with
+  | Ok v ->
+      Printf.printf "%s : %s\n" (Value.to_string v) (Ty.to_string ty);
+      print_stats opts budget telemetry
+  | Error x ->
+      print_stats opts budget telemetry;
+      Printf.eprintf "%s\n" (Budget.exhaustion_to_string x);
+      exit 2
+  | exception Eval.Eval_error msg ->
+      Printf.eprintf "evaluation error: %s\n" msg;
+      exit 1
 
 let run_analyze db_path query =
   let db = load_db db_path in
@@ -80,7 +137,7 @@ let run_explain db_path query =
       Printf.eprintf "tractability guard: %s\n" msg;
       exit 2)
 
-let run_repl db_path =
+let run_repl db_path opts =
   let db = load_db db_path in
   List.iter
     (fun (n, ty, v) ->
@@ -97,17 +154,17 @@ let run_repl db_path =
         (try
            let e = Parser.expr_of_string line in
            let ty = Typecheck.infer (Bagdb.type_env db) e in
-           let v = Eval.eval (Bagdb.value_env db) e in
-           Printf.printf "%s : %s\n" (Value.to_string v) (Ty.to_string ty)
+           let budget = Budget.start opts.limits in
+           match Eval.run ~budget (Bagdb.value_env db) e with
+           | Ok v -> Printf.printf "%s : %s\n" (Value.to_string v) (Ty.to_string ty)
+           | Error x -> Printf.printf "%s\n" (Budget.exhaustion_to_string x)
          with
         | Parser.Parse_error (msg, pos) ->
             Printf.printf "parse error at offset %d: %s\n" pos msg
         | Lexer.Lex_error (msg, pos) ->
             Printf.printf "lex error at offset %d: %s\n" pos msg
         | Typecheck.Type_error msg -> Printf.printf "type error: %s\n" msg
-        | Eval.Eval_error msg -> Printf.printf "evaluation error: %s\n" msg
-        | Eval.Resource_limit msg | Bag.Too_large msg ->
-            Printf.printf "tractability guard: %s\n" msg);
+        | Eval.Eval_error msg -> Printf.printf "evaluation error: %s\n" msg);
         loop ()
   in
   loop ()
@@ -125,10 +182,75 @@ let db_arg =
 let query_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY")
 
+let fuel_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:"Step-fuel budget (closure invocations + materialised support).")
+
+let max_support_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-support" ] ~docv:"N"
+        ~doc:"Bound on distinct elements of any intermediate bag.")
+
+let max_size_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-size" ] ~docv:"N"
+        ~doc:"Bound on the encoded size of any intermediate value.")
+
+let max_count_digits_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-count-digits" ] ~docv:"N"
+        ~doc:"Bound on decimal digits of any multiplicity.")
+
+let max_fix_steps_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-fix-steps" ] ~docv:"N"
+        ~doc:"Bound on fixpoint iterations.")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:"Wall-clock deadline for the evaluation.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print the telemetry span tree and per-operator totals.")
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Like --stats, with inclusive time, allocation and memo columns \
+           per span.")
+
+let opts_term =
+  Term.(
+    const make_opts $ fuel_arg $ max_support_arg $ max_size_arg
+    $ max_count_digits_arg $ max_fix_steps_arg $ timeout_arg $ stats_arg
+    $ trace_arg)
+
 let eval_cmd =
   Cmd.v
-    (Cmd.info "eval" ~doc:"Typecheck and evaluate a query against a database.")
-    Term.(const run_eval $ db_arg $ query_arg)
+    (Cmd.info "eval"
+       ~doc:
+         "Typecheck and evaluate a query against a database, under the \
+          resource governor.")
+    Term.(const run_eval $ db_arg $ opts_term $ query_arg)
 
 let analyze_cmd =
   Cmd.v
@@ -154,11 +276,11 @@ let explain_cmd =
 let repl_cmd =
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive query loop.")
-    Term.(const run_repl $ db_arg)
+    Term.(const run_repl $ db_arg $ opts_term)
 
 let main =
   Cmd.group
-    (Cmd.info "balgi" ~version:"1.0.0"
+    (Cmd.info "balgi" ~version:"1.1.0"
        ~doc:"Interpreter for the Grumbach–Milo nested bag algebra (BALG).")
     [ eval_cmd; analyze_cmd; normalize_cmd; explain_cmd; repl_cmd ]
 

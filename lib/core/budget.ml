@@ -1,0 +1,124 @@
+(* The resource governor: a running account of evaluation work against a
+   set of limits.  See budget.mli for the model. *)
+
+type resource = Fuel | Support | Size | Count_digits | Fix_steps | Deadline
+
+let resource_to_string = function
+  | Fuel -> "fuel"
+  | Support -> "support"
+  | Size -> "size"
+  | Count_digits -> "count-digits"
+  | Fix_steps -> "fix-steps"
+  | Deadline -> "deadline"
+
+type limits = {
+  fuel : int;
+  max_support : int;
+  max_size : int;
+  max_count_digits : int;
+  max_fix_steps : int;
+  deadline_s : float option;
+}
+
+let unlimited =
+  {
+    fuel = max_int;
+    max_support = max_int;
+    max_size = max_int;
+    max_count_digits = max_int;
+    max_fix_steps = max_int;
+    deadline_s = None;
+  }
+
+let default =
+  {
+    unlimited with
+    max_support = 2_000_000;
+    max_count_digits = 10_000;
+    max_fix_steps = 100_000;
+  }
+
+type exhaustion = {
+  resource : resource;
+  at_node : int;
+  op : string;
+  spent : int;
+  limit : int;
+}
+
+exception Budget_exceeded of exhaustion
+
+let pp_amount n = if n = max_int then "unbounded" else string_of_int n
+
+let exhaustion_to_string x =
+  Printf.sprintf "budget exhausted: %s at node %d (%s): spent %s, limit %s"
+    (resource_to_string x.resource)
+    x.at_node x.op (pp_amount x.spent) (pp_amount x.limit)
+
+type t = {
+  limits : limits;
+  started : float;  (** wall-clock origin of the deadline *)
+  deadline : float;  (** absolute deadline, [infinity] when none *)
+  mutable fuel_spent : int;
+  mutable ticks : int;  (** charge counter, paces the deadline probes *)
+}
+
+(* Probe the wall clock only every [deadline_stride] charges: a
+   gettimeofday per compiled-closure invocation would be measurable on the
+   memo-hit fast path. *)
+let deadline_stride = 32
+
+let start limits =
+  let now = Unix.gettimeofday () in
+  {
+    limits;
+    started = now;
+    deadline =
+      (match limits.deadline_s with None -> infinity | Some s -> now +. s);
+    fuel_spent = 0;
+    ticks = 0;
+  }
+
+let limits t = t.limits
+let fuel_spent t = t.fuel_spent
+
+let exceeded _t resource ~node ~op ~spent ~limit =
+  raise (Budget_exceeded { resource; at_node = node; op; spent; limit })
+
+let elapsed_ms t = int_of_float ((Unix.gettimeofday () -. t.started) *. 1e3)
+
+let deadline_ms t =
+  match t.limits.deadline_s with
+  | None -> max_int
+  | Some s -> int_of_float (s *. 1e3)
+
+let check_deadline t ~node ~op =
+  if t.deadline < infinity && Unix.gettimeofday () > t.deadline then
+    exceeded t Deadline ~node ~op ~spent:(elapsed_ms t) ~limit:(deadline_ms t)
+
+let charge t ~node ~op n =
+  let spent = t.fuel_spent + n in
+  let spent = if spent < 0 then max_int else spent (* saturate *) in
+  t.fuel_spent <- spent;
+  if spent > t.limits.fuel then
+    exceeded t Fuel ~node ~op ~spent ~limit:t.limits.fuel;
+  if t.deadline < infinity then begin
+    t.ticks <- t.ticks + 1;
+    if t.ticks land (deadline_stride - 1) = 0 then check_deadline t ~node ~op
+  end
+
+let check_support t ~node ~op n =
+  if n > t.limits.max_support then
+    exceeded t Support ~node ~op ~spent:n ~limit:t.limits.max_support
+
+let check_size t ~node ~op n =
+  if n > t.limits.max_size then
+    exceeded t Size ~node ~op ~spent:n ~limit:t.limits.max_size
+
+let check_count_digits t ~node ~op n =
+  if n > t.limits.max_count_digits then
+    exceeded t Count_digits ~node ~op ~spent:n ~limit:t.limits.max_count_digits
+
+let check_fix_steps t ~node ~op n =
+  if n > t.limits.max_fix_steps then
+    exceeded t Fix_steps ~node ~op ~spent:n ~limit:t.limits.max_fix_steps

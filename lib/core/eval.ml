@@ -3,12 +3,17 @@
     Evaluation is exact: multiplicities are {!Bignat.t}s and every operator
     follows the §3 semantics literally.  Because the algebra can express
     queries of arbitrarily high hyper-exponential complexity (Prop 3.2,
-    Thm 5.5), the evaluator runs under a {e tractability guard}: a
-    configurable bound on the number of distinct elements and on the decimal
-    size of multiplicities, raising {!Resource_limit} instead of diverging.
+    Thm 5.5), evaluation runs under a {!Budget} governor: step fuel,
+    per-bag support, encoded-size and multiplicity-digit bounds, a fixpoint
+    step bound and an optional wall-clock deadline, all checked at every
+    compiled-closure boundary.  Exhaustion surfaces as a structured
+    [Error (Budget.exhaustion)] from {!run}, locating the node where the
+    account ran dry; the legacy {!eval} entry point converts it to the
+    historical {!Resource_limit} exception.
 
     The expression is {e compiled} to a closure tree before evaluation:
-    each operator node gets a stable integer id, and operator nodes whose
+    each node gets a stable preorder id (the attribution key shared by the
+    governor and the {!Telemetry} span tree), and operator nodes whose
     free variables are all {e stable} (not bound by a MAP/σ binder applied
     per element, nor by a fixpoint binder that changes every iteration) are
     backed by a memo table keyed by (node id, fingerprint of the free-var
@@ -16,10 +21,16 @@
     then hit cache instead of re-evaluating; the meters record hit/miss
     counts.
 
-    The evaluator also carries {e meters} recording the largest intermediate
-    bag support and multiplicity seen; the complexity experiments (E10, E11,
-    E15) read the growth shapes claimed by Theorems 4.4, 5.1 and 6.2 off
-    these meters. *)
+    [P]/[Pb] are charged for their {e expected} output support — the
+    product of (multiplicity + 1) over the input, computed in O(support) —
+    before anything is materialised, so a hyper-exponential powerset
+    nesting is cut off by the fuel or support budget without allocating
+    the intermediate bag.
+
+    The evaluator also carries {e meters} recording the largest
+    intermediate bag support and multiplicity seen; the complexity
+    experiments (E10, E11, E15) read the growth shapes claimed by Theorems
+    4.4, 5.1 and 6.2 off these meters. *)
 
 exception Eval_error of string
 exception Resource_limit of string
@@ -34,6 +45,14 @@ type config = {
 
 let default_config =
   { max_support = 2_000_000; max_count_digits = 10_000; max_fix_steps = 100_000 }
+
+let limits_of_config c =
+  {
+    Budget.unlimited with
+    Budget.max_support = c.max_support;
+    max_count_digits = c.max_count_digits;
+    max_fix_steps = c.max_fix_steps;
+  }
 
 type meters = {
   mutable max_support_seen : int;
@@ -60,8 +79,33 @@ type env = Value.t Env.t
 
 let env_of_list l = List.fold_left (fun m (x, v) -> Env.add x v m) Env.empty l
 
-let observe config meters v =
-  meters.ops <- meters.ops + 1;
+(* ------------------------------------------------------------------ *)
+(* Compilation to closures: budget governance, telemetry spans, and
+   memoisation of stable operator nodes. *)
+
+type state = {
+  budget : Budget.t;
+  meters : meters;
+  memo : (int * int, (Value.t option list * Value.t) list ref) Hashtbl.t;
+      (** (node id, binding fingerprint) -> verified (bindings, result) *)
+}
+
+(* Attribution of one compiled node: its preorder id, operator label, and
+   (when a sink is attached) its telemetry span. *)
+type att = { id : int; op : string; sp : Telemetry.span option }
+
+(* Every unit of fuel charged to the governor is mirrored into the node's
+   span, so the span tree's total step count always equals the spent fuel
+   (the --stats invariant, tested in test_budget.ml). *)
+let spend st att n =
+  (match att.sp with Some sp -> Telemetry.add_steps sp n | None -> ());
+  Budget.charge st.budget ~node:att.id ~op:att.op n
+
+(* Meter the result, enforce the per-value budgets, and charge fuel
+   proportional to the materialised support. *)
+let observe st att v =
+  let m = st.meters in
+  m.ops <- m.ops + 1;
   (match Value.view v with
   | Value.Bag pairs ->
       (* One walk for all three measures; the cardinal stays in machine
@@ -82,38 +126,31 @@ let observe config meters v =
               | None -> -1))
         pairs;
       let support = !support and mc = !mc in
-      if support > meters.max_support_seen then
-        meters.max_support_seen <- support;
-      if support > config.max_support then
-        raise
-          (Resource_limit
-             (Printf.sprintf "bag support %d exceeds limit %d" support
-                config.max_support));
-      if Bignat.compare mc meters.max_count_seen > 0 then begin
-        meters.max_count_seen <- mc;
-        if Bignat.digits mc > config.max_count_digits then
-          raise
-            (Resource_limit
-               (Printf.sprintf "multiplicity with %d digits exceeds limit %d"
-                  (Bignat.digits mc) config.max_count_digits))
+      if support > m.max_support_seen then m.max_support_seen <- support;
+      Budget.check_support st.budget ~node:att.id ~op:att.op support;
+      if Bignat.compare mc m.max_count_seen > 0 then begin
+        m.max_count_seen <- mc;
+        Budget.check_count_digits st.budget ~node:att.id ~op:att.op
+          (Bignat.digits mc)
       end;
       let card =
         if !icard >= 0 then Bignat.of_int !icard else Value.cardinal v
       in
-      if Bignat.compare card meters.max_cardinal_seen > 0 then
-        meters.max_cardinal_seen <- card
-  | Value.Atom _ | Value.Tuple _ -> ());
+      if Bignat.compare card m.max_cardinal_seen > 0 then
+        m.max_cardinal_seen <- card;
+      let size = Value.size_tag v in
+      Budget.check_size st.budget ~node:att.id ~op:att.op size;
+      (match att.sp with
+      | Some sp -> Telemetry.record_result sp ~support ~size
+      | None -> ());
+      spend st att support
+  | Value.Atom _ | Value.Tuple _ -> (
+      let size = Value.size_tag v in
+      Budget.check_size st.budget ~node:att.id ~op:att.op size;
+      match att.sp with
+      | Some sp -> Telemetry.record_result sp ~support:0 ~size
+      | None -> ()));
   v
-
-(* ------------------------------------------------------------------ *)
-(* Compilation to closures, with memoisation of stable operator nodes. *)
-
-type state = {
-  config : config;
-  meters : meters;
-  memo : (int * int, ((Value.t option list * Value.t) list ref)) Hashtbl.t;
-      (** (node id, binding fingerprint) -> verified (bindings, result) *)
-}
 
 (* Keep the table from growing without bound inside huge fixpoints; a reset
    loses cached work but never correctness. *)
@@ -137,37 +174,114 @@ let fingerprint vals =
 
 type compiled = state -> env -> Value.t
 
+type reg = { ctr : int ref; telemetry : Telemetry.t option }
+
+(* Expected powerset/powerbag output support: prod (m_i + 1), saturating at
+   [max_int].  O(support of the input), allocation-free. *)
+let expected_subbags b =
+  List.fold_left
+    (fun acc (_, c) ->
+      if acc = max_int then max_int
+      else
+        match Bignat.to_int_opt c with
+        | None -> max_int
+        | Some m ->
+            if m >= max_int - 1 || acc > max_int / (m + 1) then max_int
+            else acc * (m + 1))
+    1 (Value.as_bag b)
+
+(* Charge a power operator for its expected output before materialising
+   anything: a hyper-exponential [P(P(...))] tower dies here, on the fuel
+   or support account, without allocating the intermediate bag. *)
+let power_guard st att b =
+  let n = expected_subbags b in
+  Budget.check_deadline st.budget ~node:att.id ~op:att.op;
+  Budget.check_support st.budget ~node:att.id ~op:att.op n;
+  spend st att n
+
+(* Residual [Bag.Too_large] cases (e.g. a multiplicity beyond [int] range)
+   unify into the structured budget verdict. *)
+let too_large st att =
+  let limit = (Budget.limits st.budget).Budget.max_support in
+  Budget.exceeded st.budget Budget.Support ~node:att.id ~op:att.op
+    ~spent:max_int ~limit
+
 (* [volatile] holds the binders whose bindings change per element or per
    fixpoint iteration; nodes mentioning them would only churn the table. *)
-let rec compile ctr volatile e : compiled =
-  let raw = compile_node ctr volatile e in
-  let run st env = observe st.config st.meters (raw st env) in
+let rec compile reg ~parent volatile e : compiled =
+  incr reg.ctr;
+  let id = !(reg.ctr) in
+  let op = Expr.op_name e in
+  let sp =
+    match reg.telemetry with
+    | Some t -> Some (Telemetry.register t ~parent ~id ~op)
+    | None -> None
+  in
+  let att = { id; op; sp } in
+  let raw = compile_node reg ~att volatile e in
+  let invoke =
+    match sp with
+    | None ->
+        fun st env ->
+          spend st att 1;
+          observe st att (raw st env)
+    | Some sp ->
+        (* Inclusive wall time and allocation per span; only paid when a
+           telemetry sink is attached. *)
+        fun st env ->
+          spend st att 1;
+          sp.Telemetry.invocations <- sp.Telemetry.invocations + 1;
+          let t0 = Unix.gettimeofday () in
+          let a0 = Gc.allocated_bytes () in
+          let finish () =
+            sp.Telemetry.time_s <-
+              sp.Telemetry.time_s +. (Unix.gettimeofday () -. t0);
+            sp.Telemetry.alloc_words <-
+              sp.Telemetry.alloc_words
+              +. ((Gc.allocated_bytes () -. a0)
+                 /. float (Sys.word_size / 8))
+          in
+          (match raw st env with
+          | v ->
+              finish ();
+              observe st att v
+          | exception exn ->
+              finish ();
+              raise exn)
+  in
   let memoisable =
     match e with
     | Expr.Var _ | Expr.Lit _ | Expr.Tuple _ | Expr.Proj _ | Expr.Sing _ ->
         false
     | _ -> Expr.Vars.disjoint (Expr.free_vars e) volatile
   in
-  if not memoisable then run
+  if not memoisable then invoke
   else begin
-    incr ctr;
-    let id = !ctr in
     let fv = Expr.Vars.elements (Expr.free_vars e) in
     fun st env ->
       let vals = List.map (fun x -> Env.find_opt x env) fv in
       let key = (id, fingerprint vals) in
+      let hit r =
+        st.meters.memo_hits <- st.meters.memo_hits + 1;
+        spend st att 1;
+        (match sp with
+        | Some sp ->
+            sp.Telemetry.invocations <- sp.Telemetry.invocations + 1;
+            Telemetry.record_memo_hit sp
+        | None -> ());
+        r
+      in
       let compute () =
         st.meters.memo_misses <- st.meters.memo_misses + 1;
-        run st env
+        (match sp with Some sp -> Telemetry.record_memo_miss sp | None -> ());
+        invoke st env
       in
       match Hashtbl.find_opt st.memo key with
       | Some entries -> (
           match
             List.find_opt (fun (vs, _) -> bindings_equal vs vals) !entries
           with
-          | Some (_, r) ->
-              st.meters.memo_hits <- st.meters.memo_hits + 1;
-              r
+          | Some (_, r) -> hit r
           | None ->
               let r = compute () in
               entries := (vals, r) :: !entries;
@@ -180,10 +294,10 @@ let rec compile ctr volatile e : compiled =
           r
   end
 
-and compile_node ctr volatile e : compiled =
-  let sub e = compile ctr volatile e in
-  let under x e = compile ctr (Expr.Vars.add x volatile) e in
-  let stable x e = compile ctr (Expr.Vars.remove x volatile) e in
+and compile_node reg ~att volatile e : compiled =
+  let sub e = compile reg ~parent:att.id volatile e in
+  let under x e = compile reg ~parent:att.id (Expr.Vars.add x volatile) e in
+  let stable x e = compile reg ~parent:att.id (Expr.Vars.remove x volatile) e in
   match e with
   | Expr.Var x -> (
       fun _st env ->
@@ -222,10 +336,22 @@ and compile_node ctr volatile e : compiled =
       fun st env -> Bag.product (ca st env) (cb st env)
   | Expr.Powerset e ->
       let c = sub e in
-      fun st env -> Bag.powerset ~max_support:st.config.max_support (c st env)
+      fun st env ->
+        let b = c st env in
+        power_guard st att b;
+        (try
+           Bag.powerset ~max_support:(Budget.limits st.budget).Budget.max_support
+             b
+         with Bag.Too_large _ -> too_large st att)
   | Expr.Powerbag e ->
       let c = sub e in
-      fun st env -> Bag.powerbag ~max_support:st.config.max_support (c st env)
+      fun st env ->
+        let b = c st env in
+        power_guard st att b;
+        (try
+           Bag.powerbag ~max_support:(Budget.limits st.budget).Budget.max_support
+             b
+         with Bag.Too_large _ -> too_large st att)
   | Expr.Destroy e ->
       let c = sub e in
       fun st env -> Bag.destroy (c st env)
@@ -288,35 +414,48 @@ and compile_node ctr volatile e : compiled =
       fun st env -> cbody st (Env.add x (c st env) env)
   | Expr.Fix (x, body, seed) ->
       let cbody = under x body and cseed = sub seed in
-      fun st env -> iterate st env ~x ~cbody ~bound:None (cseed st env)
+      fun st env -> iterate st att env ~x ~cbody ~bound:None (cseed st env)
   | Expr.BFix (bound, x, body, seed) ->
       let cbound = sub bound and cbody = under x body and cseed = sub seed in
       fun st env ->
         let bound = cbound st env in
-        iterate st env ~x ~cbody ~bound:(Some bound) (cseed st env)
+        iterate st att env ~x ~cbody ~bound:(Some bound) (cseed st env)
 
 (* Inflationary iteration: X ↦ (body(X) ∪ X) [∩ bound].  With a bound the
    chain is increasing and bounded, hence terminating; without one the step
-   limit applies (BALG + IFP is Turing complete, Thm 6.6).  The stability
+   budget applies (BALG + IFP is Turing complete, Thm 6.6).  The stability
    check benefits from the hash tags: unequal iterates refute in O(1). *)
-and iterate st env ~x ~cbody ~bound current =
+and iterate st att env ~x ~cbody ~bound current =
   let clamp v = match bound with None -> v | Some b -> Bag.inter v b in
   let rec go steps current =
-    if steps > st.config.max_fix_steps then
-      raise
-        (Resource_limit
-           (Printf.sprintf "fixpoint did not converge within %d steps"
-              st.config.max_fix_steps));
+    Budget.check_fix_steps st.budget ~node:att.id ~op:att.op steps;
+    Budget.check_deadline st.budget ~node:att.id ~op:att.op;
     let stepped = cbody st (Env.add x current env) in
     let next = clamp (Bag.union_max stepped current) in
     if Value.equal next current then current else go (steps + 1) next
   in
   go 0 (clamp current)
 
-let eval ?(config = default_config) ?meters env e =
+(* ------------------------------------------------------------------ *)
+(* Entry points. *)
+
+let run ?budget ?limits ?meters ?telemetry env e =
+  let budget =
+    match (budget, limits) with
+    | Some b, _ -> b
+    | None, Some l -> Budget.start l
+    | None, None -> Budget.start Budget.default
+  in
   let meters = match meters with Some m -> m | None -> fresh_meters () in
-  let run = compile (ref 0) Expr.Vars.empty e in
-  run { config; meters; memo = Hashtbl.create 64 } env
+  let compiled = compile { ctr = ref 0; telemetry } ~parent:0 Expr.Vars.empty e in
+  match compiled { budget; meters; memo = Hashtbl.create 64 } env with
+  | v -> Ok v
+  | exception Budget.Budget_exceeded x -> Error x
+
+let eval ?(config = default_config) ?meters env e =
+  match run ~limits:(limits_of_config config) ?meters env e with
+  | Ok v -> v
+  | Error x -> raise (Resource_limit (Budget.exhaustion_to_string x))
 
 (** Boolean convention for queries: a result is true when the output bag is
     nonempty (cf. Example 4.1's [≠ ∅] tests). *)

@@ -1,15 +1,21 @@
-(** The reference interpreter: exact §3 semantics under a tractability
-    guard.
+(** The reference interpreter: exact §3 semantics under a {!Budget}
+    governor.
 
     The algebra deliberately contains queries of arbitrarily high
     hyper-exponential complexity (Prop 3.2, Thm 5.5), so evaluation runs
-    under configurable bounds and raises {!Resource_limit} instead of
-    diverging.  {!meters} record the largest intermediate support,
-    multiplicity and cardinality seen — the observable the complexity
-    experiments measure. *)
+    under configurable resource limits — step fuel, per-bag support,
+    encoded size, multiplicity digits, fixpoint steps, wall-clock deadline
+    — checked at every compiled-closure boundary.  {!run} reports
+    exhaustion as a structured [Error] locating the node that ran dry;
+    the legacy {!eval} raises {!Resource_limit} instead.  {!meters} record
+    the largest intermediate support, multiplicity and cardinality seen —
+    the observable the complexity experiments measure — and an optional
+    {!Telemetry.t} sink collects a per-operator span tree. *)
 
 exception Eval_error of string
+
 exception Resource_limit of string
+(** Raised by the legacy {!eval} wrapper; {!run} never raises it. *)
 
 type config = {
   max_support : int;  (** bound on distinct elements per bag *)
@@ -18,6 +24,10 @@ type config = {
 }
 
 val default_config : config
+
+val limits_of_config : config -> Budget.limits
+(** The legacy three-knob guard as governor limits (fuel, size and
+    deadline unlimited). *)
 
 type meters = {
   mutable max_support_seen : int;
@@ -38,9 +48,25 @@ type env = Value.t Env.t
 
 val env_of_list : (string * Value.t) list -> env
 
+val run :
+  ?budget:Budget.t ->
+  ?limits:Budget.limits ->
+  ?meters:meters ->
+  ?telemetry:Telemetry.t ->
+  env ->
+  Expr.t ->
+  (Value.t, Budget.exhaustion) result
+(** Governed evaluation.  A pre-started [?budget] takes precedence over
+    [?limits] (pass one to inspect {!Budget.fuel_spent} afterwards);
+    with neither, {!Budget.default} applies.  Budget exhaustion — including
+    what used to surface as the ad-hoc [Bag.Too_large] — returns as a
+    located [Error]; no budget-related exception escapes.
+    @raise Eval_error on dynamic type errors or unbound variables. *)
+
 val eval : ?config:config -> ?meters:meters -> env -> Expr.t -> Value.t
-(** @raise Eval_error on dynamic type errors or unbound variables.
-    @raise Resource_limit when the guard trips. *)
+(** Legacy entry point: {!run} under {!limits_of_config}.
+    @raise Eval_error on dynamic type errors or unbound variables.
+    @raise Resource_limit when the governor trips. *)
 
 val truthy : Value.t -> bool
 (** The boolean convention of the paper's example queries: a bag result is

@@ -15,29 +15,9 @@ type profile = {
   children : profile list;
 }
 
-let op_name : Expr.t -> string = function
-  | Expr.Var x -> "var " ^ x
-  | Expr.Lit _ -> "lit"
-  | Expr.Tuple _ -> "tuple"
-  | Expr.Proj (i, _) -> Printf.sprintf "proj %d" i
-  | Expr.Sing _ -> "sing"
-  | Expr.UnionAdd _ -> "union_add"
-  | Expr.Diff _ -> "diff"
-  | Expr.UnionMax _ -> "union_max"
-  | Expr.Inter _ -> "inter"
-  | Expr.Product _ -> "product"
-  | Expr.Powerset _ -> "powerset"
-  | Expr.Powerbag _ -> "powerbag"
-  | Expr.Destroy _ -> "destroy"
-  | Expr.Map _ -> "map"
-  | Expr.Select _ -> "select"
-  | Expr.Dedup _ -> "dedup"
-  | Expr.Let (x, _, _) -> "let " ^ x
-  | Expr.Fix _ -> "fix"
-  | Expr.BFix _ -> "bfix"
-  | Expr.Nest (ixs, _) ->
-      Printf.sprintf "nest [%s]" (String.concat "," (List.map string_of_int ixs))
-  | Expr.Unnest (i, _) -> Printf.sprintf "unnest %d" i
+(* Node labels are shared with the evaluator's telemetry spans and budget
+   reports, so a profile row and a --stats row for the same node agree. *)
+let op_name = Expr.op_name
 
 (* Build the profile skeleton following the AST, so repeated evaluations of
    the same node (binder bodies, fixpoint bodies) accumulate in one cell. *)

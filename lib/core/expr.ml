@@ -101,6 +101,32 @@ let children = function
 
 let rec size e = 1 + List.fold_left (fun acc c -> acc + size c) 0 (children e)
 
+(** Short operator label for a node — the attribution name shared by the
+    profiler, the telemetry span tree and budget-exhaustion reports. *)
+let op_name : t -> string = function
+  | Var x -> "var " ^ x
+  | Lit _ -> "lit"
+  | Tuple _ -> "tuple"
+  | Proj (i, _) -> Printf.sprintf "proj %d" i
+  | Sing _ -> "sing"
+  | UnionAdd _ -> "union_add"
+  | Diff _ -> "diff"
+  | UnionMax _ -> "union_max"
+  | Inter _ -> "inter"
+  | Product _ -> "product"
+  | Powerset _ -> "powerset"
+  | Powerbag _ -> "powerbag"
+  | Destroy _ -> "destroy"
+  | Map _ -> "map"
+  | Select _ -> "select"
+  | Dedup _ -> "dedup"
+  | Let (x, _, _) -> "let " ^ x
+  | Fix _ -> "fix"
+  | BFix _ -> "bfix"
+  | Nest (ixs, _) ->
+      Printf.sprintf "nest [%s]" (String.concat "," (List.map string_of_int ixs))
+  | Unnest (i, _) -> Printf.sprintf "unnest %d" i
+
 module Vars = Set.Make (String)
 
 let rec free_vars = function

@@ -70,6 +70,11 @@ val ones : ?on:string -> t -> t
 val children : t -> t list
 val size : t -> int
 
+val op_name : t -> string
+(** Short operator label ("powerset", "let x", ...): the attribution name
+    shared by {!Explain}, the {!Telemetry} span tree, and budget-exhaustion
+    reports. *)
+
 module Vars : Set.S with type elt = string
 
 val free_vars : t -> Vars.t

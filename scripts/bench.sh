@@ -1,0 +1,11 @@
+#!/bin/sh
+# Emit the machine-readable benchmark report (BENCH_eval.json, uploaded as
+# an artifact by the workflow).
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build bench/main.exe
+dune exec bench/main.exe -- --json
+
+echo "--- BENCH_eval.json ---"
+cat BENCH_eval.json

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Benchmark-regression gate.  Re-measures every json bench (best-of-3
+# medians), compares machine-calibrated ratios against the committed
+# BENCH_baseline.json, and fails if any bench regressed beyond 25%.
+# Extra arguments are passed through, e.g.
+#   scripts/bench_gate.sh --handicap selfjoin_binary20=2.0   # self-test
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build bench/main.exe
+dune exec bench/main.exe -- --gate BENCH_baseline.json "$@"

@@ -1,13 +1,9 @@
 #!/bin/sh
-# CI entry point: build, run the test suite, then emit the machine-readable
-# benchmark report (BENCH_eval.json, uploaded as an artifact by the
-# workflow).
+# CI build+test entry point.  Benchmarks live in scripts/bench.sh and the
+# regression gate in scripts/bench_gate.sh so the workflow can run them as
+# separate, individually-reported steps.
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build
 dune runtest
-dune exec bench/main.exe -- --json
-
-echo "--- BENCH_eval.json ---"
-cat BENCH_eval.json

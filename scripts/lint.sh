@@ -1,0 +1,43 @@
+#!/bin/sh
+# Repository hygiene checks, run as CI's lint job alongside the
+# warnings-as-errors build (dune build @check).
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# no trailing whitespace in tracked sources (SNIPPETS.md is verbatim
+# reference material and exempt)
+if git grep -lI ' $' -- . ':!SNIPPETS.md' >/dev/null 2>&1; then
+  echo "lint: trailing whitespace in:"
+  git grep -lI ' $' -- . ':!SNIPPETS.md' | sed 's/^/  /'
+  fail=1
+fi
+
+# no build products tracked
+if git ls-files | grep -E '^_build/|\.install$' >/dev/null; then
+  echo "lint: build products are tracked:"
+  git ls-files | grep -E '^_build/|\.install$' | sed 's/^/  /'
+  fail=1
+fi
+
+# ignore hygiene: _build and the generated bench report must stay ignored
+for pat in '_build/' 'BENCH_eval.json'; do
+  if ! grep -qxF "$pat" .gitignore; then
+    echo "lint: .gitignore is missing '$pat'"
+    fail=1
+  fi
+done
+
+# scripts stay executable-safe: every scripts/*.sh must pass a syntax check
+for s in scripts/*.sh; do
+  if ! sh -n "$s"; then
+    echo "lint: $s fails sh -n"
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "lint: ok"
+fi
+exit "$fail"

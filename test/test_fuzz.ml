@@ -64,6 +64,33 @@ let prop_analyze_total =
       r.Analyze.bag_nesting >= 1
       && (r.Analyze.power_nesting = 0 || r.Analyze.bag_nesting >= 2))
 
+(* tight-budget mode: every generated query runs under a starved governor
+   (little fuel, small support/size caps, few fix steps) and must come back
+   as Ok or a structured Error — no raw exception may escape Eval.run *)
+let tight_limits =
+  {
+    Balg.Budget.fuel = 2_000;
+    max_support = 500;
+    max_size = 100_000;
+    max_count_digits = 50;
+    max_fix_steps = 25;
+    deadline_s = Some 2.0;
+  }
+
+let prop_budget_no_escape =
+  QCheck.Test.make ~name:"fuzz: no raw exception escapes a tight budget"
+    ~count:300
+    QCheck.(make Gen.int)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let e = Baggen.Genexpr.nested rng env_spec 4 (1 + Random.State.int rng 2) in
+      let inst = Baggen.Genexpr.instance rng ~size:4 ~max_count:2 env_spec in
+      match Eval.run ~limits:tight_limits (Eval.env_of_list inst) e with
+      | Ok _ | Error _ -> true
+      | exception Eval.Eval_error _ ->
+          false (* generated queries are well-typed: must not happen *)
+      | exception _ -> false)
+
 (* hostile strings: the lexer/parser raise only their own exceptions *)
 let prop_parser_no_crash =
   QCheck.Test.make ~name:"parser fuzz: only documented exceptions" ~count:500
@@ -94,6 +121,7 @@ let () =
             prop_nested_normalize;
             prop_nested_roundtrip;
             prop_analyze_total;
+            prop_budget_no_escape;
             prop_parser_no_crash;
             prop_value_parser_no_crash;
           ] );

@@ -139,11 +139,22 @@ let test_digit_guard () =
   | _ -> Alcotest.fail "expected Resource_limit on digits"
 
 let test_powerset_guard_through_eval () =
+  (* the powerset guard is unified into the budget governor: what used to
+     escape as the ad-hoc [Bag.Too_large] is now a located budget verdict
+     (Resource_limit through the legacy wrapper, Error through Eval.run) *)
   let config = { Eval.default_config with Eval.max_support = 100 } in
   let b = Expr.lit (Value.replicate (Bignat.of_int 500) (Value.atom "a")) (Ty.Bag Ty.Atom) in
-  match ev ~config (Expr.Powerset b) with
-  | exception Bag.Too_large _ -> ()
-  | _ -> Alcotest.fail "expected Too_large"
+  (match ev ~config (Expr.Powerset b) with
+  | exception Eval.Resource_limit _ -> ()
+  | _ -> Alcotest.fail "expected Resource_limit");
+  match
+    Eval.run
+      ~limits:{ Budget.default with Budget.max_support = 100 }
+      (Eval.env_of_list []) (Expr.Powerset b)
+  with
+  | Error { Budget.resource = Budget.Support; op = "powerset"; _ } -> ()
+  | Error x -> Alcotest.fail ("wrong verdict: " ^ Budget.exhaustion_to_string x)
+  | Ok _ -> Alcotest.fail "expected Budget_exceeded"
 
 let test_meters_cardinal () =
   let meters = Eval.fresh_meters () in
