@@ -62,6 +62,19 @@ let polyab_expr = Expr.(Expr.proj_attrs [ 1 ] (Var "B" *** Var "B") -- Var "B")
 
 let parse_input = Expr.to_string tc_q
 
+(* Large workloads for the parallel kernels: a 300-row binary relation whose
+   self-product materialises 90k rows — big enough that chunking the support
+   across domains pays for the fork/join.  Built lazily so the default
+   experiment run doesn't pay for them. *)
+
+let binary300 =
+  lazy (Baggen.Genval.flat_bag rng ~n_atoms:40 ~arity:2 ~size:300 ~max_count:2)
+
+let product300 = lazy (Bag.product (Lazy.force binary300) (Lazy.force binary300))
+
+let selfjoin300_q =
+  lazy (Derived.selfjoin (Expr.lit (Lazy.force binary300) (Ty.relation 2)))
+
 let tests =
   Test.make_grouped ~name:"balg" ~fmt:"%s/%s"
     [
@@ -144,30 +157,61 @@ type jbench = {
           collect a telemetry summary for the report *)
 }
 
-let json_benches () =
-  let metered name q =
+let json_benches ?pool () =
+  let metered ?pool name q =
     let m = Eval.fresh_meters () in
     {
       jname = name;
-      jrun = (fun () -> ignore (Eval.eval ~meters:m (Eval.env_of_list []) q));
+      jrun =
+        (fun () -> ignore (Eval.eval ?pool ~meters:m (Eval.env_of_list []) q));
       jmeters = Some m;
       jquery = Some q;
     }
   in
   let plain name f = { jname = name; jrun = f; jmeters = None; jquery = None } in
-  [
-    plain "powerset_12" (fun () -> ignore (Bag.powerset bag12));
-    plain "destroy_powerset_12" (fun () -> ignore (Bag.destroy (Bag.powerset bag12)));
-    metered "selfjoin_binary20" selfjoin_q;
-    metered "transitive_closure_graph8" tc_q;
-    metered "parity_card10" parity_q;
-    metered "card_compare_10" card_q;
-    metered "group_count_binary20"
-      (Derived.group_count [ 1 ] (Expr.lit binary20 (Ty.relation 2)));
-    plain "product_binary20" (fun () -> ignore (Bag.product binary20 binary20));
-    plain "parse_tc_query" (fun () ->
-        ignore (Baglang.Parser.expr_of_string parse_input));
-  ]
+  let base =
+    [
+      plain "powerset_12" (fun () -> ignore (Bag.powerset bag12));
+      plain "destroy_powerset_12" (fun () -> ignore (Bag.destroy (Bag.powerset bag12)));
+      metered "selfjoin_binary20" selfjoin_q;
+      metered "transitive_closure_graph8" tc_q;
+      metered "parity_card10" parity_q;
+      metered "card_compare_10" card_q;
+      metered "group_count_binary20"
+        (Derived.group_count [ 1 ] (Expr.lit binary20 (Ty.relation 2)));
+      plain "product_binary20" (fun () -> ignore (Bag.product binary20 binary20));
+      plain "parse_tc_query" (fun () ->
+          ignore (Baglang.Parser.expr_of_string parse_input));
+      plain "product_binary300" (fun () ->
+          ignore (Bag.product (Lazy.force binary300) (Lazy.force binary300)));
+      plain "select_eq_product300" (fun () ->
+          ignore (Bag.select_eq 2 3 (Lazy.force product300)));
+      plain "proj_product300" (fun () ->
+          ignore (Bag.proj [ 1; 4 ] (Lazy.force product300)));
+      metered "selfjoin_binary300" (Lazy.force selfjoin300_q);
+    ]
+  in
+  (* With [--jobs N], the parallelizable benches also run as [_jobsN] rows so
+     BENCH_eval.json records sequential and parallel medians side by side.
+     The regression gate measures without a pool, so [_jobsN] rows in an
+     older baseline are simply skipped. *)
+  match pool with
+  | None -> base
+  | Some p ->
+      let j = Pool.jobs p in
+      let tag name = Printf.sprintf "%s_jobs%d" name j in
+      base
+      @ [
+          plain (tag "product_binary300") (fun () ->
+              ignore
+                (Bag.product ~pool:p (Lazy.force binary300)
+                   (Lazy.force binary300)));
+          plain (tag "select_eq_product300") (fun () ->
+              ignore (Bag.select_eq ~pool:p 2 3 (Lazy.force product300)));
+          plain (tag "proj_product300") (fun () ->
+              ignore (Bag.proj ~pool:p [ 1; 4 ] (Lazy.force product300)));
+          metered ~pool:p (tag "selfjoin_binary300") (Lazy.force selfjoin300_q);
+        ]
 
 let json_escape s =
   let buf = Buffer.create (String.length s) in
@@ -225,7 +269,7 @@ let telemetry_field b =
       | Ok _ | Error _ -> ());
       Telemetry.summary_json t
 
-let run_json () =
+let run_json ?pool () =
   let out = "BENCH_eval.json" in
   let rows =
     List.map
@@ -247,7 +291,7 @@ let run_json () =
            \"alloc_words_per_run\": %.1f, \"memo_hit_rate\": %s, \
            \"telemetry\": %s}"
           (json_escape b.jname) median alloc memo (telemetry_field b))
-      (json_benches ())
+      (json_benches ?pool ())
   in
   let oc = open_out out in
   Printf.fprintf oc
@@ -434,12 +478,20 @@ let run_gate baseline_path =
     ((gate_threshold -. 1.) *. 100.)
 
 let () =
-  match arg_value "--gate" with
+  let pool =
+    match arg_value "--jobs" with
+    | Some s ->
+        let j = try int_of_string s with _ -> 1 in
+        if j > 1 then Some (Pool.create ~jobs:j ()) else None
+    | None -> None
+  in
+  (match arg_value "--gate" with
   | Some baseline -> run_gate baseline
   | None ->
-      if Array.exists (( = ) "--json") Sys.argv then run_json ()
+      if Array.exists (( = ) "--json") Sys.argv then run_json ?pool ()
       else begin
         Experiments.run_all ();
         run_benchmarks ();
         print_endline "\nAll experiments completed."
-      end
+      end);
+  Option.iter Pool.shutdown pool

@@ -42,10 +42,11 @@ type opts = {
   limits : Budget.limits;
   stats : bool;
   trace : bool;
+  jobs : int;  (** evaluation domains; 1 = sequential *)
 }
 
 let make_opts fuel max_support max_size max_count_digits max_fix_steps timeout
-    stats trace =
+    stats trace jobs =
   let d = Budget.default in
   let pick o dflt = Option.value o ~default:dflt in
   {
@@ -60,6 +61,7 @@ let make_opts fuel max_support max_size max_count_digits max_fix_steps timeout
       };
     stats;
     trace;
+    jobs = max 1 jobs;
   }
 
 let print_stats opts budget telemetry =
@@ -93,15 +95,20 @@ let run_eval db_path opts query =
   let telemetry =
     if opts.stats || opts.trace then Some (Telemetry.create ()) else None
   in
-  match Eval.run ~budget ?telemetry (Bagdb.value_env db) e with
+  let pool = if opts.jobs > 1 then Some (Pool.create ~jobs:opts.jobs ()) else None in
+  let finish () = Option.iter Pool.shutdown pool in
+  match Eval.run ~budget ?telemetry ?pool (Bagdb.value_env db) e with
   | Ok v ->
+      finish ();
       Printf.printf "%s : %s\n" (Value.to_string v) (Ty.to_string ty);
       print_stats opts budget telemetry
   | Error x ->
+      finish ();
       print_stats opts budget telemetry;
       Printf.eprintf "%s\n" (Budget.exhaustion_to_string x);
       exit 2
   | exception Eval.Eval_error msg ->
+      finish ();
       Printf.eprintf "evaluation error: %s\n" msg;
       exit 1
 
@@ -238,11 +245,20 @@ let trace_arg =
           "Like --stats, with inclusive time, allocation and memo columns \
            per span.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Evaluate on $(docv) domains.  Large kernels chunk their support \
+           across the pool and independent operands of binary operators run \
+           in parallel; results are identical to sequential evaluation.")
+
 let opts_term =
   Term.(
     const make_opts $ fuel_arg $ max_support_arg $ max_size_arg
     $ max_count_digits_arg $ max_fix_steps_arg $ timeout_arg $ stats_arg
-    $ trace_arg)
+    $ trace_arg $ jobs_arg)
 
 let eval_cmd =
   Cmd.v

@@ -48,23 +48,39 @@ let subbag a b =
   in
   go (pairs a) (pairs b)
 
+(* Run [tasks] on the pool (when one is attached and the work is large
+   enough) and re-raise the first captured exception; kernels are pure, so
+   any exception is equivalent to the sequential one. *)
+let pool_run pool tasks =
+  List.map
+    (function Ok v -> v | Error e -> raise e)
+    (Pool.run pool tasks)
+
 (* Cartesian product.  When every element of [a] is a tuple of one fixed
    arity, nested-loop order over the two sorted supports already yields the
    concatenated tuples in canonical order: distinct [(v, w)] pairs
    concatenate to distinct tuples, and because all prefixes have the same
    length the first component dominates the comparison.  The result then
-   goes through the trusted constructor — no re-sort, no coalescing. *)
-let product a b =
+   goes through the trusted constructor — no re-sort, no coalescing.
+
+   With a pool attached and enough rows, the outer support is chunked
+   across domains.  Chunks cover contiguous, strictly increasing ranges of
+   the sorted outer support, so in the uniform-arity case the per-chunk row
+   lists concatenate back into one canonical list; otherwise the per-chunk
+   bags recombine with the sorted [merge] (additive union), which is
+   exactly the coalescing [bag_of_assoc] would have done. *)
+let product ?pool a b =
   let pa = pairs a in
   let bs = List.map (fun (w, d) -> (Value.as_tuple w, d)) (pairs b) in
-  let rows =
+  (* rows for one slice of the outer support, in reverse canonical order *)
+  let rows_of_slice slice =
     List.fold_left
       (fun acc (v, c) ->
         let vt = Value.as_tuple v in
         List.fold_left
           (fun acc (wt, d) -> (Value.tuple (vt @ wt), Bignat.mul c d) :: acc)
           acc bs)
-      [] pa
+      [] slice
   in
   let uniform_arity =
     match pa with
@@ -73,8 +89,29 @@ let product a b =
         let k = List.length (Value.as_tuple v0) in
         List.for_all (fun (v, _) -> List.length (Value.as_tuple v) = k) rest
   in
-  if uniform_arity then Value.of_sorted_assoc (List.rev rows)
-  else Value.bag_of_assoc rows
+  let la = List.length pa and lb = List.length bs in
+  match pool with
+  | Some p
+    when Pool.jobs p > 1
+         && la >= 2
+         && Value.sat_mul la lb >= Pool.chunk_min p ->
+      let slices = Pool.chunks (4 * Pool.jobs p) pa in
+      if uniform_arity then
+        let parts =
+          pool_run p
+            (List.map (fun s () -> List.rev (rows_of_slice s)) slices)
+        in
+        Value.of_sorted_assoc (List.concat parts)
+      else
+        let parts =
+          pool_run p
+            (List.map (fun s () -> Value.bag_of_assoc (rows_of_slice s)) slices)
+        in
+        List.fold_left union_add Value.empty_bag parts
+  | _ ->
+      let rows = rows_of_slice pa in
+      if uniform_arity then Value.of_sorted_assoc (List.rev rows)
+      else Value.bag_of_assoc rows
 
 let scale k b =
   if Bignat.is_zero k then Value.empty_bag
@@ -97,38 +134,57 @@ let select p b =
   Value.of_sorted_assoc (List.filter (fun (v, _) -> p v) (pairs b))
 
 (* Generalized projection — MAP λx.<α_{i1}(x), ..., α_{ik}(x)> as a direct
-   kernel; the evaluator compiles that Map shape straight to this. *)
-let proj ixs b =
+   kernel; the evaluator compiles that Map shape straight to this.  With a
+   pool, support chunks project (and locally coalesce) in parallel and the
+   per-chunk bags recombine additively with the sorted [merge]. *)
+let proj ?pool ixs b =
   let ixs = Array.of_list ixs in
-  let rows =
-    List.map
-      (fun (v, c) ->
-        let vs = Array.of_list (Value.as_tuple v) in
-        let n = Array.length vs in
-        ( Value.tuple
-            (Array.to_list
-               (Array.map
-                  (fun i ->
-                    if i < 1 || i > n then
-                      invalid_arg "Bag.proj: attribute out of range"
-                    else vs.(i - 1))
-                  ixs)),
-          c ))
-      (pairs b)
+  let project (v, c) =
+    let vs = Array.of_list (Value.as_tuple v) in
+    let n = Array.length vs in
+    ( Value.tuple
+        (Array.to_list
+           (Array.map
+              (fun i ->
+                if i < 1 || i > n then
+                  invalid_arg "Bag.proj: attribute out of range"
+                else vs.(i - 1))
+              ixs)),
+      c )
   in
-  Value.bag_of_assoc rows
+  let prs = pairs b in
+  match pool with
+  | Some p when Pool.jobs p > 1 && List.length prs >= Pool.chunk_min p ->
+      let parts =
+        pool_run p
+          (List.map
+             (fun s () -> Value.bag_of_assoc (List.map project s))
+             (Pool.chunks (4 * Pool.jobs p) prs))
+      in
+      List.fold_left union_add Value.empty_bag parts
+  | _ -> Value.bag_of_assoc (List.map project prs)
 
 (* σ_{i=j} — positional-equality selection as a direct kernel; filtering a
-   canonical bag preserves canonicity. *)
-let select_eq i j b =
-  Value.of_sorted_assoc
-    (List.filter
-       (fun (v, _) ->
-         let vs = Value.as_tuple v in
-         match (List.nth_opt vs (i - 1), List.nth_opt vs (j - 1)) with
-         | Some x, Some y -> Value.equal x y
-         | _ -> invalid_arg "Bag.select_eq: attribute out of range")
-       (pairs b))
+   canonical bag preserves canonicity, and filtered contiguous chunks of
+   the sorted support concatenate back into a canonical list. *)
+let select_eq ?pool i j b =
+  let keep (v, _) =
+    let vs = Value.as_tuple v in
+    match (List.nth_opt vs (i - 1), List.nth_opt vs (j - 1)) with
+    | Some x, Some y -> Value.equal x y
+    | _ -> invalid_arg "Bag.select_eq: attribute out of range"
+  in
+  let prs = pairs b in
+  match pool with
+  | Some p when Pool.jobs p > 1 && List.length prs >= Pool.chunk_min p ->
+      let parts =
+        pool_run p
+          (List.map
+             (fun s () -> List.filter keep s)
+             (Pool.chunks (4 * Pool.jobs p) prs))
+      in
+      Value.of_sorted_assoc (List.concat parts)
+  | _ -> Value.of_sorted_assoc (List.filter keep prs)
 
 (* Nest: group by the listed attributes; the remaining attributes keep
    their multiplicities inside the per-group bag, each group occurs once.
@@ -162,7 +218,7 @@ let nest ixs b =
       match VH.find_opt groups key with
       | None ->
           order := key :: !order;
-          VH.add groups key (ref [ (rest, c) ])
+          VH.add groups key (ref [ (rest, c) ]) (* domain-local: fresh table per call *)
       | Some members -> members := (rest, c) :: !members)
     (pairs b);
   Value.bag_of_assoc
@@ -200,7 +256,10 @@ let max_count b =
 
 (* Enumerate sub-multisets.  For every distinct element with multiplicity m
    there are m+1 choices; the total number of subbags is prod (m_i + 1),
-   which we bound before materialising anything. *)
+   which we bound before materialising anything.  The product must be
+   saturating: a wrapping [acc * (m + 1)] can land back inside
+   [0, max_support] (e.g. 8 * 2^61 ≡ 0 mod 2^64) and silence the guard
+   right before the enumeration OOMs. *)
 let check_budget op max_support b =
   let budget =
     List.fold_left
@@ -208,8 +267,8 @@ let check_budget op max_support b =
         match Bignat.to_int_opt c with
         | None -> raise (Too_large (op ^ ": multiplicity exceeds int range"))
         | Some m ->
-            let acc = acc * (m + 1) in
-            if acc > max_support || acc < 0 then
+            let acc = Value.sat_mul acc (Value.sat_add m 1) in
+            if acc > max_support then
               raise
                 (Too_large
                    (Printf.sprintf "%s: more than %d subbags" op max_support))

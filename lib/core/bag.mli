@@ -28,9 +28,12 @@ val inter : Value.t -> Value.t -> Value.t
 
 (** {1 Constructive operations} *)
 
-val product : Value.t -> Value.t -> Value.t
+val product : ?pool:Pool.t -> Value.t -> Value.t -> Value.t
 (** Cartesian product of bags of tuples; concatenates tuple components and
-    multiplies multiplicities. *)
+    multiplies multiplicities.  With [?pool] and enough rows, the outer
+    support is chunked across domains; the result is identical to the
+    sequential one (chunks cover contiguous ranges of the sorted support,
+    so their partial results recombine canonically). *)
 
 val powerset : ?max_support:int -> Value.t -> Value.t
 (** [powerset b] is the bag of {e distinct} subbags of [b], each occurring
@@ -58,17 +61,20 @@ val select : (Value.t -> bool) -> Value.t -> Value.t
 val dedup : Value.t -> Value.t
 (** Duplicate elimination [ε]. *)
 
-val proj : int list -> Value.t -> Value.t
+val proj : ?pool:Pool.t -> int list -> Value.t -> Value.t
 (** [proj ixs b] is the generalized projection
     [MAP λx.<α_{i1}(x), ..., α_{ik}(x)>] over a bag of tuples — the direct
     kernel behind the evaluator's compiled fast path for that Map shape.
+    With [?pool], support chunks project in parallel and recombine with the
+    sorted additive merge.
     @raise Invalid_argument on non-tuple elements or out-of-range
     attributes. *)
 
-val select_eq : int -> int -> Value.t -> Value.t
+val select_eq : ?pool:Pool.t -> int -> int -> Value.t -> Value.t
 (** [select_eq i j b] is [σ_{i=j} b]: keep the tuples whose [i]-th and
     [j]-th components are equal.  Direct kernel behind the compiled fast
-    path for [Select (x, Proj (i, Var x), Proj (j, Var x), e)].
+    path for [Select (x, Proj (i, Var x), Proj (j, Var x), e)].  With
+    [?pool], support chunks filter in parallel.
     @raise Invalid_argument on non-tuple elements or out-of-range
     attributes. *)
 

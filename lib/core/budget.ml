@@ -59,8 +59,12 @@ type t = {
   limits : limits;
   started : float;  (** wall-clock origin of the deadline *)
   deadline : float;  (** absolute deadline, [infinity] when none *)
-  mutable fuel_spent : int;
-  mutable ticks : int;  (** charge counter, paces the deadline probes *)
+  fuel_spent : int Atomic.t;
+  ticks : int Atomic.t;  (** charge counter, paces the deadline probes *)
+  tripped : exhaustion option Atomic.t;
+      (** first verdict, kept at the minimum preorder node id so parallel
+          evaluation reports deterministically no matter which domain
+          exhausts first *)
 }
 
 (* Probe the wall clock only every [deadline_stride] charges: a
@@ -75,15 +79,27 @@ let start limits =
     started = now;
     deadline =
       (match limits.deadline_s with None -> infinity | Some s -> now +. s);
-    fuel_spent = 0;
-    ticks = 0;
+    fuel_spent = Atomic.make 0;
+    ticks = Atomic.make 0;
+    tripped = Atomic.make None;
   }
 
 let limits t = t.limits
-let fuel_spent t = t.fuel_spent
+let fuel_spent t = Atomic.get t.fuel_spent
+let verdict t = Atomic.get t.tripped
 
-let exceeded _t resource ~node ~op ~spent ~limit =
-  raise (Budget_exceeded { resource; at_node = node; op; spent; limit })
+(* Publish the verdict before raising, keeping the smallest node id across
+   domains: every domain that exhausts CASes its candidate in unless a
+   strictly earlier (preorder) node already won. *)
+let exceeded t resource ~node ~op ~spent ~limit =
+  let x = { resource; at_node = node; op; spent; limit } in
+  let rec publish () =
+    match Atomic.get t.tripped with
+    | Some y when y.at_node <= x.at_node -> ()
+    | cur -> if not (Atomic.compare_and_set t.tripped cur (Some x)) then publish ()
+  in
+  publish ();
+  raise (Budget_exceeded x)
 
 let elapsed_ms t = int_of_float ((Unix.gettimeofday () -. t.started) *. 1e3)
 
@@ -96,16 +112,27 @@ let check_deadline t ~node ~op =
   if t.deadline < infinity && Unix.gettimeofday () > t.deadline then
     exceeded t Deadline ~node ~op ~spent:(elapsed_ms t) ~limit:(deadline_ms t)
 
+(* One fetch-and-add on the shared account; a wrap past [max_int] (only
+   reachable with unlimited fuel after ~2^62 charges) is pinned back to
+   [max_int] — the benign race on that correction cannot un-trip a finite
+   limit, which is checked against the pre-wrap sum. *)
 let charge t ~node ~op n =
-  let spent = t.fuel_spent + n in
-  let spent = if spent < 0 then max_int else spent (* saturate *) in
-  t.fuel_spent <- spent;
+  (match Atomic.get t.tripped with
+  | Some x -> raise (Budget_exceeded x)
+  | None -> ());
+  let spent = Atomic.fetch_and_add t.fuel_spent n + n in
+  let spent =
+    if spent < 0 then begin
+      Atomic.set t.fuel_spent max_int;
+      max_int
+    end
+    else spent
+  in
   if spent > t.limits.fuel then
     exceeded t Fuel ~node ~op ~spent ~limit:t.limits.fuel;
-  if t.deadline < infinity then begin
-    t.ticks <- t.ticks + 1;
-    if t.ticks land (deadline_stride - 1) = 0 then check_deadline t ~node ~op
-  end
+  if t.deadline < infinity then
+    if Atomic.fetch_and_add t.ticks 1 land (deadline_stride - 1) = 0 then
+      check_deadline t ~node ~op
 
 let check_support t ~node ~op n =
   if n > t.limits.max_support then

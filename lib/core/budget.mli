@@ -60,7 +60,10 @@ exception Budget_exceeded of exhaustion
 val exhaustion_to_string : exhaustion -> string
 
 type t
-(** A running account.  One [t] governs one evaluation. *)
+(** A running account.  One [t] governs one evaluation.  The accounts are
+    {!Atomic.t} counters: domains of a parallel evaluation charge the same
+    shared account, and the fuel limit cuts the whole computation off at
+    the same total spend as a sequential run. *)
 
 val start : limits -> t
 (** Open the account; the deadline clock starts now. *)
@@ -68,8 +71,15 @@ val start : limits -> t
 val limits : t -> limits
 val fuel_spent : t -> int
 
+val verdict : t -> exhaustion option
+(** The published exhaustion verdict, if any domain has tripped the
+    account.  Under parallel evaluation several domains can exhaust
+    concurrently; the stored verdict is kept at the {e smallest} preorder
+    node id, so the reported location is deterministic. *)
+
 val exceeded : t -> resource -> node:int -> op:string -> spent:int -> limit:int -> 'a
-(** Raise {!Budget_exceeded} for this account. *)
+(** Publish the verdict (minimum node id wins) and raise
+    {!Budget_exceeded} for this account. *)
 
 val charge : t -> node:int -> op:string -> int -> unit
 (** Spend [n] fuel units attributed to the given node.  Saturating; checks

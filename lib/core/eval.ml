@@ -80,25 +80,39 @@ type env = Value.t Env.t
 let env_of_list l = List.fold_left (fun m (x, v) -> Env.add x v m) Env.empty l
 
 (* ------------------------------------------------------------------ *)
-(* Compilation to closures: budget governance, telemetry spans, and
-   memoisation of stable operator nodes. *)
+(* Compilation to closures: budget governance, telemetry spans,
+   memoisation of stable operator nodes, and parallel execution. *)
 
 type state = {
-  budget : Budget.t;
-  meters : meters;
-  memo : (int * int, (Value.t option list * Value.t) list ref) Hashtbl.t;
-      (** (node id, binding fingerprint) -> verified (bindings, result) *)
+  budget : Budget.t;  (** shared across domains; accounts are atomic *)
+  meters : meters;  (** owned by this state; merged at parallel joins *)
+  run_id : int;  (** keys the per-domain memo tables *)
+  telemetry : Telemetry.t option;  (** the sink, when one is attached *)
+  shard : Telemetry.shard option;
+      (** [Some] inside a parallel task: records land in the task's own
+          shard and merge into the parent at the join *)
+  pool : Pool.t option;
 }
 
 (* Attribution of one compiled node: its preorder id, operator label, and
    (when a sink is attached) its telemetry span. *)
 type att = { id : int; op : string; sp : Telemetry.span option }
 
+(* The span to record into for this state: the registered tree span on the
+   main domain, the task's shard span inside a parallel task. *)
+let span_of st att sp_main =
+  match st.shard with
+  | None -> sp_main
+  | Some sh -> Telemetry.shard_span sh ~id:att.id ~op:att.op
+
 (* Every unit of fuel charged to the governor is mirrored into the node's
-   span, so the span tree's total step count always equals the spent fuel
-   (the --stats invariant, tested in test_budget.ml). *)
+   span (or its shard counterpart), so the span tree's total step count
+   always equals the spent fuel after shards merge (the --stats invariant,
+   tested in test_budget.ml and test_parallel.ml). *)
 let spend st att n =
-  (match att.sp with Some sp -> Telemetry.add_steps sp n | None -> ());
+  (match att.sp with
+  | Some sp -> Telemetry.add_steps (span_of st att sp) n
+  | None -> ());
   Budget.charge st.budget ~node:att.id ~op:att.op n
 
 (* Meter the result, enforce the per-value budgets, and charge fuel
@@ -141,20 +155,38 @@ let observe st att v =
       let size = Value.size_tag v in
       Budget.check_size st.budget ~node:att.id ~op:att.op size;
       (match att.sp with
-      | Some sp -> Telemetry.record_result sp ~support ~size
+      | Some sp -> Telemetry.record_result (span_of st att sp) ~support ~size
       | None -> ());
       spend st att support
   | Value.Atom _ | Value.Tuple _ -> (
       let size = Value.size_tag v in
       Budget.check_size st.budget ~node:att.id ~op:att.op size;
       match att.sp with
-      | Some sp -> Telemetry.record_result sp ~support:0 ~size
+      | Some sp -> Telemetry.record_result (span_of st att sp) ~support:0 ~size
       | None -> ()));
   v
 
 (* Keep the table from growing without bound inside huge fixpoints; a reset
    loses cached work but never correctness. *)
 let memo_capacity = 1 lsl 16
+
+(* Per-domain memo tables, keyed off domain-local storage: every domain —
+   main or worker — reads and writes only its own table, so the lookup
+   path needs no locks at all.  Tables are recycled across runs by tagging
+   them with the run id: node ids restart at 1 for every compilation, so a
+   stale entry from a previous run must never be visible. *)
+type memo_tbl = (int * int, (Value.t option list * Value.t) list ref) Hashtbl.t
+
+let memo_slot : (int ref * memo_tbl) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> (ref (-1), Hashtbl.create 256))
+
+let memo_table st : memo_tbl =
+  let rid, tbl = Domain.DLS.get memo_slot in
+  if !rid <> st.run_id then begin
+    rid := st.run_id;
+    Hashtbl.reset tbl (* domain-local: DLS table, never shared *)
+  end;
+  tbl
 
 let binding_equal a b =
   match (a, b) with
@@ -175,6 +207,84 @@ let fingerprint vals =
 type compiled = state -> env -> Value.t
 
 type reg = { ctr : int ref; telemetry : Telemetry.t option }
+
+(* ------------------------------------------------------------------ *)
+(* Parallel regions. *)
+
+let par_pool st =
+  match st.pool with Some p when Pool.jobs p > 1 -> Some p | _ -> None
+
+let merge_meters dst src =
+  if src.max_support_seen > dst.max_support_seen then
+    dst.max_support_seen <- src.max_support_seen;
+  if Bignat.compare src.max_count_seen dst.max_count_seen > 0 then
+    dst.max_count_seen <- src.max_count_seen;
+  if Bignat.compare src.max_cardinal_seen dst.max_cardinal_seen > 0 then
+    dst.max_cardinal_seen <- src.max_cardinal_seen;
+  dst.ops <- dst.ops + src.ops;
+  dst.memo_hits <- dst.memo_hits + src.memo_hits;
+  dst.memo_misses <- dst.memo_misses + src.memo_misses
+
+(* Run [tasks] (closures over a fresh child state each) on the pool and
+   join.  Child meters and telemetry shards merge into [st] whether the
+   task succeeded or not — fuel spent on a failed branch is still fuel
+   spent, and the steps == fuel invariant must survive exhaustion.
+   Failure combination is deterministic: a non-budget exception from the
+   earliest task wins (sequential evaluation would have raised it), else
+   the budget verdict with the smallest preorder node id. *)
+let par_run (st : state) p (tasks : (state -> 'a) list) : 'a list =
+  let children =
+    List.map
+      (fun task ->
+        let c =
+          {
+            st with
+            meters = fresh_meters ();
+            shard =
+              (match st.telemetry with
+              | None -> None
+              | Some _ -> Some (Telemetry.shard ()));
+          }
+        in
+        (c, fun () -> task c))
+      tasks
+  in
+  let results = Pool.run p (List.map snd children) in
+  List.iter
+    (fun (c, _) ->
+      merge_meters st.meters c.meters;
+      match c.shard with
+      | None -> ()
+      | Some src -> (
+          match st.shard with
+          | Some dst -> Telemetry.merge_shard_into_shard dst src
+          | None -> (
+              match st.telemetry with
+              | Some t -> Telemetry.merge_shard t src
+              | None -> ())))
+    children;
+  let reraise =
+    List.fold_left
+      (fun acc r ->
+        match (acc, r) with
+        | Some e, _ when not (match e with Budget.Budget_exceeded _ -> true | _ -> false) ->
+            acc (* earliest non-budget exception is final *)
+        | _, Ok _ -> acc
+        | _, Error (Budget.Budget_exceeded x) -> (
+            match acc with
+            | None -> Some (Budget.Budget_exceeded x)
+            | Some (Budget.Budget_exceeded y) ->
+                if x.Budget.at_node < y.Budget.at_node then
+                  Some (Budget.Budget_exceeded x)
+                else acc
+            | Some _ -> acc)
+        | _, Error e -> Some e (* first non-budget error overrides *))
+      None results
+  in
+  match reraise with
+  | Some e -> raise e
+  | None ->
+      List.map (function Ok v -> v | Error _ -> assert false) results
 
 (* Expected powerset/powerbag output support: prod (m_i + 1), saturating at
    [max_int].  O(support of the input), allocation-free. *)
@@ -225,11 +335,14 @@ let rec compile reg ~parent volatile e : compiled =
         fun st env ->
           spend st att 1;
           observe st att (raw st env)
-    | Some sp ->
+    | Some sp_main ->
         (* Inclusive wall time and allocation per span; only paid when a
-           telemetry sink is attached. *)
+           telemetry sink is attached.  The span is resolved per call: the
+           registered tree span on the main domain, the task shard inside
+           a parallel region. *)
         fun st env ->
           spend st att 1;
+          let sp = span_of st att sp_main in
           sp.Telemetry.invocations <- sp.Telemetry.invocations + 1;
           let t0 = Unix.gettimeofday () in
           let a0 = Gc.allocated_bytes () in
@@ -265,7 +378,8 @@ let rec compile reg ~parent volatile e : compiled =
         st.meters.memo_hits <- st.meters.memo_hits + 1;
         spend st att 1;
         (match sp with
-        | Some sp ->
+        | Some sp_main ->
+            let sp = span_of st att sp_main in
             sp.Telemetry.invocations <- sp.Telemetry.invocations + 1;
             Telemetry.record_memo_hit sp
         | None -> ());
@@ -273,10 +387,13 @@ let rec compile reg ~parent volatile e : compiled =
       in
       let compute () =
         st.meters.memo_misses <- st.meters.memo_misses + 1;
-        (match sp with Some sp -> Telemetry.record_memo_miss sp | None -> ());
+        (match sp with
+        | Some sp_main -> Telemetry.record_memo_miss (span_of st att sp_main)
+        | None -> ());
         invoke st env
       in
-      match Hashtbl.find_opt st.memo key with
+      let memo = memo_table st in
+      match Hashtbl.find_opt memo key with
       | Some entries -> (
           match
             List.find_opt (fun (vs, _) -> bindings_equal vs vals) !entries
@@ -288,9 +405,9 @@ let rec compile reg ~parent volatile e : compiled =
               r)
       | None ->
           let r = compute () in
-          if Hashtbl.length st.memo >= memo_capacity then
-            Hashtbl.reset st.memo;
-          Hashtbl.add st.memo key (ref [ (vals, r) ]);
+          if Hashtbl.length memo >= memo_capacity then
+            Hashtbl.reset memo (* domain-local: DLS table, never shared *);
+          Hashtbl.add memo key (ref [ (vals, r) ]) (* domain-local: DLS table *);
           r
   end
 
@@ -298,6 +415,25 @@ and compile_node reg ~att volatile e : compiled =
   let sub e = compile reg ~parent:att.id volatile e in
   let under x e = compile reg ~parent:att.id (Expr.Vars.add x volatile) e in
   let stable x e = compile reg ~parent:att.id (Expr.Vars.remove x volatile) e in
+  (* Binary operators with two substantial operands fork their branches
+     onto the pool: the operands are independent, so each evaluates in its
+     own child state and the kernel combines the joined values.  Operand
+     sizes are known at compile time; the sequential path keeps the
+     historical right-then-left evaluation order. *)
+  let bin a b kernel =
+    let ca = sub a and cb = sub b in
+    let sa = Expr.size a and sb = Expr.size b in
+    fun st env ->
+      match par_pool st with
+      | Some p when sa >= Pool.fork_min p && sb >= Pool.fork_min p -> (
+          match par_run st p [ (fun c -> ca c env); (fun c -> cb c env) ] with
+          | [ va; vb ] -> kernel st va vb
+          | _ -> assert false)
+      | _ ->
+          let vb = cb st env in
+          let va = ca st env in
+          kernel st va vb
+  in
   match e with
   | Expr.Var x -> (
       fun _st env ->
@@ -319,21 +455,12 @@ and compile_node reg ~att volatile e : compiled =
   | Expr.Sing e ->
       let c = sub e in
       fun st env -> Value.of_sorted_assoc [ (c st env, Bignat.one) ]
-  | Expr.UnionAdd (a, b) ->
-      let ca = sub a and cb = sub b in
-      fun st env -> Bag.union_add (ca st env) (cb st env)
-  | Expr.Diff (a, b) ->
-      let ca = sub a and cb = sub b in
-      fun st env -> Bag.diff (ca st env) (cb st env)
-  | Expr.UnionMax (a, b) ->
-      let ca = sub a and cb = sub b in
-      fun st env -> Bag.union_max (ca st env) (cb st env)
-  | Expr.Inter (a, b) ->
-      let ca = sub a and cb = sub b in
-      fun st env -> Bag.inter (ca st env) (cb st env)
+  | Expr.UnionAdd (a, b) -> bin a b (fun _st va vb -> Bag.union_add va vb)
+  | Expr.Diff (a, b) -> bin a b (fun _st va vb -> Bag.diff va vb)
+  | Expr.UnionMax (a, b) -> bin a b (fun _st va vb -> Bag.union_max va vb)
+  | Expr.Inter (a, b) -> bin a b (fun _st va vb -> Bag.inter va vb)
   | Expr.Product (a, b) ->
-      let ca = sub a and cb = sub b in
-      fun st env -> Bag.product (ca st env) (cb st env)
+      bin a b (fun st va vb -> Bag.product ?pool:st.pool va vb)
   | Expr.Powerset e ->
       let c = sub e in
       fun st env ->
@@ -368,12 +495,33 @@ and compile_node reg ~att volatile e : compiled =
       let cbody = under x body and c = sub e in
       fun st env ->
         let b = c st env in
-        (try Bag.proj ixs b
+        (try Bag.proj ?pool:st.pool ixs b
          with Invalid_argument _ ->
            Bag.map (fun v -> cbody st (Env.add x v env)) b)
   | Expr.Map (x, body, e) ->
       let cbody = under x body and c = sub e in
-      fun st env -> Bag.map (fun v -> cbody st (Env.add x v env)) (c st env)
+      fun st env -> (
+        let b = c st env in
+        match par_pool st with
+        | Some p when Value.is_bag b && Value.support_size b >= Pool.chunk_min p ->
+            (* Chunk the support: each task maps its slice under a child
+               state (per-element budget charges hit the shared atomic
+               account) and locally coalesces; the per-chunk bags recombine
+               with the additive sorted merge — exactly the coalescing the
+               sequential [bag_of_assoc] performs. *)
+            let chunks = Pool.chunks (4 * Pool.jobs p) (Value.as_bag b) in
+            let parts =
+              par_run st p
+                (List.map
+                   (fun chunk cst ->
+                     Value.bag_of_assoc
+                       (List.map
+                          (fun (v, cnt) -> (cbody cst (Env.add x v env), cnt))
+                          chunk))
+                   chunks)
+            in
+            List.fold_left Bag.union_add Value.empty_bag parts
+        | _ -> Bag.map (fun v -> cbody st (Env.add x v env)) b)
   (* σ_{i=j}: positional-equality selection runs as {!Bag.select_eq}, with
      the same generic fallback on malformed data. *)
   | Expr.Select
@@ -385,7 +533,7 @@ and compile_node reg ~att volatile e : compiled =
       let cl = under x l and cr = under x r and c = sub e in
       fun st env ->
         let b = c st env in
-        (try Bag.select_eq i j b
+        (try Bag.select_eq ?pool:st.pool i j b
          with Invalid_argument _ ->
            Bag.select
              (fun v ->
@@ -394,12 +542,26 @@ and compile_node reg ~att volatile e : compiled =
              b)
   | Expr.Select (x, l, r, e) ->
       let cl = under x l and cr = under x r and c = sub e in
-      fun st env ->
-        Bag.select
-          (fun v ->
-            let env' = Env.add x v env in
-            Value.equal (cl st env') (cr st env'))
-          (c st env)
+      fun st env -> (
+        let b = c st env in
+        let pred cst v =
+          let env' = Env.add x v env in
+          Value.equal (cl cst env') (cr cst env')
+        in
+        match par_pool st with
+        | Some p when Value.is_bag b && Value.support_size b >= Pool.chunk_min p ->
+            (* Filtered contiguous chunks of the sorted support concatenate
+               back into one canonical list. *)
+            let chunks = Pool.chunks (4 * Pool.jobs p) (Value.as_bag b) in
+            let parts =
+              par_run st p
+                (List.map
+                   (fun chunk cst ->
+                     List.filter (fun (v, _) -> pred cst v) chunk)
+                   chunks)
+            in
+            Value.of_sorted_assoc (List.concat parts)
+        | _ -> Bag.select (pred st) b)
   | Expr.Dedup e ->
       let c = sub e in
       fun st env -> Bag.dedup (c st env)
@@ -439,7 +601,10 @@ and iterate st att env ~x ~cbody ~bound current =
 (* ------------------------------------------------------------------ *)
 (* Entry points. *)
 
-let run ?budget ?limits ?meters ?telemetry env e =
+(* Distinct run ids recycle the per-domain memo tables between runs. *)
+let run_ids = Atomic.make 1
+
+let run ?budget ?limits ?meters ?telemetry ?pool env e =
   let budget =
     match (budget, limits) with
     | Some b, _ -> b
@@ -448,12 +613,26 @@ let run ?budget ?limits ?meters ?telemetry env e =
   in
   let meters = match meters with Some m -> m | None -> fresh_meters () in
   let compiled = compile { ctr = ref 0; telemetry } ~parent:0 Expr.Vars.empty e in
-  match compiled { budget; meters; memo = Hashtbl.create 64 } env with
+  let st =
+    {
+      budget;
+      meters;
+      run_id = Atomic.fetch_and_add run_ids 1;
+      telemetry;
+      shard = None;
+      pool;
+    }
+  in
+  match compiled st env with
   | v -> Ok v
-  | exception Budget.Budget_exceeded x -> Error x
+  | exception Budget.Budget_exceeded x ->
+      (* Under parallel evaluation the propagated exception is whichever
+         domain's raise won the race; the published verdict is kept at the
+         smallest node id, so report that one. *)
+      Error (match Budget.verdict budget with Some y -> y | None -> x)
 
-let eval ?(config = default_config) ?meters env e =
-  match run ~limits:(limits_of_config config) ?meters env e with
+let eval ?(config = default_config) ?meters ?pool env e =
+  match run ~limits:(limits_of_config config) ?meters ?pool env e with
   | Ok v -> v
   | Error x -> raise (Resource_limit (Budget.exhaustion_to_string x))
 

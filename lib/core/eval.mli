@@ -53,6 +53,7 @@ val run :
   ?limits:Budget.limits ->
   ?meters:meters ->
   ?telemetry:Telemetry.t ->
+  ?pool:Pool.t ->
   env ->
   Expr.t ->
   (Value.t, Budget.exhaustion) result
@@ -61,9 +62,18 @@ val run :
     with neither, {!Budget.default} applies.  Budget exhaustion — including
     what used to surface as the ad-hoc [Bag.Too_large] — returns as a
     located [Error]; no budget-related exception escapes.
+
+    With [?pool], large kernels chunk their support across the pool's
+    domains and substantial independent binary-operator branches fork:
+    results are identical to sequential evaluation (chunks of a canonical
+    bag recombine canonically), the shared budget still cuts off at the
+    same total spend, telemetry shards merge at every join (preserving the
+    steps == fuel invariant), and an exhaustion verdict is reported at the
+    smallest exhausting node id for determinism.
     @raise Eval_error on dynamic type errors or unbound variables. *)
 
-val eval : ?config:config -> ?meters:meters -> env -> Expr.t -> Value.t
+val eval :
+  ?config:config -> ?meters:meters -> ?pool:Pool.t -> env -> Expr.t -> Value.t
 (** Legacy entry point: {!run} under {!limits_of_config}.
     @raise Eval_error on dynamic type errors or unbound variables.
     @raise Resource_limit when the governor trips. *)

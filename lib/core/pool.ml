@@ -1,0 +1,161 @@
+(* Work-sharing domain pool; see pool.mli for the model. *)
+
+type t = {
+  jobs : int;
+  chunk_min : int;
+  fork_min : int;
+  queue : (unit -> unit) Queue.t;  (* guarded by [lock] *)
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable closing : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+let chunk_min t = t.chunk_min
+let fork_min t = t.fork_min
+
+(* Workers block on [nonempty] until a task arrives or the pool closes.
+   Tasks are result-capturing wrappers built by [run]; they never raise. *)
+let worker t () =
+  let rec next () =
+    if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+    else if t.closing then None
+    else begin
+      Condition.wait t.nonempty t.lock;
+      next ()
+    end
+  in
+  let rec loop () =
+    Mutex.lock t.lock;
+    let task = next () in
+    Mutex.unlock t.lock;
+    match task with
+    | None -> ()
+    | Some task ->
+        task ();
+        loop ()
+  in
+  loop ()
+
+let create ?(chunk_min = 512) ?(fork_min = 24) ~jobs () =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      chunk_min;
+      fork_min;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      closing = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.closing <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let protect f = try Ok (f ()) with e -> Error e
+
+let run t thunks =
+  match thunks with
+  | [] -> []
+  | [ f ] -> [ protect f ]
+  | _ when t.jobs <= 1 -> List.map protect thunks
+  | _ ->
+      let thunks = Array.of_list thunks in
+      let n = Array.length thunks in
+      let results = Array.make n None in
+      let remaining = Atomic.make n in
+      (* Per-batch completion signal; [remaining] is the ground truth and is
+         always rechecked under [fin_lock], so a broadcast between the
+         queue-empty check and the wait cannot be missed. *)
+      let fin_lock = Mutex.create () in
+      let fin = Condition.create () in
+      let run_one i =
+        results.(i) <- Some (protect thunks.(i));
+        if Atomic.fetch_and_add remaining (-1) = 1 then begin
+          Mutex.lock fin_lock;
+          Condition.broadcast fin;
+          Mutex.unlock fin_lock
+        end
+      in
+      Mutex.lock t.lock;
+      for i = 0 to n - 1 do
+        Queue.push (fun () -> run_one i) t.queue
+      done;
+      Condition.broadcast t.nonempty;
+      Mutex.unlock t.lock;
+      (* The caller helps: drain whatever is queued (our tasks or, from a
+         nested region, someone else's — both make global progress), then
+         wait for the stragglers running on other domains. *)
+      let rec help () =
+        if Atomic.get remaining <> 0 then begin
+          Mutex.lock t.lock;
+          let task =
+            if Queue.is_empty t.queue then None else Some (Queue.pop t.queue)
+          in
+          Mutex.unlock t.lock;
+          match task with
+          | Some task ->
+              task ();
+              help ()
+          | None ->
+              Mutex.lock fin_lock;
+              while Atomic.get remaining <> 0 do
+                Condition.wait fin fin_lock
+              done;
+              Mutex.unlock fin_lock
+        end
+      in
+      help ();
+      Array.to_list
+        (Array.map
+           (function Some r -> r | None -> assert false (* all completed *))
+           results)
+
+let with_pool ?chunk_min ?fork_min ~jobs f =
+  if jobs <= 1 then f None
+  else begin
+    let t = create ?chunk_min ?fork_min ~jobs () in
+    match f (Some t) with
+    | v ->
+        shutdown t;
+        v
+    | exception e ->
+        shutdown t;
+        raise e
+  end
+
+(* Contiguous near-equal chunks, order preserved: chunk i gets one extra
+   element while i < n mod k.  Tail-recursive over the input. *)
+let chunks k l =
+  let n = List.length l in
+  if n = 0 then []
+  else begin
+    let k = max 1 (min k n) in
+    let base = n / k and extra = n mod k in
+    let rec take acc m l =
+      if m = 0 then (List.rev acc, l)
+      else
+        match l with
+        | [] -> (List.rev acc, [])
+        | x :: tl -> take (x :: acc) (m - 1) tl
+    in
+    let rec go i l acc =
+      if i = k then List.rev acc
+      else
+        let m = base + if i < extra then 1 else 0 in
+        let chunk, rest = take [] m l in
+        go (i + 1) rest (chunk :: acc)
+    in
+    go 0 l []
+  end

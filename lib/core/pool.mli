@@ -1,0 +1,46 @@
+(** A work-sharing pool of OCaml 5 domains for data-parallel kernels.
+
+    The evaluator's hot paths — per-element MAP bodies, σ predicates,
+    Cartesian products — are embarrassingly parallel over the sorted
+    support of a canonical bag.  A {!t} owns [jobs - 1] persistent worker
+    domains plus the calling domain: {!run} enqueues a batch of thunks on a
+    shared queue and the caller {e helps} drain it, so nested parallel
+    regions (a parallel product inside a parallel MAP body) never deadlock
+    — a blocked owner is always either executing queued work or waiting on
+    tasks that some other domain is executing.
+
+    Thresholds live here so every call site agrees on when parallelism
+    pays: {!chunk_min} is the minimum number of support elements (or
+    product rows) worth chunking, {!fork_min} the minimum {!Expr.size} of
+    {e both} operands of a binary operator worth forking.  Tests set both
+    to 1 to force the parallel paths onto tiny inputs. *)
+
+type t
+
+val create : ?chunk_min:int -> ?fork_min:int -> jobs:int -> unit -> t
+(** Spawn [jobs - 1] worker domains ([jobs <= 1] spawns none and {!run}
+    degenerates to sequential iteration).  Defaults: [chunk_min = 512],
+    [fork_min = 24]. *)
+
+val jobs : t -> int
+val chunk_min : t -> int
+val fork_min : t -> int
+
+val run : t -> (unit -> 'a) list -> ('a, exn) result list
+(** Execute the thunks, possibly in parallel, returning per-thunk results
+    in input order.  Exceptions are captured per thunk, never re-raised
+    here — the caller decides how to combine failures (the evaluator picks
+    the budget verdict with the smallest node id).  Safe to call from
+    inside a running task (the nested call shares the queue). *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  The pool must not be used afterwards. *)
+
+val with_pool :
+  ?chunk_min:int -> ?fork_min:int -> jobs:int -> (t option -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f (Some pool)] with a fresh pool and shuts it
+    down afterwards (also on exceptions); [jobs <= 1] runs [f None]. *)
+
+val chunks : int -> 'a list -> 'a list list
+(** [chunks k l]: split [l] into at most [k] contiguous chunks of
+    near-equal length, in order.  [chunks k [] = []]. *)

@@ -31,25 +31,59 @@ let arity_of env e =
 
 (* Projection indices mentioned by a selection condition that only touches
    its tuple variable through projections; None when the variable is used
-   some other way. *)
+   some other way.  Occurrences of [x] under a binder that rebinds the same
+   name are a *different* variable and must not be counted: walking through
+   shadowing binders used to misattribute inner uses to the outer tuple
+   variable, letting select-pushdown fire (and shift) on conditions it does
+   not actually understand. *)
 let proj_indices_of x e =
   let exception Other_use in
   let acc = ref [] in
   let rec go e =
     match e with
-    | Expr.Proj (i, Expr.Var y) when String.equal x y ->
-        acc := i :: !acc
+    | Expr.Proj (i, Expr.Var y) when String.equal x y -> acc := i :: !acc
     | Expr.Var y when String.equal x y -> raise Other_use
+    | Expr.Map (y, body, src) ->
+        if not (String.equal x y) then go body;
+        go src
+    | Expr.Select (y, l, r, src) ->
+        if not (String.equal x y) then begin
+          go l;
+          go r
+        end;
+        go src
+    | Expr.Let (y, bound, body) ->
+        go bound;
+        if not (String.equal x y) then go body
+    | Expr.Fix (y, body, seed) ->
+        if not (String.equal x y) then go body;
+        go seed
+    | Expr.BFix (bound, y, body, seed) ->
+        go bound;
+        if not (String.equal x y) then go body;
+        go seed
     | _ -> List.iter go (Expr.children e)
   in
   match go e with () -> Some !acc | exception Other_use -> None
 
-(* Shift every Proj on [x] by [-k] (used when pushing a selection to the
-   right operand of a product). *)
+(* Shift every free Proj on [x] by [-k] (used when pushing a selection to
+   the right operand of a product).  Subterms under a binder that rebinds
+   [x] are left untouched — their [x] is bound locally, and shifting it
+   used to silently change what a shadowed projection computed. *)
 let rec shift_projs x k e =
   match e with
   | Expr.Proj (i, Expr.Var y) when String.equal x y -> Expr.Proj (i - k, Expr.Var y)
   | Expr.Var _ | Expr.Lit _ -> e
+  | Expr.Map (y, body, src) when String.equal x y ->
+      Expr.Map (y, body, shift_projs x k src)
+  | Expr.Select (y, l, r, src) when String.equal x y ->
+      Expr.Select (y, l, r, shift_projs x k src)
+  | Expr.Let (y, bound, body) when String.equal x y ->
+      Expr.Let (y, shift_projs x k bound, body)
+  | Expr.Fix (y, body, seed) when String.equal x y ->
+      Expr.Fix (y, body, shift_projs x k seed)
+  | Expr.BFix (bound, y, body, seed) when String.equal x y ->
+      Expr.BFix (shift_projs x k bound, y, body, shift_projs x k seed)
   | _ -> map_children (shift_projs x k) e
 
 and map_children f e =
@@ -194,13 +228,23 @@ let rule_map_identity =
         | _ -> None);
   }
 
+(** [MAP λx.outer (MAP λy.inner e) → MAP λy.outer[inner/x] e].  Fusing puts
+    [outer] under the inner binder, so a free [y] in [outer] (reaching past
+    [x] to an enclosing binder) would be captured and silently re-pointed at
+    the inner element — the substitution itself is capture-avoiding, the
+    rule's re-binding was not.  α-rename the inner binder first when that
+    would happen. *)
 let rule_map_fusion =
   {
     name = "map-fusion";
     applies =
       (fun _ -> function
         | Expr.Map (x, outer, Expr.Map (y, inner, e)) ->
-            Some (Expr.Map (y, Expr.subst x inner outer, e))
+            if Expr.Vars.mem y (Expr.Vars.remove x (Expr.free_vars outer)) then
+              let z = Expr.fresh_var y in
+              let inner' = Expr.subst y (Expr.Var z) inner in
+              Some (Expr.Map (z, Expr.subst x inner' outer, e))
+            else Some (Expr.Map (y, Expr.subst x inner outer, e))
         | _ -> None);
   }
 

@@ -41,6 +41,13 @@ val size_tag : t -> int
 (** Saturating machine-int approximation of {!encoded_size}: exact whenever
     the encoded size fits an [int], [max_int] otherwise.  O(1). *)
 
+val sat_add : int -> int -> int
+val sat_mul : int -> int -> int
+(** Saturating machine arithmetic on non-negative operands (the arithmetic
+    of the size tags).  Overflow pins to [max_int] instead of wrapping —
+    use these for any budget product that feeds a comparison, since a
+    wrapped product can land back inside the allowed range. *)
+
 (** {1 Constructors} *)
 
 val atom : string -> t

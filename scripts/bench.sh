@@ -5,7 +5,9 @@ set -eu
 cd "$(dirname "$0")/.."
 
 dune build bench/main.exe
-dune exec bench/main.exe -- --json
+# extra flags pass straight through (e.g. --jobs 4 adds parallel _jobs4
+# rows next to the sequential ones)
+dune exec bench/main.exe -- --json "$@"
 
 echo "--- BENCH_eval.json ---"
 cat BENCH_eval.json

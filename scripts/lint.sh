@@ -29,6 +29,20 @@ for pat in '_build/' 'BENCH_eval.json'; do
   fi
 done
 
+# parallel-safety: code reachable from pool tasks must not mutate hash
+# tables that could be shared across domains.  Any raw mutation in the
+# pool/kernel/evaluator sources needs a same-line 'domain-local'
+# annotation saying why the table cannot be shared (DLS slot, fresh per
+# call, ...).
+for f in lib/core/pool.ml lib/core/bag.ml lib/core/eval.ml; do
+  bad=$(grep -nE '(Hashtbl|VH)\.(add|replace|remove|reset|clear|filter_map_inplace)' "$f" | grep -v 'domain-local' || true)
+  if [ -n "$bad" ]; then
+    echo "lint: unannotated hash-table mutation in $f (justify with 'domain-local:'):"
+    echo "$bad" | sed 's/^/  /'
+    fail=1
+  fi
+done
+
 # scripts stay executable-safe: every scripts/*.sh must pass a syntax check
 for s in scripts/*.sh; do
   if ! sh -n "$s"; then

@@ -161,6 +161,24 @@ let test_too_large_guard () =
   | v -> Alcotest.(check int) "101 subbags fit" 101 (Value.support_size v)
   | exception Bag.Too_large _ -> Alcotest.fail "should fit"
 
+(* Regression: the subbag-count guard multiplies (m_i + 1) across the
+   support, and with wrapping arithmetic a crafted pair of multiplicities
+   lands the product right back inside the allowed range — 16 * 2^60 = 2^64
+   ≡ 0 in OCaml's native int — so the guard waved through an enumeration of
+   2^60 subbags (this test used to hang until the machine OOMed).  The
+   product now saturates, and the guard must trip immediately. *)
+let test_too_large_overflow_bypass () =
+  let crafted =
+    bagc [ (a, 15); (b, (1 lsl 60) - 1) ]
+    (* (15+1) * (2^60-1+1) wraps to 0 *)
+  in
+  (match Bag.powerset crafted with
+  | exception Bag.Too_large _ -> ()
+  | _ -> Alcotest.fail "powerset: expected Too_large");
+  match Bag.powerbag crafted with
+  | exception Bag.Too_large _ -> ()
+  | _ -> Alcotest.fail "powerbag: expected Too_large"
+
 (* --- cross-check against the generic multiset -------------------------- *)
 
 module MS = Mset.Multiset.Make (struct
@@ -221,6 +239,8 @@ let () =
           Alcotest.test_case "powerset structure" `Quick test_powerset_structure;
           Alcotest.test_case "powerbag total" `Quick test_powerbag_total;
           Alcotest.test_case "resource guard" `Quick test_too_large_guard;
+          Alcotest.test_case "resource guard overflow bypass" `Quick
+            test_too_large_overflow_bypass;
         ] );
       ("properties", props);
     ]

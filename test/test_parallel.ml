@@ -1,0 +1,207 @@
+(* Tests for the multicore evaluation engine: the work-sharing pool itself,
+   bit-identical sequential-vs-parallel results on random expressions, the
+   steps == fuel telemetry invariant across domain joins, and deterministic
+   exhaustion verdicts under concurrent budget charging.
+
+   The pool under test uses [chunk_min = 1] and [fork_min = 1] so the
+   parallel code paths fire even on the tiny inputs a test can afford;
+   [BALG_TEST_JOBS] (default 4) sets the domain count so CI can pin it. *)
+
+open Balg
+
+let jobs =
+  match Sys.getenv_opt "BALG_TEST_JOBS" with
+  | Some s -> ( try max 2 (int_of_string s) with _ -> 4)
+  | None -> 4
+
+let with_test_pool f =
+  let p = Pool.create ~chunk_min:1 ~fork_min:1 ~jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+let value = Alcotest.testable Value.pp Value.equal
+
+(* --- the pool itself ------------------------------------------------------- *)
+
+let test_pool_ordering () =
+  with_test_pool (fun p ->
+      let results =
+        Pool.run p (List.init 40 (fun i () -> i * i))
+        |> List.map (function Ok n -> n | Error e -> raise e)
+      in
+      Alcotest.(check (list int))
+        "results come back in input order"
+        (List.init 40 (fun i -> i * i))
+        results)
+
+let test_pool_exceptions () =
+  with_test_pool (fun p ->
+      let results =
+        Pool.run p
+          [
+            (fun () -> 1);
+            (fun () -> failwith "boom");
+            (fun () -> 3);
+          ]
+      in
+      match results with
+      | [ Ok 1; Error (Failure msg); Ok 3 ] when msg = "boom" -> ()
+      | _ -> Alcotest.fail "per-thunk results or captured exception wrong")
+
+let test_pool_nested () =
+  (* a task that itself calls [Pool.run] on the same pool: the owner helps
+     drain the queue, so this must not deadlock even with jobs = 2 *)
+  with_test_pool (fun p ->
+      let inner i =
+        Pool.run p (List.init 5 (fun j () -> (10 * i) + j))
+        |> List.map (function Ok n -> n | Error e -> raise e)
+        |> List.fold_left ( + ) 0
+      in
+      let results =
+        Pool.run p (List.init 8 (fun i () -> inner i))
+        |> List.map (function Ok n -> n | Error e -> raise e)
+      in
+      Alcotest.(check (list int))
+        "nested batches complete"
+        (List.init 8 (fun i -> (50 * i) + 10))
+        results)
+
+let test_chunks () =
+  Alcotest.(check (list (list int))) "empty" [] (Pool.chunks 4 []);
+  Alcotest.(check (list (list int)))
+    "fewer elements than chunks"
+    [ [ 1 ]; [ 2 ] ]
+    (Pool.chunks 4 [ 1; 2 ]);
+  let l = List.init 23 Fun.id in
+  let cs = Pool.chunks 4 l in
+  Alcotest.(check int) "at most k chunks" 4 (List.length cs);
+  Alcotest.(check (list int)) "concat restores the list" l (List.concat cs);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "near-equal sizes" true
+        (List.length c >= 5 && List.length c <= 6))
+    cs
+
+(* --- sequential vs parallel differential ----------------------------------- *)
+
+let env_spec = [ ("R", 1); ("S", 2) ]
+
+(* Generous limits: the point here is comparing *values*, so (almost)
+   nothing should exhaust.  The two sides may spend different amounts of
+   fuel — domain-local memo tables see different subsets of the work — so
+   exhaustion equivalence is not part of this property. *)
+let roomy_limits =
+  {
+    Budget.default with
+    Budget.fuel = 20_000_000;
+    max_support = 200_000;
+    max_size = 5_000_000;
+  }
+
+let differential gen gen_name =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "parallel eval is bit-identical (%s)" gen_name)
+    ~count:60
+    QCheck.(make Gen.int)
+    (fun seed ->
+      with_test_pool (fun p ->
+          let rng = Random.State.make [| seed |] in
+          let e = gen rng env_spec 4 (1 + Random.State.int rng 2) in
+          List.for_all
+            (fun _ ->
+              let inst = Baggen.Genexpr.instance rng env_spec in
+              let env = Eval.env_of_list inst in
+              let seq = Eval.run ~limits:roomy_limits env e in
+              let par = Eval.run ~limits:roomy_limits ~pool:p env e in
+              match (seq, par) with
+              | Ok v, Ok v' -> Value.equal v v'
+              | Error _, _ | _, Error _ -> true)
+            (List.init 6 Fun.id)))
+
+let differential_flat =
+  differential (Baggen.Genexpr.flat ?allow_diff:None ?allow_dedup:None) "flat"
+
+let differential_nested = differential Baggen.Genexpr.nested "nested"
+
+let test_differential_kernels () =
+  (* deterministic spot checks straight at the chunked kernels, with
+     supports big enough to split across every domain *)
+  let rng = Random.State.make [| 42 |] in
+  let big = Baggen.Genval.flat_bag rng ~n_atoms:12 ~arity:2 ~size:120 ~max_count:3 in
+  with_test_pool (fun p ->
+      Alcotest.check value "product"
+        (Bag.product big big)
+        (Bag.product ~pool:p big big);
+      let prod = Bag.product big big in
+      Alcotest.check value "proj"
+        (Bag.proj [ 2; 1; 4 ] prod)
+        (Bag.proj ~pool:p [ 2; 1; 4 ] prod);
+      Alcotest.check value "select_eq"
+        (Bag.select_eq 2 3 prod)
+        (Bag.select_eq ~pool:p 2 3 prod))
+
+(* --- telemetry: steps == fuel survives domain joins ------------------------ *)
+
+let selfjoin_query rng =
+  let bag = Baggen.Genval.flat_bag rng ~n_atoms:10 ~arity:2 ~size:60 ~max_count:2 in
+  Derived.selfjoin (Expr.lit bag (Ty.relation 2))
+
+let test_steps_equal_fuel () =
+  let q = selfjoin_query (Random.State.make [| 7 |]) in
+  with_test_pool (fun p ->
+      let budget = Budget.start roomy_limits in
+      let t = Telemetry.create () in
+      (match Eval.run ~budget ~telemetry:t ~pool:p (Eval.env_of_list []) q with
+      | Ok _ -> ()
+      | Error x -> Alcotest.failf "unexpected exhaustion: %s" (Budget.exhaustion_to_string x));
+      Alcotest.(check int)
+        "every shard-merged telemetry step is a governor fuel unit"
+        (Budget.fuel_spent budget)
+        (Telemetry.total_steps t))
+
+(* --- deterministic exhaustion ---------------------------------------------- *)
+
+let test_deterministic_exhaustion () =
+  (* a product whose materialisation exceeds max_support: every chunk
+     charges the same node, and concurrent trips must publish one verdict —
+     the smallest exhausting node id — run after run *)
+  let q = selfjoin_query (Random.State.make [| 13 |]) in
+  let limits = { Budget.default with Budget.fuel = 1_000_000; max_support = 100 } in
+  with_test_pool (fun p ->
+      let verdict () =
+        match Eval.run ~limits ~pool:p (Eval.env_of_list []) q with
+        | Ok _ -> Alcotest.fail "expected exhaustion"
+        | Error x -> (x.Budget.resource, x.Budget.at_node, x.Budget.op)
+      in
+      let first = verdict () in
+      List.iter
+        (fun _ ->
+          let again = verdict () in
+          Alcotest.(check bool)
+            "same structured verdict on every parallel run" true
+            (first = again))
+        (List.init 5 Fun.id))
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "ordering" `Quick test_pool_ordering;
+          Alcotest.test_case "exception capture" `Quick test_pool_exceptions;
+          Alcotest.test_case "nested batches" `Quick test_pool_nested;
+          Alcotest.test_case "chunks" `Quick test_chunks;
+        ] );
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest differential_flat;
+          QCheck_alcotest.to_alcotest differential_nested;
+          Alcotest.test_case "chunked kernels" `Quick test_differential_kernels;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "steps == fuel across joins" `Quick
+            test_steps_equal_fuel;
+          Alcotest.test_case "deterministic exhaustion verdict" `Quick
+            test_deterministic_exhaustion;
+        ] );
+    ]

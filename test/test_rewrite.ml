@@ -94,6 +94,103 @@ let test_select_pushdown () =
   Alcotest.(check bool) "pushdown right preserves semantics" true
     (equivalent_bag rng cond_right (norm cond_right))
 
+(* --- regressions: binder bugs in the rule library -------------------------- *)
+
+(* map-fusion once captured a free variable: fusing
+   [MAP λx.outer (MAP λy.inner e)] re-bound [outer] under λy, so a free [y]
+   in [outer] (referring to an enclosing binder) was silently re-pointed at
+   the inner element.  The old rule turned this query's <r, s> pairs into
+   <r, r> pairs. *)
+let test_map_fusion_capture () =
+  let p1 v = Expr.Proj (1, Expr.Var v) in
+  let inner_map = Expr.Map ("y", Expr.Tuple [ p1 "y" ], Expr.Var "R") in
+  let sub = Expr.Map ("x", Expr.Tuple [ p1 "x"; p1 "y" ], inner_map) in
+  let e = Expr.Map ("y", sub, Expr.Var "S") in
+  (* what the pre-fix rule produced: substitution, then blind re-binding *)
+  let buggy_sub =
+    Expr.Map
+      ( "y",
+        Expr.subst "x" (Expr.Tuple [ p1 "y" ]) (Expr.Tuple [ p1 "x"; p1 "y" ]),
+        Expr.Var "R" )
+  in
+  let buggy = Expr.Map ("y", buggy_sub, Expr.Var "S") in
+  let inst =
+    [
+      ("R", Value.bag_of_list [ Value.tuple [ Value.atom "a" ] ]);
+      ("S",
+       Value.bag_of_list [ Value.tuple [ Value.atom "b"; Value.atom "c" ] ]);
+    ]
+  in
+  let fused = norm e in
+  let rec count_maps e =
+    (match e with Expr.Map _ -> 1 | _ -> 0)
+    + List.fold_left (fun acc c -> acc + count_maps c) 0 (Expr.children e)
+  in
+  Alcotest.(check int) "fusion still fires (alpha-renamed)" 2 (count_maps fused);
+  Alcotest.(check bool) "fused form preserves semantics" true
+    (Value.equal (eval_on inst e) (eval_on inst fused));
+  Alcotest.(check bool) "the captured form really evaluated differently" false
+    (Value.equal (eval_on inst e) (eval_on inst buggy));
+  let rng = Random.State.make [| 23 |] in
+  Alcotest.(check bool) "fused form equivalent on random instances" true
+    (equivalent_bag rng e fused)
+
+(* select-pushdown once shifted projections under binders that rebind the
+   tuple variable: pushing this condition to the right product operand
+   rewrote the [x.2] inside [let x = <'a,'b> in x.2] to [x.1], turning the
+   compared constant from 'b into 'a. *)
+let test_pushdown_shadowing () =
+  let shadowed =
+    Expr.Let
+      ( "x",
+        Expr.Tuple [ Expr.atom "a"; Expr.atom "b" ],
+        Expr.Proj (2, Expr.Var "x") )
+  in
+  let q =
+    Expr.Select
+      ( "x",
+        Expr.Proj (2, Expr.Var "x"),
+        shadowed,
+        Expr.Product (Expr.Var "R", Expr.Var "S") )
+  in
+  let pushed = norm q in
+  (match pushed with
+  | Expr.Product (_, Expr.Select (_, _, r, _)) ->
+      Alcotest.check expr_eq "shadowed Let body left untouched" shadowed r
+  | e -> Alcotest.failf "expected pushed-right product, got %s" (Expr.to_string e));
+  (* what the pre-fix shift produced on the right operand *)
+  let buggy =
+    Expr.Product
+      ( Expr.Var "R",
+        Expr.Select
+          ( "x",
+            Expr.Proj (1, Expr.Var "x"),
+            Expr.Let
+              ( "x",
+                Expr.Tuple [ Expr.atom "a"; Expr.atom "b" ],
+                Expr.Proj (1, Expr.Var "x") ),
+            Expr.Var "S" ) )
+  in
+  let inst =
+    [
+      ("R", Value.bag_of_list [ Value.tuple [ Value.atom "u" ] ]);
+      ("S",
+       Value.bag_of_list
+         [
+           Value.tuple [ Value.atom "a"; Value.atom "v" ];
+           Value.tuple [ Value.atom "b"; Value.atom "w" ];
+         ]);
+    ]
+  in
+  Alcotest.(check bool) "pushed form preserves semantics" true
+    (Value.equal (eval_on inst q) (eval_on inst pushed));
+  Alcotest.(check bool) "the shadow-shifted form really evaluated differently"
+    false
+    (Value.equal (eval_on inst q) (eval_on inst buggy));
+  let rng = Random.State.make [| 29 |] in
+  Alcotest.(check bool) "pushed form equivalent on random instances" true
+    (equivalent_bag rng q pushed)
+
 (* --- randomized soundness -------------------------------------------------- *)
 
 let prop_normalize_sound =
@@ -104,6 +201,39 @@ let prop_normalize_sound =
       let e = Baggen.Genexpr.flat rng env_spec 4 (1 + Random.State.int rng 2) in
       let e', _ = Rewrite.normalize tenv e in
       equivalent_bag ~trials:10 rng e e')
+
+(* Differential check under a *tight* budget: normalisation must commute
+   with governed evaluation — when both sides finish, the values agree; an
+   exhaustion verdict on either side is tolerated (rewriting legitimately
+   changes how much work a query needs) but no raw exception may escape. *)
+let tight_limits =
+  {
+    Budget.default with
+    Budget.fuel = 50_000;
+    max_support = 400;
+    max_size = 20_000;
+  }
+
+let prop_differential gen gen_name =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "normalize commutes with governed eval (%s)" gen_name)
+    ~count:100
+    QCheck.(make Gen.int)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let e = gen rng env_spec 4 (1 + Random.State.int rng 2) in
+      let e', _ = Rewrite.normalize tenv e in
+      List.for_all
+        (fun _ ->
+          let inst = Baggen.Genexpr.instance rng env_spec in
+          let run q = Eval.run ~limits:tight_limits (Eval.env_of_list inst) q in
+          match (run e, run e') with
+          | Ok v, Ok v' -> Value.equal v v'
+          | Error _, _ | _, Error _ -> true)
+        (List.init 8 Fun.id))
+
+let prop_differential_flat = prop_differential (Baggen.Genexpr.flat ?allow_diff:None ?allow_dedup:None) "flat"
+let prop_differential_nested = prop_differential Baggen.Genexpr.nested "nested"
 
 let prop_normalize_welltyped =
   QCheck.Test.make ~name:"normal form stays well-typed" ~count:120
@@ -153,10 +283,19 @@ let () =
           Alcotest.test_case "map fusion" `Quick test_map_fusion;
           Alcotest.test_case "selection pushdown" `Quick test_select_pushdown;
         ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "map-fusion variable capture" `Quick
+            test_map_fusion_capture;
+          Alcotest.test_case "pushdown through shadowing binders" `Quick
+            test_pushdown_shadowing;
+        ] );
       ( "soundness",
         [
           QCheck_alcotest.to_alcotest prop_normalize_sound;
           QCheck_alcotest.to_alcotest prop_normalize_welltyped;
+          QCheck_alcotest.to_alcotest prop_differential_flat;
+          QCheck_alcotest.to_alcotest prop_differential_nested;
         ] );
       ( "cv93",
         [
