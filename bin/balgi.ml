@@ -9,8 +9,20 @@
    Evaluation runs under the Budget governor: --fuel / --max-support /
    --max-size / --max-count-digits / --max-fix-steps / --timeout set the
    limits, and exhaustion is reported as a located, structured verdict
-   (exit code 2).  --stats prints the telemetry span tree and per-operator
-   table; --trace adds time/allocation/memo columns per span. *)
+   (exit code 2).  Ctrl-C cancels through the same channel: the SIGINT
+   handler flips Budget.cancel, every domain unwinds at its next fuel
+   charge, and the run reports a Cancelled verdict with the pool joined
+   and partial telemetry printed.  --retry-degrade re-runs the normalized
+   plan under a fresh budget (same limits) after a first exhaustion.
+   --fault/--fault-seed (or BALG_FAULT/BALG_FAULT_SEED) arm the
+   deterministic fault-injection sites.  --stats prints the telemetry span
+   tree and per-operator table; --trace adds time/allocation/memo columns.
+
+   Process-exit discipline: no helper or error path calls [exit] — every
+   subcommand body returns its exit code and the single [exit] lives in
+   the Cmdliner dispatch at the bottom (scripts/lint.sh enforces this).
+   The REPL in particular survives any error: a bad line prints a
+   diagnostic and the loop continues. *)
 
 open Balg
 module Parser = Baglang.Parser
@@ -18,35 +30,47 @@ module Lexer = Baglang.Lexer
 module Bagdb = Baglang.Bagdb
 
 let load_db = function
-  | None -> []
-  | Some path -> Bagdb.load path
+  | None -> Ok []
+  | Some path -> (
+      match Bagdb.load path with
+      | db -> Ok db
+      | exception Bagdb.Db_error e ->
+          Error ("database error: " ^ Bagdb.error_to_string e))
 
 let parse_query q =
-  try Parser.expr_of_string q with
-  | Parser.Parse_error (msg, pos) ->
-      Printf.eprintf "parse error at offset %d: %s\n" pos msg;
-      exit 1
-  | Lexer.Lex_error (msg, pos) ->
-      Printf.eprintf "lex error at offset %d: %s\n" pos msg;
-      exit 1
+  match Parser.expr_of_string q with
+  | e -> Ok e
+  | exception Parser.Parse_error (msg, pos) ->
+      Error (Printf.sprintf "parse error at offset %d: %s" pos msg)
+  | exception Lexer.Lex_error (msg, pos) ->
+      Error (Printf.sprintf "lex error at offset %d: %s" pos msg)
 
 let check db e =
-  try Typecheck.infer (Bagdb.type_env db) e with
-  | Typecheck.Type_error msg ->
-      Printf.eprintf "type error: %s\n" msg;
-      exit 1
+  match Typecheck.infer (Bagdb.type_env db) e with
+  | ty -> Ok ty
+  | exception Typecheck.Type_error msg -> Error ("type error: " ^ msg)
 
-(* --- budget / telemetry options ------------------------------------------ *)
+(* Sequence result-returning steps; an [Error] prints and yields status 1. *)
+let ( let* ) r k =
+  match r with
+  | Ok v -> k v
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      1
+
+(* --- budget / telemetry / fault options ----------------------------------- *)
 
 type opts = {
   limits : Budget.limits;
   stats : bool;
   trace : bool;
   jobs : int;  (** evaluation domains; 1 = sequential *)
+  fault : string option;  (** --fault spec, overrides BALG_FAULT *)
+  fault_seed : int option;
 }
 
 let make_opts fuel max_support max_size max_count_digits max_fix_steps timeout
-    stats trace jobs =
+    stats trace jobs fault fault_seed =
   let d = Budget.default in
   let pick o dflt = Option.value o ~default:dflt in
   {
@@ -62,7 +86,29 @@ let make_opts fuel max_support max_size max_count_digits max_fix_steps timeout
     stats;
     trace;
     jobs = max 1 jobs;
+    fault;
+    fault_seed;
   }
+
+let apply_faults opts =
+  match opts.fault with
+  | None -> Ok ()
+  | Some spec -> (
+      match Fault.configure ?seed:opts.fault_seed spec with
+      | Ok () -> Ok ()
+      | Error e -> Error ("bad --fault spec: " ^ e))
+
+(* Cancel the budget on Ctrl-C for the duration of [f]: every domain of
+   the evaluation observes the flag at its next fuel charge and unwinds
+   into a structured Cancelled verdict — no dead domain, no leaked
+   worker.  The previous handler is restored afterwards, so the REPL's
+   prompt keeps its default interrupt behaviour between queries. *)
+let with_sigint budget f =
+  match
+    Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> Budget.cancel budget))
+  with
+  | prev -> Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigint prev) f
+  | exception (Invalid_argument _ | Sys_error _) -> f ()
 
 let print_stats opts budget telemetry =
   match telemetry with
@@ -87,92 +133,141 @@ let print_stats opts budget telemetry =
 
 (* --- subcommand bodies --------------------------------------------------- *)
 
-let run_eval db_path opts query =
-  let db = load_db db_path in
-  let e = parse_query query in
-  let ty = check db e in
+(* One governed attempt: fresh budget over the same limits, pool created
+   and shut down here (also on exceptions, via with_pool). *)
+let eval_once db opts e =
   let budget = Budget.start opts.limits in
   let telemetry =
     if opts.stats || opts.trace then Some (Telemetry.create ()) else None
   in
-  let pool = if opts.jobs > 1 then Some (Pool.create ~jobs:opts.jobs ()) else None in
-  let finish () = Option.iter Pool.shutdown pool in
-  match Eval.run ~budget ?telemetry ?pool (Bagdb.value_env db) e with
-  | Ok v ->
-      finish ();
-      Printf.printf "%s : %s\n" (Value.to_string v) (Ty.to_string ty);
-      print_stats opts budget telemetry
-  | Error x ->
-      finish ();
+  let result =
+    with_sigint budget @@ fun () ->
+    Pool.with_pool ~jobs:opts.jobs (fun pool ->
+        Eval.run ~budget ?telemetry ?pool (Bagdb.value_env db) e)
+  in
+  (result, budget, telemetry)
+
+let run_eval db_path opts retry_degrade query =
+  let* () = apply_faults opts in
+  let* db = load_db db_path in
+  let* e = parse_query query in
+  let* ty = check db e in
+  let report_ok v budget telemetry =
+    Printf.printf "%s : %s\n" (Value.to_string v) (Ty.to_string ty);
+    print_stats opts budget telemetry;
+    0
+  in
+  match eval_once db opts e with
+  | exception Eval.Eval_error msg ->
+      Printf.eprintf "evaluation error: %s\n" msg;
+      1
+  | Ok v, budget, telemetry -> report_ok v budget telemetry
+  | Error x, budget, telemetry -> (
       print_stats opts budget telemetry;
       Printf.eprintf "%s\n" (Budget.exhaustion_to_string x);
-      exit 2
-  | exception Eval.Eval_error msg ->
-      finish ();
-      Printf.eprintf "evaluation error: %s\n" msg;
-      exit 1
+      (* The degradation ladder: a cancelled run stays cancelled, but a
+         resource exhaustion earns one more attempt on the normalized
+         plan — the rewrite rules (selection pushdown, map fusion, ...)
+         often shrink the intermediates that blew the account — under a
+         fresh budget with the same limits, both attempts reported. *)
+      let retryable = x.Budget.resource <> Budget.Cancelled in
+      if not (retry_degrade && retryable) then 2
+      else
+        let e', applied = Rewrite.normalize (Bagdb.type_env db) e in
+        Printf.eprintf "retry-degrade: re-running normalized plan%s\n"
+          (match applied with
+          | [] -> " (no rules applied)"
+          | l -> " (rules: " ^ String.concat ", " l ^ ")");
+        match eval_once db opts e' with
+        | exception Eval.Eval_error msg ->
+            Printf.eprintf "evaluation error: %s\n" msg;
+            1
+        | Ok v, budget2, telemetry2 ->
+            Printf.eprintf
+              "retry-degrade: normalized plan succeeded where the original \
+               exhausted\n";
+            report_ok v budget2 telemetry2
+        | Error y, budget2, telemetry2 ->
+            print_stats opts budget2 telemetry2;
+            Printf.eprintf "%s\n" (Budget.exhaustion_to_string y);
+            Printf.eprintf "retry-degrade: both attempts failed\n";
+            2)
 
 let run_analyze db_path query =
-  let db = load_db db_path in
-  let e = parse_query query in
-  ignore (check db e);
+  let* db = load_db db_path in
+  let* e = parse_query query in
+  let* _ty = check db e in
   let report = Analyze.analyze (Bagdb.type_env db) e in
-  print_endline (Analyze.report_to_string report)
+  print_endline (Analyze.report_to_string report);
+  0
 
 let run_normalize db_path query =
-  let db = load_db db_path in
-  let e = parse_query query in
-  ignore (check db e);
+  let* db = load_db db_path in
+  let* e = parse_query query in
+  let* _ty = check db e in
   let e', applied = Rewrite.normalize (Bagdb.type_env db) e in
   Printf.printf "%s\n" (Expr.to_string e');
   if applied <> [] then
-    Printf.printf "# rules applied: %s\n" (String.concat ", " applied)
+    Printf.printf "# rules applied: %s\n" (String.concat ", " applied);
+  0
 
 let run_explain db_path query =
-  let db = load_db db_path in
-  let e = parse_query query in
-  ignore (check db e);
-  (try
-     let v, profile = Explain.run ~env:(Bagdb.value_env db) e in
-     print_string (Explain.profile_to_string profile);
-     Printf.printf "result: %s\n" (Value.to_string v)
-   with
-  | Eval.Eval_error msg ->
+  let* db = load_db db_path in
+  let* e = parse_query query in
+  let* _ty = check db e in
+  match Explain.run ~env:(Bagdb.value_env db) e with
+  | v, profile ->
+      print_string (Explain.profile_to_string profile);
+      Printf.printf "result: %s\n" (Value.to_string v);
+      0
+  | exception Eval.Eval_error msg ->
       Printf.eprintf "evaluation error: %s\n" msg;
-      exit 1
-  | Eval.Resource_limit msg | Bag.Too_large msg ->
+      1
+  | exception Eval.Resource_limit msg ->
       Printf.eprintf "tractability guard: %s\n" msg;
-      exit 2)
+      2
 
 let run_repl db_path opts =
-  let db = load_db db_path in
+  let* () = apply_faults opts in
+  let* db = load_db db_path in
   List.iter
     (fun (n, ty, v) ->
       Printf.printf "loaded %s : %s (%s distinct elements)\n" n (Ty.to_string ty)
         (string_of_int (Value.support_size v)))
     db;
   print_endline "balgi repl — enter queries, :q to quit";
+  (* Crash-proof by construction: every failure inside the loop body —
+     parse, type, evaluation, budget verdict, injected fault, anything
+     unanticipated — prints a diagnostic and the loop continues.  Only
+     end-of-input or :q leaves it, by returning. *)
+  let one_line line =
+    match parse_query line with
+    | Error msg -> print_endline msg
+    | Ok e -> (
+        match check db e with
+        | Error msg -> print_endline msg
+        | Ok ty -> (
+            let budget = Budget.start opts.limits in
+            with_sigint budget @@ fun () ->
+            match
+              Pool.with_pool ~jobs:opts.jobs (fun pool ->
+                  Eval.run ~budget ?pool (Bagdb.value_env db) e)
+            with
+            | Ok v ->
+                Printf.printf "%s : %s\n" (Value.to_string v) (Ty.to_string ty)
+            | Error x -> print_endline (Budget.exhaustion_to_string x)))
+  in
   let rec loop () =
     print_string "balg> ";
     match In_channel.input_line stdin with
-    | None | Some ":q" -> ()
+    | None | Some ":q" -> 0
     | Some "" -> loop ()
     | Some line ->
-        (try
-           let e = Parser.expr_of_string line in
-           let ty = Typecheck.infer (Bagdb.type_env db) e in
-           let budget = Budget.start opts.limits in
-           match Eval.run ~budget (Bagdb.value_env db) e with
-           | Ok v -> Printf.printf "%s : %s\n" (Value.to_string v) (Ty.to_string ty)
-           | Error x -> Printf.printf "%s\n" (Budget.exhaustion_to_string x)
-         with
-        | Parser.Parse_error (msg, pos) ->
-            Printf.printf "parse error at offset %d: %s\n" pos msg
-        | Lexer.Lex_error (msg, pos) ->
-            Printf.printf "lex error at offset %d: %s\n" pos msg
-        | Typecheck.Type_error msg -> Printf.printf "type error: %s\n" msg
-        | Eval.Eval_error msg -> Printf.printf "evaluation error: %s\n" msg);
+        (try one_line line with
+        | Eval.Eval_error msg -> Printf.printf "evaluation error: %s\n" msg
+        | e -> Printf.printf "internal error: %s\n" (Printexc.to_string e));
         loop ()
+    | exception Sys_error _ -> loop () (* interrupted read: keep the session *)
   in
   loop ()
 
@@ -254,11 +349,40 @@ let jobs_arg =
            across the pool and independent operands of binary operators run \
            in parallel; results are identical to sequential evaluation.")
 
+let fault_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault" ] ~docv:"SPEC"
+        ~doc:
+          "Arm fault-injection sites, e.g. \
+           $(b,pool.task:p=0.05,bag.alloc:n=3).  Triggers: $(b,always), \
+           $(b,n=K) (K-th hit), $(b,every=K), $(b,p=F).  Overrides \
+           $(b,BALG_FAULT).")
+
+let fault_seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fault-seed" ] ~docv:"N"
+        ~doc:
+          "Seed for probabilistic fault triggers; the same seed replays \
+           the same failure.")
+
+let retry_degrade_arg =
+  Arg.(
+    value & flag
+    & info [ "retry-degrade" ]
+        ~doc:
+          "On budget exhaustion, re-run the normalized (rewritten) plan \
+           under a fresh budget with the same limits before giving up, \
+           reporting both attempts.")
+
 let opts_term =
   Term.(
     const make_opts $ fuel_arg $ max_support_arg $ max_size_arg
     $ max_count_digits_arg $ max_fix_steps_arg $ timeout_arg $ stats_arg
-    $ trace_arg $ jobs_arg)
+    $ trace_arg $ jobs_arg $ fault_arg $ fault_seed_arg)
 
 let eval_cmd =
   Cmd.v
@@ -266,7 +390,7 @@ let eval_cmd =
        ~doc:
          "Typecheck and evaluate a query against a database, under the \
           resource governor.")
-    Term.(const run_eval $ db_arg $ opts_term $ query_arg)
+    Term.(const run_eval $ db_arg $ opts_term $ retry_degrade_arg $ query_arg)
 
 let analyze_cmd =
   Cmd.v
@@ -296,8 +420,10 @@ let repl_cmd =
 
 let main =
   Cmd.group
-    (Cmd.info "balgi" ~version:"1.1.0"
+    (Cmd.info "balgi" ~version:"1.2.0"
        ~doc:"Interpreter for the Grumbach–Milo nested bag algebra (BALG).")
     [ eval_cmd; analyze_cmd; normalize_cmd; explain_cmd; repl_cmd ]
 
-let () = exit (Cmd.eval main)
+let () =
+  Fault.init_from_env ();
+  exit (Cmd.eval' main)

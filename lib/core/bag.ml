@@ -1,4 +1,8 @@
-exception Too_large of string
+(* Injection site (see fault.mli): fires at the kernels' pre-materialisation
+   points — the places a real allocation failure would strike — so the
+   chaos suite can prove an allocation death inside a kernel surfaces as a
+   structured verdict, not a crash. *)
+let alloc_site = Fault.register "bag.alloc"
 
 let pairs = Value.as_bag
 
@@ -70,6 +74,7 @@ let pool_run pool tasks =
    bags recombine with the sorted [merge] (additive union), which is
    exactly the coalescing [bag_of_assoc] would have done. *)
 let product ?pool a b =
+  Fault.inject alloc_site;
   let pa = pairs a in
   let bs = List.map (fun (w, d) -> (Value.as_tuple w, d)) (pairs b) in
   (* rows for one slice of the outer support, in reverse canonical order *)
@@ -192,6 +197,7 @@ let select_eq ?pool i j b =
    [Value.equal] land in the same group no matter how they were built — and
    each tuple is split through an array, not repeated [List.nth]. *)
 let nest ixs b =
+  Fault.inject alloc_site;
   let ixs_arr = Array.of_list ixs in
   let split v =
     let vs = Array.of_list (Value.as_tuple v) in
@@ -232,6 +238,7 @@ let nest ixs b =
 (* Unnest: expand the bag-valued attribute [i] in place, multiplying
    multiplicities. *)
 let unnest i b =
+  Fault.inject alloc_site;
   let expanded =
     List.fold_left
       (fun acc (v, c) ->
@@ -254,28 +261,24 @@ let unnest i b =
 let max_count b =
   List.fold_left (fun acc (_, c) -> Bignat.max acc c) Bignat.zero (pairs b)
 
-(* Enumerate sub-multisets.  For every distinct element with multiplicity m
-   there are m+1 choices; the total number of subbags is prod (m_i + 1),
-   which we bound before materialising anything.  The product must be
-   saturating: a wrapping [acc * (m + 1)] can land back inside
-   [0, max_support] (e.g. 8 * 2^61 ≡ 0 mod 2^64) and silence the guard
-   right before the enumeration OOMs. *)
-let check_budget op max_support b =
-  let budget =
-    List.fold_left
-      (fun acc (_, c) ->
+(* Expected powerset/powerbag output support: for every distinct element
+   with multiplicity m there are m+1 choices, so the total number of
+   subbags is prod (m_i + 1).  O(support), allocation-free, and
+   {e saturating} at [max_int]: a wrapping [acc * (m + 1)] can land back
+   inside a caller's bound (e.g. 16 * 2^60 ≡ 0 mod 2^64) and silence the
+   guard right before the enumeration OOMs.  A multiplicity beyond [int]
+   range also saturates.  This is the {e only} size guard for the power
+   operators — callers (the evaluator's budget pre-charge, [Explain]'s
+   config cap) decide the bound and own the structured verdict. *)
+let expected_subbags b =
+  List.fold_left
+    (fun acc (_, c) ->
+      if acc = max_int then max_int
+      else
         match Bignat.to_int_opt c with
-        | None -> raise (Too_large (op ^ ": multiplicity exceeds int range"))
-        | Some m ->
-            let acc = Value.sat_mul acc (Value.sat_add m 1) in
-            if acc > max_support then
-              raise
-                (Too_large
-                   (Printf.sprintf "%s: more than %d subbags" op max_support))
-            else acc)
-      1 (pairs b)
-  in
-  ignore budget
+        | None -> max_int
+        | Some m -> Value.sat_mul acc (Value.sat_add m 1))
+    1 (pairs b)
 
 (* All ways to keep 0..m_i copies of each element.  [weight] computes the
    multiplicity contributed by keeping k of m copies: 1 for the powerset,
@@ -287,11 +290,19 @@ let check_budget op max_support b =
    and small counts are computed once per distinct element, not once per
    subbag. *)
 let enumerate_subbags weight b =
+  Fault.inject alloc_site;
   let rec go = function
     | [] -> [ ([], Bignat.one) ]
     | (v, c) :: rest ->
         let tails = go rest in
-        let m = Bignat.to_int_exn c in
+        let m =
+          match Bignat.to_int_opt c with
+          | Some m -> m
+          | None ->
+              invalid_arg
+                "Bag.powerset/powerbag: multiplicity exceeds int range \
+                 (guard with expected_subbags)"
+        in
         let wts = Array.init (m + 1) (fun k -> weight m k) in
         let counts = Array.init m (fun k -> Bignat.of_int (k + 1)) in
         List.fold_left
@@ -308,10 +319,5 @@ let enumerate_subbags weight b =
        (fun (content, w) -> (Value.of_sorted_assoc content, w))
        (go (pairs b)))
 
-let powerset ?(max_support = 1_000_000) b =
-  check_budget "powerset" max_support b;
-  enumerate_subbags (fun _ _ -> Bignat.one) b
-
-let powerbag ?(max_support = 1_000_000) b =
-  check_budget "powerbag" max_support b;
-  enumerate_subbags (fun m k -> Bignat.binomial m k) b
+let powerset b = enumerate_subbags (fun _ _ -> Bignat.one) b
+let powerbag b = enumerate_subbags (fun m k -> Bignat.binomial m k) b

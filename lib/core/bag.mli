@@ -9,10 +9,6 @@
     occurrence of every subbag whereas the powerbag distinguishes occurrences
     ([prod C(m_i, k_i)] copies of each sub-multiset). *)
 
-exception Too_large of string
-(** Raised when an operation would materialise more distinct elements than
-    the caller's bound — the interpreter's tractability guard. *)
-
 (** {1 Boolean structure} *)
 
 val subbag : Value.t -> Value.t -> bool
@@ -35,14 +31,24 @@ val product : ?pool:Pool.t -> Value.t -> Value.t -> Value.t
     sequential one (chunks cover contiguous ranges of the sorted support,
     so their partial results recombine canonically). *)
 
-val powerset : ?max_support:int -> Value.t -> Value.t
+val expected_subbags : Value.t -> int
+(** The number of distinct subbags {!powerset}/{!powerbag} would
+    materialise — [prod (m_i + 1)] over the support, {e saturating} at
+    [max_int] (including when a multiplicity exceeds [int] range).
+    O(support), allocation-free.  This is the guard callers consult
+    {e before} invoking a power operator: the evaluator pre-charges it
+    against the budget and reports overflow as a located [Support]
+    verdict; no unstructured size exception exists any more (the old
+    [Too_large] escape is gone). *)
+
+val powerset : Value.t -> Value.t
 (** [powerset b] is the bag of {e distinct} subbags of [b], each occurring
     once (the operator chosen for BALG "for tractability reasons").
-    @raise Too_large if the result would have more than [max_support]
-    distinct subbags (default [1_000_000]) or if some multiplicity does not
-    fit an [int]. *)
+    Unguarded: callers bound the output via {!expected_subbags} first.
+    @raise Invalid_argument if some multiplicity does not fit an [int]
+    (a case {!expected_subbags} reports as [max_int]). *)
 
-val powerbag : ?max_support:int -> Value.t -> Value.t
+val powerbag : Value.t -> Value.t
 (** [powerbag b] is [Pb] (Definition 5.1): occurrences are distinguished, so
     the sub-multiset choosing [k_i] of [m_i] copies appears
     [prod C(m_i, k_i)] times.  Same resource behaviour as {!powerset}. *)

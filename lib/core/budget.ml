@@ -1,7 +1,15 @@
 (* The resource governor: a running account of evaluation work against a
    set of limits.  See budget.mli for the model. *)
 
-type resource = Fuel | Support | Size | Count_digits | Fix_steps | Deadline
+type resource =
+  | Fuel
+  | Support
+  | Size
+  | Count_digits
+  | Fix_steps
+  | Deadline
+  | Cancelled
+  | Injected
 
 let resource_to_string = function
   | Fuel -> "fuel"
@@ -10,6 +18,8 @@ let resource_to_string = function
   | Count_digits -> "count-digits"
   | Fix_steps -> "fix-steps"
   | Deadline -> "deadline"
+  | Cancelled -> "cancelled"
+  | Injected -> "injected-fault"
 
 type limits = {
   fuel : int;
@@ -51,9 +61,15 @@ exception Budget_exceeded of exhaustion
 let pp_amount n = if n = max_int then "unbounded" else string_of_int n
 
 let exhaustion_to_string x =
-  Printf.sprintf "budget exhausted: %s at node %d (%s): spent %s, limit %s"
-    (resource_to_string x.resource)
-    x.at_node x.op (pp_amount x.spent) (pp_amount x.limit)
+  match x.resource with
+  | Cancelled ->
+      Printf.sprintf "evaluation cancelled after %s fuel" (pp_amount x.spent)
+  | Injected ->
+      Printf.sprintf "injected fault (site %s) at node %d" x.op x.at_node
+  | _ ->
+      Printf.sprintf "budget exhausted: %s at node %d (%s): spent %s, limit %s"
+        (resource_to_string x.resource)
+        x.at_node x.op (pp_amount x.spent) (pp_amount x.limit)
 
 type t = {
   limits : limits;
@@ -112,15 +128,44 @@ let check_deadline t ~node ~op =
   if t.deadline < infinity && Unix.gettimeofday () > t.deadline then
     exceeded t Deadline ~node ~op ~spent:(elapsed_ms t) ~limit:(deadline_ms t)
 
+(* Cooperative cancellation: publish a [Cancelled] verdict into the shared
+   [tripped] slot.  Every domain of a parallel evaluation already consults
+   that slot on its next fuel charge, so the flag propagates to all workers
+   at fuel-charge granularity with no cost added to the hot path.  At node
+   id 0 the verdict outranks any real exhaustion that races in later (the
+   smallest-node-id rule), while a verdict published {e before} the cancel
+   stands — evaluation was already unwinding. *)
+let cancel t =
+  let x =
+    {
+      resource = Cancelled;
+      at_node = 0;
+      op = "(cancelled)";
+      spent = Atomic.get t.fuel_spent;
+      limit = 0;
+    }
+  in
+  ignore (Atomic.compare_and_set t.tripped None (Some x))
+
+let cancelled t =
+  match Atomic.get t.tripped with
+  | Some { resource = Cancelled; _ } -> true
+  | _ -> false
+
 (* One fetch-and-add on the shared account; a wrap past [max_int] (only
    reachable with unlimited fuel after ~2^62 charges) is pinned back to
    [max_int] — the benign race on that correction cannot un-trip a finite
-   limit, which is checked against the pre-wrap sum. *)
+   limit, which is checked against the pre-wrap sum.
+
+   The fuel is spent {e before} the tripped/cancelled consultation: the
+   evaluator mirrors every charge into its telemetry span first, so
+   raising after the fetch-and-add keeps the steps == fuel invariant exact
+   even on the charge that observes a cancellation. *)
 let charge t ~node ~op n =
+  let spent = Atomic.fetch_and_add t.fuel_spent n + n in
   (match Atomic.get t.tripped with
   | Some x -> raise (Budget_exceeded x)
   | None -> ());
-  let spent = Atomic.fetch_and_add t.fuel_spent n + n in
   let spent =
     if spent < 0 then begin
       Atomic.set t.fuel_spent max_int;

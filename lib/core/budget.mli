@@ -24,6 +24,8 @@ type resource =
   | Count_digits  (** decimal digits of a single multiplicity *)
   | Fix_steps  (** iterations of one [Fix]/[BFix] loop *)
   | Deadline  (** wall-clock milliseconds since {!start} *)
+  | Cancelled  (** {!cancel} was called (Ctrl-C, a client gone away) *)
+  | Injected  (** a {!Fault} injection site fired; [op] names the site *)
 
 val resource_to_string : resource -> string
 
@@ -77,14 +79,27 @@ val verdict : t -> exhaustion option
     concurrently; the stored verdict is kept at the {e smallest} preorder
     node id, so the reported location is deterministic. *)
 
+val cancel : t -> unit
+(** Cooperatively cancel the evaluation this account governs: publishes a
+    {!Cancelled} verdict (unless a verdict already exists) that every
+    domain observes at its next fuel charge and unwinds from — the hook a
+    SIGINT handler or a disconnecting client calls.  Safe from a signal
+    handler or another domain; idempotent. *)
+
+val cancelled : t -> bool
+(** True iff the published verdict is a {!Cancelled} one. *)
+
 val exceeded : t -> resource -> node:int -> op:string -> spent:int -> limit:int -> 'a
 (** Publish the verdict (minimum node id wins) and raise
     {!Budget_exceeded} for this account. *)
 
 val charge : t -> node:int -> op:string -> int -> unit
 (** Spend [n] fuel units attributed to the given node.  Saturating; checks
-    the wall-clock deadline every few dozen charges.
-    @raise Budget_exceeded on fuel exhaustion or a passed deadline. *)
+    the wall-clock deadline every few dozen charges, and consults the
+    published verdict — so a {!cancel} (or another domain's exhaustion)
+    unwinds this domain at its next charge.
+    @raise Budget_exceeded on fuel exhaustion, a passed deadline, or an
+    already-published verdict. *)
 
 val check_deadline : t -> node:int -> op:string -> unit
 (** Unconditional deadline check (used at fixpoint iterations and before

@@ -105,11 +105,22 @@ let span_of st att sp_main =
   | None -> sp_main
   | Some sh -> Telemetry.shard_span sh ~id:att.id ~op:att.op
 
+(* Injection site (see fault.mli): a fault at the evaluator's fuel-charge
+   boundary — the finest-grained place evaluation can die — published as a
+   located [Injected] verdict at the charging node.  The check precedes
+   the telemetry mirror so a firing site records no steps it did not pay
+   fuel for. *)
+let step_site = Fault.register "eval.step"
+
 (* Every unit of fuel charged to the governor is mirrored into the node's
    span (or its shard counterpart), so the span tree's total step count
    always equals the spent fuel after shards merge (the --stats invariant,
    tested in test_budget.ml and test_parallel.ml). *)
 let spend st att n =
+  if Fault.fire step_site then
+    Budget.exceeded st.budget Budget.Injected ~node:att.id
+      ~op:(Fault.name step_site)
+      ~spent:(Budget.fuel_spent st.budget) ~limit:0;
   (match att.sp with
   | Some sp -> Telemetry.add_steps (span_of st att sp) n
   | None -> ());
@@ -286,35 +297,25 @@ let par_run (st : state) p (tasks : (state -> 'a) list) : 'a list =
   | None ->
       List.map (function Ok v -> v | Error _ -> assert false) results
 
-(* Expected powerset/powerbag output support: prod (m_i + 1), saturating at
-   [max_int].  O(support of the input), allocation-free. *)
-let expected_subbags b =
-  List.fold_left
-    (fun acc (_, c) ->
-      if acc = max_int then max_int
-      else
-        match Bignat.to_int_opt c with
-        | None -> max_int
-        | Some m ->
-            if m >= max_int - 1 || acc > max_int / (m + 1) then max_int
-            else acc * (m + 1))
-    1 (Value.as_bag b)
-
-(* Charge a power operator for its expected output before materialising
-   anything: a hyper-exponential [P(P(...))] tower dies here, on the fuel
-   or support account, without allocating the intermediate bag. *)
-let power_guard st att b =
-  let n = expected_subbags b in
-  Budget.check_deadline st.budget ~node:att.id ~op:att.op;
-  Budget.check_support st.budget ~node:att.id ~op:att.op n;
-  spend st att n
-
-(* Residual [Bag.Too_large] cases (e.g. a multiplicity beyond [int] range)
-   unify into the structured budget verdict. *)
+(* An expected output beyond [int] range (reported as a saturated
+   [max_int]) is impossible to materialise whatever the limits: a located
+   [Support] verdict, the structured replacement for the old ad-hoc
+   [Bag.Too_large] escape. *)
 let too_large st att =
   let limit = (Budget.limits st.budget).Budget.max_support in
   Budget.exceeded st.budget Budget.Support ~node:att.id ~op:att.op
     ~spent:max_int ~limit
+
+(* Charge a power operator for its expected output before materialising
+   anything: a hyper-exponential [P(P(...))] tower dies here, on the fuel
+   or support account, without allocating the intermediate bag.  After
+   this guard passes, the (unguarded) kernel cannot overflow. *)
+let power_guard st att b =
+  let n = Bag.expected_subbags b in
+  if n = max_int then too_large st att;
+  Budget.check_deadline st.budget ~node:att.id ~op:att.op;
+  Budget.check_support st.budget ~node:att.id ~op:att.op n;
+  spend st att n
 
 (* [volatile] holds the binders whose bindings change per element or per
    fixpoint iteration; nodes mentioning them would only churn the table. *)
@@ -466,19 +467,13 @@ and compile_node reg ~att volatile e : compiled =
       fun st env ->
         let b = c st env in
         power_guard st att b;
-        (try
-           Bag.powerset ~max_support:(Budget.limits st.budget).Budget.max_support
-             b
-         with Bag.Too_large _ -> too_large st att)
+        Bag.powerset b
   | Expr.Powerbag e ->
       let c = sub e in
       fun st env ->
         let b = c st env in
         power_guard st att b;
-        (try
-           Bag.powerbag ~max_support:(Budget.limits st.budget).Budget.max_support
-             b
-         with Bag.Too_large _ -> too_large st att)
+        Bag.powerbag b
   | Expr.Destroy e ->
       let c = sub e in
       fun st env -> Bag.destroy (c st env)
@@ -630,6 +625,15 @@ let run ?budget ?limits ?meters ?telemetry ?pool env e =
          domain's raise won the race; the published verdict is kept at the
          smallest node id, so report that one. *)
       Error (match Budget.verdict budget with Some y -> y | None -> x)
+  | exception Fault.Injected site ->
+      (* An injected failure below the evaluator's attribution (a kernel
+         allocation point, a pool task): structured verdict at node 0 —
+         "before/outside any node" — carrying the site name.  The faults
+         the evaluator can locate (eval.step) arrive as Budget_exceeded
+         above instead. *)
+      Error
+        { Budget.resource = Budget.Injected; at_node = 0; op = site;
+          spent = 0; limit = 0 }
 
 let eval ?(config = default_config) ?meters ?pool env e =
   match run ~limits:(limits_of_config config) ?meters ?pool env e with

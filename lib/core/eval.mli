@@ -61,7 +61,14 @@ val run :
     [?limits] (pass one to inspect {!Budget.fuel_spent} afterwards);
     with neither, {!Budget.default} applies.  Budget exhaustion — including
     what used to surface as the ad-hoc [Bag.Too_large] — returns as a
-    located [Error]; no budget-related exception escapes.
+    located [Error]; no budget-related exception escapes.  The same holds
+    for the two adversity channels: {!Budget.cancel} during evaluation
+    returns a [Cancelled] verdict (checked at every fuel charge, on every
+    domain), and a firing {!Fault} injection site — [eval.step],
+    [bag.alloc], [pool.task] — returns an [Injected] verdict naming the
+    site, located at the charging node when the evaluator can attribute
+    it.  The only exception [run] raises is {!Eval_error} (a dynamic type
+    error or unbound variable: caller bugs, not resource adversity).
 
     With [?pool], large kernels chunk their support across the pool's
     domains and substantial independent binary-operator branches fork:

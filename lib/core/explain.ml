@@ -30,6 +30,19 @@ let rec skeleton e =
     children = List.map skeleton (Expr.children e);
   }
 
+(* Pre-materialisation cap for the power operators, mirroring the
+   evaluator's budget pre-charge: the expected output is bounded before
+   the (unguarded) kernel runs, so overflow surfaces as the profiler's
+   structured [Resource_limit], never an unstructured size exception. *)
+let power_guard config op b =
+  let n = Bag.expected_subbags b in
+  if n > config.Eval.max_support then
+    raise
+      (Eval.Resource_limit
+         (Printf.sprintf "%s: %s expected subbags exceed limit %d" op
+            (if n = max_int then "over 2^62" else string_of_int n)
+            config.Eval.max_support))
+
 let observe p (v : Value.t) =
   p.calls <- p.calls + 1;
   match Value.view v with
@@ -73,9 +86,13 @@ let run ?config ?(env = Eval.Env.empty) e =
       | Expr.Inter (a, b) -> Bag.inter (go env a (child 0)) (go env b (child 1))
       | Expr.Product (a, b) -> Bag.product (go env a (child 0)) (go env b (child 1))
       | Expr.Powerset e0 ->
-          Bag.powerset ~max_support:config.Eval.max_support (go env e0 (child 0))
+          let b = go env e0 (child 0) in
+          power_guard config "powerset" b;
+          Bag.powerset b
       | Expr.Powerbag e0 ->
-          Bag.powerbag ~max_support:config.Eval.max_support (go env e0 (child 0))
+          let b = go env e0 (child 0) in
+          power_guard config "powerbag" b;
+          Bag.powerbag b
       | Expr.Destroy e0 -> Bag.destroy (go env e0 (child 0))
       | Expr.Map (x, body, e0) ->
           Bag.map

@@ -1,0 +1,168 @@
+(* Deterministic, seeded fault injection; see fault.mli for the model. *)
+
+exception Injected of string
+
+type trigger =
+  | Off
+  | Always
+  | Nth of int  (** fire exactly on the K-th hit *)
+  | Every of int  (** fire on every K-th hit *)
+  | Prob of float  (** fire on hit k iff hash (seed, name, k) < p *)
+
+type site = {
+  s_name : string;
+  trigger : trigger Atomic.t;
+  hits : int Atomic.t;
+}
+
+(* The registry is written under [lock] (module-init registration and
+   harness configuration, both rare); the hot path never touches it — a
+   caller holds its [site] directly and reads two atomics. *)
+let lock = Mutex.create ()
+let registry : (string, site) Hashtbl.t = Hashtbl.create 16
+let armed_flag = Atomic.make false
+let seed_ref = Atomic.make 0
+
+let register n =
+  Mutex.lock lock;
+  let s =
+    match Hashtbl.find_opt registry n with
+    | Some s -> s
+    | None ->
+        let s = { s_name = n; trigger = Atomic.make Off; hits = Atomic.make 0 } in
+        Hashtbl.add registry n s (* domain-local: guarded by [lock] *);
+        s
+  in
+  Mutex.unlock lock;
+  s
+
+let name s = s.s_name
+let armed () = Atomic.get armed_flag
+
+(* The decision for hit [k] is a pure function of (seed, name, k):
+   [Hashtbl.hash] is deterministic on immutable data, so the same seed
+   replays the same failure. *)
+let uniform key = float_of_int (Hashtbl.hash key land 0x3FFFFFFF) /. 1073741824.
+
+let decide s k =
+  match Atomic.get s.trigger with
+  | Off -> false
+  | Always -> true
+  | Nth n -> k = n
+  | Every n -> k mod n = 0
+  | Prob p -> uniform (Atomic.get seed_ref, s.s_name, k) < p
+
+let fire s =
+  Atomic.get armed_flag
+  && (match Atomic.get s.trigger with Off -> false | _ -> true)
+  && decide s (Atomic.fetch_and_add s.hits 1 + 1)
+
+let fire_payload s =
+  if not (fire s) then None
+  else
+    Some
+      (Hashtbl.hash (Atomic.get seed_ref, "payload", s.s_name, Atomic.get s.hits)
+      land 0x3FFFFFFF)
+
+let inject s = if fire s then raise (Injected s.s_name)
+
+let reset_all () =
+  Hashtbl.iter
+    (fun _ s ->
+      Atomic.set s.trigger Off;
+      Atomic.set s.hits 0)
+    registry
+
+let disarm () =
+  Mutex.lock lock;
+  Atomic.set armed_flag false;
+  reset_all ();
+  Mutex.unlock lock
+
+let parse_trigger spec =
+  let pos_int v =
+    match int_of_string_opt v with
+    | Some k when k >= 1 -> Ok k
+    | _ -> Error (Printf.sprintf "expected a positive integer, got %S" v)
+  in
+  match String.index_opt spec '=' with
+  | None -> (
+      match spec with
+      | "always" -> Ok Always
+      | "off" -> Ok Off
+      | _ -> Error (Printf.sprintf "unknown trigger %S" spec))
+  | Some i -> (
+      let key = String.sub spec 0 i in
+      let v = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match key with
+      | "n" -> Result.map (fun k -> Nth k) (pos_int v)
+      | "every" -> Result.map (fun k -> Every k) (pos_int v)
+      | "p" -> (
+          match float_of_string_opt v with
+          | Some p when p >= 0. && p <= 1. -> Ok (Prob p)
+          | _ -> Error (Printf.sprintf "expected a probability, got %S" v))
+      | _ -> Error (Printf.sprintf "unknown trigger key %S" key))
+
+let parse_clause clause =
+  match String.index_opt clause ':' with
+  | None -> Error (Printf.sprintf "clause %S is not site:trigger" clause)
+  | Some i ->
+      let site = String.trim (String.sub clause 0 i) in
+      let spec = String.trim (String.sub clause (i + 1) (String.length clause - i - 1)) in
+      if site = "" then Error (Printf.sprintf "clause %S names no site" clause)
+      else Result.map (fun t -> (site, t)) (parse_trigger spec)
+
+let parse_spec s =
+  String.split_on_char ',' s
+  |> List.filter (fun c -> String.trim c <> "")
+  |> List.fold_left
+       (fun acc c ->
+         match (acc, parse_clause c) with
+         | Error _, _ -> acc
+         | Ok l, Ok kv -> Ok (kv :: l)
+         | Ok _, Error e -> Error e)
+       (Ok [])
+
+let configure ?(seed = 0) spec =
+  match parse_spec spec with
+  | Error _ as e -> e
+  | Ok clauses ->
+      Mutex.lock lock;
+      Atomic.set armed_flag false;
+      reset_all ();
+      Mutex.unlock lock;
+      (* [register] retakes the lock, so arm outside the critical section *)
+      List.iter
+        (fun (n, t) -> Atomic.set (register n).trigger t)
+        (List.rev clauses);
+      Atomic.set seed_ref seed;
+      if List.exists (fun (_, t) -> t <> Off) clauses then
+        Atomic.set armed_flag true;
+      Ok ()
+
+let configure_exn ?seed spec =
+  match configure ?seed spec with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Fault.configure: " ^ e)
+
+let with_faults ?seed spec f =
+  configure_exn ?seed spec;
+  Fun.protect ~finally:disarm f
+
+let init_from_env () =
+  let seed =
+    Option.bind (Sys.getenv_opt "BALG_FAULT_SEED") int_of_string_opt
+  in
+  match Sys.getenv_opt "BALG_FAULT" with
+  | None -> ()
+  | Some spec when String.trim spec = "" -> ()
+  | Some spec -> (
+      match configure ?seed spec with
+      | Ok () -> ()
+      | Error e -> Printf.eprintf "warning: ignoring BALG_FAULT: %s\n%!" e)
+
+let sites () =
+  Mutex.lock lock;
+  let l = Hashtbl.fold (fun n _ acc -> n :: acc) registry [] in
+  Mutex.unlock lock;
+  List.sort String.compare l

@@ -1,0 +1,76 @@
+(** Deterministic, seeded fault injection.
+
+    BALG's operators are hyper-exponential (Prop 3.2), so resource
+    exhaustion, worker failure and corrupted input are {e normal} outcomes
+    for a production service, not edge cases.  This registry lets tests and
+    CI prove every failure path degrades to a structured verdict: modules
+    {!register} named {e injection sites} at the places that can actually
+    fail in production (worker-task execution, pre-materialisation
+    allocation points, evaluator step boundaries, database I/O), and a
+    harness arms a subset of them with a trigger spec.
+
+    {b Determinism.}  Whether a site fires on its [k]-th hit is a pure
+    function of [(seed, site name, k)] — no wall clock, no global RNG.
+    The same seed and spec replay the same failure on a sequential run;
+    under parallel evaluation the set of firing hits is still determined,
+    only which domain performs hit [k] races.
+
+    {b Zero-cost when disabled.}  Armed state is one {!Atomic.t} read:
+    a disarmed {!fire} is a load and a branch, cheap enough for the
+    evaluator's per-invocation fuel path (guarded by the bench gate).
+
+    {b Spec grammar} ([BALG_FAULT] env var / [balgi --fault]):
+    {v site:spec[,site:spec...]
+       spec ::= always | off | n=K (K-th hit, once) | every=K | p=F v} *)
+
+exception Injected of string
+(** Carries the site name.  Raised by {!inject}; the evaluator catches it
+    at the [Eval.run] boundary and returns a structured verdict. *)
+
+type site
+
+val register : string -> site
+(** Idempotent: registering the same name twice returns the same site. *)
+
+val name : site -> string
+
+val armed : unit -> bool
+(** True iff some site has a trigger spec installed. *)
+
+val fire : site -> bool
+(** Count one hit of the site and decide — deterministically from
+    [(seed, name, hit#)] — whether the fault fires.  Always [false] (and
+    does not count) when disarmed. *)
+
+val fire_payload : site -> int option
+(** Like {!fire}, but a firing hit also yields a deterministic 30-bit
+    payload (e.g. a truncation offset for a short-read fault). *)
+
+val inject : site -> unit
+(** @raise Injected when {!fire} decides this hit fails. *)
+
+val configure : ?seed:int -> string -> (unit, string) result
+(** Install a spec string (see grammar above), replacing the current
+    arming and resetting all hit counters.  Unknown site names are
+    registered on the fly (the module owning them may not have run yet).
+    [Error] describes the first malformed clause; nothing is armed then. *)
+
+val configure_exn : ?seed:int -> string -> unit
+(** @raise Invalid_argument on a malformed spec. *)
+
+val disarm : unit -> unit
+(** Turn every site off and reset hit counters; {!armed} becomes false. *)
+
+val with_faults : ?seed:int -> string -> (unit -> 'a) -> 'a
+(** [with_faults ~seed spec f] runs [f] with the spec armed and disarms
+    afterwards, also on exceptions — the harness entry point for tests. *)
+
+val init_from_env : unit -> unit
+(** Arm from [BALG_FAULT] / [BALG_FAULT_SEED] when set (malformed specs
+    print a warning to stderr rather than failing startup).  Called by
+    executable entry points, never by the library itself: a process that
+    does not opt in runs with injection disarmed no matter the
+    environment. *)
+
+val sites : unit -> string list
+(** All registered site names, sorted. *)

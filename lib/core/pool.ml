@@ -1,5 +1,14 @@
 (* Work-sharing domain pool; see pool.mli for the model. *)
 
+(* Injection sites (see fault.mli): [pool.task] makes a task fail as if
+   its worker died mid-execution — the result-capturing wrapper turns it
+   into a per-thunk [Error], so the batch still completes and the caller
+   decides; [pool.spawn] makes [Domain.spawn] fail at pool creation — the
+   pool degrades to fewer workers (the helping caller guarantees progress
+   even with zero). *)
+let task_site = Fault.register "pool.task"
+let spawn_site = Fault.register "pool.spawn"
+
 type t = {
   jobs : int;
   chunk_min : int;
@@ -52,8 +61,22 @@ let create ?(chunk_min = 512) ?(fork_min = 24) ~jobs () =
       workers = [];
     }
   in
-  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (worker t));
+  (* A failed spawn — injected, or a real out-of-resources condition —
+     degrades the pool instead of killing it: with fewer (even zero)
+     workers every batch still completes because the caller helps. *)
+  t.workers <-
+    List.filter_map
+      (fun _ ->
+        match
+          Fault.inject spawn_site;
+          Domain.spawn (worker t)
+        with
+        | d -> Some d
+        | exception _ -> None)
+      (List.init (jobs - 1) Fun.id);
   t
+
+let live t = List.length t.workers
 
 let shutdown t =
   Mutex.lock t.lock;
@@ -63,7 +86,11 @@ let shutdown t =
   List.iter Domain.join t.workers;
   t.workers <- []
 
-let protect f = try Ok (f ()) with e -> Error e
+let protect f =
+  try
+    Fault.inject task_site;
+    Ok (f ())
+  with e -> Error e
 
 let run t thunks =
   match thunks with

@@ -20,18 +20,27 @@ type t
 val create : ?chunk_min:int -> ?fork_min:int -> jobs:int -> unit -> t
 (** Spawn [jobs - 1] worker domains ([jobs <= 1] spawns none and {!run}
     degenerates to sequential iteration).  Defaults: [chunk_min = 512],
-    [fork_min = 24]. *)
+    [fork_min = 24].  A failed spawn — the [pool.spawn] {!Fault} site, or
+    a real resource failure — degrades the pool to fewer workers rather
+    than raising: the helping caller keeps every batch completing. *)
 
 val jobs : t -> int
 val chunk_min : t -> int
 val fork_min : t -> int
+
+val live : t -> int
+(** Worker domains spawned and not yet joined; [0] after {!shutdown}
+    (the no-leaked-domains postcondition the chaos tests assert). *)
 
 val run : t -> (unit -> 'a) list -> ('a, exn) result list
 (** Execute the thunks, possibly in parallel, returning per-thunk results
     in input order.  Exceptions are captured per thunk, never re-raised
     here — the caller decides how to combine failures (the evaluator picks
     the budget verdict with the smallest node id).  Safe to call from
-    inside a running task (the nested call shares the queue). *)
+    inside a running task (the nested call shares the queue).  The
+    [pool.task] {!Fault} site fires here: an injected worker death
+    surfaces as that thunk's [Error], never as a lost task or a hung
+    batch. *)
 
 val shutdown : t -> unit
 (** Join the worker domains.  The pool must not be used afterwards. *)

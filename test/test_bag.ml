@@ -152,32 +152,39 @@ let test_powerbag_total () =
   Alcotest.(check string) "2^6" (B.to_string (B.pow2 6))
     (B.to_string (Value.cardinal (Bag.powerbag v)))
 
-let test_too_large_guard () =
+(* The power kernels are unguarded; callers consult [expected_subbags]
+   first (Eval pre-charges it against the budget, Explain checks its cap).
+   Here: the prediction is exact on a feasible bag, and materialisation
+   agrees with it. *)
+let test_expected_subbags_guard () =
   let big = Value.replicate (B.of_int 100) a in
-  (match Bag.powerset ~max_support:50 big with
-  | exception Bag.Too_large _ -> ()
-  | _ -> Alcotest.fail "expected Too_large");
-  match Bag.powerset ~max_support:200 big with
-  | v -> Alcotest.(check int) "101 subbags fit" 101 (Value.support_size v)
-  | exception Bag.Too_large _ -> Alcotest.fail "should fit"
+  Alcotest.(check int) "replicate-100 predicts 101" 101
+    (Bag.expected_subbags big);
+  Alcotest.(check int) "powerset materialises the prediction" 101
+    (Value.support_size (Bag.powerset big))
 
-(* Regression: the subbag-count guard multiplies (m_i + 1) across the
+(* Regression: the subbag-count prediction multiplies (m_i + 1) across the
    support, and with wrapping arithmetic a crafted pair of multiplicities
    lands the product right back inside the allowed range — 16 * 2^60 = 2^64
-   ≡ 0 in OCaml's native int — so the guard waved through an enumeration of
-   2^60 subbags (this test used to hang until the machine OOMed).  The
-   product now saturates, and the guard must trip immediately. *)
-let test_too_large_overflow_bypass () =
+   ≡ 0 in OCaml's native int — so the old guard waved through an
+   enumeration of 2^60 subbags (this test used to hang until the machine
+   OOMed).  The product saturates: infeasible bags must predict max_int,
+   and no caller consulting the prediction will then materialise. *)
+let test_expected_subbags_overflow_bypass () =
   let crafted =
     bagc [ (a, 15); (b, (1 lsl 60) - 1) ]
     (* (15+1) * (2^60-1+1) wraps to 0 *)
   in
-  (match Bag.powerset crafted with
-  | exception Bag.Too_large _ -> ()
-  | _ -> Alcotest.fail "powerset: expected Too_large");
-  match Bag.powerbag crafted with
-  | exception Bag.Too_large _ -> ()
-  | _ -> Alcotest.fail "powerbag: expected Too_large"
+  Alcotest.(check int) "saturates instead of wrapping" max_int
+    (Bag.expected_subbags crafted);
+  (* a multiplicity beyond int range also saturates *)
+  let astronomical = bagc [ (a, 1) ] in
+  let astronomical =
+    Value.bag_of_assoc
+      ((b, B.pow2 80) :: Value.as_bag astronomical)
+  in
+  Alcotest.(check int) "non-int multiplicity saturates" max_int
+    (Bag.expected_subbags astronomical)
 
 (* --- cross-check against the generic multiset -------------------------- *)
 
@@ -238,9 +245,10 @@ let () =
           Alcotest.test_case "Prop 3.2 exact counts" `Quick test_prop32_claim;
           Alcotest.test_case "powerset structure" `Quick test_powerset_structure;
           Alcotest.test_case "powerbag total" `Quick test_powerbag_total;
-          Alcotest.test_case "resource guard" `Quick test_too_large_guard;
-          Alcotest.test_case "resource guard overflow bypass" `Quick
-            test_too_large_overflow_bypass;
+          Alcotest.test_case "subbag prediction" `Quick
+            test_expected_subbags_guard;
+          Alcotest.test_case "subbag prediction overflow bypass" `Quick
+            test_expected_subbags_overflow_bypass;
         ] );
       ("properties", props);
     ]

@@ -1,0 +1,167 @@
+(* Corrupted-database fuzzing.  The loader's contract (bagdb.mli): every
+   malformed input — truncation, bit flips, duplicated declarations,
+   injected garbage, oversized multiplicities, I/O failure — surfaces as a
+   located Db_error, never as an uncaught lexer/parser exception, a crash,
+   or a silently wrong database. *)
+
+open Balg
+module Bagdb = Baglang.Bagdb
+
+let gen_db seed =
+  let rng = Random.State.make [| seed |] in
+  let n = 1 + Random.State.int rng 3 in
+  List.init n (fun i ->
+      let arity = 1 + Random.State.int rng 2 in
+      let v =
+        Baggen.Genval.flat_bag rng ~n_atoms:4 ~arity
+          ~size:(1 + Random.State.int rng 6)
+          ~max_count:3
+      in
+      (Printf.sprintf "b%d" i, Ty.relation arity, v))
+
+(* One random corruption; composed twice in the property below. *)
+let mutate rng s =
+  let n = String.length s in
+  if n = 0 then s
+  else
+    match Random.State.int rng 5 with
+    | 0 -> String.sub s 0 (Random.State.int rng n) (* truncate *)
+    | 1 ->
+        (* flip one bit *)
+        let b = Bytes.of_string s in
+        let i = Random.State.int rng n in
+        Bytes.set b i
+          (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Random.State.int rng 7)));
+        Bytes.to_string b
+    | 2 ->
+        (* duplicate a line (duplicate bag names must be rejected) *)
+        let lines = String.split_on_char '\n' s in
+        let i = Random.State.int rng (List.length lines) in
+        lines
+        |> List.mapi (fun j l -> if j = i then [ l; l ] else [ l ])
+        |> List.concat |> String.concat "\n"
+    | 3 ->
+        (* insert garbage bytes *)
+        let i = Random.State.int rng (n + 1) in
+        String.sub s 0 i ^ "\x00{<!" ^ String.sub s i (n - i)
+    | _ ->
+        (* delete one byte *)
+        let i = Random.State.int rng n in
+        String.sub s 0 i ^ String.sub s (i + 1) (n - i - 1)
+
+let prop_mutated_parse_total =
+  QCheck.Test.make
+    ~name:"mutated .bagdb parses or raises located Db_error, nothing else"
+    ~count:800
+    QCheck.(make Gen.int)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let source = Bagdb.render (gen_db seed) in
+      let s = mutate rng (mutate rng source) in
+      (* any other exception escapes and fails the property *)
+      match Bagdb.parse s with
+      | _ -> true
+      | exception Bagdb.Db_error e ->
+          e.Bagdb.offset >= 0
+          && e.Bagdb.offset <= String.length s
+          && String.length e.Bagdb.reason > 0)
+
+let test_valid_roundtrip () =
+  let db = gen_db 1234 in
+  let db' = Bagdb.parse (Bagdb.render db) in
+  Alcotest.(check int) "same decl count" (List.length db) (List.length db');
+  List.iter2
+    (fun (n, ty, v) (n', ty', v') ->
+      Alcotest.(check string) "name" n n';
+      Alcotest.(check bool) "type" true (ty = ty');
+      Alcotest.(check bool) "value" true (Value.equal v v'))
+    db db'
+
+let test_duplicate_names_rejected () =
+  let source = "bag r : {{<U>}} = {{ <'a> }}\nbag r : {{<U>}} = {{ <'b> }}" in
+  match Bagdb.parse source with
+  | _ -> Alcotest.fail "duplicate bag names must be rejected"
+  | exception Bagdb.Db_error e ->
+      Alcotest.(check bool) "reason mentions duplicate" true
+        (String.length e.Bagdb.reason > 0)
+
+let test_oversized_count_rejected () =
+  let huge =
+    Value.bag_of_assoc
+      [ (Value.tuple [ Value.atom "a" ], Bignat.of_string (String.make 101 '9')) ]
+  in
+  let source = Bagdb.render [ ("b", Ty.relation 1, huge) ] in
+  (match Bagdb.parse ~max_count_digits:100 source with
+  | _ -> Alcotest.fail "101-digit multiplicity must be rejected"
+  | exception Bagdb.Db_error _ -> ());
+  (* under a roomier limit the same input is fine *)
+  match Bagdb.parse ~max_count_digits:200 source with
+  | db -> Alcotest.(check int) "loads under roomier limit" 1 (List.length db)
+  | exception Bagdb.Db_error e ->
+      Alcotest.failf "unexpected rejection: %s" (Bagdb.error_to_string e)
+
+(* --- file-level loads ------------------------------------------------------- *)
+
+let with_temp content f =
+  let path = Filename.temp_file "balg_fuzz" ".bagdb" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc content);
+      f path)
+
+let test_load_roundtrip () =
+  let db = gen_db 42 in
+  with_temp (Bagdb.render db) (fun path ->
+      let db' = Bagdb.load path in
+      Alcotest.(check int) "same decl count" (List.length db)
+        (List.length db'))
+
+let test_load_missing_file () =
+  match Bagdb.load "/nonexistent/path/xyz.bagdb" with
+  | _ -> Alcotest.fail "expected Db_error"
+  | exception Bagdb.Db_error e ->
+      Alcotest.(check bool) "error names the path" true
+        (e.Bagdb.path = Some "/nonexistent/path/xyz.bagdb")
+
+let test_load_under_injected_short_read () =
+  (* the bagdb.load fault site truncates the content at a deterministic
+     offset: each load must end in a database or a Db_error, and the same
+     seed must replay the same outcome *)
+  let source = Bagdb.render (gen_db 99) in
+  with_temp source (fun path ->
+      let outcome seed =
+        Fault.with_faults ~seed "bagdb.load:always" (fun () ->
+            match Bagdb.load path with
+            | db -> Ok (List.length db)
+            | exception Bagdb.Db_error e -> Error e.Bagdb.offset)
+      in
+      List.iter
+        (fun seed ->
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d deterministic" seed)
+            true
+            (outcome seed = outcome seed))
+        [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+
+let () =
+  Alcotest.run "bagdb_fuzz"
+    [
+      ( "parse",
+        [
+          QCheck_alcotest.to_alcotest prop_mutated_parse_total;
+          Alcotest.test_case "valid roundtrip" `Quick test_valid_roundtrip;
+          Alcotest.test_case "duplicate names rejected" `Quick
+            test_duplicate_names_rejected;
+          Alcotest.test_case "oversized multiplicity rejected" `Quick
+            test_oversized_count_rejected;
+        ] );
+      ( "load",
+        [
+          Alcotest.test_case "file roundtrip" `Quick test_load_roundtrip;
+          Alcotest.test_case "missing file" `Quick test_load_missing_file;
+          Alcotest.test_case "injected short read" `Quick
+            test_load_under_injected_short_read;
+        ] );
+    ]

@@ -15,7 +15,7 @@ let small_config =
 let eval_guarded inst e =
   match Eval.eval ~config:small_config (Eval.env_of_list inst) e with
   | v -> Some v
-  | exception (Eval.Resource_limit _ | Bag.Too_large _) -> None
+  | exception Eval.Resource_limit _ -> None
 
 (* BALG^2 expressions: always well-typed, and evaluation (when it fits the
    guard) produces a value of the inferred type *)

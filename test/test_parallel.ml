@@ -181,6 +181,64 @@ let test_deterministic_exhaustion () =
             (first = again))
         (List.init 5 Fun.id))
 
+(* --- chaos differential ----------------------------------------------------- *)
+
+(* CI's chaos leg sweeps BALG_FAULT / BALG_FAULT_SEED over several seeds;
+   locally the defaults below apply.  Only this suite arms the spec — the
+   library never reads the environment on its own, so the rest of the test
+   binary runs fault-free even under the sweep. *)
+let chaos_spec =
+  Option.value
+    (Sys.getenv_opt "BALG_FAULT")
+    ~default:"pool.task:p=0.05,bag.alloc:p=0.05,eval.step:p=0.01"
+
+let chaos_seed =
+  match Sys.getenv_opt "BALG_FAULT_SEED" with
+  | Some s -> ( try int_of_string s with _ -> 42)
+  | None -> 42
+
+let chaos_differential =
+  (* worker-death / allocation / step faults during a parallel run: the
+     result is the clean sequential value, bit-identical, or a structured
+     verdict — never a raw exception, never a wrong value *)
+  QCheck.Test.make
+    ~name:"chaos: faulted parallel run is bit-identical or a verdict"
+    ~count:40
+    QCheck.(make Gen.int)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let e = Baggen.Genexpr.nested rng env_spec 4 (1 + Random.State.int rng 2) in
+      let inst = Baggen.Genexpr.instance rng env_spec in
+      let env = Eval.env_of_list inst in
+      let oracle = Eval.run ~limits:roomy_limits env e in
+      let chaotic =
+        Fault.with_faults ~seed:(chaos_seed + seed) chaos_spec (fun () ->
+            with_test_pool (fun p ->
+                Eval.run ~limits:roomy_limits ~pool:p env e))
+      in
+      match (oracle, chaotic) with
+      | Ok v, Ok v' -> Value.equal v v'
+      | _, Error _ -> true (* structured verdict: acceptable under faults *)
+      | Error _, Ok _ -> true)
+
+let test_chaos_pool_shutdown () =
+  (* spawn faults degrade the pool (fewer workers, helping caller keeps
+     progress); task faults surface as per-thunk Injected errors; and
+     shutdown must still leave zero live domains *)
+  Fault.with_faults ~seed:7 "pool.spawn:every=2,pool.task:p=0.2" (fun () ->
+      let p = Pool.create ~chunk_min:1 ~fork_min:1 ~jobs () in
+      let results = Pool.run p (List.init 40 (fun i () -> i)) in
+      Alcotest.(check int) "every thunk answered" 40 (List.length results);
+      List.iteri
+        (fun i -> function
+          | Ok v -> Alcotest.(check int) "in-order value" i v
+          | Error (Fault.Injected _) -> ()
+          | Error e ->
+              Alcotest.failf "unexpected error: %s" (Printexc.to_string e))
+        results;
+      Pool.shutdown p;
+      Alcotest.(check int) "zero live domains" 0 (Pool.live p))
+
 let () =
   Alcotest.run "parallel"
     [
@@ -203,5 +261,11 @@ let () =
             test_steps_equal_fuel;
           Alcotest.test_case "deterministic exhaustion verdict" `Quick
             test_deterministic_exhaustion;
+        ] );
+      ( "chaos",
+        [
+          QCheck_alcotest.to_alcotest chaos_differential;
+          Alcotest.test_case "degraded pool still shuts down clean" `Quick
+            test_chaos_pool_shutdown;
         ] );
     ]
