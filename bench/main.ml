@@ -168,25 +168,57 @@ let json_benches ?pool () =
       jquery = Some q;
     }
   in
-  let plain name f = { jname = name; jrun = f; jmeters = None; jquery = None } in
+  (* Kernel benches time the raw [Bag] entry point, but each carries the
+     algebra query computing the same thing, so the telemetry column of
+     BENCH_eval.json is never null — one governed run per row. *)
+  let plain ~query name f =
+    { jname = name; jrun = f; jmeters = None; jquery = Some query }
+  in
+  let powerset12_q = Expr.Powerset (Expr.lit bag12 (Ty.relation 1)) in
+  let product20_q =
+    Expr.Product
+      (Expr.lit binary20 (Ty.relation 2), Expr.lit binary20 (Ty.relation 2))
+  in
+  let product300_q =
+    lazy
+      (Expr.Product
+         ( Expr.lit (Lazy.force binary300) (Ty.relation 2),
+           Expr.lit (Lazy.force binary300) (Ty.relation 2) ))
+  in
+  let select300_q =
+    lazy
+      (Expr.Select
+         ( "x",
+           Expr.Proj (2, Expr.Var "x"),
+           Expr.Proj (3, Expr.Var "x"),
+           Expr.lit (Lazy.force product300) (Ty.relation 4) ))
+  in
+  let proj300_q =
+    lazy
+      (Expr.proj_attrs [ 1; 4 ]
+         (Expr.lit (Lazy.force product300) (Ty.relation 4)))
+  in
   let base =
     [
-      plain "powerset_12" (fun () -> ignore (Bag.powerset bag12));
-      plain "destroy_powerset_12" (fun () -> ignore (Bag.destroy (Bag.powerset bag12)));
+      plain ~query:powerset12_q "powerset_12" (fun () ->
+          ignore (Bag.powerset bag12));
+      plain ~query:(Expr.Destroy powerset12_q) "destroy_powerset_12"
+        (fun () -> ignore (Bag.destroy (Bag.powerset bag12)));
       metered "selfjoin_binary20" selfjoin_q;
       metered "transitive_closure_graph8" tc_q;
       metered "parity_card10" parity_q;
       metered "card_compare_10" card_q;
       metered "group_count_binary20"
         (Derived.group_count [ 1 ] (Expr.lit binary20 (Ty.relation 2)));
-      plain "product_binary20" (fun () -> ignore (Bag.product binary20 binary20));
-      plain "parse_tc_query" (fun () ->
+      plain ~query:product20_q "product_binary20" (fun () ->
+          ignore (Bag.product binary20 binary20));
+      plain ~query:tc_q "parse_tc_query" (fun () ->
           ignore (Baglang.Parser.expr_of_string parse_input));
-      plain "product_binary300" (fun () ->
+      plain ~query:(Lazy.force product300_q) "product_binary300" (fun () ->
           ignore (Bag.product (Lazy.force binary300) (Lazy.force binary300)));
-      plain "select_eq_product300" (fun () ->
+      plain ~query:(Lazy.force select300_q) "select_eq_product300" (fun () ->
           ignore (Bag.select_eq 2 3 (Lazy.force product300)));
-      plain "proj_product300" (fun () ->
+      plain ~query:(Lazy.force proj300_q) "proj_product300" (fun () ->
           ignore (Bag.proj [ 1; 4 ] (Lazy.force product300)));
       metered "selfjoin_binary300" (Lazy.force selfjoin300_q);
     ]
@@ -202,13 +234,16 @@ let json_benches ?pool () =
       let tag name = Printf.sprintf "%s_jobs%d" name j in
       base
       @ [
-          plain (tag "product_binary300") (fun () ->
+          plain ~query:(Lazy.force product300_q) (tag "product_binary300")
+            (fun () ->
               ignore
                 (Bag.product ~pool:p (Lazy.force binary300)
                    (Lazy.force binary300)));
-          plain (tag "select_eq_product300") (fun () ->
+          plain ~query:(Lazy.force select300_q) (tag "select_eq_product300")
+            (fun () ->
               ignore (Bag.select_eq ~pool:p 2 3 (Lazy.force product300)));
-          plain (tag "proj_product300") (fun () ->
+          plain ~query:(Lazy.force proj300_q) (tag "proj_product300")
+            (fun () ->
               ignore (Bag.proj ~pool:p [ 1; 4 ] (Lazy.force product300)));
           metered ~pool:p (tag "selfjoin_binary300") (Lazy.force selfjoin300_q);
         ]
@@ -248,6 +283,17 @@ let measure b =
     let sorted = List.sort Float.compare samples in
     List.nth sorted (List.length sorted / 2)
   in
+  (* Fold the samples through a log-bucketed histogram so the report
+     carries the same p50/p90/p99 shape the metrics registry exports —
+     bucket upper bounds, hence p50 >= the exact median. *)
+  let percentiles =
+    let reg = Metrics.create () in
+    let h = Metrics.histogram reg "samples_ns" in
+    List.iter (fun ns -> Metrics.observe h (int_of_float ns)) samples;
+    ( Metrics.percentile h 0.50,
+      Metrics.percentile h 0.90,
+      Metrics.percentile h 0.99 )
+  in
   let a0 = Gc.allocated_bytes () in
   for _ = 1 to k do
     b.jrun ()
@@ -255,7 +301,7 @@ let measure b =
   let alloc_words =
     (Gc.allocated_bytes () -. a0) /. float k /. float (Sys.word_size / 8)
   in
-  (median, alloc_words)
+  (median, alloc_words, percentiles)
 
 (* One governed run per evaluator bench, outside the timing loops, to fold
    a per-query telemetry summary (steps, spans, peak support, memo counts)
@@ -274,23 +320,27 @@ let run_json ?pool () =
   let rows =
     List.map
       (fun b ->
-        let median, alloc = measure b in
+        let median, alloc, (p50, p90, p99) = measure b in
         Printf.printf "  %-28s %12.0f ns/run  %10.0f words/run\n%!" b.jname
           median alloc;
+        (* null means "this bench has no memo table at all"; a bench that
+           has one but never consulted it reports an honest 0.0000. *)
         let memo =
           match b.jmeters with
           | None -> "null"
           | Some m ->
               let total = m.Eval.memo_hits + m.Eval.memo_misses in
-              if total = 0 then "null"
+              if total = 0 then "0.0000"
               else
                 Printf.sprintf "%.4f" (float m.Eval.memo_hits /. float total)
         in
         Printf.sprintf
-          "    {\"name\": \"%s\", \"median_ns\": %.1f, \
+          "    {\"name\": \"%s\", \"median_ns\": %.1f, \"p50_ns\": %.0f, \
+           \"p90_ns\": %.0f, \"p99_ns\": %.0f, \
            \"alloc_words_per_run\": %.1f, \"memo_hit_rate\": %s, \
            \"telemetry\": %s}"
-          (json_escape b.jname) median alloc memo (telemetry_field b))
+          (json_escape b.jname) median p50 p90 p99 alloc memo
+          (telemetry_field b))
       (json_benches ?pool ())
   in
   let oc = open_out out in
@@ -389,7 +439,10 @@ let median_of xs =
   List.nth sorted (List.length sorted / 2)
 
 let best_of_3 b =
-  List.fold_left min infinity (List.init 3 (fun _ -> fst (measure b)))
+  List.fold_left min infinity
+    (List.init 3 (fun _ ->
+         let median, _, _ = measure b in
+         median))
 
 let run_gate baseline_path =
   let baseline = parse_baseline baseline_path in

@@ -16,7 +16,12 @@
    plan under a fresh budget (same limits) after a first exhaustion.
    --fault/--fault-seed (or BALG_FAULT/BALG_FAULT_SEED) arm the
    deterministic fault-injection sites.  --stats prints the telemetry span
-   tree and per-operator table; --trace adds time/allocation/memo columns.
+   tree and per-operator table (--stats-sort / --stats-top shape it);
+   --trace adds time/allocation/memo columns.  --trace-out FILE records
+   trace events and writes Chrome trace-event JSON (Perfetto-loadable),
+   --log-json FILE the same events as structured JSONL, and --metrics
+   prints the Prometheus-text metrics snapshot after the run — on every
+   exit path, verdicts and faults included.
 
    Process-exit discipline: no helper or error path calls [exit] — every
    subcommand body returns its exit code and the single [exit] lives in
@@ -64,13 +69,19 @@ type opts = {
   limits : Budget.limits;
   stats : bool;
   trace : bool;
+  stats_sort : Telemetry.sort;  (** --stats-sort column *)
+  stats_top : int;  (** rows of the per-operator table *)
   jobs : int;  (** evaluation domains; 1 = sequential *)
   fault : string option;  (** --fault spec, overrides BALG_FAULT *)
   fault_seed : int option;
+  trace_out : string option;  (** Chrome trace-event JSON output file *)
+  log_json : string option;  (** structured JSONL output file *)
+  metrics : bool;  (** print the metrics snapshot after the run *)
 }
 
 let make_opts fuel max_support max_size max_count_digits max_fix_steps timeout
-    stats trace jobs fault fault_seed =
+    stats trace stats_sort stats_top jobs fault fault_seed trace_out log_json
+    metrics =
   let d = Budget.default in
   let pick o dflt = Option.value o ~default:dflt in
   {
@@ -85,9 +96,14 @@ let make_opts fuel max_support max_size max_count_digits max_fix_steps timeout
       };
     stats;
     trace;
+    stats_sort;
+    stats_top = max 1 stats_top;
     jobs = max 1 jobs;
     fault;
     fault_seed;
+    trace_out;
+    log_json;
+    metrics;
   }
 
 let apply_faults opts =
@@ -110,26 +126,82 @@ let with_sigint budget f =
   | prev -> Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigint prev) f
   | exception (Invalid_argument _ | Sys_error _) -> f ()
 
+let sort_label = function
+  | Telemetry.By_steps -> "steps"
+  | Telemetry.By_time -> "time"
+  | Telemetry.By_alloc -> "alloc"
+
 let print_stats opts budget telemetry =
   match telemetry with
   | Some t when opts.stats || opts.trace ->
       print_endline "--- telemetry span tree ---";
       print_string (Telemetry.to_string ~trace:opts.trace t);
-      print_endline "--- per-operator totals ---";
+      let rows = Telemetry.per_op ~sort:opts.stats_sort t in
+      let shown = List.filteri (fun i _ -> i < opts.stats_top) rows in
+      Printf.printf "--- per-operator totals (top %d by %s) ---\n"
+        (List.length shown) (sort_label opts.stats_sort);
       List.iter
         (fun a ->
-          Printf.printf "  %-12s nodes=%-3d calls=%-8d steps=%-10d peak support=%d"
+          Printf.printf
+            "  %-12s nodes=%-3d calls=%-8d steps=%-10d time=%.3fms \
+             alloc=%-10.0f peak support=%d"
             a.Telemetry.a_op a.Telemetry.a_spans a.Telemetry.a_invocations
-            a.Telemetry.a_steps a.Telemetry.a_peak_support;
+            a.Telemetry.a_steps
+            (a.Telemetry.a_time_s *. 1e3)
+            a.Telemetry.a_alloc_words a.Telemetry.a_peak_support;
           if a.Telemetry.a_memo_hits + a.Telemetry.a_memo_misses > 0 then
             Printf.printf "  memo=%d/%d" a.Telemetry.a_memo_hits
               (a.Telemetry.a_memo_hits + a.Telemetry.a_memo_misses);
           print_newline ())
-        (Telemetry.per_op t);
+        shown;
+      let omitted = List.length rows - List.length shown in
+      if omitted > 0 then
+        Printf.printf "  ... %d more operator families (raise --stats-top)\n"
+          omitted;
       Printf.printf "total steps: %d  (governor fuel spent: %d)\n"
         (Telemetry.total_steps t)
         (Budget.fuel_spent budget)
   | _ -> ()
+
+(* --- observability export -------------------------------------------------- *)
+
+(* The exporters run on every exit path of [run_eval] — success, verdict
+   status 2, evaluation error, even a bad query — so a faulted or
+   cancelled run still leaves a loadable trace behind.  A file-write
+   failure degrades the exit code to 1 but never masks an earlier
+   non-zero status. *)
+
+let obs_wanted opts = opts.trace_out <> None || opts.log_json <> None
+
+let write_file path f =
+  match open_out path with
+  | oc ->
+      Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc);
+      Ok ()
+  | exception Sys_error msg -> Error msg
+
+let finish_obs opts code =
+  let code = ref code in
+  let export what path f =
+    match write_file path f with
+    | Ok () -> ()
+    | Error msg ->
+        Printf.eprintf "cannot write %s %s: %s\n" what path msg;
+        if !code = 0 then code := 1
+  in
+  Option.iter
+    (fun path ->
+      export "trace" path Obs.Trace.to_chrome;
+      let dropped = Obs.dropped () in
+      if dropped > 0 then
+        Printf.eprintf
+          "trace ring overflowed: %d oldest events dropped (see \
+           otherData.droppedEvents)\n"
+          dropped)
+    opts.trace_out;
+  Option.iter (fun path -> export "log" path Obs.Log.to_jsonl) opts.log_json;
+  if opts.metrics then print_string (Metrics.to_prometheus Metrics.default);
+  !code
 
 (* --- subcommand bodies --------------------------------------------------- *)
 
@@ -147,7 +219,7 @@ let eval_once db opts e =
   in
   (result, budget, telemetry)
 
-let run_eval db_path opts retry_degrade query =
+let run_eval_body db_path opts retry_degrade query =
   let* () = apply_faults opts in
   let* db = load_db db_path in
   let* e = parse_query query in
@@ -192,6 +264,11 @@ let run_eval db_path opts retry_degrade query =
             Printf.eprintf "%s\n" (Budget.exhaustion_to_string y);
             Printf.eprintf "retry-degrade: both attempts failed\n";
             2)
+
+let run_eval db_path opts retry_degrade query =
+  if obs_wanted opts then Obs.enable ();
+  let code = run_eval_body db_path opts retry_degrade query in
+  finish_obs opts code
 
 let run_analyze db_path query =
   let* db = load_db db_path in
@@ -340,6 +417,57 @@ let trace_arg =
           "Like --stats, with inclusive time, allocation and memo columns \
            per span.")
 
+let stats_sort_arg =
+  let sort_conv =
+    Arg.enum
+      [
+        ("steps", Telemetry.By_steps);
+        ("time", Telemetry.By_time);
+        ("alloc", Telemetry.By_alloc);
+      ]
+  in
+  Arg.(
+    value
+    & opt sort_conv Telemetry.By_steps
+    & info [ "stats-sort" ] ~docv:"COLUMN"
+        ~doc:
+          "Sort the per-operator totals table by $(docv): $(b,steps) \
+           (default), $(b,time) or $(b,alloc).")
+
+let stats_top_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "stats-top" ] ~docv:"N"
+        ~doc:"Show the top $(docv) operator families in the totals table.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Record trace events during evaluation and write them to $(docv) \
+           in Chrome trace-event JSON (load in Perfetto or \
+           chrome://tracing).")
+
+let log_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-json" ] ~docv:"FILE"
+        ~doc:
+          "Record trace events during evaluation and write them to $(docv) \
+           as structured JSONL (one event object per line).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "After the run — including exhaustion, cancellation and injected \
+           faults — print the metrics registry (counters, gauges, latency \
+           histograms with p50/p90/p99) in Prometheus text format.")
+
 let jobs_arg =
   Arg.(
     value & opt int 1
@@ -382,7 +510,8 @@ let opts_term =
   Term.(
     const make_opts $ fuel_arg $ max_support_arg $ max_size_arg
     $ max_count_digits_arg $ max_fix_steps_arg $ timeout_arg $ stats_arg
-    $ trace_arg $ jobs_arg $ fault_arg $ fault_seed_arg)
+    $ trace_arg $ stats_sort_arg $ stats_top_arg $ jobs_arg $ fault_arg
+    $ fault_seed_arg $ trace_out_arg $ log_json_arg $ metrics_arg)
 
 let eval_cmd =
   Cmd.v

@@ -115,6 +115,7 @@ let exceeded t resource ~node ~op ~spent ~limit =
     | cur -> if not (Atomic.compare_and_set t.tripped cur (Some x)) then publish ()
   in
   publish ();
+  if Obs.on () then Obs.emit Obs.I ~cat:"budget" ~name:(resource_to_string resource) ~args:[ ("node", Obs.Int node); ("op", Obs.Str op); ("spent", Obs.Int spent); ("limit", Obs.Int limit) ];
   raise (Budget_exceeded x)
 
 let elapsed_ms t = int_of_float ((Unix.gettimeofday () -. t.started) *. 1e3)
@@ -134,7 +135,12 @@ let check_deadline t ~node ~op =
    at fuel-charge granularity with no cost added to the hot path.  At node
    id 0 the verdict outranks any real exhaustion that races in later (the
    smallest-node-id rule), while a verdict published {e before} the cancel
-   stands — evaluation was already unwinding. *)
+   stands — evaluation was already unwinding.
+
+   No trace event here: [cancel] may run inside a signal handler, where
+   taking the ring-registration mutex could deadlock against an
+   interrupted emitter.  The evaluator's run-end instant records the
+   Cancelled verdict instead. *)
 let cancel t =
   let x =
     {

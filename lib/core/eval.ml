@@ -92,6 +92,14 @@ type state = {
       (** [Some] inside a parallel task: records land in the task's own
           shard and merge into the parent at the join *)
   pool : Pool.t option;
+  mutable obs_cell : int ref;
+      (** fuel charged to the {e currently executing} node, for the trace
+          exporter: each traced node invocation installs a fresh cell and
+          its end event reports the cell's total, so summing the [steps]
+          arg over all end events reproduces the spent fuel exactly (the
+          trace-side mirror of the telemetry steps == fuel invariant).
+          The cell is dynamically scoped — states are domain-private, so
+          a plain ref suffices. *)
 }
 
 (* Attribution of one compiled node: its preorder id, operator label, and
@@ -124,6 +132,10 @@ let spend st att n =
   (match att.sp with
   | Some sp -> Telemetry.add_steps (span_of st att sp) n
   | None -> ());
+  (* Mirror into the trace accumulator before [charge] can raise, for the
+     same reason the telemetry mirror precedes it: the charge that trips
+     the account must still appear in the exported steps. *)
+  st.obs_cell := !(st.obs_cell) + n;
   Budget.charge st.budget ~node:att.id ~op:att.op n
 
 (* Meter the result, enforce the per-value budgets, and charge fuel
@@ -251,13 +263,32 @@ let par_run (st : state) p (tasks : (state -> 'a) list) : 'a list =
           {
             st with
             meters = fresh_meters ();
+            obs_cell = ref 0;
             shard =
               (match st.telemetry with
               | None -> None
               | Some _ -> Some (Telemetry.shard ()));
           }
         in
-        (c, fun () -> task c))
+        (* Bracket the task in its own trace span (it runs on whatever
+           domain picks it up, so the events land in that domain's ring);
+           the end event reports the child's root cell — fuel charged
+           outside any node wrapper, e.g. by memo hits at the task's top
+           node — keeping the exported steps sum equal to the fuel. *)
+        let traced_task () =
+          if not (Obs.on ()) then task c
+          else begin
+            if Obs.on () then Obs.emit Obs.B ~cat:"eval" ~name:"task" ~args:[];
+            match task c with
+            | v ->
+                if Obs.on () then Obs.emit Obs.E ~cat:"eval" ~name:"task" ~args:[ ("steps", Obs.Int !(c.obs_cell)) ];
+                v
+            | exception exn ->
+                if Obs.on () then Obs.emit Obs.E ~cat:"eval" ~name:"task" ~args:[ ("steps", Obs.Int !(c.obs_cell)) ];
+                raise exn
+          end
+        in
+        (c, traced_task))
       tasks
   in
   let results = Pool.run p (List.map snd children) in
@@ -362,6 +393,31 @@ let rec compile reg ~parent volatile e : compiled =
           | exception exn ->
               finish ();
               raise exn)
+  in
+  (* Trace events per invocation, only when capture is on: a begin event,
+     a fresh self-steps cell for the duration, and an end event carrying
+     the fuel this node (not its children) charged — balanced on the
+     exception path too, so an exhausted or faulted run still exports a
+     well-formed trace.  Disarmed cost: the one [Obs.on] load + branch. *)
+  let invoke st env =
+    if not (Obs.on ()) then invoke st env
+    else begin
+      if Obs.on () then Obs.emit Obs.B ~cat:"eval" ~name:op ~args:[ ("node", Obs.Int id) ];
+      let saved = st.obs_cell in
+      let cell = ref 0 in
+      st.obs_cell <- cell;
+      let close () =
+        st.obs_cell <- saved;
+        if Obs.on () then Obs.emit Obs.E ~cat:"eval" ~name:op ~args:[ ("node", Obs.Int id); ("steps", Obs.Int !cell) ]
+      in
+      match invoke st env with
+      | v ->
+          close ();
+          v
+      | exception exn ->
+          close ();
+          raise exn
+    end
   in
   let memoisable =
     match e with
@@ -599,6 +655,45 @@ and iterate st att env ~x ~cbody ~bound current =
 (* Distinct run ids recycle the per-domain memo tables between runs. *)
 let run_ids = Atomic.make 1
 
+let m_runs = Metrics.counter Metrics.default "balg_eval_runs_total"
+    ~help:"Evaluations started"
+
+let m_ok = Metrics.counter Metrics.default "balg_eval_ok_total"
+    ~help:"Evaluations that returned a value"
+
+let m_verdicts = Metrics.counter Metrics.default "balg_eval_verdicts_total"
+    ~help:"Evaluations that ended in a structured exhaustion verdict"
+
+let m_fuel = Metrics.histogram Metrics.default "balg_eval_fuel"
+    ~help:"Fuel spent per evaluation"
+
+let m_run_ns = Metrics.histogram Metrics.default "balg_eval_run_ns"
+    ~help:"Wall time per evaluation in nanoseconds"
+
+let m_peak_support = Metrics.histogram Metrics.default
+    "balg_eval_peak_support"
+    ~help:"Largest intermediate bag support per evaluation"
+
+(* Close the run's trace span and record its metrics — on every exit path,
+   verdicts included: the final instant event carries the outcome and the
+   spent fuel, which is what scripts/check_trace.sh reconciles against the
+   per-node step counts. *)
+let finish_run st t0 outcome_args =
+  Metrics.observe m_fuel (Budget.fuel_spent st.budget);
+  Metrics.observe m_run_ns
+    (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9));
+  Metrics.observe m_peak_support st.meters.max_support_seen;
+  if Obs.on () then Obs.emit Obs.E ~cat:"eval" ~name:"run" ~args:[ ("steps", Obs.Int !(st.obs_cell)) ];
+  if Obs.on () then Obs.emit Obs.I ~cat:"eval" ~name:"done" ~args:(("fuel", Obs.Int (Budget.fuel_spent st.budget)) :: outcome_args)
+
+let verdict_args (x : Budget.exhaustion) =
+  [
+    ("outcome", Obs.Str "verdict");
+    ("resource", Obs.Str (Budget.resource_to_string x.Budget.resource));
+    ("node", Obs.Int x.Budget.at_node);
+    ("op", Obs.Str x.Budget.op);
+  ]
+
 let run ?budget ?limits ?meters ?telemetry ?pool env e =
   let budget =
     match (budget, limits) with
@@ -616,24 +711,44 @@ let run ?budget ?limits ?meters ?telemetry ?pool env e =
       telemetry;
       shard = None;
       pool;
+      obs_cell = ref 0;
     }
   in
+  Metrics.incr m_runs;
+  let t0 = Unix.gettimeofday () in
+  if Obs.on () then Obs.set_trace_id st.run_id;
+  if Obs.on () then Obs.emit Obs.B ~cat:"eval" ~name:"run" ~args:[ ("run", Obs.Int st.run_id); ("size", Obs.Int (Expr.size e)) ];
   match compiled st env with
-  | v -> Ok v
+  | v ->
+      Metrics.incr m_ok;
+      finish_run st t0 [ ("outcome", Obs.Str "ok") ];
+      Ok v
   | exception Budget.Budget_exceeded x ->
       (* Under parallel evaluation the propagated exception is whichever
          domain's raise won the race; the published verdict is kept at the
          smallest node id, so report that one. *)
-      Error (match Budget.verdict budget with Some y -> y | None -> x)
+      let x = match Budget.verdict budget with Some y -> y | None -> x in
+      Metrics.incr m_verdicts;
+      finish_run st t0 (verdict_args x);
+      Error x
   | exception Fault.Injected site ->
       (* An injected failure below the evaluator's attribution (a kernel
          allocation point, a pool task): structured verdict at node 0 —
          "before/outside any node" — carrying the site name.  The faults
          the evaluator can locate (eval.step) arrive as Budget_exceeded
          above instead. *)
-      Error
+      let x =
         { Budget.resource = Budget.Injected; at_node = 0; op = site;
           spent = 0; limit = 0 }
+      in
+      Metrics.incr m_verdicts;
+      finish_run st t0 (verdict_args x);
+      Error x
+  | exception exn ->
+      (* A caller bug (Eval_error, ...) still closes the trace span before
+         propagating, so the export stays balanced. *)
+      finish_run st t0 [ ("outcome", Obs.Str "exception") ];
+      raise exn
 
 let eval ?(config = default_config) ?meters ?pool env e =
   match run ~limits:(limits_of_config config) ?meters ?pool env e with

@@ -52,10 +52,20 @@ let decide s k =
   | Every n -> k mod n = 0
   | Prob p -> uniform (Atomic.get seed_ref, s.s_name, k) < p
 
+let fires = Metrics.counter Metrics.default "balg_fault_fires_total"
+    ~help:"Fault-injection sites that decided to fire"
+
 let fire s =
-  Atomic.get armed_flag
-  && (match Atomic.get s.trigger with Off -> false | _ -> true)
-  && decide s (Atomic.fetch_and_add s.hits 1 + 1)
+  let fired =
+    Atomic.get armed_flag
+    && (match Atomic.get s.trigger with Off -> false | _ -> true)
+    && decide s (Atomic.fetch_and_add s.hits 1 + 1)
+  in
+  if fired then begin
+    Metrics.incr fires;
+    if Obs.on () then Obs.emit Obs.I ~cat:"fault" ~name:s.s_name ~args:[ ("hit", Obs.Int (Atomic.get s.hits)) ]
+  end;
+  fired
 
 let fire_payload s =
   if not (fire s) then None

@@ -9,6 +9,16 @@
 let task_site = Fault.register "pool.task"
 let spawn_site = Fault.register "pool.spawn"
 
+let m_batches = Metrics.counter Metrics.default "balg_pool_batches_total"
+    ~help:"Parallel task batches submitted to the domain pool"
+
+let m_task_failures = Metrics.counter Metrics.default
+    "balg_pool_task_failures_total"
+    ~help:"Pool tasks that completed with an Error (exception captured)"
+
+let m_live = Metrics.gauge Metrics.default "balg_pool_live_domains"
+    ~help:"Worker domains alive in the most recently created pool"
+
 type t = {
   jobs : int;
   chunk_min : int;
@@ -74,6 +84,8 @@ let create ?(chunk_min = 512) ?(fork_min = 24) ~jobs () =
         | d -> Some d
         | exception _ -> None)
       (List.init (jobs - 1) Fun.id);
+  Metrics.set_gauge m_live (float_of_int (List.length t.workers));
+  if Obs.on () then Obs.emit Obs.I ~cat:"pool" ~name:"create" ~args:[ ("jobs", Obs.Int jobs); ("workers", Obs.Int (List.length t.workers)) ];
   t
 
 let live t = List.length t.workers
@@ -90,7 +102,10 @@ let protect f =
   try
     Fault.inject task_site;
     Ok (f ())
-  with e -> Error e
+  with e ->
+    Metrics.incr m_task_failures;
+    if Obs.on () then Obs.emit Obs.I ~cat:"pool" ~name:"task-fail" ~args:[ ("exn", Obs.Str (Printexc.to_string e)) ];
+    Error e
 
 let run t thunks =
   match thunks with
@@ -98,8 +113,10 @@ let run t thunks =
   | [ f ] -> [ protect f ]
   | _ when t.jobs <= 1 -> List.map protect thunks
   | _ ->
+      Metrics.incr m_batches;
       let thunks = Array.of_list thunks in
       let n = Array.length thunks in
+      if Obs.on () then Obs.emit Obs.B ~cat:"pool" ~name:"batch" ~args:[ ("tasks", Obs.Int n) ];
       let results = Array.make n None in
       let remaining = Atomic.make n in
       (* Per-batch completion signal; [remaining] is the ground truth and is
@@ -144,6 +161,7 @@ let run t thunks =
         end
       in
       help ();
+      if Obs.on () then Obs.emit Obs.E ~cat:"pool" ~name:"batch" ~args:[];
       Array.to_list
         (Array.map
            (function Some r -> r | None -> assert false (* all completed *))

@@ -347,6 +347,7 @@ let rewrite_pass env rules e =
         with
         | Some (name, e') ->
             applied := name :: !applied;
+            if Obs.on () then Obs.emit Obs.I ~cat:"rewrite" ~name ~args:[ ("size", Obs.Int (Expr.size e')) ];
             fire e' (fuel - 1)
         | None -> e
     in
@@ -358,10 +359,17 @@ let rewrite_pass env rules e =
 (** Rewrite to a fixpoint of the sound rules (bounded number of passes).
     Returns the normal form and the rule applications performed. *)
 let normalize ?(rules = sound_rules) ?(max_passes = 8) env e =
+  if Obs.on () then Obs.emit Obs.B ~cat:"rewrite" ~name:"normalize" ~args:[ ("size", Obs.Int (Expr.size e)) ];
   let rec go passes e log =
     if passes = 0 then (e, log)
     else
       let e', applied = rewrite_pass env rules e in
       if applied = [] then (e, log) else go (passes - 1) e' (log @ applied)
   in
-  go max_passes e []
+  match go max_passes e [] with
+  | e', log ->
+      if Obs.on () then Obs.emit Obs.E ~cat:"rewrite" ~name:"normalize" ~args:[ ("rules", Obs.Int (List.length log)); ("size", Obs.Int (Expr.size e')) ];
+      (e', log)
+  | exception exn ->
+      if Obs.on () then Obs.emit Obs.E ~cat:"rewrite" ~name:"normalize" ~args:[];
+      raise exn

@@ -110,10 +110,14 @@ type agg = {
   a_spans : int;
   a_invocations : int;
   a_steps : int;
+  a_time_s : float;
+  a_alloc_words : float;
   a_peak_support : int;
   a_memo_hits : int;
   a_memo_misses : int;
 }
+
+type sort = By_steps | By_time | By_alloc
 
 (* Collapse "var x" / "let x" / "nest [..]" labels to their family for the
    per-operator table; the span tree keeps the full label. *)
@@ -122,7 +126,7 @@ let family op =
   | Some i -> String.sub op 0 i
   | None -> op
 
-let per_op t =
+let per_op ?(sort = By_steps) t =
   let tbl = Hashtbl.create 16 in
   iter t (fun sp ->
       let key = family sp.op in
@@ -137,6 +141,8 @@ let per_op t =
                   a_spans = 0;
                   a_invocations = 0;
                   a_steps = 0;
+                  a_time_s = 0.;
+                  a_alloc_words = 0.;
                   a_peak_support = 0;
                   a_memo_hits = 0;
                   a_memo_misses = 0;
@@ -151,13 +157,21 @@ let per_op t =
           a_spans = !a.a_spans + 1;
           a_invocations = !a.a_invocations + sp.invocations;
           a_steps = !a.a_steps + sp.steps;
+          a_time_s = !a.a_time_s +. sp.time_s;
+          a_alloc_words = !a.a_alloc_words +. sp.alloc_words;
           a_peak_support = max !a.a_peak_support sp.peak_support;
           a_memo_hits = !a.a_memo_hits + sp.memo_hits;
           a_memo_misses = !a.a_memo_misses + sp.memo_misses;
         });
+  let key a =
+    match sort with
+    | By_steps -> float_of_int a.a_steps
+    | By_time -> a.a_time_s
+    | By_alloc -> a.a_alloc_words
+  in
   Hashtbl.fold (fun _ a acc -> !a :: acc) tbl []
   |> List.sort (fun a b ->
-         match compare b.a_steps a.a_steps with
+         match Float.compare (key b) (key a) with
          | 0 -> compare a.a_op b.a_op
          | c -> c)
 

@@ -77,13 +77,18 @@ type agg = {
   a_spans : int;  (** distinct nodes with this operator *)
   a_invocations : int;
   a_steps : int;
+  a_time_s : float;  (** inclusive wall time summed over the family *)
+  a_alloc_words : float;
   a_peak_support : int;
   a_memo_hits : int;
   a_memo_misses : int;
 }
 
-val per_op : t -> agg list
-(** One row per operator family, sorted by descending steps. *)
+type sort = By_steps | By_time | By_alloc
+
+val per_op : ?sort:sort -> t -> agg list
+(** One row per operator family, sorted descending by the chosen column
+    (default {!By_steps}); ties break on the operator name. *)
 
 (** {1 Rendering} *)
 

@@ -18,6 +18,12 @@ type t = (string * Ty.t * Value.t) list
    seed-derived offset before parsing. *)
 let load_site = Fault.register "bagdb.load"
 
+let m_loads = Metrics.counter Metrics.default "balg_bagdb_loads_total"
+    ~help:"Database files loaded successfully"
+
+let m_load_errors = Metrics.counter Metrics.default "balg_bagdb_errors_total"
+    ~help:"Database loads rejected with a located Db_error"
+
 let db_error ?path ~offset fmt =
   Printf.ksprintf (fun reason -> raise (Db_error { path; offset; reason })) fmt
 
@@ -84,22 +90,33 @@ let parse ?path ?(max_count_digits = 10_000) (source : string) : t =
   decls [] []
 
 let load ?max_count_digits path =
-  let content =
-    try
-      let ic = open_in_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    with
-    | Sys_error msg -> db_error ~path ~offset:0 "cannot read: %s" msg
-    | End_of_file -> db_error ~path ~offset:0 "short read (file truncated?)"
-  in
-  let content =
-    match Fault.fire_payload load_site with
-    | None -> content
-    | Some cut -> String.sub content 0 (cut mod (String.length content + 1))
-  in
-  parse ~path ?max_count_digits content
+  if Obs.on () then Obs.emit Obs.B ~cat:"bagdb" ~name:"load" ~args:[ ("path", Obs.Str path) ];
+  match
+    let content =
+      try
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | Sys_error msg -> db_error ~path ~offset:0 "cannot read: %s" msg
+      | End_of_file -> db_error ~path ~offset:0 "short read (file truncated?)"
+    in
+    let content =
+      match Fault.fire_payload load_site with
+      | None -> content
+      | Some cut -> String.sub content 0 (cut mod (String.length content + 1))
+    in
+    parse ~path ?max_count_digits content
+  with
+  | db ->
+      Metrics.incr m_loads;
+      if Obs.on () then Obs.emit Obs.E ~cat:"bagdb" ~name:"load" ~args:[ ("bags", Obs.Int (List.length db)) ];
+      db
+  | exception (Db_error e as exn) ->
+      Metrics.incr m_load_errors;
+      if Obs.on () then Obs.emit Obs.E ~cat:"bagdb" ~name:"load" ~args:[ ("error", Obs.Str e.reason); ("offset", Obs.Int e.offset) ];
+      raise exn
 
 let type_env (db : t) = Typecheck.env_of_list (List.map (fun (n, ty, _) -> (n, ty)) db)
 let value_env (db : t) = Eval.env_of_list (List.map (fun (n, _, v) -> (n, v)) db)

@@ -1,0 +1,93 @@
+#!/bin/sh
+# Validate a Chrome trace-event file written by Obs.Trace.to_chrome:
+#   - every B has a matching E in its (pid,tid) lane: nesting depth never
+#     goes negative and every lane ends at depth 0 (faulted and cancelled
+#     runs included — the evaluator closes spans on the unwind path)
+#   - timestamps are non-decreasing within each lane
+#   - the trace-side accounting invariant: the sum of "steps" over all
+#     eval end events equals the sum of "fuel" over the run-end "done"
+#     instants (one per governed run in the file)
+#   - the ring buffers never overflowed (otherData.droppedEvents == 0)
+#   - the file is well-formed JSON (when python3 is available)
+# The exporter writes one event object per line precisely so this check
+# needs nothing beyond awk.
+set -eu
+
+trace=${1:?usage: check_trace.sh TRACE.json}
+
+awk '
+function field_num(line, name,    r) {
+  if (match(line, "\"" name "\":-?[0-9.eE+-]+")) {
+    r = substr(line, RSTART, RLENGTH)
+    sub("\"" name "\":", "", r)
+    return r + 0
+  }
+  return -1
+}
+function field_str(line, name,    r) {
+  if (match(line, "\"" name "\":\"[^\"]*\"")) {
+    r = substr(line, RSTART, RLENGTH)
+    sub("\"" name "\":\"", "", r)
+    sub("\"$", "", r)
+    return r
+  }
+  return ""
+}
+/"ph":"M"/ { next }
+/"ph":"[BEI]"/ {
+  ph = field_str($0, "ph")
+  lane = field_num($0, "pid") ":" field_num($0, "tid")
+  ts = field_num($0, "ts")
+  if (lane in last_ts && ts < last_ts[lane]) {
+    printf "check_trace: non-monotonic ts in lane %s: %s after %s\n", \
+      lane, ts, last_ts[lane]
+    bad = 1
+  }
+  last_ts[lane] = ts
+  if (ph == "B") depth[lane]++
+  if (ph == "E") {
+    depth[lane]--
+    if (depth[lane] < 0) {
+      printf "check_trace: E without matching B in lane %s\n", lane
+      bad = 1
+    }
+    if (field_str($0, "cat") == "eval") {
+      s = field_num($0, "steps")
+      if (s >= 0) steps += s
+    }
+  }
+  if (ph == "I" && field_str($0, "name") == "done") {
+    fu = field_num($0, "fuel")
+    if (fu >= 0) fuel += fu
+    runs++
+  }
+  events++
+}
+/"droppedEvents"/ { dropped = field_num($0, "droppedEvents") }
+END {
+  for (lane in depth)
+    if (depth[lane] != 0) {
+      printf "check_trace: lane %s ends at depth %d (unclosed spans)\n", \
+        lane, depth[lane]
+      bad = 1
+    }
+  if (events == 0) { print "check_trace: no events"; bad = 1 }
+  if (runs == 0)   { print "check_trace: no run-end (done) instant"; bad = 1 }
+  if (steps != fuel) {
+    printf "check_trace: accounting broken: sum E.steps=%d, done fuel=%d\n", \
+      steps, fuel
+    bad = 1
+  }
+  if (dropped != 0) {
+    printf "check_trace: ring dropped %d events (raise the capacity)\n", dropped
+    bad = 1
+  }
+  if (bad) exit 1
+  printf "check_trace: ok (%d events, %d run(s), steps == fuel == %d)\n", \
+    events, runs, steps
+}
+' "$trace"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "$trace" >/dev/null
+fi

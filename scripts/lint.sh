@@ -61,6 +61,17 @@ if [ "$balgi_exits" != "1" ]; then
   fail=1
 fi
 
+# observability: every trace-emission call site outside the sink itself
+# must keep the disarmed fast path on the same line
+# ('if Obs.on () then Obs.emit ...') so a run without --trace-out pays one
+# atomic read and a branch — never argument construction or a ring write.
+bad=$(grep -rn 'Obs\.emit' lib bin bench test --include='*.ml' | grep -v '^lib/core/obs\.ml:' | grep -v 'Obs\.on ()' || true)
+if [ -n "$bad" ]; then
+  echo "lint: Obs.emit call sites must be guarded by 'if Obs.on () then' on the same line:"
+  echo "$bad" | sed 's/^/  /'
+  fail=1
+fi
+
 # scripts stay executable-safe: every scripts/*.sh must pass a syntax check
 for s in scripts/*.sh; do
   if ! sh -n "$s"; then
