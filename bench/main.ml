@@ -150,6 +150,7 @@ let run_benchmarks () =
 
 type jbench = {
   jname : string;
+  jengine : string;  (** "tree" or "vec" — the engine column of the report *)
   jrun : unit -> unit;
   jmeters : Eval.meters option;  (** shared by every run of this bench *)
   jquery : Expr.t option;
@@ -162,8 +163,20 @@ let json_benches ?pool () =
     let m = Eval.fresh_meters () in
     {
       jname = name;
+      jengine = "tree";
       jrun =
         (fun () -> ignore (Eval.eval ?pool ~meters:m (Eval.env_of_list []) q));
+      jmeters = Some m;
+      jquery = Some q;
+    }
+  in
+  let metered_vec ?pool name q =
+    let m = Eval.fresh_meters () in
+    {
+      jname = name;
+      jengine = "vec";
+      jrun =
+        (fun () -> ignore (Veval.eval ?pool ~meters:m (Eval.env_of_list []) q));
       jmeters = Some m;
       jquery = Some q;
     }
@@ -171,8 +184,8 @@ let json_benches ?pool () =
   (* Kernel benches time the raw [Bag] entry point, but each carries the
      algebra query computing the same thing, so the telemetry column of
      BENCH_eval.json is never null — one governed run per row. *)
-  let plain ~query name f =
-    { jname = name; jrun = f; jmeters = None; jquery = Some query }
+  let plain ?(engine = "tree") ~query name f =
+    { jname = name; jengine = engine; jrun = f; jmeters = None; jquery = Some query }
   in
   let powerset12_q = Expr.Powerset (Expr.lit bag12 (Ty.relation 1)) in
   let product20_q =
@@ -198,6 +211,17 @@ let json_benches ?pool () =
       (Expr.proj_attrs [ 1; 4 ]
          (Expr.lit (Lazy.force product300) (Ty.relation 4)))
   in
+  (* Columnar counterparts of the 300-row kernel benches: inputs converted
+     once outside the timing loop (the tree rows likewise pre-materialise
+     [product300]).  [product]/[select] stay columnar — each engine
+     produces its native representation, and in a vec pipeline the output
+     feeds the next kernel without ever being boxed — while [proj] keeps
+     the [Vec.to_value] boundary so one row per report prices the full
+     kernel-plus-boxing round trip. *)
+  let vec300 = lazy (Vec.of_value (Lazy.force binary300)) in
+  let vecprod300 = lazy (Vec.of_value (Lazy.force product300)) in
+  let sel_l = Vec.SField (2, Vec.SRow) and sel_r = Vec.SField (3, Vec.SRow) in
+  let proj14 = Vec.SRecord [ Vec.SField (1, Vec.SRow); Vec.SField (4, Vec.SRow) ] in
   let base =
     [
       plain ~query:powerset12_q "powerset_12" (fun () ->
@@ -221,6 +245,16 @@ let json_benches ?pool () =
       plain ~query:(Lazy.force proj300_q) "proj_product300" (fun () ->
           ignore (Bag.proj [ 1; 4 ] (Lazy.force product300)));
       metered "selfjoin_binary300" (Lazy.force selfjoin300_q);
+      plain ~engine:"vec" ~query:(Lazy.force product300_q)
+        "product_binary300_vec" (fun () ->
+          ignore (Vec.product (Lazy.force vec300) (Lazy.force vec300)));
+      plain ~engine:"vec" ~query:(Lazy.force select300_q)
+        "select_eq_product300_vec" (fun () ->
+          ignore (Vec.select_scalar sel_l sel_r (Lazy.force vecprod300)));
+      plain ~engine:"vec" ~query:(Lazy.force proj300_q) "proj_product300_vec"
+        (fun () ->
+          ignore (Vec.to_value (Vec.map_scalar proj14 (Lazy.force vecprod300))));
+      metered_vec "selfjoin_binary300_vec" (Lazy.force selfjoin300_q);
     ]
   in
   (* With [--jobs N], the parallelizable benches also run as [_jobsN] rows so
@@ -246,6 +280,24 @@ let json_benches ?pool () =
             (fun () ->
               ignore (Bag.proj ~pool:p [ 1; 4 ] (Lazy.force product300)));
           metered ~pool:p (tag "selfjoin_binary300") (Lazy.force selfjoin300_q);
+          plain ~engine:"vec" ~query:(Lazy.force product300_q)
+            (tag "product_binary300_vec") (fun () ->
+              ignore
+                (Vec.product ~pool:p (Lazy.force vec300) (Lazy.force vec300)));
+          plain ~engine:"vec" ~query:(Lazy.force select300_q)
+            (tag "select_eq_product300_vec") (fun () ->
+              ignore
+                (Vec.select_scalar ~pool:p sel_l sel_r
+                   (Lazy.force vecprod300)));
+          (* the proj kernel is a pure column gather — pool-independent —
+             but the row exists so the report carries all four benches in
+             both modes *)
+          plain ~engine:"vec" ~query:(Lazy.force proj300_q)
+            (tag "proj_product300_vec") (fun () ->
+              ignore
+                (Vec.to_value (Vec.map_scalar proj14 (Lazy.force vecprod300))));
+          metered_vec ~pool:p (tag "selfjoin_binary300_vec")
+            (Lazy.force selfjoin300_q);
         ]
 
 let json_escape s =
@@ -259,9 +311,25 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* Kernel rows allocate multi-megabyte arrays straight into the major
+   heap; under default GC pacing their measured cost is dominated by the
+   sweep debt of whatever row ran before them rather than their own work
+   (observed 4-15x swings run to run).  A larger minor heap and a lazier
+   major slice, plus a compaction between rows, make each row pay for its
+   own allocations.  Benchmark process only — the library never touches
+   GC knobs. *)
+let pace_gc () =
+  Gc.set
+    {
+      (Gc.get ()) with
+      Gc.minor_heap_size = 4 * 1024 * 1024;
+      space_overhead = 200;
+    }
+
 let measure b =
   b.jrun ();
   (* warmup *)
+  Gc.compact ();
   let rec calibrate k =
     let t0 = Unix.gettimeofday () in
     for _ = 1 to k do
@@ -273,6 +341,12 @@ let measure b =
   let k = calibrate 1 in
   let samples =
     List.init 15 (fun _ ->
+        (* Reset the collector to the same phase before every sample
+           (untimed): each sample then pays only the slices its own
+           allocation triggers, instead of marking debt left by the
+           previous sample — the one-sample-per-batch rows otherwise
+           swing 4-15x with the phase they happen to land on. *)
+        Gc.full_major ();
         let t0 = Unix.gettimeofday () in
         for _ = 1 to k do
           b.jrun ()
@@ -294,10 +368,15 @@ let measure b =
       Metrics.percentile h 0.90,
       Metrics.percentile h 0.99 )
   in
+  (* The multicore runtime buffers allocation stats per domain and merges
+     them at minor collections, so flush with [Gc.minor] on both sides of
+     the counted loop — otherwise a large minor heap undercounts badly. *)
+  Gc.minor ();
   let a0 = Gc.allocated_bytes () in
   for _ = 1 to k do
     b.jrun ()
   done;
+  Gc.minor ();
   let alloc_words =
     (Gc.allocated_bytes () -. a0) /. float k /. float (Sys.word_size / 8)
   in
@@ -311,8 +390,12 @@ let telemetry_field b =
   | None -> "null"
   | Some q ->
       let t = Telemetry.create () in
-      (match Eval.run ~telemetry:t (Eval.env_of_list []) q with
-      | Ok _ | Error _ -> ());
+      (if b.jengine = "vec" then
+         match Veval.run ~telemetry:t (Eval.env_of_list []) q with
+         | Ok _ | Error _ -> ()
+       else
+         match Eval.run ~telemetry:t (Eval.env_of_list []) q with
+         | Ok _ | Error _ -> ());
       Telemetry.summary_json t
 
 let run_json ?pool () =
@@ -335,12 +418,13 @@ let run_json ?pool () =
                 Printf.sprintf "%.4f" (float m.Eval.memo_hits /. float total)
         in
         Printf.sprintf
-          "    {\"name\": \"%s\", \"median_ns\": %.1f, \"p50_ns\": %.0f, \
+          "    {\"name\": \"%s\", \"engine\": \"%s\", \"median_ns\": %.1f, \
+           \"p50_ns\": %.0f, \
            \"p90_ns\": %.0f, \"p99_ns\": %.0f, \
            \"alloc_words_per_run\": %.1f, \"memo_hit_rate\": %s, \
            \"telemetry\": %s}"
-          (json_escape b.jname) median p50 p90 p99 alloc memo
-          (telemetry_field b))
+          (json_escape b.jname) (json_escape b.jengine) median p50 p90 p99
+          alloc memo (telemetry_field b))
       (json_benches ?pool ())
   in
   let oc = open_out out in
@@ -531,6 +615,7 @@ let run_gate baseline_path =
     ((gate_threshold -. 1.) *. 100.)
 
 let () =
+  pace_gc ();
   let pool =
     match arg_value "--jobs" with
     | Some s ->

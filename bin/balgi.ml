@@ -67,6 +67,7 @@ let ( let* ) r k =
 
 type opts = {
   limits : Budget.limits;
+  engine : Veval.engine;  (** --engine: tree (default) or vec *)
   stats : bool;
   trace : bool;
   stats_sort : Telemetry.sort;  (** --stats-sort column *)
@@ -80,8 +81,8 @@ type opts = {
 }
 
 let make_opts fuel max_support max_size max_count_digits max_fix_steps timeout
-    stats trace stats_sort stats_top jobs fault fault_seed trace_out log_json
-    metrics =
+    engine stats trace stats_sort stats_top jobs fault fault_seed trace_out
+    log_json metrics =
   let d = Budget.default in
   let pick o dflt = Option.value o ~default:dflt in
   {
@@ -94,6 +95,7 @@ let make_opts fuel max_support max_size max_count_digits max_fix_steps timeout
         max_fix_steps = pick max_fix_steps d.Budget.max_fix_steps;
         deadline_s = timeout;
       };
+    engine;
     stats;
     trace;
     stats_sort;
@@ -215,7 +217,8 @@ let eval_once db opts e =
   let result =
     with_sigint budget @@ fun () ->
     Pool.with_pool ~jobs:opts.jobs (fun pool ->
-        Eval.run ~budget ?telemetry ?pool (Bagdb.value_env db) e)
+        Veval.run_engine opts.engine ~budget ?telemetry ?pool
+          (Bagdb.value_env db) e)
   in
   (result, budget, telemetry)
 
@@ -288,13 +291,25 @@ let run_normalize db_path query =
     Printf.printf "# rules applied: %s\n" (String.concat ", " applied);
   0
 
-let run_explain db_path query =
+let run_explain db_path engine query =
   let* db = load_db db_path in
   let* e = parse_query query in
   let* _ty = check db e in
-  match Explain.run ~env:(Bagdb.value_env db) e with
-  | v, profile ->
-      print_string (Explain.profile_to_string profile);
+  let explain () =
+    match engine with
+    | Veval.Tree ->
+        let v, profile = Explain.run ~env:(Bagdb.value_env db) e in
+        print_string (Explain.profile_to_string profile);
+        v
+    | Veval.Vec ->
+        (* the vec engine's profile is its executed plan: which subtrees
+           ran a columnar kernel and which fell back to the tree path *)
+        let v, plan = Explain.run_vec ~env:(Bagdb.value_env db) e in
+        print_string (Veval.plan_to_string plan);
+        v
+  in
+  match explain () with
+  | v ->
       Printf.printf "result: %s\n" (Value.to_string v);
       0
   | exception Eval.Eval_error msg ->
@@ -328,7 +343,8 @@ let run_repl db_path opts =
             with_sigint budget @@ fun () ->
             match
               Pool.with_pool ~jobs:opts.jobs (fun pool ->
-                  Eval.run ~budget ?pool (Bagdb.value_env db) e)
+                  Veval.run_engine opts.engine ~budget ?pool
+                    (Bagdb.value_env db) e)
             with
             | Ok v ->
                 Printf.printf "%s : %s\n" (Value.to_string v) (Ty.to_string ty)
@@ -468,6 +484,19 @@ let metrics_arg =
            faults — print the metrics registry (counters, gauges, latency \
            histograms with p50/p90/p99) in Prometheus text format.")
 
+let engine_arg =
+  let engine_conv = Arg.enum [ ("tree", Veval.Tree); ("vec", Veval.Vec) ] in
+  Arg.(
+    value
+    & opt engine_conv (Veval.default_engine ())
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine: $(b,tree) (the structural evaluator, default) \
+           or $(b,vec) (columnar kernels over segmented flat vectors, \
+           falling back to the tree path per subtree for powerset and \
+           fixpoint nodes).  Results are bit-identical.  The default can \
+           also be set with $(b,BALG_ENGINE).")
+
 let jobs_arg =
   Arg.(
     value & opt int 1
@@ -509,9 +538,9 @@ let retry_degrade_arg =
 let opts_term =
   Term.(
     const make_opts $ fuel_arg $ max_support_arg $ max_size_arg
-    $ max_count_digits_arg $ max_fix_steps_arg $ timeout_arg $ stats_arg
-    $ trace_arg $ stats_sort_arg $ stats_top_arg $ jobs_arg $ fault_arg
-    $ fault_seed_arg $ trace_out_arg $ log_json_arg $ metrics_arg)
+    $ max_count_digits_arg $ max_fix_steps_arg $ timeout_arg $ engine_arg
+    $ stats_arg $ trace_arg $ stats_sort_arg $ stats_top_arg $ jobs_arg
+    $ fault_arg $ fault_seed_arg $ trace_out_arg $ log_json_arg $ metrics_arg)
 
 let eval_cmd =
   Cmd.v
@@ -539,8 +568,9 @@ let explain_cmd =
     (Cmd.info "explain"
        ~doc:
          "Evaluate with profiling: per-operator call counts and largest \
-          intermediate bag sizes.")
-    Term.(const run_explain $ db_arg $ query_arg)
+          intermediate bag sizes ($(b,--engine tree)), or the executed \
+          engine plan ($(b,--engine vec)).")
+    Term.(const run_explain $ db_arg $ engine_arg $ query_arg)
 
 let repl_cmd =
   Cmd.v

@@ -142,6 +142,23 @@ let run ?config ?(env = Eval.Env.empty) e =
   let v = go env e root in
   (v, root)
 
+(* The vec engine already reports its executed plan — the profile of
+   interest here is which engine ran each subtree, so surface that plan
+   instead of re-instrumenting the walk. *)
+let run_vec ?(config = Eval.default_config) ?(env = Eval.Env.empty) e =
+  let plan = ref None in
+  match
+    Veval.run
+      ~limits:(Eval.limits_of_config config)
+      ~report:(fun p -> plan := Some p)
+      env e
+  with
+  | Ok v -> (
+      match !plan with
+      | Some p -> (v, p)
+      | None -> assert false (* report fires on every exit path *))
+  | Error x -> raise (Eval.Resource_limit (Budget.exhaustion_to_string x))
+
 let rec pp_profile ?(indent = 0) ppf p =
   Format.fprintf ppf "%s%-14s calls=%d  max support=%d  max cardinality=%s@\n"
     (String.make indent ' ') p.op p.calls p.max_support

@@ -17,5 +17,12 @@ val run :
   ?config:Eval.config -> ?env:Eval.env -> Expr.t -> Value.t * profile
 (** @raise Eval.Eval_error / Eval.Resource_limit like the evaluator. *)
 
+val run_vec :
+  ?config:Eval.config -> ?env:Eval.env -> Expr.t -> Value.t * Veval.plan
+(** Evaluate under the vectorized engine and return its executed plan,
+    labelling which engine — a [vec:<kernel>] or the tree data path — ran
+    each subtree ([balgi explain --engine vec]).
+    @raise Eval.Eval_error / Eval.Resource_limit like the evaluator. *)
+
 val pp_profile : ?indent:int -> Format.formatter -> profile -> unit
 val profile_to_string : profile -> string

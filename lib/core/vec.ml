@@ -1,0 +1,1063 @@
+(* Segmented flat vectors: bags laid out column-wise for the vectorized
+   engine (see vec.mli for the representation contract).
+
+   Design rules that keep the kernels simple and bit-compatible with the
+   tree evaluator:
+
+   - Atoms are interned to dense integer codes in one global table, so
+     equality and hashing of atom cells are machine-int operations and a
+     code from one vector compares meaningfully against any other.
+   - Rows are NOT kept distinct or sorted.  Every kernel is free to emit
+     duplicate rows in any order; [to_value] (and the kernels that need
+     per-distinct-row totals) coalesce by hashing codes.  Canonical order
+     is restored exactly once, by [Value.bag_of_assoc] at the boundary,
+     which is why chunked parallel slices recombine bit-identically.
+   - Inner bag segments ARE kept canonical (Value.compare order, coalesced,
+     positive counts): [of_value] imports canonical bags and [nest] — the
+     only kernel that builds new segments — sorts and coalesces, so
+     nested-bag cells compare by an aligned segment walk. *)
+
+exception Unsupported of string
+
+let unsupported msg = raise (Unsupported msg)
+
+(* Pre-materialisation injection point: every kernel that allocates output
+   columns passes through here (the vectorized sibling of [bag.alloc]). *)
+let alloc_site = Fault.register "vec.alloc"
+
+(* ------------------------------------------------------------------ *)
+(* Atom interning.  Writers serialise on [intern_mu]; [decode] reads the
+   current array snapshot without the lock — a code only becomes visible
+   to another domain through a synchronising hand-off (Pool.run join), by
+   which point the slot it names is published. *)
+
+let intern_mu = Mutex.create ()
+let intern_tbl : (string, int) Hashtbl.t = Hashtbl.create 1024
+let intern_names : string array ref = ref (Array.make 1024 "")
+let intern_n = ref 0
+
+let intern s =
+  Mutex.protect intern_mu (fun () ->
+      match Hashtbl.find_opt intern_tbl s with
+      | Some c -> c
+      | None ->
+          let c = !intern_n in
+          let cap = Array.length !intern_names in
+          if c = cap then begin
+            let bigger = Array.make (2 * cap) "" in
+            Array.blit !intern_names 0 bigger 0 cap;
+            intern_names := bigger
+          end;
+          !intern_names.(c) <- s;
+          incr intern_n;
+          Hashtbl.add intern_tbl s c (* domain-local: writes serialised on intern_mu *);
+          c)
+
+let decode c = !intern_names.(c)
+
+(* A per-conversion memo in front of the global table: repeated atoms in
+   one bag pay the mutex once. *)
+let memo_interner () =
+  let local = Hashtbl.create 64 in
+  fun s ->
+    match Hashtbl.find_opt local s with
+    | Some c -> c
+    | None ->
+        let c = intern s in
+        Hashtbl.add local s c (* domain-local: fresh memo per conversion *);
+        c
+
+(* ------------------------------------------------------------------ *)
+(* Count columns: small machine ints with a sparse Bignat spill.  A slot
+   holds the multiplicity when >= 0; [spilled] marks an entry whose exact
+   value lives in the spill table.  A count is spilled iff it does not fit
+   an [int], so representation is a function of the value — equal counts
+   always have equal representations. *)
+
+type counts = { small : int array; spill : (int, Bignat.t) Hashtbl.t }
+
+let spilled = -1
+
+let cnt_make n = { small = Array.make n 0; spill = Hashtbl.create 0 }
+let cnt_ones n = { small = Array.make n 1; spill = Hashtbl.create 0 }
+
+let cnt_get c i =
+  let m = c.small.(i) in
+  if m >= 0 then Bignat.of_int m else Hashtbl.find c.spill i
+
+let cnt_set c i b =
+  match Bignat.to_int_opt b with
+  | Some m -> c.small.(i) <- m
+  | None ->
+      c.small.(i) <- spilled;
+      Hashtbl.replace c.spill i b (* domain-local: spill of a fresh counts value *)
+
+let cnt_hash c i =
+  let m = c.small.(i) in
+  if m >= 0 then m else Bignat.hash (Hashtbl.find c.spill i)
+
+let cnt_eq ca i cb j =
+  let a = ca.small.(i) and b = cb.small.(j) in
+  if a >= 0 then a = b
+  else b < 0 && Bignat.equal (Hashtbl.find ca.spill i) (Hashtbl.find cb.spill j)
+
+(* Mirrors Bignat.compare; a spilled count exceeds every small one. *)
+let cnt_compare ca i cb j =
+  let a = ca.small.(i) and b = cb.small.(j) in
+  if a >= 0 && b >= 0 then compare a b
+  else if a >= 0 then -1
+  else if b >= 0 then 1
+  else Bignat.compare (Hashtbl.find ca.spill i) (Hashtbl.find cb.spill j)
+
+let gather_counts (c : counts) (idx : int array) : counts =
+  let n = Array.length idx in
+  let small = Array.make n 0 in
+  let spill = Hashtbl.create 0 in
+  for k = 0 to n - 1 do
+    let i = idx.(k) in
+    let m = c.small.(i) in
+    small.(k) <- m;
+    if m < 0 then
+      Hashtbl.replace spill k (Hashtbl.find c.spill i) (* domain-local: fresh counts *)
+  done;
+  { small; spill }
+
+let concat_counts (parts : counts list) : counts =
+  match parts with
+  | [ c ] -> c
+  | _ ->
+      let total = List.fold_left (fun acc c -> acc + Array.length c.small) 0 parts in
+      let small = Array.make total 0 in
+      let spill = Hashtbl.create 0 in
+      let pos = ref 0 in
+      List.iter
+        (fun c ->
+          let n = Array.length c.small in
+          Array.blit c.small 0 small !pos n;
+          Hashtbl.iter
+            (fun i b ->
+              Hashtbl.replace spill (!pos + i) b (* domain-local: fresh counts *))
+            c.spill;
+          pos := !pos + n)
+        parts;
+      { small; spill }
+
+(* dst_small/dst_spill assembly slot: the write side of [cnt_set] for
+   arrays still under construction. *)
+let set_slot small spill k (b : Bignat.t) =
+  match Bignat.to_int_opt b with
+  | Some m -> small.(k) <- m
+  | None ->
+      small.(k) <- spilled;
+      Hashtbl.replace spill k b (* domain-local: fresh counts under construction *)
+
+(* Pairwise products cnt_a(ia.(k)) * cnt_b(ib.(k)), int fast path. *)
+let mul_counts ca ia cb ib : counts =
+  let n = Array.length ia in
+  assert (Array.length ib = n);
+  let small = Array.make n 0 in
+  let spill = Hashtbl.create 0 in
+  for k = 0 to n - 1 do
+    let i = ia.(k) and j = ib.(k) in
+    let a = ca.small.(i) and b = cb.small.(j) in
+    if a >= 0 && b >= 0 then begin
+      let m =
+        if a = 1 then b
+        else if b = 1 then a
+        else if a = 0 || b = 0 then 0
+        else if a <= max_int / b then a * b
+        else spilled (* overflow: recompute exactly below *)
+      in
+      if m >= 0 then small.(k) <- m
+      else set_slot small spill k (Bignat.mul (Bignat.of_int a) (Bignat.of_int b))
+    end
+    else set_slot small spill k (Bignat.mul (cnt_get ca i) (cnt_get cb j))
+  done;
+  { small; spill }
+
+(* ------------------------------------------------------------------ *)
+(* Columns.  Row counts are threaded by the owner ([t.rows] at top level,
+   the segment offsets inside a bag column): a [CTuple [||]] column cannot
+   recover its own length. *)
+
+type col =
+  | CAtom of int array  (** interned atom codes *)
+  | CTuple of col array  (** struct-of-arrays; all columns share the rows *)
+  | CBag of seg
+
+and seg = {
+  off : int array;  (** rows+1 monotone offsets into [elems] *)
+  elems : col;
+  ecnt : counts;  (** one multiplicity per element slot *)
+}
+
+type t = { rows : int; data : col; cnts : counts }
+
+let rows t = t.rows
+
+let max_count_digits t =
+  let msmall = ref 0 in
+  Array.iter (fun m -> if m > !msmall then msmall := m) t.cnts.small;
+  let d = ref (String.length (string_of_int !msmall)) in
+  Hashtbl.iter
+    (fun _ b ->
+      let db = Bignat.digits b in
+      if db > !d then d := db)
+    t.cnts.spill;
+  !d
+
+(* --- structural shape (for building and for merge compatibility) --- *)
+
+type shape = SAny | SAtom | STuple of shape list | SBag of shape
+
+let rec unify a b =
+  match (a, b) with
+  | SAny, s | s, SAny -> s
+  | SAtom, SAtom -> a
+  | STuple x, STuple y when List.length x = List.length y ->
+      STuple (List.map2 unify x y)
+  | SBag x, SBag y -> SBag (unify x y)
+  | _ -> unsupported "heterogeneous bag"
+
+let rec shape_of v =
+  match Value.view v with
+  | Value.Atom _ -> SAtom
+  | Value.Tuple vs -> STuple (List.map shape_of vs)
+  | Value.Bag pairs ->
+      SBag (List.fold_left (fun acc (w, _) -> unify acc (shape_of w)) SAny pairs)
+
+(* Same column representation: required before cross-vector merges so the
+   per-cell walks line up.  (Value-level equality still decides matches —
+   an all-empty-segments bag column compares equal to an empty segment of
+   any element shape by the length check.) *)
+let rec same_rep c1 c2 =
+  match (c1, c2) with
+  | CAtom _, CAtom _ -> true
+  | CTuple a, CTuple b ->
+      Array.length a = Array.length b
+      && (let k = Array.length a in
+          let rec go i = i = k || (same_rep a.(i) b.(i) && go (i + 1)) in
+          go 0)
+  | CBag a, CBag b -> same_rep a.elems b.elems
+  | _ -> false
+
+(* --- per-cell operations ------------------------------------------- *)
+
+let mix h k = (h * 0x01000193) lxor k
+
+(* Structural hash of one cell; equal cells (same or different vectors)
+   hash equal because atom codes are global and segments are canonical. *)
+let rec cell_hash (c : col) (i : int) : int =
+  match c with
+  | CAtom a -> (a.(i) + 1) * 0x9e3779b1 land max_int
+  | CTuple cs ->
+      let h = ref 0x811c9dc5 in
+      Array.iter (fun comp -> h := mix !h (cell_hash comp i)) cs;
+      !h land max_int
+  | CBag { off; elems; ecnt } ->
+      let h = ref 0x5bd1e995 in
+      for k = off.(i) to off.(i + 1) - 1 do
+        h := mix !h (cell_hash elems k);
+        h := mix !h (cnt_hash ecnt k)
+      done;
+      !h land max_int
+
+let rec cell_eq (c1 : col) (i : int) (c2 : col) (j : int) : bool =
+  match (c1, c2) with
+  | CAtom a, CAtom b -> a.(i) = b.(j)
+  | CTuple xs, CTuple ys ->
+      let k = Array.length xs in
+      Array.length ys = k
+      && (let rec go p = p = k || (cell_eq xs.(p) i ys.(p) j && go (p + 1)) in
+          go 0)
+  | CBag s1, CBag s2 ->
+      (* canonical segments: equality is an aligned walk *)
+      let b1 = s1.off.(i) and b2 = s2.off.(j) in
+      let l = s1.off.(i + 1) - b1 in
+      s2.off.(j + 1) - b2 = l
+      && (let rec go p =
+            p = l
+            || (cell_eq s1.elems (b1 + p) s2.elems (b2 + p)
+               && cnt_eq s1.ecnt (b1 + p) s2.ecnt (b2 + p)
+               && go (p + 1))
+          in
+          go 0)
+  | _ -> false
+
+(* Total order on cells of one column, mirroring [Value.compare] exactly
+   (atoms by name, tuples lexicographic, bags lexicographic on
+   (element, count) pairs with length as final tiebreak) — this is the
+   order [nest] sorts fresh segments into. *)
+let rec cell_compare (c : col) (i : int) (j : int) : int =
+  match c with
+  | CAtom a -> String.compare (decode a.(i)) (decode a.(j))
+  | CTuple cs ->
+      let k = Array.length cs in
+      let rec go p =
+        if p = k then 0
+        else
+          let cv = cell_compare cs.(p) i j in
+          if cv <> 0 then cv else go (p + 1)
+      in
+      go 0
+  | CBag { off; elems; ecnt } ->
+      let bi = off.(i) and bj = off.(j) in
+      let li = off.(i + 1) - bi and lj = off.(j + 1) - bj in
+      let rec go p =
+        if p = li && p = lj then 0
+        else if p = li then -1
+        else if p = lj then 1
+        else
+          let cv = cell_compare elems (bi + p) (bj + p) in
+          if cv <> 0 then cv
+          else
+            let cc = cnt_compare ecnt (bi + p) ecnt (bj + p) in
+            if cc <> 0 then cc else go (p + 1)
+      in
+      go 0
+
+(* --- gather / concat ----------------------------------------------- *)
+
+let rec gather_col (c : col) (idx : int array) : col =
+  match c with
+  | CAtom a -> CAtom (Array.map (fun i -> a.(i)) idx)
+  | CTuple cs -> CTuple (Array.map (fun comp -> gather_col comp idx) cs)
+  | CBag { off; elems; ecnt } ->
+      let n = Array.length idx in
+      let off' = Array.make (n + 1) 0 in
+      for k = 0 to n - 1 do
+        let i = idx.(k) in
+        off'.(k + 1) <- off'.(k) + off.(i + 1) - off.(i)
+      done;
+      let total = off'.(n) in
+      let sub = Array.make total 0 in
+      let pos = ref 0 in
+      for k = 0 to n - 1 do
+        let i = idx.(k) in
+        for p = off.(i) to off.(i + 1) - 1 do
+          sub.(!pos) <- p;
+          incr pos
+        done
+      done;
+      CBag { off = off'; elems = gather_col elems sub; ecnt = gather_counts ecnt sub }
+
+let rec concat_cols (parts : col list) : col =
+  match parts with
+  | [] -> CAtom [||]
+  | [ c ] -> c
+  | proto :: _ -> (
+      match proto with
+      | CAtom _ ->
+          CAtom
+            (Array.concat
+               (List.map
+                  (function CAtom a -> a | _ -> unsupported "concat: shape")
+                  parts))
+      | CTuple cs ->
+          let k = Array.length cs in
+          CTuple
+            (Array.init k (fun ci ->
+                 concat_cols
+                   (List.map
+                      (function
+                        | CTuple xs when Array.length xs = k -> xs.(ci)
+                        | _ -> unsupported "concat: shape")
+                      parts)))
+      | CBag _ ->
+          let segs =
+            List.map
+              (function CBag s -> s | _ -> unsupported "concat: shape")
+              parts
+          in
+          let nrows =
+            List.fold_left (fun acc s -> acc + Array.length s.off - 1) 0 segs
+          in
+          let off = Array.make (nrows + 1) 0 in
+          let row = ref 0 and shift = ref 0 in
+          List.iter
+            (fun s ->
+              let n = Array.length s.off - 1 in
+              for i = 1 to n do
+                off.(!row + i) <- !shift + s.off.(i)
+              done;
+              row := !row + n;
+              shift := !shift + s.off.(n))
+            segs;
+          CBag
+            {
+              off;
+              elems = concat_cols (List.map (fun s -> s.elems) segs);
+              ecnt = concat_counts (List.map (fun s -> s.ecnt) segs);
+            })
+
+let concat_vecs (parts : t list) : t =
+  match parts with
+  | [ v ] -> v
+  | _ ->
+      {
+        rows = List.fold_left (fun acc v -> acc + v.rows) 0 parts;
+        data = concat_cols (List.map (fun v -> v.data) parts);
+        cnts = concat_counts (List.map (fun v -> v.cnts) parts);
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Coalescing: group equal rows by cell hash, summing counts (machine
+   ints until a sum leaves [int] range).  Returns representative row
+   indices in first-seen order plus the merged counts, indexed by
+   representative slot. *)
+
+let distinct_rows (t : t) : int array * counts =
+  let n = t.rows in
+  let tbl : (int, int list) Hashtbl.t = Hashtbl.create ((2 * n) + 1) in
+  let reps = Array.make (max n 1) 0 in
+  let acc_small = Array.make (max n 1) 0 in
+  let acc_spill = Hashtbl.create 0 in
+  let nreps = ref 0 in
+  let add_into j i =
+    let a = acc_small.(j) and b = t.cnts.small.(i) in
+    if a >= 0 && b >= 0 && a + b >= 0 then acc_small.(j) <- a + b
+    else begin
+      let cur = if a >= 0 then Bignat.of_int a else Hashtbl.find acc_spill j in
+      acc_small.(j) <- spilled;
+      Hashtbl.replace acc_spill j (* domain-local: fresh accumulator *)
+        (Bignat.add cur (cnt_get t.cnts i))
+    end
+  in
+  for i = 0 to n - 1 do
+    let h = cell_hash t.data i in
+    let bucket = match Hashtbl.find_opt tbl h with Some b -> b | None -> [] in
+    match List.find_opt (fun j -> cell_eq t.data reps.(j) t.data i) bucket with
+    | Some j -> add_into j i
+    | None ->
+        let j = !nreps in
+        incr nreps;
+        reps.(j) <- i;
+        acc_small.(j) <- t.cnts.small.(i);
+        if t.cnts.small.(i) < 0 then
+          Hashtbl.replace acc_spill j (* domain-local: fresh accumulator *)
+            (Hashtbl.find t.cnts.spill i);
+        Hashtbl.replace tbl h (j :: bucket) (* domain-local: fresh table per call *)
+  done;
+  let m = !nreps in
+  (Array.sub reps 0 m, { small = Array.sub acc_small 0 m; spill = acc_spill })
+
+let coalesce t =
+  let reps, cnts = distinct_rows t in
+  { rows = Array.length reps; data = gather_col t.data reps; cnts }
+
+(* ------------------------------------------------------------------ *)
+(* Boundary conversions. *)
+
+(* Build a column for [vals] of the given unified shape. *)
+let rec build_shaped im shape (vals : Value.t array) (n : int) : col =
+  match shape with
+  | SAny -> CAtom [||] (* only reachable with n = 0 *)
+  | SAtom ->
+      CAtom
+        (Array.map
+           (fun v ->
+             match Value.view v with
+             | Value.Atom s -> im s
+             | _ -> unsupported "shape: expected atom")
+           vals)
+  | STuple shs ->
+      CTuple
+        (Array.of_list
+           (List.mapi
+              (fun ci sh ->
+                let comp =
+                  Array.map (fun v -> List.nth (Value.as_tuple v) ci) vals
+                in
+                build_shaped im sh comp n)
+              shs))
+  | SBag esh ->
+      let off = Array.make (n + 1) 0 in
+      Array.iteri
+        (fun i v ->
+          match Value.view v with
+          | Value.Bag pairs -> off.(i + 1) <- off.(i) + List.length pairs
+          | _ -> unsupported "shape: expected bag")
+        vals;
+      let total = off.(n) in
+      let evals = Array.make total Value.empty_bag in
+      let ecnt = cnt_make total in
+      Array.iteri
+        (fun i v ->
+          match Value.view v with
+          | Value.Bag pairs ->
+              List.iteri
+                (fun k (w, c) ->
+                  let p = off.(i) + k in
+                  evals.(p) <- w;
+                  cnt_set ecnt p c)
+                pairs
+          | _ -> assert false)
+        vals;
+      CBag { off; elems = build_shaped im esh evals total; ecnt }
+
+let of_value v =
+  Fault.inject alloc_site;
+  match Value.view v with
+  | Value.Bag pairs ->
+      let n = List.length pairs in
+      let vals = Array.make (max n 1) Value.empty_bag in
+      let cnts = cnt_make n in
+      List.iteri
+        (fun i (w, c) ->
+          vals.(i) <- w;
+          cnt_set cnts i c)
+        pairs;
+      let vals = if n = Array.length vals then vals else Array.sub vals 0 n in
+      let shape =
+        Array.fold_left (fun acc w -> unify acc (shape_of w)) SAny vals
+      in
+      { rows = n; data = build_shaped (memo_interner ()) shape vals n; cnts }
+  | _ -> unsupported "of_value: not a bag"
+
+(* Decode one cell back to a boxed value.  [cache] maps atom codes to their
+   (hash-tagged) Value so repeated atoms share one allocation; segments are
+   canonical by invariant, so the trusted constructor applies. *)
+let rec cell_value cache (c : col) (i : int) : Value.t =
+  match c with
+  | CAtom a -> (
+      let code = a.(i) in
+      match Hashtbl.find_opt cache code with
+      | Some v -> v
+      | None ->
+          let v = Value.atom (decode code) in
+          Hashtbl.add cache code v (* domain-local: fresh decode cache *);
+          v)
+  | CTuple cs ->
+      Value.tuple (Array.to_list (Array.map (fun comp -> cell_value cache comp i) cs))
+  | CBag { off; elems; ecnt } ->
+      Value.of_sorted_assoc
+        (List.init
+           (off.(i + 1) - off.(i))
+           (fun k ->
+             let p = off.(i) + k in
+             (cell_value cache elems p, cnt_get ecnt p)))
+
+let to_value t =
+  let reps, cnts = distinct_rows t in
+  let cache = Hashtbl.create 64 in
+  Value.bag_of_assoc
+    (List.init (Array.length reps) (fun j ->
+         (cell_value cache t.data reps.(j), cnt_get cnts j)))
+
+(* ------------------------------------------------------------------ *)
+(* Scalar programs (vectorized MAP bodies / σ operands). *)
+
+type scalar =
+  | SRow
+  | SField of int * scalar
+  | SConst of Value.t
+  | SRecord of scalar list
+  | SOnes of string * scalar
+
+(* Replicate a closed value across [n] rows. *)
+let broadcast v n : col =
+  let vals = Array.make (max n 1) v in
+  let vals = if n = Array.length vals then vals else Array.sub vals 0 n in
+  let shape = if n = 0 then SAny else shape_of v in
+  build_shaped (memo_interner ()) shape vals n
+
+(* Per-row segment cardinality as a one-element bag of <atom> — the
+   vectorized [ones] aggregate.  Sums stay machine ints until they leave
+   [int] range. *)
+let ones_col code ({ off; elems = _; ecnt } : seg) (nrows : int) : col =
+  assert (Array.length off = nrows + 1);
+  let sum_small = Array.make (max nrows 1) 0 in
+  let sum_spill = Hashtbl.create 0 in
+  for i = 0 to nrows - 1 do
+    for k = off.(i) to off.(i + 1) - 1 do
+      let a = sum_small.(i) and b = ecnt.small.(k) in
+      if a >= 0 && b >= 0 && a + b >= 0 then sum_small.(i) <- a + b
+      else begin
+        let cur =
+          if a >= 0 then Bignat.of_int a else Hashtbl.find sum_spill i
+        in
+        sum_small.(i) <- spilled;
+        Hashtbl.replace sum_spill i (* domain-local: fresh accumulator *)
+          (Bignat.add cur (cnt_get ecnt k))
+      end
+    done
+  done;
+  let off' = Array.make (nrows + 1) 0 in
+  let m = ref 0 in
+  for i = 0 to nrows - 1 do
+    if sum_small.(i) <> 0 then incr m;
+    off'.(i + 1) <- !m
+  done;
+  let m = !m in
+  let small = Array.make m 0 in
+  let spill = Hashtbl.create 0 in
+  let p = ref 0 in
+  for i = 0 to nrows - 1 do
+    if sum_small.(i) <> 0 then begin
+      small.(!p) <- sum_small.(i);
+      if sum_small.(i) < 0 then
+        Hashtbl.replace spill !p (* domain-local: fresh counts *)
+          (Hashtbl.find sum_spill i);
+      incr p
+    end
+  done;
+  CBag
+    {
+      off = off';
+      elems = CTuple [| CAtom (Array.make m code) |];
+      ecnt = { small; spill };
+    }
+
+let rec eval_scalar (t : t) (s : scalar) : col =
+  match s with
+  | SRow -> t.data
+  | SField (i, s') -> (
+      match eval_scalar t s' with
+      | CTuple cs when i >= 1 && i <= Array.length cs -> cs.(i - 1)
+      | _ -> unsupported "projection out of range")
+  | SConst v -> broadcast v t.rows
+  | SRecord ss -> CTuple (Array.of_list (List.map (eval_scalar t) ss))
+  | SOnes (name, s') -> (
+      match eval_scalar t s' with
+      | CBag seg -> ones_col (intern name) seg t.rows
+      | _ -> unsupported "ones over a non-bag column")
+
+(* ------------------------------------------------------------------ *)
+(* Kernels. *)
+
+(* Re-raise a captured task exception (kernels are pure, so the first
+   error is equivalent to the sequential one). *)
+let pool_run pool tasks =
+  List.map (function Ok v -> v | Error e -> raise e) (Pool.run pool tasks)
+
+(* At most [k] contiguous [lo, hi) ranges covering [0, n). *)
+let ranges k n =
+  if n <= 0 then []
+  else begin
+    let k = max 1 (min k n) in
+    let q = n / k and r = n mod k in
+    let rec go lo i acc =
+      if i = k then List.rev acc
+      else
+        let len = q + if i < r then 1 else 0 in
+        go (lo + len) (i + 1) ((lo, lo + len) :: acc)
+    in
+    go 0 0 []
+  end
+
+let tuple_cols = function
+  | CTuple cs -> cs
+  | _ -> unsupported "not a bag of tuples"
+
+let expected_product_rows a b = Value.sat_mul a.rows b.rows
+
+(* Cartesian product: two index vectors in nested-loop order, one gather
+   per column, counts multiplied pairwise.  Chunks cover contiguous outer
+   ranges, so the parts concatenate in sequential order. *)
+let product ?pool a b =
+  Fault.inject alloc_site;
+  if expected_product_rows a b = max_int then
+    unsupported "product: expected rows exceed int range";
+  let acols = tuple_cols a.data and bcols = tuple_cols b.data in
+  let rb = b.rows in
+  (* Block fast path for all-atom operands: a left column repeats each
+     cell [rb] times ([Array.fill] per outer row) and a right column
+     tiles whole-column copies ([Array.blit] per outer row) — straight
+     memset/memcpy instead of two index vectors plus per-cell gathers. *)
+  let is_atom = function CAtom _ -> true | _ -> false in
+  let all_atoms =
+    Array.for_all is_atom acols && Array.for_all is_atom bcols
+  in
+  let atom_cells = function CAtom xs -> xs | _ -> assert false in
+  let fast_slice (lo, hi) =
+    let n = (hi - lo) * rb in
+    let left c =
+      let xa = atom_cells c in
+      let out = Array.make (max n 1) 0 in
+      for i = lo to hi - 1 do
+        Array.fill out ((i - lo) * rb) rb xa.(i)
+      done;
+      CAtom out
+    in
+    let right c =
+      let xb = atom_cells c in
+      let out = Array.make (max n 1) 0 in
+      for i = lo to hi - 1 do
+        Array.blit xb 0 out ((i - lo) * rb) rb
+      done;
+      CAtom out
+    in
+    (* Pairwise count products on the (i, j) grid, without index vectors:
+       a unit left count over a spill-free right block is one blit. *)
+    let small = Array.make (max n 1) 0 in
+    let spill = Hashtbl.create 0 in
+    let b_spill_free = Hashtbl.length b.cnts.spill = 0 in
+    let k = ref 0 in
+    for i = lo to hi - 1 do
+      let ai = a.cnts.small.(i) in
+      if ai = 1 && b_spill_free then begin
+        Array.blit b.cnts.small 0 small !k rb;
+        k := !k + rb
+      end
+      else
+        for j = 0 to rb - 1 do
+          let bj = b.cnts.small.(j) in
+          (if ai >= 0 && bj >= 0 then begin
+             let m =
+               if ai = 1 then bj
+               else if bj = 1 then ai
+               else if ai = 0 || bj = 0 then 0
+               else if ai <= max_int / bj then ai * bj
+               else spilled (* overflow: recompute exactly below *)
+             in
+             if m >= 0 then small.(!k) <- m
+             else
+               set_slot small spill !k
+                 (Bignat.mul (Bignat.of_int ai) (Bignat.of_int bj))
+           end
+           else
+             set_slot small spill !k
+               (Bignat.mul (cnt_get a.cnts i) (cnt_get b.cnts j)));
+          incr k
+        done
+    done;
+    {
+      rows = n;
+      data = CTuple (Array.append (Array.map left acols) (Array.map right bcols));
+      cnts = { small; spill };
+    }
+  in
+  let slow_slice (lo, hi) =
+    let n = (hi - lo) * rb in
+    let ia = Array.make (max n 1) 0 and ib = Array.make (max n 1) 0 in
+    (* bounds: k counts lo*rb..hi*rb-1 rebased to 0..n-1; both arrays have
+       at least n slots by construction three lines up *)
+    let k = ref 0 in
+    for i = lo to hi - 1 do
+      for j = 0 to rb - 1 do
+        Array.unsafe_set ia !k i; (* bounds: !k < n, see loop note above *)
+        Array.unsafe_set ib !k j; (* bounds: !k < n, same index *)
+        incr k
+      done
+    done;
+    assert (!k = n);
+    let ia = if n = Array.length ia then ia else Array.sub ia 0 n in
+    let ib = if n = Array.length ib then ib else Array.sub ib 0 n in
+    {
+      rows = n;
+      data =
+        CTuple
+          (Array.append
+             (Array.map (fun c -> gather_col c ia) acols)
+             (Array.map (fun c -> gather_col c ib) bcols));
+      cnts = mul_counts a.cnts ia b.cnts ib;
+    }
+  in
+  let slice r = if all_atoms then fast_slice r else slow_slice r in
+  match pool with
+  | Some p
+    when Pool.jobs p > 1 && a.rows >= 2
+         && expected_product_rows a b >= Pool.chunk_min p ->
+      let parts =
+        pool_run p
+          (List.map (fun r () -> slice r) (ranges (4 * Pool.jobs p) a.rows))
+      in
+      concat_vecs parts
+  | _ -> slice (0, a.rows)
+
+let map_scalar s t =
+  Fault.inject alloc_site;
+  { rows = t.rows; data = eval_scalar t s; cnts = t.cnts }
+
+(* Kept row indices of [lo, hi) where the two operand columns agree.  The
+   atom/atom case is two-pass — count, then fill an exactly-sized array —
+   because selections are usually sparse and a [hi - lo]-slot scratch
+   array would be a large major-heap allocation per kernel call. *)
+let select_keep (cl : col) (cr : col) lo hi : int array =
+  match (cl, cr) with
+  | CAtom xa, CAtom xb ->
+      assert (hi <= Array.length xa && hi <= Array.length xb && lo >= 0);
+      let n = ref 0 in
+      for i = lo to hi - 1 do
+        if Array.unsafe_get xa i = Array.unsafe_get xb i (* bounds: lo <= i < hi <= length xa, xb by the assertion above *)
+        then incr n
+      done;
+      let keep = Array.make (max !n 1) 0 in
+      let k = ref 0 in
+      for i = lo to hi - 1 do
+        if Array.unsafe_get xa i = Array.unsafe_get xb i (* bounds: i as above *)
+        then begin
+          Array.unsafe_set keep !k i; (* bounds: !k < n, both passes see the same rows *)
+          incr k
+        end
+      done;
+      if !n = 0 then [||] else keep
+  | _ ->
+      let keep = Array.make (max (hi - lo) 1) 0 in
+      let k = ref 0 in
+      for i = lo to hi - 1 do
+        if cell_eq cl i cr i then begin
+          keep.(!k) <- i;
+          incr k
+        end
+      done;
+      Array.sub keep 0 !k
+
+let select_scalar ?pool l r t =
+  Fault.inject alloc_site;
+  let cl = eval_scalar t l and cr = eval_scalar t r in
+  let keep =
+    match pool with
+    | Some p when Pool.jobs p > 1 && t.rows >= Pool.chunk_min p ->
+        Array.concat
+          (pool_run p
+             (List.map
+                (fun (lo, hi) () -> select_keep cl cr lo hi)
+                (ranges (4 * Pool.jobs p) t.rows)))
+    | _ -> select_keep cl cr 0 t.rows
+  in
+  { rows = Array.length keep; data = gather_col t.data keep; cnts = gather_counts t.cnts keep }
+
+let union_add a b =
+  Fault.inject alloc_site;
+  if a.rows = 0 then b
+  else if b.rows = 0 then a
+  else if not (same_rep a.data b.data) then unsupported "union: shape mismatch"
+  else concat_vecs [ a; b ]
+
+(* Generic count merge over the distinct supports of both sides (diff,
+   intersection, maximum union).  Matched rows take f(ca, cb); unmatched
+   a-rows take f(ca, 0) and unmatched b-rows f(0, cb); zero results are
+   dropped.  Output counts go through Bignat (these kernels run on
+   post-coalesce supports, not on the hot row path). *)
+let merge_op ~f a b =
+  Fault.inject alloc_site;
+  if a.rows > 0 && b.rows > 0 && not (same_rep a.data b.data) then
+    unsupported "merge: shape mismatch";
+  let ra, ca = distinct_rows a and rb, cb = distinct_rows b in
+  let na = Array.length ra and nb = Array.length rb in
+  let btbl : (int, int list) Hashtbl.t = Hashtbl.create ((2 * nb) + 1) in
+  for jb = 0 to nb - 1 do
+    let h = cell_hash b.data rb.(jb) in
+    let bucket = match Hashtbl.find_opt btbl h with Some l -> l | None -> [] in
+    Hashtbl.replace btbl h (jb :: bucket) (* domain-local: fresh table per call *)
+  done;
+  let matched = Array.make (max nb 1) false in
+  let keep_a = Array.make (max na 1) 0 in
+  let cnt_a = Array.make (max na 1) Bignat.zero in
+  let na' = ref 0 in
+  for j = 0 to na - 1 do
+    let i = ra.(j) in
+    let mb =
+      match Hashtbl.find_opt btbl (cell_hash a.data i) with
+      | None -> None
+      | Some bucket ->
+          List.find_opt (fun jb -> cell_eq a.data i b.data rb.(jb)) bucket
+    in
+    let cbv =
+      match mb with
+      | Some jb ->
+          matched.(jb) <- true;
+          cnt_get cb jb
+      | None -> Bignat.zero
+    in
+    let c = f (cnt_get ca j) cbv in
+    if not (Bignat.is_zero c) then begin
+      keep_a.(!na') <- i;
+      cnt_a.(!na') <- c;
+      incr na'
+    end
+  done;
+  let keep_b = Array.make (max nb 1) 0 in
+  let cnt_b = Array.make (max nb 1) Bignat.zero in
+  let nb' = ref 0 in
+  for jb = 0 to nb - 1 do
+    if not matched.(jb) then begin
+      let c = f Bignat.zero (cnt_get cb jb) in
+      if not (Bignat.is_zero c) then begin
+        keep_b.(!nb') <- rb.(jb);
+        cnt_b.(!nb') <- c;
+        incr nb'
+      end
+    end
+  done;
+  let part src keep cnt n =
+    let keep = Array.sub keep 0 n in
+    let cnts = cnt_make n in
+    for k = 0 to n - 1 do
+      cnt_set cnts k cnt.(k)
+    done;
+    { rows = n; data = gather_col src.data keep; cnts }
+  in
+  let pa = part a keep_a cnt_a !na' and pb = part b keep_b cnt_b !nb' in
+  if pa.rows = 0 then pb
+  else if pb.rows = 0 then pa
+  else concat_vecs [ pa; pb ]
+
+let monus a b = merge_op ~f:Bignat.monus a b
+let inter a b = merge_op ~f:Bignat.min a b
+let union_max a b = merge_op ~f:Bignat.max a b
+
+let dedup t =
+  Fault.inject alloc_site;
+  let reps, _ = distinct_rows t in
+  let n = Array.length reps in
+  { rows = n; data = gather_col t.data reps; cnts = cnt_ones n }
+
+(* Group by the key attributes (in the order given, mirroring Bag.nest):
+   each group becomes one output row carrying the key columns plus a
+   canonical segment of the rest-tuples.  The fresh segments are coalesced
+   and sorted into Value order — the invariant every other kernel's cell
+   walks depend on. *)
+let nest ixs t =
+  Fault.inject alloc_site;
+  match t.data with
+  | CTuple cs ->
+      let nattr = Array.length cs in
+      let ixa = Array.of_list ixs in
+      Array.iter
+        (fun i -> if i < 1 || i > nattr then unsupported "nest: attribute out of range")
+        ixa;
+      let keycols = Array.map (fun i -> cs.(i - 1)) ixa in
+      let kept = Array.make (max nattr 1) false in
+      Array.iter (fun i -> kept.(i - 1) <- true) ixa;
+      let restcols =
+        let acc = ref [] in
+        for j = nattr - 1 downto 0 do
+          if not kept.(j) then acc := cs.(j) :: !acc
+        done;
+        Array.of_list !acc
+      in
+      let n = t.rows in
+      let tbl : (int, int list) Hashtbl.t = Hashtbl.create ((2 * n) + 1) in
+      let grp = Array.make (max n 1) 0 in
+      let reps = Array.make (max n 1) 0 in
+      let ng = ref 0 in
+      let key_hash i =
+        Array.fold_left (fun h c -> mix h (cell_hash c i)) 0x811c9dc5 keycols
+        land max_int
+      in
+      let key_eq i j =
+        Array.for_all (fun c -> cell_eq c i c j) keycols
+      in
+      for i = 0 to n - 1 do
+        let h = key_hash i in
+        let bucket =
+          match Hashtbl.find_opt tbl h with Some b -> b | None -> []
+        in
+        match List.find_opt (fun g -> key_eq reps.(g) i) bucket with
+        | Some g -> grp.(i) <- g
+        | None ->
+            let g = !ng in
+            incr ng;
+            reps.(g) <- i;
+            grp.(i) <- g;
+            Hashtbl.replace tbl h (g :: bucket) (* domain-local: fresh table per call *)
+      done;
+      let ng = !ng in
+      let sizes = Array.make (max ng 1) 0 in
+      for i = 0 to n - 1 do
+        sizes.(grp.(i)) <- sizes.(grp.(i)) + 1
+      done;
+      let members = Array.init ng (fun g -> Array.make sizes.(g) 0) in
+      let fill = Array.make (max ng 1) 0 in
+      for i = 0 to n - 1 do
+        let g = grp.(i) in
+        members.(g).(fill.(g)) <- i;
+        fill.(g) <- fill.(g) + 1
+      done;
+      let segs =
+        Array.map
+          (fun midx ->
+            let inner =
+              {
+                rows = Array.length midx;
+                data = CTuple (Array.map (fun c -> gather_col c midx) restcols);
+                cnts = gather_counts t.cnts midx;
+              }
+            in
+            let ireps, icnts = distinct_rows inner in
+            let order = Array.init (Array.length ireps) (fun k -> k) in
+            Array.sort
+              (fun x y -> cell_compare inner.data ireps.(x) ireps.(y))
+              order;
+            let rows_sorted = Array.map (fun k -> ireps.(k)) order in
+            ( Array.length rows_sorted,
+              gather_col inner.data rows_sorted,
+              gather_counts icnts order ))
+          members
+      in
+      let off = Array.make (ng + 1) 0 in
+      Array.iteri (fun g (len, _, _) -> off.(g + 1) <- off.(g) + len) segs;
+      let elems = concat_cols (Array.to_list (Array.map (fun (_, c, _) -> c) segs)) in
+      let ecnt = concat_counts (Array.to_list (Array.map (fun (_, _, c) -> c) segs)) in
+      let gidx = Array.sub reps 0 ng in
+      {
+        rows = ng;
+        data =
+          CTuple
+            (Array.append
+               (Array.map (fun c -> gather_col c gidx) keycols)
+               [| CBag { off; elems; ecnt } |]);
+        cnts = cnt_ones ng;
+      }
+  | _ -> unsupported "nest: not a bag of tuples"
+
+(* Source row of every element slot of a segment column. *)
+let seg_src_rows (off : int array) nrows total : int array =
+  assert (Array.length off = nrows + 1 && off.(nrows) = total);
+  let src = Array.make (max total 1) 0 in
+  for i = 0 to nrows - 1 do
+    for k = off.(i) to off.(i + 1) - 1 do
+      src.(k) <- i
+    done
+  done;
+  if total = Array.length src then src else Array.sub src 0 total
+
+let identity n = Array.init n (fun i -> i)
+
+(* Unnest: splice the members of bag attribute [ix] in place.  Element
+   order inside segments is already row-major, so the output row index IS
+   the element slot — only the sibling attributes need gathering. *)
+let unnest ix t =
+  Fault.inject alloc_site;
+  match t.data with
+  | CTuple cs when ix >= 1 && ix <= Array.length cs -> (
+      match cs.(ix - 1) with
+      | CBag { off; elems; ecnt } ->
+          let total = off.(t.rows) in
+          let src = seg_src_rows off t.rows total in
+          let mids =
+            match elems with
+            | CTuple ecols -> ecols
+            | _ when total = 0 -> [||]
+            | _ -> unsupported "unnest: members are not tuples"
+          in
+          let gath c = gather_col c src in
+          let prefix = Array.map gath (Array.sub cs 0 (ix - 1)) in
+          let suffix =
+            Array.map gath (Array.sub cs ix (Array.length cs - ix))
+          in
+          {
+            rows = total;
+            data = CTuple (Array.concat [ prefix; mids; suffix ]);
+            cnts = mul_counts t.cnts src ecnt (identity total);
+          }
+      | _ -> unsupported "unnest: attribute is not a bag column")
+  | CTuple _ -> unsupported "unnest: attribute out of range"
+  | _ -> unsupported "unnest: not a bag of tuples"
+
+(* Destroy: flatten one level of bag nesting, multiplying outer counts
+   into the member counts. *)
+let destroy t =
+  Fault.inject alloc_site;
+  match t.data with
+  | CBag { off; elems; ecnt } ->
+      let total = off.(t.rows) in
+      let src = seg_src_rows off t.rows total in
+      {
+        rows = total;
+        data = elems;
+        cnts = mul_counts t.cnts src ecnt (identity total);
+      }
+  | _ -> unsupported "destroy: not a bag of bags"

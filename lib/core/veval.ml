@@ -1,0 +1,660 @@
+(** The vectorized execution engine.
+
+    Compilation mirrors {!Eval}: every AST node becomes a closure with a
+    stable preorder id (the attribution key shared with the governor and
+    the telemetry span tree), charged one unit of fuel per invocation plus
+    the materialised support of its result.  The difference is the value
+    representation: nodes exchange {e hybrid} values that are lazily
+    convertible between the boxed {!Value.t} world and the columnar
+    {!Vec.t} world, each direction memoised so a representation is built
+    at most once per node result.  Kernel-capable nodes run the {!Vec}
+    kernel when both operands convert; otherwise (or when a kernel raises
+    {!Vec.Unsupported} on an awkward shape) they demote to the exact tree
+    data path for that subtree — recorded in the execution plan as
+    [tree (fallback)] so coverage is visible in [balgi explain].
+
+    Budget parity: the support, count-digit, fixpoint and deadline
+    accounts are enforced on vec results too (support against the
+    coalesced row count, digits against the count column), so tight
+    budgets exhaust under either engine; only the fuel {e amounts} differ
+    because vec charges per row batch.  The steps == fuel trace invariant
+    is preserved: every unit charged lands in the innermost traced node's
+    cell exactly as in {!Eval}.
+
+    Parallelism lives {e inside} the kernels ({!Vec.product} /
+    {!Vec.select_scalar} chunk contiguous row ranges over the pool);
+    the compiled closures themselves run on the calling domain, so hybrid
+    values are never shared across domains and their memoising mutation
+    needs no locks. *)
+
+type engine = Tree | Vec
+
+let engine_to_string = function Tree -> "tree" | Vec -> "vec"
+
+let engine_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "tree" -> Some Tree
+  | "vec" -> Some Vec
+  | _ -> None
+
+let default_engine () =
+  match Sys.getenv_opt "BALG_ENGINE" with
+  | Some s -> ( match engine_of_string s with Some e -> e | None -> Tree)
+  | None -> Tree
+
+type plan = {
+  p_id : int;
+  p_op : string;
+  mutable p_engine : string;
+  mutable p_children : plan list;
+}
+
+let plan_to_string p =
+  let buf = Buffer.create 256 in
+  let rec go indent p =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%-14s [%s]\n" indent p.p_op p.p_engine);
+    List.iter (go (indent ^ "  ")) p.p_children
+  in
+  go "" p;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Hybrid values: a node result living in either representation, with
+   both conversion directions memoised.  States are domain-private (see
+   the module comment), so plain mutation suffices. *)
+
+type vec_state = VUnknown | VNo | VYes of Vec.t
+
+type hv = { mutable hval : Value.t option; mutable hvec : vec_state }
+
+let of_val v = { hval = Some v; hvec = VUnknown }
+let of_vec x = { hval = None; hvec = VYes x }
+
+let as_value h =
+  match h.hval with
+  | Some v -> v
+  | None ->
+      let v =
+        match h.hvec with VYes x -> Vec.to_value x | VNo | VUnknown -> assert false
+      in
+      h.hval <- Some v;
+      v
+
+(* [None] when the value does not fit the columnar layout; the verdict is
+   cached so a scalar or heterogeneous binding is probed only once. *)
+let as_vec h =
+  match h.hvec with
+  | VYes x -> Some x
+  | VNo -> None
+  | VUnknown ->
+      let r =
+        match h.hval with
+        | Some v when Value.is_bag v -> (
+            match Vec.of_value v with
+            | x -> VYes x
+            | exception Vec.Unsupported _ -> VNo)
+        | Some _ | None -> VNo
+      in
+      h.hvec <- r;
+      (match r with VYes x -> Some x | VNo | VUnknown -> None)
+
+module Env = Eval.Env
+
+type henv = hv Env.t
+
+let lift_env (env : Eval.env) : henv = Env.map of_val env
+
+(* ------------------------------------------------------------------ *)
+(* Governance: the same fuel / observation discipline as Eval, minus the
+   machinery this engine does not use (shards, memo tables). *)
+
+type state = {
+  budget : Budget.t;
+  meters : Eval.meters;
+  pool : Pool.t option;
+  mutable obs_cell : int ref;
+      (** fuel charged to the currently executing node, mirrored into the
+          trace end events exactly as in {!Eval} *)
+}
+
+type att = { id : int; op : string; sp : Telemetry.span option }
+
+(* Shared with Eval: one registered site, one chaos knob for both
+   engines' fuel-charge boundary ([Fault.register] is idempotent). *)
+let step_site = Fault.register "eval.step"
+
+let spend st att n =
+  if Fault.fire step_site then
+    Budget.exceeded st.budget Budget.Injected ~node:att.id
+      ~op:(Fault.name step_site)
+      ~spent:(Budget.fuel_spent st.budget) ~limit:0;
+  (match att.sp with
+  | Some sp -> Telemetry.add_steps sp n
+  | None -> ());
+  (* Mirror into the trace accumulator before [charge] can raise: the
+     charge that trips the account must still appear in exported steps. *)
+  st.obs_cell := !(st.obs_cell) + n;
+  Budget.charge st.budget ~node:att.id ~op:att.op n
+
+(* Boxed results: Eval's observation verbatim — one walk for support /
+   max count / cardinal, the per-value budget checks, fuel proportional
+   to the materialised support. *)
+let observe_value st att v =
+  let m = st.meters in
+  (match Value.view v with
+  | Value.Bag pairs ->
+      let support = ref 0 in
+      let mc = ref Bignat.zero in
+      let icard = ref 0 in
+      List.iter
+        (fun (_, c) ->
+          incr support;
+          if Bignat.compare c !mc > 0 then mc := c;
+          if !icard >= 0 then
+            icard :=
+              (match Bignat.to_int_opt c with
+              | Some n ->
+                  let s = !icard + n in
+                  if s < 0 then -1 else s
+              | None -> -1))
+        pairs;
+      let support = !support and mc = !mc in
+      if support > m.Eval.max_support_seen then m.Eval.max_support_seen <- support;
+      Budget.check_support st.budget ~node:att.id ~op:att.op support;
+      if Bignat.compare mc m.Eval.max_count_seen > 0 then begin
+        m.Eval.max_count_seen <- mc;
+        Budget.check_count_digits st.budget ~node:att.id ~op:att.op
+          (Bignat.digits mc)
+      end;
+      let card =
+        if !icard >= 0 then Bignat.of_int !icard else Value.cardinal v
+      in
+      if Bignat.compare card m.Eval.max_cardinal_seen > 0 then
+        m.Eval.max_cardinal_seen <- card;
+      let size = Value.size_tag v in
+      Budget.check_size st.budget ~node:att.id ~op:att.op size;
+      (match att.sp with
+      | Some sp -> Telemetry.record_result sp ~support ~size
+      | None -> ());
+      spend st att support
+  | Value.Atom _ | Value.Tuple _ -> (
+      let size = Value.size_tag v in
+      Budget.check_size st.budget ~node:att.id ~op:att.op size;
+      match att.sp with
+      | Some sp -> Telemetry.record_result sp ~support:0 ~size
+      | None -> ()))
+
+(* Columnar results: the row count bounds the distinct support from
+   above, so it stands in for the support account; when it alone would
+   trip the limit the vector is coalesced first and the exact distinct
+   count re-checked, keeping verdicts aligned with the tree engine.  The
+   count-digit account is enforced against the count column; the
+   encoded-size account is not (no cheap columnar analogue) — size-bound
+   workloads run the tree engine. *)
+let observe_vec st att x =
+  let m = st.meters in
+  let lim = (Budget.limits st.budget).Budget.max_support in
+  let x = if Vec.rows x > lim then Vec.coalesce x else x in
+  let support = Vec.rows x in
+  if support > m.Eval.max_support_seen then m.Eval.max_support_seen <- support;
+  Budget.check_support st.budget ~node:att.id ~op:att.op support;
+  if support > 0 then
+    Budget.check_count_digits st.budget ~node:att.id ~op:att.op
+      (Vec.max_count_digits x);
+  (match att.sp with
+  | Some sp -> Telemetry.record_result sp ~support ~size:0
+  | None -> ());
+  spend st att support;
+  x
+
+let observe_hv st att h =
+  st.meters.Eval.ops <- st.meters.Eval.ops + 1;
+  (match (h.hval, h.hvec) with
+  | None, VYes x ->
+      (* vec-resident result: observe columns, keep any coalescing *)
+      h.hvec <- VYes (observe_vec st att x)
+  | _ -> observe_value st att (as_value h));
+  h
+
+(* Eval's pre-materialisation escapes, verbatim. *)
+let too_large st att =
+  let limit = (Budget.limits st.budget).Budget.max_support in
+  Budget.exceeded st.budget Budget.Support ~node:att.id ~op:att.op
+    ~spent:max_int ~limit
+
+let power_guard st att b =
+  let n = Bag.expected_subbags b in
+  if n = max_int then too_large st att;
+  Budget.check_deadline st.budget ~node:att.id ~op:att.op;
+  Budget.check_support st.budget ~node:att.id ~op:att.op n;
+  spend st att n
+
+(* ------------------------------------------------------------------ *)
+(* Scalar-program extraction: the MAP/σ bodies the kernels can run
+   column-wise.  Anything else — references to outer variables, nested
+   binders, bag operators — returns [None] and the node keeps the tree
+   data path. *)
+
+let rec scalar_of x (e : Expr.t) : Vec.scalar option =
+  match e with
+  | Expr.Var y when y = x -> Some Vec.SRow
+  | Expr.Proj (i, e') -> (
+      match scalar_of x e' with
+      | Some s -> Some (Vec.SField (i, s))
+      | None -> None)
+  | Expr.Lit (v, _) -> Some (Vec.SConst v)
+  | Expr.Tuple es ->
+      let ss = List.filter_map (scalar_of x) es in
+      if List.length ss = List.length es then Some (Vec.SRecord ss) else None
+  (* MAP λy.<a> e' — the [ones] idiom behind the derived aggregates:
+     the cardinality of e' as an integer-bag, one array sum per row. *)
+  | Expr.Map (_, Expr.Tuple [ Expr.Lit (a, _) ], e') -> (
+      match (Value.view a, scalar_of x e') with
+      | Value.Atom name, Some s -> Some (Vec.SOnes (name, s))
+      | _ -> None)
+  | _ -> None
+
+(* A pure positional projection <α_{i1}(x), ...> — worth its own label so
+   plans distinguish the proj kernel from a general map. *)
+let is_proj = function
+  | Vec.SRecord ss ->
+      ss <> []
+      && List.for_all
+           (function Vec.SField (_, Vec.SRow) -> true | _ -> false)
+           ss
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Compilation. *)
+
+type compiled = state -> henv -> hv
+
+type reg = { ctr : int ref; telemetry : Telemetry.t option }
+
+let demote pn = pn.p_engine <- "tree (fallback)"
+
+let rec compile reg ~parent e : compiled * plan =
+  incr reg.ctr;
+  let id = !(reg.ctr) in
+  let op = Expr.op_name e in
+  let sp =
+    match reg.telemetry with
+    | Some t -> Some (Telemetry.register t ~parent ~id ~op)
+    | None -> None
+  in
+  let att = { id; op; sp } in
+  let pn = { p_id = id; p_op = op; p_engine = "tree"; p_children = [] } in
+  let kids = ref [] in
+  let sub e =
+    let c, k = compile reg ~parent:id e in
+    kids := k :: !kids;
+    c
+  in
+  let raw = compile_node ~att ~pn ~sub e in
+  pn.p_children <- List.rev !kids;
+  let invoke =
+    match sp with
+    | None ->
+        fun st env ->
+          spend st att 1;
+          observe_hv st att (raw st env)
+    | Some sp ->
+        (* Inclusive wall time and allocation per span, as in Eval. *)
+        fun st env ->
+          spend st att 1;
+          sp.Telemetry.invocations <- sp.Telemetry.invocations + 1;
+          let t0 = Unix.gettimeofday () in
+          let a0 = Gc.allocated_bytes () in
+          let finish () =
+            sp.Telemetry.time_s <-
+              sp.Telemetry.time_s +. (Unix.gettimeofday () -. t0);
+            sp.Telemetry.alloc_words <-
+              sp.Telemetry.alloc_words
+              +. ((Gc.allocated_bytes () -. a0) /. float (Sys.word_size / 8))
+          in
+          (match raw st env with
+          | h ->
+              finish ();
+              observe_hv st att h
+          | exception exn ->
+              finish ();
+              raise exn)
+  in
+  (* Per-invocation trace events with a fresh self-steps cell, balanced on
+     the exception path — Eval's discipline, so a traced vec run satisfies
+     check_trace.sh's steps == fuel reconciliation. *)
+  let invoke st env =
+    if not (Obs.on ()) then invoke st env
+    else begin
+      if Obs.on () then Obs.emit Obs.B ~cat:"eval" ~name:op ~args:[ ("node", Obs.Int id) ];
+      let saved = st.obs_cell in
+      let cell = ref 0 in
+      st.obs_cell <- cell;
+      let close () =
+        st.obs_cell <- saved;
+        if Obs.on () then Obs.emit Obs.E ~cat:"eval" ~name:op ~args:[ ("node", Obs.Int id); ("steps", Obs.Int !cell) ]
+      in
+      match invoke st env with
+      | h ->
+          close ();
+          h
+      | exception exn ->
+          close ();
+          raise exn
+    end
+  in
+  (invoke, pn)
+
+and compile_node ~att ~pn ~sub (e : Expr.t) : compiled =
+  let error fmt =
+    Format.kasprintf (fun s -> raise (Eval.Eval_error s)) fmt
+  in
+  (* Binary bag operators: sequential right-then-left operand order (the
+     tree engine's historical order), vec kernel when both operands
+     convert, sticky runtime demotion otherwise. *)
+  let vbin label a b vkernel tkernel =
+    let ca = sub a in
+    let cb = sub b in
+    pn.p_engine <- label;
+    fun st env ->
+      let hb = cb st env in
+      let ha = ca st env in
+      match (as_vec ha, as_vec hb) with
+      | Some xa, Some xb -> (
+          match vkernel st xa xb with
+          | x -> of_vec x
+          | exception Vec.Unsupported _ ->
+              demote pn;
+              of_val (tkernel st (as_value ha) (as_value hb)))
+      | _ ->
+          demote pn;
+          of_val (tkernel st (as_value ha) (as_value hb))
+  in
+  (* Unary bag operators, same shape. *)
+  let vun label e0 vkernel tkernel =
+    let c = sub e0 in
+    pn.p_engine <- label;
+    fun st env ->
+      let h = c st env in
+      match as_vec h with
+      | Some x -> (
+          match vkernel st x with
+          | r -> of_vec r
+          | exception Vec.Unsupported _ ->
+              demote pn;
+              of_val (tkernel (as_value h)))
+      | None ->
+          demote pn;
+          of_val (tkernel (as_value h))
+  in
+  match e with
+  | Expr.Var x -> (
+      fun _st env ->
+        match Env.find_opt x env with
+        | Some h -> h
+        | None -> error "unbound variable %s" x)
+  | Expr.Lit (v, _) ->
+      (* One hybrid cell per compiled literal: its columnar conversion is
+         memoised across invocations of this run. *)
+      let h = of_val v in
+      fun _st _env -> h
+  | Expr.Tuple es ->
+      let cs = List.map sub es in
+      fun st env ->
+        of_val (Value.tuple (List.map (fun c -> as_value (c st env)) cs))
+  | Expr.Proj (i, e0) -> (
+      let c = sub e0 in
+      fun st env ->
+        let v = as_value (c st env) in
+        match Value.view v with
+        | Value.Tuple vs when i >= 1 && i <= List.length vs ->
+            of_val (List.nth vs (i - 1))
+        | _ -> error "cannot project attribute %d of %s" i (Value.to_string v))
+  | Expr.Sing e0 ->
+      let c = sub e0 in
+      fun st env ->
+        of_val (Value.of_sorted_assoc [ (as_value (c st env), Bignat.one) ])
+  | Expr.UnionAdd (a, b) ->
+      vbin "vec:union_add" a b
+        (fun _st xa xb -> Vec.union_add xa xb)
+        (fun _st va vb -> Bag.union_add va vb)
+  | Expr.Diff (a, b) ->
+      vbin "vec:monus" a b
+        (fun _st xa xb -> Vec.monus xa xb)
+        (fun _st va vb -> Bag.diff va vb)
+  | Expr.UnionMax (a, b) ->
+      vbin "vec:union_max" a b
+        (fun _st xa xb -> Vec.union_max xa xb)
+        (fun _st va vb -> Bag.union_max va vb)
+  | Expr.Inter (a, b) ->
+      vbin "vec:inter" a b
+        (fun _st xa xb -> Vec.inter xa xb)
+        (fun _st va vb -> Bag.inter va vb)
+  | Expr.Product (a, b) ->
+      (* Pre-materialisation guard: charge and bound the expected row
+         count before the kernel allocates.  Duplicate rows inflate the
+         estimate, so coalesce first when the raw product of row counts
+         would trip the support account — the verdict then matches what
+         the tree engine would reach after materialising. *)
+      vbin "vec:product" a b
+        (fun st xa xb ->
+          let lim = (Budget.limits st.budget).Budget.max_support in
+          let xa, xb =
+            if Vec.expected_product_rows xa xb > lim then
+              (Vec.coalesce xa, Vec.coalesce xb)
+            else (xa, xb)
+          in
+          let n = Vec.expected_product_rows xa xb in
+          if n = max_int then too_large st att;
+          Budget.check_support st.budget ~node:att.id ~op:att.op n;
+          Vec.product ?pool:st.pool xa xb)
+        (fun st va vb -> Bag.product ?pool:st.pool va vb)
+  | Expr.Powerset e0 ->
+      let c = sub e0 in
+      fun st env ->
+        let b = as_value (c st env) in
+        power_guard st att b;
+        of_val (Bag.powerset b)
+  | Expr.Powerbag e0 ->
+      let c = sub e0 in
+      fun st env ->
+        let b = as_value (c st env) in
+        power_guard st att b;
+        of_val (Bag.powerbag b)
+  | Expr.Destroy e0 ->
+      vun "vec:destroy" e0 (fun _st x -> Vec.destroy x) Bag.destroy
+  | Expr.Map (x, body, e0) -> (
+      let cbody = sub body in
+      let c = sub e0 in
+      let tree_map st env h =
+        Bag.map
+          (fun v -> as_value (cbody st (Env.add x (of_val v) env)))
+          (as_value h)
+      in
+      match scalar_of x body with
+      | Some s ->
+          pn.p_engine <- (if is_proj s then "vec:proj" else "vec:map");
+          fun st env -> (
+            let h = c st env in
+            match as_vec h with
+            | Some xv -> (
+                match Vec.map_scalar s xv with
+                | r -> of_vec r
+                | exception Vec.Unsupported _ ->
+                    demote pn;
+                    of_val (tree_map st env h))
+            | None ->
+                demote pn;
+                of_val (tree_map st env h))
+      | None -> fun st env -> of_val (tree_map st env (c st env)))
+  | Expr.Select (x, l, r, e0) -> (
+      let cl = sub l in
+      let cr = sub r in
+      let c = sub e0 in
+      let tree_select st env h =
+        Bag.select
+          (fun v ->
+            let env' = Env.add x (of_val v) env in
+            Value.equal (as_value (cl st env')) (as_value (cr st env')))
+          (as_value h)
+      in
+      match (scalar_of x l, scalar_of x r) with
+      | Some sl, Some sr ->
+          pn.p_engine <- "vec:select";
+          fun st env -> (
+            let h = c st env in
+            match as_vec h with
+            | Some xv -> (
+                match Vec.select_scalar ?pool:st.pool sl sr xv with
+                | r -> of_vec r
+                | exception Vec.Unsupported _ ->
+                    demote pn;
+                    of_val (tree_select st env h))
+            | None ->
+                demote pn;
+                of_val (tree_select st env h))
+      | _ -> fun st env -> of_val (tree_select st env (c st env)))
+  | Expr.Dedup e0 -> vun "vec:dedup" e0 (fun _st x -> Vec.dedup x) Bag.dedup
+  | Expr.Nest (ixs, e0) ->
+      vun "vec:nest" e0 (fun _st x -> Vec.nest ixs x) (Bag.nest ixs)
+  | Expr.Unnest (i, e0) ->
+      vun "vec:unnest" e0 (fun _st x -> Vec.unnest i x) (Bag.unnest i)
+  | Expr.Let (x, e0, body) ->
+      let c = sub e0 in
+      let cbody = sub body in
+      fun st env -> cbody st (Env.add x (c st env) env)
+  | Expr.Fix (x, body, seed) ->
+      let cbody = sub body in
+      let cseed = sub seed in
+      fun st env ->
+        of_val
+          (iterate st att env ~x ~cbody ~bound:None
+             (as_value (cseed st env)))
+  | Expr.BFix (bound, x, body, seed) ->
+      let cbound = sub bound in
+      let cbody = sub body in
+      let cseed = sub seed in
+      fun st env ->
+        let b = as_value (cbound st env) in
+        of_val
+          (iterate st att env ~x ~cbody ~bound:(Some b)
+             (as_value (cseed st env)))
+
+(* Inflationary iteration on boxed iterates (the stability check needs
+   canonical values); the body itself still vectorizes internally. *)
+and iterate st att env ~x ~cbody ~bound current =
+  let clamp v = match bound with None -> v | Some b -> Bag.inter v b in
+  let rec go steps current =
+    Budget.check_fix_steps st.budget ~node:att.id ~op:att.op steps;
+    Budget.check_deadline st.budget ~node:att.id ~op:att.op;
+    let stepped = as_value (cbody st (Env.add x (of_val current) env)) in
+    let next = clamp (Bag.union_max stepped current) in
+    if Value.equal next current then current else go (steps + 1) next
+  in
+  go 0 (clamp current)
+
+(* ------------------------------------------------------------------ *)
+(* Entry points. *)
+
+let run_ids = Atomic.make 1
+
+let m_runs =
+  Metrics.counter Metrics.default "balg_veval_runs_total"
+    ~help:"Vectorized evaluations started"
+
+let m_ok =
+  Metrics.counter Metrics.default "balg_veval_ok_total"
+    ~help:"Vectorized evaluations that returned a value"
+
+let m_verdicts =
+  Metrics.counter Metrics.default "balg_veval_verdicts_total"
+    ~help:"Vectorized evaluations that ended in an exhaustion verdict"
+
+let m_fuel =
+  Metrics.histogram Metrics.default "balg_veval_fuel"
+    ~help:"Fuel spent per vectorized evaluation"
+
+let m_run_ns =
+  Metrics.histogram Metrics.default "balg_veval_run_ns"
+    ~help:"Wall time per vectorized evaluation in nanoseconds"
+
+let finish_run st t0 outcome_args =
+  Metrics.observe m_fuel (Budget.fuel_spent st.budget);
+  Metrics.observe m_run_ns (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9));
+  if Obs.on () then Obs.emit Obs.E ~cat:"eval" ~name:"run" ~args:[ ("steps", Obs.Int !(st.obs_cell)) ];
+  if Obs.on () then Obs.emit Obs.I ~cat:"eval" ~name:"done" ~args:(("fuel", Obs.Int (Budget.fuel_spent st.budget)) :: outcome_args)
+
+let verdict_args (x : Budget.exhaustion) =
+  [
+    ("outcome", Obs.Str "verdict");
+    ("resource", Obs.Str (Budget.resource_to_string x.Budget.resource));
+    ("node", Obs.Int x.Budget.at_node);
+    ("op", Obs.Str x.Budget.op);
+  ]
+
+let run ?budget ?limits ?meters ?telemetry ?pool ?report env e =
+  let budget =
+    match (budget, limits) with
+    | Some b, _ -> b
+    | None, Some l -> Budget.start l
+    | None, None -> Budget.start Budget.default
+  in
+  let meters = match meters with Some m -> m | None -> Eval.fresh_meters () in
+  let compiled, plan = compile { ctr = ref 0; telemetry } ~parent:0 e in
+  let st = { budget; meters; pool; obs_cell = ref 0 } in
+  let report_plan () = match report with Some f -> f plan | None -> () in
+  let rid = Atomic.fetch_and_add run_ids 1 in
+  Metrics.incr m_runs;
+  let t0 = Unix.gettimeofday () in
+  if Obs.on () then Obs.set_trace_id rid;
+  if Obs.on () then Obs.emit Obs.B ~cat:"eval" ~name:"run" ~args:[ ("run", Obs.Int rid); ("size", Obs.Int (Expr.size e)); ("engine", Obs.Str "vec") ];
+  match as_value (compiled st (lift_env env)) with
+  | v ->
+      Metrics.incr m_ok;
+      finish_run st t0 [ ("outcome", Obs.Str "ok") ];
+      report_plan ();
+      Ok v
+  | exception Budget.Budget_exceeded x ->
+      (* Keep the published verdict (smallest node id) as Eval does. *)
+      let x = match Budget.verdict budget with Some y -> y | None -> x in
+      Metrics.incr m_verdicts;
+      finish_run st t0 (verdict_args x);
+      report_plan ();
+      Error x
+  | exception Fault.Injected site ->
+      (* An injected failure below node attribution — vec.alloc at a
+         kernel or boundary allocation: structured verdict at node 0
+         carrying the site name, as in Eval. *)
+      let x =
+        {
+          Budget.resource = Budget.Injected;
+          at_node = 0;
+          op = site;
+          spent = 0;
+          limit = 0;
+        }
+      in
+      Metrics.incr m_verdicts;
+      finish_run st t0 (verdict_args x);
+      report_plan ();
+      Error x
+  | exception exn ->
+      finish_run st t0 [ ("outcome", Obs.Str "exception") ];
+      report_plan ();
+      raise exn
+
+let eval ?(config = Eval.default_config) ?meters ?pool env e =
+  match run ~limits:(Eval.limits_of_config config) ?meters ?pool env e with
+  | Ok v -> v
+  | Error x -> raise (Eval.Resource_limit (Budget.exhaustion_to_string x))
+
+let run_engine engine ?budget ?limits ?meters ?telemetry ?pool env e =
+  match engine with
+  | Tree -> Eval.run ?budget ?limits ?meters ?telemetry ?pool env e
+  | Vec -> run ?budget ?limits ?meters ?telemetry ?pool env e
+
+let eval_engine engine ?config ?meters ?pool env e =
+  match engine with
+  | Tree -> Eval.eval ?config ?meters ?pool env e
+  | Vec -> eval ?config ?meters ?pool env e

@@ -34,7 +34,7 @@ done
 # pool/kernel/evaluator sources needs a same-line 'domain-local'
 # annotation saying why the table cannot be shared (DLS slot, fresh per
 # call, ...).
-for f in lib/core/pool.ml lib/core/bag.ml lib/core/eval.ml; do
+for f in lib/core/pool.ml lib/core/bag.ml lib/core/eval.ml lib/core/vec.ml lib/core/veval.ml; do
   bad=$(grep -nE '(Hashtbl|VH)\.(add|replace|remove|reset|clear|filter_map_inplace)' "$f" | grep -v 'domain-local' || true)
   if [ -n "$bad" ]; then
     echo "lint: unannotated hash-table mutation in $f (justify with 'domain-local:'):"
@@ -68,6 +68,24 @@ fi
 bad=$(grep -rn 'Obs\.emit' lib bin bench test --include='*.ml' | grep -v '^lib/core/obs\.ml:' | grep -v 'Obs\.on ()' || true)
 if [ -n "$bad" ]; then
   echo "lint: Obs.emit call sites must be guarded by 'if Obs.on () then' on the same line:"
+  echo "$bad" | sed 's/^/  /'
+  fail=1
+fi
+
+# bounds-safety: unchecked array access is confined to the columnar
+# kernels (lib/core/vec.ml), and every unsafe_get/unsafe_set there must
+# justify its bounds on the same line ('bounds: ...') next to an
+# enclosing assertion.  Everywhere else the checked accessors are fast
+# enough and the checks have caught real bugs.
+bad=$(grep -rn 'Array\.unsafe_\(get\|set\)' lib bin bench test examples --include='*.ml' | grep -v '^lib/core/vec\.ml:' || true)
+if [ -n "$bad" ]; then
+  echo "lint: Array.unsafe_get/unsafe_set outside lib/core/vec.ml:"
+  echo "$bad" | sed 's/^/  /'
+  fail=1
+fi
+bad=$(grep -n 'Array\.unsafe_\(get\|set\)' lib/core/vec.ml | grep -v 'bounds:' || true)
+if [ -n "$bad" ]; then
+  echo "lint: unsafe array access in lib/core/vec.ml without a same-line 'bounds:' justification:"
   echo "$bad" | sed 's/^/  /'
   fail=1
 fi

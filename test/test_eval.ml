@@ -16,7 +16,10 @@ let rel2 l =
   Value.bag_of_list
     (List.map (fun (x, y) -> Value.tuple [ Value.atom x; Value.atom y ]) l)
 
-let ev ?(env = []) e = Eval.eval (Eval.env_of_list env) e
+(* Routed through the engine dispatcher so the CI vec leg (BALG_ENGINE=vec)
+   runs these semantics tests under the vectorized engine too. *)
+let ev ?(env = []) e =
+  Veval.eval_engine (Veval.default_engine ()) (Eval.env_of_list env) e
 let tc ?(env = []) e = Typecheck.infer (Typecheck.env_of_list env) e
 
 (* --- typechecker -------------------------------------------------------- *)

@@ -77,6 +77,51 @@ let test_rendering () =
            && String.starts_with ~prefix:"product" (String.trim line))
          (String.split_on_char '\n' s))
 
+(* --engine vec: the explain output is the executed plan — same result as
+   Eval, engine labels on every node, kernels and fallbacks side by side. *)
+
+let rec plan_engines (p : Veval.plan) =
+  p.Veval.p_engine :: List.concat_map plan_engines p.Veval.p_children
+
+let test_vec_agrees_with_eval () =
+  let queries =
+    [
+      Derived.selfjoin (Expr.Var "G");
+      Derived.transitive_closure (Expr.Var "G");
+      Expr.Powerset (Expr.proj_attrs [ 1 ] (Expr.Var "G"));
+    ]
+  in
+  List.iter
+    (fun q ->
+      let v, _ = Explain.run_vec ~env q in
+      Alcotest.check value "vec-profiled result equals Eval" (Eval.eval env q)
+        v)
+    queries
+
+let test_vec_plan_labels () =
+  let q = Expr.Powerset (Expr.proj_attrs [ 1 ] (Expr.Var "G")) in
+  let _, plan = Explain.run_vec ~env q in
+  let engines = plan_engines plan in
+  Alcotest.(check string) "powerset on the tree path" "tree" plan.Veval.p_engine;
+  Alcotest.(check bool) "some subtree ran a vec kernel" true
+    (List.exists (String.starts_with ~prefix:"vec:") engines);
+  let s = Veval.plan_to_string plan in
+  Alcotest.(check bool) "rendering shows the engine of each subtree" true
+    (String.length s > 0
+    && List.exists
+         (fun line ->
+           let line = String.trim line in
+           String.starts_with ~prefix:"powerset" line
+           && String.ends_with ~suffix:"[tree]" line)
+         (String.split_on_char '\n' s))
+
+let test_vec_guard_fires () =
+  let config = { Eval.default_config with Eval.max_support = 3 } in
+  let q = Expr.Powerset (Expr.proj_attrs [ 1 ] (Expr.Var "G")) in
+  match Explain.run_vec ~config ~env q with
+  | exception Eval.Resource_limit _ -> ()
+  | _ -> Alcotest.fail "expected a guard exception"
+
 let () =
   Alcotest.run "explain"
     [
@@ -87,5 +132,11 @@ let () =
           Alcotest.test_case "fixpoint iterations" `Quick test_fixpoint_iterations_visible;
           Alcotest.test_case "guards still fire" `Quick test_guard_fires;
           Alcotest.test_case "rendering" `Quick test_rendering;
+        ] );
+      ( "engine vec",
+        [
+          Alcotest.test_case "agrees with Eval" `Quick test_vec_agrees_with_eval;
+          Alcotest.test_case "plan labels" `Quick test_vec_plan_labels;
+          Alcotest.test_case "guards still fire" `Quick test_vec_guard_fires;
         ] );
     ]

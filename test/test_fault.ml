@@ -178,6 +178,19 @@ let test_injected_kernel_verdict () =
             (x.Budget.resource = Budget.Injected);
           Alcotest.(check string) "op names the site" "bag.alloc" x.Budget.op)
 
+let test_injected_vec_kernel_verdict () =
+  (* the vec engine's kernel-allocation site surfaces the same structured
+     verdict through Veval.run — an allocation death inside a columnar
+     kernel never escapes as a crash *)
+  let q = selfjoin_query 7 in
+  Fault.with_faults ~seed:5 "vec.alloc:always" (fun () ->
+      match Veval.run ~limits:roomy_limits (Eval.env_of_list []) q with
+      | Ok _ -> Alcotest.fail "expected an Injected verdict"
+      | Error x ->
+          Alcotest.(check bool) "resource = Injected" true
+            (x.Budget.resource = Budget.Injected);
+          Alcotest.(check string) "op names the site" "vec.alloc" x.Budget.op)
+
 let () =
   Alcotest.run "fault"
     [
@@ -205,5 +218,7 @@ let () =
             test_injected_eval_verdict;
           Alcotest.test_case "bag.alloc verdict" `Quick
             test_injected_kernel_verdict;
+          Alcotest.test_case "vec.alloc verdict" `Quick
+            test_injected_vec_kernel_verdict;
         ] );
     ]

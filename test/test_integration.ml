@@ -20,13 +20,19 @@ let db = Bagdb.parse db_text
 let tenv = Bagdb.type_env db
 let venv = Bagdb.value_env db
 
+(* Evaluation goes through the engine dispatcher, so the CI vec leg
+   (BALG_ENGINE=vec) drives these full pipelines through the vectorized
+   engine as well. *)
+let engine = Veval.default_engine ()
+
 let pipeline query =
   let e = Parser.expr_of_string query in
   let ty = Typecheck.infer tenv e in
   let e', _rules = Rewrite.normalize tenv e in
   let ty' = Typecheck.infer tenv e' in
   Alcotest.(check bool) "normalization preserves type" true (Ty.equal ty ty');
-  let v = Eval.eval venv e and v' = Eval.eval venv e' in
+  let v = Veval.eval_engine engine venv e
+  and v' = Veval.eval_engine engine venv e' in
   Alcotest.check value "normalization preserves value" v v';
   v
 

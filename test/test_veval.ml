@@ -1,0 +1,281 @@
+(* Differential tests for the vectorized execution engine: Veval must be
+   bit-identical to the tree evaluator — same canonical Value.t, same
+   multiplicities, same hash tags — on generated flat and nested queries,
+   including plans that mix vec kernels with tree fallbacks (powerset,
+   fixpoints, heterogeneous data).  Budget verdicts must also agree under
+   tight limits, and pool-chunked kernel runs must recombine identically.
+
+   [BALG_TEST_JOBS] (default 4) pins the domain count, as in
+   test_parallel.ml; [BALG_ENGINE] is deliberately ignored here — this
+   file always compares both engines explicitly. *)
+
+open Balg
+module B = Bignat
+module G = Baggen.Genval
+
+let jobs =
+  match Sys.getenv_opt "BALG_TEST_JOBS" with
+  | Some s -> ( try max 2 (int_of_string s) with _ -> 4)
+  | None -> 4
+
+let with_test_pool f =
+  let p = Pool.create ~chunk_min:1 ~fork_min:1 ~jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+let value = Alcotest.testable Value.pp Value.equal
+let env_spec = [ ("R", 1); ("S", 2) ]
+
+let small_config =
+  { Eval.default_config with Eval.max_support = 50_000; max_count_digits = 200 }
+
+(* Both engines under the same guard: bit-identical values (hash tags
+   included) when both finish; when a budget trips, both must trip. *)
+let agree inst e =
+  let env = Eval.env_of_list inst in
+  let tree =
+    match Eval.eval ~config:small_config env e with
+    | v -> Some v
+    | exception Eval.Resource_limit _ -> None
+  in
+  let vec =
+    match Veval.eval ~config:small_config env e with
+    | v -> Some v
+    | exception Eval.Resource_limit _ -> None
+  in
+  match (tree, vec) with
+  | Some v, Some w -> Value.equal v w && Value.hash v = Value.hash w
+  | None, None -> true
+  | Some _, None | None, Some _ ->
+      (* Fuel amounts differ by design, so only compare when the guard is
+         about materialised size, which both engines enforce; the guarded
+         configs here are support/digit bounds, so a one-sided trip is a
+         real disagreement. *)
+      false
+
+let prop_flat_diff =
+  QCheck.Test.make ~name:"vec == tree on generated flat queries" ~count:300
+    QCheck.(make Gen.int)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let e = Baggen.Genexpr.flat rng env_spec 4 (1 + Random.State.int rng 2) in
+      let inst = Baggen.Genexpr.instance rng ~size:5 ~max_count:3 env_spec in
+      agree inst e)
+
+(* The nested generator detours through powerset-destroy and nest-unnest,
+   so these plans mix vec kernels with tree fallbacks. *)
+let prop_nested_diff =
+  QCheck.Test.make ~name:"vec == tree on nested / fallback-mixed queries"
+    ~count:300
+    QCheck.(make Gen.int)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let e =
+        Baggen.Genexpr.nested rng env_spec 4 (1 + Random.State.int rng 2)
+      in
+      let inst = Baggen.Genexpr.instance rng ~size:4 ~max_count:2 env_spec in
+      agree inst e)
+
+(* Direct kernel coverage on random nested bags (test_bag_ref generators):
+   nest/unnest/destroy/dedup and the merge family over deep values. *)
+let rec random_ty rng depth =
+  match Random.State.int rng (if depth = 0 then 2 else 4) with
+  | 0 -> Ty.Atom
+  | 1 -> Ty.Tuple [ Ty.Atom; Ty.Atom ]
+  | 2 -> Ty.Bag (random_ty rng (depth - 1))
+  | _ -> Ty.Tuple [ Ty.Atom; random_ty rng (depth - 1) ]
+
+let random_bag rng ety =
+  G.of_type rng ~n_atoms:3 ~width:4 ~max_count:3 (Ty.Bag ety)
+
+let prop_kernels_on_nested_bags =
+  QCheck.Test.make ~name:"vec == tree on nested-bag kernel queries" ~count:300
+    QCheck.(make Gen.int)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let ety = Ty.Tuple [ Ty.Atom; random_ty rng 2 ] in
+      let a = random_bag rng ety and b = random_bag rng ety in
+      let inst = [ ("A", a); ("B", b) ] in
+      let va = Expr.Var "A" and vb = Expr.Var "B" in
+      let queries =
+        [
+          Expr.UnionAdd (va, vb);
+          Expr.Diff (va, vb);
+          Expr.UnionMax (va, vb);
+          Expr.Inter (va, vb);
+          Expr.Dedup (Expr.UnionAdd (va, va));
+          Expr.Product (va, vb);
+          Expr.proj_attrs [ 2; 1 ] va;
+          Expr.Nest ([ 1 ], va);
+          Expr.Unnest (2, Expr.Nest ([ 1 ], va));
+          Expr.Destroy (Expr.Map ("x", Expr.Var "x", Expr.Sing va));
+          Expr.ones va;
+        ]
+      in
+      List.for_all (agree inst) queries)
+
+(* to_value . of_value is the identity on canonical bags, hash included. *)
+let prop_roundtrip =
+  QCheck.Test.make ~name:"Vec.of_value/to_value roundtrip" ~count:300
+    QCheck.(make Gen.int)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let b = random_bag rng (random_ty rng 2) in
+      match Vec.of_value b with
+      | x ->
+          let v = Vec.to_value x in
+          Value.equal b v
+          && Value.hash b = Value.hash v
+          && Value.equal b Vec.(to_value (coalesce x))
+      | exception Vec.Unsupported _ -> false)
+
+(* Verdict equivalence under tight budgets: a fuel budget far below the
+   node count exhausts both engines; a support budget below a relation's
+   width trips both at the same resource. *)
+let prop_tight_fuel_verdicts =
+  QCheck.Test.make ~name:"tight fuel exhausts both engines" ~count:100
+    QCheck.(make Gen.int)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let e = Baggen.Genexpr.flat rng env_spec 4 (1 + Random.State.int rng 2) in
+      QCheck.assume (Expr.size e > 4);
+      let inst = Baggen.Genexpr.instance rng ~size:5 ~max_count:3 env_spec in
+      let env = Eval.env_of_list inst in
+      let limits = { Budget.unlimited with Budget.fuel = 3 } in
+      let tree = Eval.run ~limits env e in
+      let vec = Veval.run ~limits env e in
+      match (tree, vec) with
+      | Error x, Error y ->
+          x.Budget.resource = Budget.Fuel && y.Budget.resource = Budget.Fuel
+      | _ -> false)
+
+let test_support_verdicts_agree () =
+  let r =
+    Value.bag_of_list
+      [ Value.tuple [ Value.atom "a" ]; Value.tuple [ Value.atom "b" ];
+        Value.tuple [ Value.atom "c" ] ]
+  in
+  let env = Eval.env_of_list [ ("R", r) ] in
+  let q = Expr.Product (Expr.Var "R", Expr.Var "R") in
+  let limits = { Budget.unlimited with Budget.max_support = 4 } in
+  (match (Eval.run ~limits env q, Veval.run ~limits env q) with
+  | Error x, Error y ->
+      Alcotest.(check string)
+        "same resource" "support"
+        (Budget.resource_to_string x.Budget.resource);
+      Alcotest.(check string)
+        "same resource (vec)" "support"
+        (Budget.resource_to_string y.Budget.resource)
+  | _ -> Alcotest.fail "expected support verdicts from both engines");
+  (* generous enough limits succeed identically *)
+  let ok = { Budget.unlimited with Budget.max_support = 100 } in
+  match (Eval.run ~limits:ok env q, Veval.run ~limits:ok env q) with
+  | Ok v, Ok w -> Alcotest.check value "same product" v w
+  | _ -> Alcotest.fail "expected both engines to finish"
+
+(* Pool-chunked kernels recombine bit-identically: sequential vec ==
+   pooled vec == tree, on inputs big enough that chunk_min = 1 forks. *)
+let test_pool_chunks_identical () =
+  with_test_pool (fun p ->
+      let rng = Random.State.make [| 42 |] in
+      let r =
+        G.flat_bag rng ~n_atoms:8 ~arity:2 ~size:60 ~max_count:3
+      in
+      let env = Eval.env_of_list [ ("R", r) ] in
+      let queries =
+        [
+          Derived.selfjoin (Expr.Var "R");
+          Expr.proj_attrs [ 2 ] (Expr.Product (Expr.Var "R", Expr.Var "R"));
+        ]
+      in
+      List.iter
+        (fun q ->
+          let seq =
+            match Veval.run env q with Ok v -> v | Error _ -> assert false
+          in
+          let par =
+            match Veval.run ~pool:p env q with
+            | Ok v -> v
+            | Error _ -> assert false
+          in
+          let tree =
+            match Eval.run ~pool:p env q with
+            | Ok v -> v
+            | Error _ -> assert false
+          in
+          Alcotest.check value "pooled vec == sequential vec" seq par;
+          Alcotest.check value "vec == tree" tree par;
+          Alcotest.(check bool) "hash equal" true
+            (Value.hash tree = Value.hash par))
+        queries)
+
+(* The steps == fuel invariant holds for vec runs with a telemetry sink
+   attached (the --stats invariant, as in test_parallel.ml). *)
+let test_steps_equal_fuel () =
+  let rng = Random.State.make [| 7 |] in
+  let r = G.flat_bag rng ~n_atoms:6 ~arity:2 ~size:40 ~max_count:2 in
+  let env = Eval.env_of_list [ ("R", r) ] in
+  let q = Derived.selfjoin (Expr.Var "R") in
+  let t = Telemetry.create () in
+  let budget = Budget.start Budget.default in
+  (match Veval.run ~budget ~telemetry:t env q with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "unexpected verdict");
+  Alcotest.(check int)
+    "telemetry steps == spent fuel" (Budget.fuel_spent budget)
+    (Telemetry.total_steps t)
+
+(* Fallback-mixed plan: the engine labels show vec kernels and the tree
+   fallback side by side, and the result still matches the tree engine. *)
+let test_plan_labels () =
+  let r =
+    Value.bag_of_list
+      [ Value.tuple [ Value.atom "a" ]; Value.tuple [ Value.atom "b" ] ]
+  in
+  let env = Eval.env_of_list [ ("R", r) ] in
+  let q =
+    Expr.Powerset (Expr.proj_attrs [ 1 ] (Expr.Var "R"))
+  in
+  let plan = ref None in
+  (match Veval.run ~report:(fun p -> plan := Some p) env q with
+  | Ok v -> Alcotest.check value "matches tree" (Eval.eval env q) v
+  | Error _ -> Alcotest.fail "unexpected verdict");
+  match !plan with
+  | None -> Alcotest.fail "no plan reported"
+  | Some p ->
+      let s = Veval.plan_to_string p in
+      Alcotest.(check bool) "powerset ran on tree" true
+        (p.Veval.p_engine = "tree");
+      Alcotest.(check bool) "proj ran vectorized" true
+        (let rec has_vec p =
+           String.length p.Veval.p_engine >= 4
+           && String.sub p.Veval.p_engine 0 4 = "vec:"
+           || List.exists has_vec p.Veval.p_children
+         in
+         has_vec p);
+      Alcotest.(check bool) "rendering mentions engines" true
+        (String.length s > 0)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_flat_diff;
+      prop_nested_diff;
+      prop_kernels_on_nested_bags;
+      prop_roundtrip;
+      prop_tight_fuel_verdicts;
+    ]
+
+let () =
+  Alcotest.run "veval"
+    [
+      ("vec vs tree", props);
+      ( "regressions",
+        [
+          Alcotest.test_case "support verdicts agree" `Quick
+            test_support_verdicts_agree;
+          Alcotest.test_case "pool chunks identical" `Quick
+            test_pool_chunks_identical;
+          Alcotest.test_case "steps == fuel" `Quick test_steps_equal_fuel;
+          Alcotest.test_case "plan labels" `Quick test_plan_labels;
+        ] );
+    ]
