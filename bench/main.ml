@@ -75,6 +75,38 @@ let product300 = lazy (Bag.product (Lazy.force binary300) (Lazy.force binary300)
 let selfjoin300_q =
   lazy (Derived.selfjoin (Expr.lit (Lazy.force binary300) (Ty.relation 2)))
 
+(* Optimizer workloads: the same 300-row kernels phrased as unoptimized
+   algebra (selection over a product *expression*, not a pre-materialised
+   literal), so `_opt` rows measure what `balgi eval --optimize cost`
+   actually does — plan (inside the timed closure) and evaluate. *)
+
+let lit300 = lazy (Expr.lit (Lazy.force binary300) (Ty.relation 2))
+
+let select_product300_q =
+  lazy
+    (let b = Lazy.force lit300 in
+     Expr.Select
+       ( "x",
+         Expr.Proj (2, Expr.Var "x"),
+         Expr.Proj (3, Expr.Var "x"),
+         Expr.Product (b, b) ))
+
+let proj_product300_expr_q =
+  lazy
+    (let b = Lazy.force lit300 in
+     Expr.proj_attrs [ 1; 4 ] (Expr.Product (b, b)))
+
+(* σ_{4=5}(σ_{2=3}(B×B) × B): the product+select_eq chain the planner
+   turns into two stacked hash joins. *)
+let join_chain300_q =
+  lazy
+    (let b = Lazy.force lit300 in
+     Expr.Select
+       ( "y",
+         Expr.Proj (4, Expr.Var "y"),
+         Expr.Proj (5, Expr.Var "y"),
+         Expr.Product (Lazy.force select_product300_q, b) ))
+
 let tests =
   Test.make_grouped ~name:"balg" ~fmt:"%s/%s"
     [
@@ -181,6 +213,27 @@ let json_benches ?pool () =
       jquery = Some q;
     }
   in
+  (* `_opt` rows run the cost-based planner *inside* the timed closure and
+     evaluate its plan: the row prices the end-to-end `--optimize cost`
+     experience, planning overhead included.  With --miscost the planner's
+     objective is inverted (Opt.invert_cost), no beneficial rewrite is
+     accepted, and these rows regress against the optimised baseline —
+     the gate's self-test. *)
+  let metered_opt ?pool name q =
+    let m = Eval.fresh_meters () in
+    let tenv = Typecheck.env_of_list [] in
+    {
+      jname = name;
+      jengine = "tree";
+      jrun =
+        (fun () ->
+          ignore
+            (Eval.eval ?pool ~meters:m (Eval.env_of_list [])
+               (Opt.prepare Opt.Cost tenv q)));
+      jmeters = Some m;
+      jquery = Some (Opt.prepare Opt.Cost tenv q);
+    }
+  in
   (* Kernel benches time the raw [Bag] entry point, but each carries the
      algebra query computing the same thing, so the telemetry column of
      BENCH_eval.json is never null — one governed run per row. *)
@@ -245,6 +298,12 @@ let json_benches ?pool () =
       plain ~query:(Lazy.force proj300_q) "proj_product300" (fun () ->
           ignore (Bag.proj [ 1; 4 ] (Lazy.force product300)));
       metered "selfjoin_binary300" (Lazy.force selfjoin300_q);
+      metered "join_chain300" (Lazy.force join_chain300_q);
+      metered_opt "product_binary300_opt" (Lazy.force product300_q);
+      metered_opt "select_eq_product300_opt" (Lazy.force select_product300_q);
+      metered_opt "proj_product300_opt" (Lazy.force proj_product300_expr_q);
+      metered_opt "selfjoin_binary300_opt" (Lazy.force selfjoin300_q);
+      metered_opt "join_chain300_opt" (Lazy.force join_chain300_q);
       plain ~engine:"vec" ~query:(Lazy.force product300_q)
         "product_binary300_vec" (fun () ->
           ignore (Vec.product (Lazy.force vec300) (Lazy.force vec300)));
@@ -616,6 +675,10 @@ let run_gate baseline_path =
 
 let () =
   pace_gc ();
+  (* --miscost: invert the planner's objective so `_opt` rows run their
+     deliberately-miscosted (unoptimized) plans — used by CI to prove the
+     gate catches an optimizer regression. *)
+  if Array.exists (( = ) "--miscost") Sys.argv then Opt.invert_cost := true;
   let pool =
     match arg_value "--jobs" with
     | Some s ->

@@ -15,7 +15,10 @@
    and partial telemetry printed.  --retry-degrade re-runs the normalized
    plan under a fresh budget (same limits) after a first exhaustion.
    --fault/--fault-seed (or BALG_FAULT/BALG_FAULT_SEED) arm the
-   deterministic fault-injection sites.  --stats prints the telemetry span
+   deterministic fault-injection sites.  --optimize off|rules|cost (or
+   BALG_OPT) runs the plan optimizer between typechecking and evaluation;
+   explain prints its decision log — every rewrite considered, with cost
+   estimates, applied or rejected.  --stats prints the telemetry span
    tree and per-operator table (--stats-sort / --stats-top shape it);
    --trace adds time/allocation/memo columns.  --trace-out FILE records
    trace events and writes Chrome trace-event JSON (Perfetto-loadable),
@@ -68,6 +71,7 @@ let ( let* ) r k =
 type opts = {
   limits : Budget.limits;
   engine : Veval.engine;  (** --engine: tree (default) or vec *)
+  optimize : Opt.mode;  (** --optimize: off (default), rules or cost *)
   stats : bool;
   trace : bool;
   stats_sort : Telemetry.sort;  (** --stats-sort column *)
@@ -81,8 +85,8 @@ type opts = {
 }
 
 let make_opts fuel max_support max_size max_count_digits max_fix_steps timeout
-    engine stats trace stats_sort stats_top jobs fault fault_seed trace_out
-    log_json metrics =
+    engine optimize stats trace stats_sort stats_top jobs fault fault_seed
+    trace_out log_json metrics =
   let d = Budget.default in
   let pick o dflt = Option.value o ~default:dflt in
   {
@@ -96,6 +100,7 @@ let make_opts fuel max_support max_size max_count_digits max_fix_steps timeout
         deadline_s = timeout;
       };
     engine;
+    optimize;
     stats;
     trace;
     stats_sort;
@@ -207,6 +212,14 @@ let finish_obs opts code =
 
 (* --- subcommand bodies --------------------------------------------------- *)
 
+let db_vals db = List.map (fun (n, _ty, v) -> (n, v)) db
+
+(* The planning step between [check] and evaluation: never raises, and
+   with --optimize off it is the identity. *)
+let plan db opts e =
+  Opt.prepare ~vals:(db_vals db) ~engine:opts.engine opts.optimize
+    (Bagdb.type_env db) e
+
 (* One governed attempt: fresh budget over the same limits, pool created
    and shut down here (also on exceptions, via with_pool). *)
 let eval_once db opts e =
@@ -227,6 +240,7 @@ let run_eval_body db_path opts retry_degrade query =
   let* db = load_db db_path in
   let* e = parse_query query in
   let* ty = check db e in
+  let e = plan db opts e in
   let report_ok v budget telemetry =
     Printf.printf "%s : %s\n" (Value.to_string v) (Ty.to_string ty);
     print_stats opts budget telemetry;
@@ -291,10 +305,25 @@ let run_normalize db_path query =
     Printf.printf "# rules applied: %s\n" (String.concat ", " applied);
   0
 
-let run_explain db_path engine query =
+let run_explain db_path engine optimize query =
   let* db = load_db db_path in
   let* e = parse_query query in
   let* _ty = check db e in
+  (* Planning happens out loud here: explain shows every candidate the
+     optimiser considered — chosen and rejected, with both cost
+     estimates — before profiling the plan it settled on. *)
+  let e =
+    match
+      Opt.optimize ~vals:(db_vals db) ~engine optimize (Bagdb.type_env db) e
+    with
+    | e', report ->
+        print_string (Opt.report_to_string report);
+        e'
+    | exception exn ->
+        Printf.eprintf "optimizer error (running unoptimized): %s\n"
+          (Printexc.to_string exn);
+        e
+  in
   let explain () =
     match engine with
     | Veval.Tree ->
@@ -339,6 +368,7 @@ let run_repl db_path opts =
         match check db e with
         | Error msg -> print_endline msg
         | Ok ty -> (
+            let e = plan db opts e in
             let budget = Budget.start opts.limits in
             with_sigint budget @@ fun () ->
             match
@@ -497,6 +527,21 @@ let engine_arg =
            fixpoint nodes).  Results are bit-identical.  The default can \
            also be set with $(b,BALG_ENGINE).")
 
+let optimize_arg =
+  let mode_conv =
+    Arg.enum [ ("off", Opt.Off); ("rules", Opt.Rules); ("cost", Opt.Cost) ]
+  in
+  Arg.(
+    value
+    & opt mode_conv (Opt.default_mode ())
+    & info [ "optimize" ] ~docv:"MODE"
+        ~doc:
+          "Plan optimization before evaluation: $(b,off) (default), \
+           $(b,rules) (apply the rewrite families unconditionally) or \
+           $(b,cost) (gate every rewrite on the property-driven cost \
+           model).  Optimized plans produce bit-identical results on both \
+           engines.  The default can also be set with $(b,BALG_OPT).")
+
 let jobs_arg =
   Arg.(
     value & opt int 1
@@ -539,8 +584,9 @@ let opts_term =
   Term.(
     const make_opts $ fuel_arg $ max_support_arg $ max_size_arg
     $ max_count_digits_arg $ max_fix_steps_arg $ timeout_arg $ engine_arg
-    $ stats_arg $ trace_arg $ stats_sort_arg $ stats_top_arg $ jobs_arg
-    $ fault_arg $ fault_seed_arg $ trace_out_arg $ log_json_arg $ metrics_arg)
+    $ optimize_arg $ stats_arg $ trace_arg $ stats_sort_arg $ stats_top_arg
+    $ jobs_arg $ fault_arg $ fault_seed_arg $ trace_out_arg $ log_json_arg
+    $ metrics_arg)
 
 let eval_cmd =
   Cmd.v
@@ -570,7 +616,7 @@ let explain_cmd =
          "Evaluate with profiling: per-operator call counts and largest \
           intermediate bag sizes ($(b,--engine tree)), or the executed \
           engine plan ($(b,--engine vec)).")
-    Term.(const run_explain $ db_arg $ engine_arg $ query_arg)
+    Term.(const run_explain $ db_arg $ engine_arg $ optimize_arg $ query_arg)
 
 let repl_cmd =
   Cmd.v

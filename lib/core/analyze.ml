@@ -68,6 +68,7 @@ let op_census e =
     | Expr.UnionMax _ -> bump "union_max"
     | Expr.Inter _ -> bump "inter"
     | Expr.Product _ -> bump "product"
+    | Expr.Join _ -> bump "join"
     | Expr.Powerset _ -> bump "powerset"
     | Expr.Powerbag _ -> bump "powerbag"
     | Expr.Destroy _ -> bump "destroy"

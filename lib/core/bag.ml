@@ -191,6 +191,57 @@ let select_eq ?pool i j b =
       Value.of_sorted_assoc (List.concat parts)
   | _ -> Value.of_sorted_assoc (List.filter keep prs)
 
+(* Keyed equijoin: [join_eq i j a b] is σ_{i = ka+j}(a × b) — the fused
+   form the optimizer emits for Select_eq-over-Product — computed as a
+   hash join instead of materialising the product.  [b]'s support is
+   bucketed by its [j]-th component (structural hash, Value.equal probes),
+   then [a]'s support streams through the table; matching pairs
+   concatenate with multiplied counts, exactly the rows the unfused plan
+   keeps, and [bag_of_assoc] restores canonical order — so the result is
+   bit-identical to [select_eq i (ka + j) (product a b)].  With a pool,
+   the probe side chunks across domains against the shared (frozen,
+   read-only after build) table. *)
+let join_eq ?pool i j a b =
+  Fault.inject alloc_site;
+  let table : (Value.t list * Bignat.t) list ref VH.t = VH.create 64 in
+  List.iter
+    (fun (w, d) ->
+      let wt = Value.as_tuple w in
+      match List.nth_opt wt (j - 1) with
+      | None -> invalid_arg "Bag.join_eq: right attribute out of range"
+      | Some key -> (
+          match VH.find_opt table key with
+          | Some members -> members := (wt, d) :: !members
+          | None -> VH.add table key (ref [ (wt, d) ]) (* domain-local: fresh table per call, read-only after build *)))
+    (pairs b);
+  let rows_of_slice slice =
+    List.fold_left
+      (fun acc (v, c) ->
+        let vt = Value.as_tuple v in
+        match List.nth_opt vt (i - 1) with
+        | None -> invalid_arg "Bag.join_eq: left attribute out of range"
+        | Some key -> (
+            match VH.find_opt table key with
+            | None -> acc
+            | Some members ->
+                List.fold_left
+                  (fun acc (wt, d) ->
+                    (Value.tuple (vt @ wt), Bignat.mul c d) :: acc)
+                  acc !members))
+      [] slice
+  in
+  let pa = pairs a in
+  match pool with
+  | Some p when Pool.jobs p > 1 && List.length pa >= Pool.chunk_min p ->
+      let parts =
+        pool_run p
+          (List.map
+             (fun s () -> Value.bag_of_assoc (rows_of_slice s))
+             (Pool.chunks (4 * Pool.jobs p) pa))
+      in
+      List.fold_left union_add Value.empty_bag parts
+  | _ -> Value.bag_of_assoc (rows_of_slice pa)
+
 (* Nest: group by the listed attributes; the remaining attributes keep
    their multiplicities inside the per-group bag, each group occurs once.
    Groups are keyed by the key-tuple's structural hash — values that are

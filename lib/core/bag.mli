@@ -84,6 +84,17 @@ val select_eq : ?pool:Pool.t -> int -> int -> Value.t -> Value.t
     @raise Invalid_argument on non-tuple elements or out-of-range
     attributes. *)
 
+val join_eq : ?pool:Pool.t -> int -> int -> Value.t -> Value.t -> Value.t
+(** [join_eq i j a b] is the keyed equijoin
+    [σ_{i = ka+j} (a × b)] (with [ka] the arity of [a]'s tuples) as one
+    hash-join kernel: [b] is bucketed by its [j]-th component, [a] streams
+    through the table, and matching tuples concatenate with multiplied
+    counts.  Bit-identical to [select_eq i (ka + j) (product a b)] without
+    materialising the product.  With [?pool], the probe side chunks across
+    domains against the shared read-only table.
+    @raise Invalid_argument on non-tuple elements or out-of-range
+    attributes. *)
+
 val nest : int list -> Value.t -> Value.t
 (** The set-nesting operator of §7 ([PG88, Won93]): group a bag of tuples by
     the listed 1-based attributes; the remaining attributes — with their

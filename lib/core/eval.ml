@@ -518,6 +518,8 @@ and compile_node reg ~att volatile e : compiled =
   | Expr.Inter (a, b) -> bin a b (fun _st va vb -> Bag.inter va vb)
   | Expr.Product (a, b) ->
       bin a b (fun st va vb -> Bag.product ?pool:st.pool va vb)
+  | Expr.Join (i, j, a, b) ->
+      bin a b (fun st va vb -> Bag.join_eq ?pool:st.pool i j va vb)
   | Expr.Powerset e ->
       let c = sub e in
       fun st env ->

@@ -85,6 +85,8 @@ let run ?config ?(env = Eval.Env.empty) e =
       | Expr.UnionMax (a, b) -> Bag.union_max (go env a (child 0)) (go env b (child 1))
       | Expr.Inter (a, b) -> Bag.inter (go env a (child 0)) (go env b (child 1))
       | Expr.Product (a, b) -> Bag.product (go env a (child 0)) (go env b (child 1))
+      | Expr.Join (i, j, a, b) ->
+          Bag.join_eq i j (go env a (child 0)) (go env b (child 1))
       | Expr.Powerset e0 ->
           let b = go env e0 (child 0) in
           power_guard config "powerset" b;

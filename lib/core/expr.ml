@@ -24,6 +24,11 @@ type t =
   | UnionMax of t * t  (** maximal union [∪] *)
   | Inter of t * t  (** intersection [∩] *)
   | Product of t * t  (** Cartesian product [×] *)
+  | Join of int * int * t * t
+      (** keyed equijoin [σ{_a.i=b.j}(a × b)] with concatenated tuples —
+          a derived form (it abbreviates select-over-product, same
+          multiplicities), produced by the {!Opt} planner so both engines
+          can run it as a hash join instead of materialising the product *)
   | Powerset of t  (** [P] — one occurrence of each subbag *)
   | Powerbag of t  (** [Pb] (Definition 5.1) *)
   | Destroy of t  (** bag-destroy [δ] *)
@@ -60,6 +65,7 @@ let ( -- ) a b = Diff (a, b)
 let ( |||) a b = UnionMax (a, b)
 let ( &&& ) a b = Inter (a, b)
 let ( *** ) a b = Product (a, b)
+let join i j a b = Join (i, j, a, b)
 let powerset e = Powerset e
 let powerbag e = Powerbag e
 let destroy e = Destroy e
@@ -91,7 +97,8 @@ let children = function
   | Nest (_, e) | Unnest (_, e) ->
       [ e ]
   | UnionAdd (a, b) | Diff (a, b) | UnionMax (a, b) | Inter (a, b)
-  | Product (a, b) ->
+  | Product (a, b)
+  | Join (_, _, a, b) ->
       [ a; b ]
   | Map (_, body, e) -> [ body; e ]
   | Select (_, l, r, e) -> [ l; r; e ]
@@ -114,6 +121,7 @@ let op_name : t -> string = function
   | UnionMax _ -> "union_max"
   | Inter _ -> "inter"
   | Product _ -> "product"
+  | Join (i, j, _, _) -> Printf.sprintf "join %d=%d" i j
   | Powerset _ -> "powerset"
   | Powerbag _ -> "powerbag"
   | Destroy _ -> "destroy"
@@ -137,7 +145,8 @@ let rec free_vars = function
   | Nest (_, e) | Unnest (_, e) ->
       free_vars e
   | UnionAdd (a, b) | Diff (a, b) | UnionMax (a, b) | Inter (a, b)
-  | Product (a, b) ->
+  | Product (a, b)
+  | Join (_, _, a, b) ->
       Vars.union (free_vars a) (free_vars b)
   | Map (x, body, e) -> Vars.union (Vars.remove x (free_vars body)) (free_vars e)
   | Select (x, l, r, e) ->
@@ -180,6 +189,7 @@ let rec subst x replacement e =
   | UnionMax (a, b) -> UnionMax (s a, s b)
   | Inter (a, b) -> Inter (s a, s b)
   | Product (a, b) -> Product (s a, s b)
+  | Join (i, j, a, b) -> Join (i, j, s a, s b)
   | Powerset e -> Powerset (s e)
   | Powerbag e -> Powerbag (s e)
   | Destroy e -> Destroy (s e)
@@ -227,6 +237,7 @@ let rec pp ppf e =
   | UnionMax (a, b) -> Format.fprintf ppf "(%a \\/ %a)" pp a pp b
   | Inter (a, b) -> Format.fprintf ppf "(%a /\\ %a)" pp a pp b
   | Product (a, b) -> Format.fprintf ppf "(%a * %a)" pp a pp b
+  | Join (i, j, a, b) -> Format.fprintf ppf "join[%d,%d](%a, %a)" i j pp a pp b
   | Powerset e -> Format.fprintf ppf "powerset(%a)" pp e
   | Powerbag e -> Format.fprintf ppf "powerbag(%a)" pp e
   | Destroy e -> Format.fprintf ppf "destroy(%a)" pp e

@@ -20,6 +20,10 @@ type t =
   | UnionMax of t * t  (** maximal union [∪] *)
   | Inter of t * t  (** intersection [∩] *)
   | Product of t * t  (** Cartesian product [×] *)
+  | Join of int * int * t * t
+      (** keyed equijoin [σ{_a.i=b.j}(a × b)], concatenated tuples — a
+          derived form produced by the {!Opt} planner; both engines run
+          it as a hash join, bit-identical to select-over-product *)
   | Powerset of t  (** [P] *)
   | Powerbag of t  (** [Pb] (Definition 5.1) *)
   | Destroy of t  (** bag-destroy [δ] *)
@@ -49,6 +53,10 @@ val ( -- ) : t -> t -> t
 val ( ||| ) : t -> t -> t
 val ( &&& ) : t -> t -> t
 val ( *** ) : t -> t -> t
+
+val join : int -> int -> t -> t -> t
+(** [join i j a b] is σ{_x.i = x.(ka+j)}(a × b) as one keyed operator. *)
+
 val powerset : t -> t
 val powerbag : t -> t
 val destroy : t -> t

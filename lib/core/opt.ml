@@ -1,0 +1,453 @@
+(** Cost-based plan optimisation.
+
+    Sits between [check] and evaluation: {!optimize} rewrites an
+    expression using the sound algebraic laws of {!Rewrite} plus three
+    optimiser-specific families —
+
+    - {e dead-column pruning}: projection-shaped [MAP]s narrow through
+      [×] ([prune-map-product]) and collapse [nest]s whose groups are
+      never read ([prune-nest-keys]);
+    - {e join planning}: a cross-operand equality selection over a
+      product becomes the keyed hash join {!Expr.Join}
+      ([join-extract]), recursing down left-deep product chains;
+    - {e pushdown through MAP}: selections slide under
+      projection-shaped [MAP]s ([select-through-proj]) and
+      cardinality-shaped [MAP]s skip their inner restructuring
+      ([ones-pushdown], sound because MAP preserves total cardinality).
+
+    In [Cost] mode every candidate rewrite is gated by a cost model over
+    {!Props} estimates with per-engine kernel constants (the vectorized
+    kernels of {!Vec} are charged less than the boxed tree walk); in
+    [Rules] mode the families apply unconditionally; [Off] is the
+    identity.  Every decision — applied or rejected — is recorded with
+    both cost figures so [balgi explain] can show the chosen plan next to
+    the roads not taken.
+
+    The [opt.rewrite] fault site makes planning chaos-testable: a firing
+    hit abandons the remaining rewrites and ships the expression as-is,
+    so an armed optimiser can only lose speed, never correctness. *)
+
+type mode = Off | Rules | Cost
+
+let mode_to_string = function Off -> "off" | Rules -> "rules" | Cost -> "cost"
+
+let mode_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "off" -> Some Off
+  | "rules" -> Some Rules
+  | "cost" -> Some Cost
+  | _ -> None
+
+(* Mirrors Veval.default_engine: the env var picks the CLI default, and
+   unknown values silently mean "off" so a stale setting cannot wedge
+   every invocation. *)
+let default_mode () =
+  match Sys.getenv_opt "BALG_OPT" with
+  | Some s -> ( match mode_of_string s with Some m -> m | None -> Off)
+  | None -> Off
+
+let rewrite_site = Fault.register "opt.rewrite"
+
+(* Bench-gate self-test knob: with the objective inverted the planner
+   only accepts cost-increasing rewrites — i.e. none of the beneficial
+   ones — so deliberately miscosted plans regress against the optimised
+   baseline and must trip the gate.  Never set outside bench/tests. *)
+let invert_cost = ref false
+
+let m_applied =
+  Metrics.counter ~help:"optimizer rewrites applied" Metrics.default
+    "balg_opt_rewrites_applied_total"
+
+let m_rejected =
+  Metrics.counter ~help:"optimizer rewrites rejected by the cost model"
+    Metrics.default "balg_opt_rewrites_rejected_total"
+
+(* --- cost model ------------------------------------------------------------ *)
+
+(* Per-row kernel constants: work the columnar engine does in flat array
+   sweeps is cheaper than the boxed tree walk; shapes the vec engine
+   cannot vectorize (general binder bodies) fall back to tree cost on
+   either engine. *)
+let kernel_constant engine ~vectorizable =
+  match engine with
+  | Veval.Vec when vectorizable -> 0.35
+  | Veval.Vec | Veval.Tree -> 1.0
+
+(* The per-row scalar fragment Vec can run column-wise: projections of
+   the row variable, closed constants, tuple construction. *)
+let rec scalar_shape x e =
+  match e with
+  | Expr.Var y -> String.equal x y
+  | Expr.Proj (_, e0) -> scalar_shape x e0
+  | Expr.Tuple es -> List.for_all (scalar_shape x) es
+  | Expr.Lit _ -> true
+  | _ -> not (Expr.Vars.mem x (Expr.free_vars e)) && Expr.size e <= 3
+
+let clamp_rows r = float_of_int (min r 1_000_000_000)
+
+let cost ?(vals = []) engine tenv e =
+  let k ~vectorizable = kernel_constant engine ~vectorizable in
+  let fr e = clamp_rows (Props.infer ~vals tenv e).Props.rows in
+  let rec go e =
+    match e with
+    | Expr.Var _ | Expr.Lit _ -> 0.0
+    | Expr.Tuple es -> List.fold_left (fun a c -> a +. go c) 1.0 es
+    | Expr.Proj (_, e0) | Expr.Sing e0 -> 1.0 +. go e0
+    | Expr.UnionAdd (a, b)
+    | Expr.Diff (a, b)
+    | Expr.UnionMax (a, b)
+    | Expr.Inter (a, b) ->
+        go a +. go b +. (k ~vectorizable:true *. (fr a +. fr b))
+    | Expr.Product (a, b) ->
+        (* materialises the full cross product *)
+        go a +. go b +. (k ~vectorizable:true *. (fr a *. fr b))
+    | Expr.Join (_, _, a, b) ->
+        (* build + probe + emit only the matches *)
+        go a +. go b +. (k ~vectorizable:true *. (fr a +. fr b +. fr e))
+    | Expr.Powerset e0 | Expr.Powerbag e0 -> go e0 +. fr e
+    | Expr.Destroy e0 -> go e0 +. (k ~vectorizable:true *. fr e)
+    | Expr.Map (x, body, e0) ->
+        let per_row =
+          if scalar_shape x body then k ~vectorizable:true
+          else 1.0 +. go body
+        in
+        go e0 +. (fr e0 *. per_row)
+    | Expr.Select (x, l, r, e0) ->
+        let per_row =
+          if scalar_shape x l && scalar_shape x r then k ~vectorizable:true
+          else 1.0 +. go l +. go r
+        in
+        go e0 +. (fr e0 *. per_row)
+    | Expr.Dedup e0 -> go e0 +. (k ~vectorizable:true *. fr e0)
+    | Expr.Nest (_, e0) ->
+        (* grouping builds and canonicalises segment columns — several
+           sweeps over the input, not one *)
+        go e0 +. (3.0 *. k ~vectorizable:true *. fr e0)
+    | Expr.Unnest (_, e0) -> go e0 +. (k ~vectorizable:true *. fr e)
+    | Expr.Let (_, e0, body) -> go e0 +. go body
+    | Expr.Fix (_, body, seed) -> go seed +. (8.0 *. (1.0 +. go body))
+    | Expr.BFix (b, _, body, seed) ->
+        go b +. go seed +. (8.0 *. (1.0 +. go body))
+  in
+  go e
+
+(* --- the rewrite families -------------------------------------------------- *)
+
+(* [Some ixs] when [body] is the projection tuple <x.i1, ..., x.in>. *)
+let proj_body x body =
+  match body with
+  | Expr.Tuple es ->
+      let rec collect acc = function
+        | [] -> Some (List.rev acc)
+        | Expr.Proj (i, Expr.Var y) :: rest when String.equal y x ->
+            collect (i :: acc) rest
+        | _ -> None
+      in
+      collect [] es
+  | _ -> None
+
+(* π over × splits when the projected columns partition left-before-right:
+   multiplicities factor through the product, so projecting each side
+   separately and re-crossing coalesces to the identical bag while the
+   product materialises narrower (or, with an empty side, vanishingly
+   small) tuples. *)
+let rule_prune_map_product =
+  {
+    Rewrite.name = "prune-map-product";
+    applies =
+      (fun env -> function
+        | Expr.Map (x, body, Expr.Product (a, b)) -> (
+            match (proj_body x body, Rewrite.arity_of env a, Rewrite.arity_of env b)
+            with
+            | Some ixs, Some ka, Some kb
+              when List.for_all (fun i -> i >= 1 && i <= ka + kb) ixs ->
+                let rec split acc = function
+                  | i :: rest when i <= ka -> split (i :: acc) rest
+                  | rest -> (List.rev acc, rest)
+                in
+                let la, lb = split [] ixs in
+                let identity =
+                  la = List.init ka (fun i -> i + 1)
+                  && lb = List.init kb (fun i -> ka + i + 1)
+                in
+                if List.for_all (fun i -> i > ka) lb && not identity then
+                  Some
+                    (Expr.Product
+                       ( Expr.proj_attrs la a,
+                         Expr.proj_attrs (List.map (fun i -> i - ka) lb) b ))
+                else None
+            | _ -> None)
+        | _ -> None);
+  }
+
+(* A projection reading only the key columns of a nest never looks at the
+   groups, and distinct groups have distinct full keys — so as long as
+   every key position is kept the whole grouping is a dedup of the key
+   projection over the raw input. *)
+let rule_prune_nest_keys =
+  {
+    Rewrite.name = "prune-nest-keys";
+    applies =
+      (fun _env -> function
+        | Expr.Map (x, body, Expr.Nest (ixs, e0)) -> (
+            match proj_body x body with
+            | Some ps ->
+                let nkeys = List.length ixs in
+                if
+                  ps <> []
+                  && List.for_all (fun p -> p >= 1 && p <= nkeys) ps
+                  && List.for_all
+                       (fun q -> List.mem q ps)
+                       (List.init nkeys (fun i -> i + 1))
+                then
+                  Some
+                    (Expr.Dedup
+                       (Expr.proj_attrs
+                          (List.map (fun p -> List.nth ixs (p - 1)) ps)
+                          e0))
+                else None
+            | None -> None)
+        | _ -> None);
+  }
+
+(* σ_{x.i = x.j} over a × b with the two attributes on opposite sides is
+   exactly the keyed equijoin, and Bag.join_eq / Vec.join materialise only
+   the matches.  Left-deep product chains plan bottom-up: the inner
+   product extracts first, leaving the outer selection over
+   (join × c) to extract in the next pass. *)
+let rule_join_extract =
+  {
+    Rewrite.name = "join-extract";
+    applies =
+      (fun env -> function
+        | Expr.Select
+            ( x,
+              Expr.Proj (i, Expr.Var x1),
+              Expr.Proj (j, Expr.Var x2),
+              Expr.Product (a, b) )
+          when String.equal x1 x && String.equal x2 x -> (
+            match (Rewrite.arity_of env a, Rewrite.arity_of env b) with
+            | Some ka, Some kb ->
+                if i >= 1 && i <= ka && j > ka && j <= ka + kb then
+                  Some (Expr.Join (i, j - ka, a, b))
+                else if j >= 1 && j <= ka && i > ka && i <= ka + kb then
+                  Some (Expr.Join (j, i - ka, a, b))
+                else None
+            | _ -> None)
+        | _ -> None);
+  }
+
+(* σ_P(MAP_f e) = MAP_f(σ_{P∘f} e) for any f — filtering images keeps
+   exactly the rows whose image passes.  Restricted to projection-shaped
+   maps and projection/closed condition operands so the pushed selection
+   keeps the vectorizable select_eq shape. *)
+let rule_select_through_proj =
+  {
+    Rewrite.name = "select-through-proj";
+    applies =
+      (fun _env -> function
+        | Expr.Select (x, l, r, Expr.Map (y, body, e0)) -> (
+            match proj_body y body with
+            | Some ps ->
+                let np = List.length ps in
+                let translate op =
+                  match op with
+                  | Expr.Proj (i, Expr.Var z)
+                    when String.equal z x && i >= 1 && i <= np ->
+                      Some (fun x' -> Expr.Proj (List.nth ps (i - 1), Expr.Var x'))
+                  | op when not (Expr.Vars.mem x (Expr.free_vars op)) ->
+                      Some (fun _ -> op)
+                  | _ -> None
+                in
+                (match (translate l, translate r) with
+                | Some fl, Some fr ->
+                    let x' = Expr.fresh_var x in
+                    Some
+                      (Expr.Map
+                         (y, body, Expr.Select (x', fl x', fr x', e0)))
+                | _ -> None)
+            | None -> None)
+        | _ -> None);
+  }
+
+(* MAP preserves total cardinality, so a map whose body ignores its row
+   sees only *how many* elements the inner map produced — the inner
+   restructuring is dead work. *)
+let rule_ones_pushdown =
+  {
+    Rewrite.name = "ones-pushdown";
+    applies =
+      (fun _env -> function
+        | Expr.Map (y, body, Expr.Map (_, _, e0))
+          when not (Expr.Vars.mem y (Expr.free_vars body)) ->
+            Some (Expr.Map (y, body, e0))
+        | _ -> None);
+  }
+
+let rules =
+  [
+    rule_join_extract;
+    rule_select_through_proj;
+    rule_prune_map_product;
+    rule_prune_nest_keys;
+    rule_ones_pushdown;
+  ]
+
+(* --- driving --------------------------------------------------------------- *)
+
+type decision = {
+  d_rule : string;
+  d_before : Expr.t;
+  d_after : Expr.t;
+  d_cost_before : float;
+  d_cost_after : float;
+  d_accepted : bool;
+}
+
+type report = {
+  r_mode : mode;
+  r_engine : Veval.engine;
+  r_input : Expr.t;
+  r_output : Expr.t;
+  r_input_cost : float;
+  r_output_cost : float;
+  r_input_props : Props.t;
+  r_output_props : Props.t;
+  r_decisions : decision list;
+  r_faulted : bool;
+}
+
+let max_passes = 8
+let max_decisions = 200
+
+let optimize ?(vals = []) ?(engine = Veval.Tree) mode tenv e0 =
+  if Obs.on () then Obs.emit Obs.B ~cat:"opt" ~name:"optimize" ~args:[ ("size", Obs.Int (Expr.size e0)); ("mode", Obs.Str (mode_to_string mode)) ];
+  let decisions = ref [] and ndec = ref 0 and faulted = ref false in
+  let record d =
+    if !ndec < max_decisions then begin
+      decisions := d :: !decisions;
+      incr ndec
+    end
+  in
+  let accept cb ca =
+    match mode with
+    | Rules -> true
+    | Cost -> if !invert_cost then ca > cb else ca < cb
+    | Off -> false
+  in
+  let all_rules = Rewrite.sound_rules @ rules in
+  let changed_in_pass = ref false in
+  let try_node e =
+    let rec fire e fuel =
+      if fuel = 0 || !faulted then e
+      else
+        let chosen =
+          List.fold_left
+            (fun acc r ->
+              match acc with
+              | Some _ -> acc
+              | None -> (
+                  if !faulted then None
+                  else
+                    match r.Rewrite.applies tenv e with
+                    | Some e' when Rewrite.expr_compare e' e <> 0 ->
+                        if Fault.fire rewrite_site then begin
+                          (* degrade: ship the plan as it stands *)
+                          faulted := true;
+                          None
+                        end
+                        else begin
+                          let cb = cost ~vals engine tenv e
+                          and ca = cost ~vals engine tenv e' in
+                          let ok = accept cb ca in
+                          record
+                            {
+                              d_rule = r.Rewrite.name;
+                              d_before = e;
+                              d_after = e';
+                              d_cost_before = cb;
+                              d_cost_after = ca;
+                              d_accepted = ok;
+                            };
+                          Metrics.incr (if ok then m_applied else m_rejected);
+                          if ok then Some e' else None
+                        end
+                    | _ -> None))
+            None all_rules
+        in
+        match chosen with
+        | Some e' ->
+            changed_in_pass := true;
+            if Obs.on () then Obs.emit Obs.I ~cat:"opt" ~name:"rewrite" ~args:[ ("size", Obs.Int (Expr.size e')) ];
+            fire e' (fuel - 1)
+        | None -> e
+    in
+    fire e 16
+  in
+  let rec bottom_up e =
+    if !faulted then e else try_node (Rewrite.map_children bottom_up e)
+  in
+  let rec passes n e =
+    if n = 0 || !faulted then e
+    else begin
+      changed_in_pass := false;
+      let e' = bottom_up e in
+      if !changed_in_pass then passes (n - 1) e' else e'
+    end
+  in
+  let output = match mode with Off -> e0 | Rules | Cost -> passes max_passes e0 in
+  let report =
+    {
+      r_mode = mode;
+      r_engine = engine;
+      r_input = e0;
+      r_output = output;
+      r_input_cost = cost ~vals engine tenv e0;
+      r_output_cost = cost ~vals engine tenv output;
+      r_input_props = Props.infer ~vals tenv e0;
+      r_output_props = Props.infer ~vals tenv output;
+      r_decisions = List.rev !decisions;
+      r_faulted = !faulted;
+    }
+  in
+  if Obs.on () then Obs.emit Obs.E ~cat:"opt" ~name:"optimize" ~args:[ ("size", Obs.Int (Expr.size output)); ("decisions", Obs.Int (List.length report.r_decisions)) ];
+  (output, report)
+
+(* The evaluation-path entry: planning failures must never take down a
+   query that would have run fine unoptimised. *)
+let prepare ?vals ?engine mode tenv e =
+  match optimize ?vals ?engine mode tenv e with
+  | e', _ -> e'
+  | exception _ -> e
+
+(* --- explain rendering ----------------------------------------------------- *)
+
+let truncate_expr width e =
+  let s = Expr.to_string e in
+  if String.length s <= width then s else String.sub s 0 (width - 3) ^ "..."
+
+let report_to_string r =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "optimizer: mode=%s engine=%s%s\n" (mode_to_string r.r_mode)
+       (match r.r_engine with Veval.Tree -> "tree" | Veval.Vec -> "vec")
+       (if r.r_faulted then "  [degraded: opt.rewrite fault]" else ""));
+  Buffer.add_string b
+    (Printf.sprintf "  input  cost=%.0f  props=%s\n" r.r_input_cost
+       (Props.to_string r.r_input_props));
+  Buffer.add_string b
+    (Printf.sprintf "  output cost=%.0f  props=%s\n" r.r_output_cost
+       (Props.to_string r.r_output_props));
+  if r.r_decisions = [] then
+    Buffer.add_string b "  (no rewrite opportunities)\n"
+  else
+    List.iter
+      (fun d ->
+        Buffer.add_string b
+          (Printf.sprintf "  %s %-22s cost %.0f -> %.0f  %s => %s\n"
+             (if d.d_accepted then "applied " else "rejected")
+             d.d_rule d.d_cost_before d.d_cost_after
+             (truncate_expr 48 d.d_before)
+             (truncate_expr 48 d.d_after)))
+      r.r_decisions;
+  Buffer.contents b

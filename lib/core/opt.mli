@@ -1,0 +1,87 @@
+(** Cost-based plan optimisation: property-driven rewrites between
+    [check] and evaluation.
+
+    Three optimiser-specific rewrite families — dead-column pruning
+    through [MAP]/π/[nest], extraction of keyed hash joins
+    ({!Expr.Join}) from selection-over-product shapes, and
+    selection/aggregate pushdown through [MAP] — run together with the
+    sound laws of {!Rewrite}.  In {!Cost} mode each candidate is gated by
+    a cost model over {!Props} estimates with per-engine kernel
+    constants; {!Rules} applies everything unconditionally; {!Off} is the
+    identity.  Optimised plans are bit-identical to the originals on both
+    engines (property-tested in [test/test_opt.ml]).
+
+    The [opt.rewrite] fault site aborts the remaining planning work when
+    it fires, shipping the expression as-is: an armed optimiser can lose
+    speed but never correctness. *)
+
+type mode = Off | Rules | Cost
+
+val mode_to_string : mode -> string
+val mode_of_string : string -> mode option
+
+val default_mode : unit -> mode
+(** [BALG_OPT] env var ([off]/[rules]/[cost]); unknown values and an
+    unset variable mean {!Off}. *)
+
+val invert_cost : bool ref
+(** Test-only: invert the cost objective so only cost-{e increasing}
+    rewrites are accepted.  The bench gate's self-test uses this to prove
+    a deliberately-miscosted planner trips the regression gate. *)
+
+val rules : Rewrite.rule list
+(** The optimiser-specific families, each named for the decision log:
+    [join-extract], [select-through-proj], [prune-map-product],
+    [prune-nest-keys], [ones-pushdown]. *)
+
+val cost : ?vals:(string * Value.t) list -> Veval.engine -> Typecheck.env -> Expr.t -> float
+(** Estimated execution cost: per-node kernel work charged against
+    {!Props} row estimates, with cheaper constants for shapes the
+    vectorized engine runs as flat-array kernels. *)
+
+(** One candidate rewrite considered by the planner. *)
+type decision = {
+  d_rule : string;
+  d_before : Expr.t;
+  d_after : Expr.t;
+  d_cost_before : float;
+  d_cost_after : float;
+  d_accepted : bool;
+}
+
+(** What the planner did, for [balgi explain]. *)
+type report = {
+  r_mode : mode;
+  r_engine : Veval.engine;
+  r_input : Expr.t;
+  r_output : Expr.t;
+  r_input_cost : float;
+  r_output_cost : float;
+  r_input_props : Props.t;
+  r_output_props : Props.t;
+  r_decisions : decision list;
+  r_faulted : bool;  (** the [opt.rewrite] fault cut planning short *)
+}
+
+val optimize :
+  ?vals:(string * Value.t) list ->
+  ?engine:Veval.engine ->
+  mode ->
+  Typecheck.env ->
+  Expr.t ->
+  Expr.t * report
+(** Rewrite to a (bounded) fixpoint, recording every accepted and
+    rejected candidate.  [vals] feeds actual relation contents to the
+    property inference for exact leaf cardinalities. *)
+
+val prepare :
+  ?vals:(string * Value.t) list ->
+  ?engine:Veval.engine ->
+  mode ->
+  Typecheck.env ->
+  Expr.t ->
+  Expr.t
+(** {!optimize} for the evaluation path: never raises — any planning
+    failure returns the expression unchanged. *)
+
+val report_to_string : report -> string

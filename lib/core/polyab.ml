@@ -132,6 +132,32 @@ let rec ainterp ctx (e : Expr.t) : res =
         (List.fold_left
            (fun acc (t, p) -> merge_entries Poly.add acc [ (t, p) ])
            [] cross)
+  | Expr.Join (i, j, a, b) ->
+      (* the Product case restricted to matching key components — exactly
+         σ_{i = ka+j} applied to the abstract cross product *)
+      let ea = as_entries (ainterp ctx a) and eb = as_entries (ainterp ctx b) in
+      let key k t =
+        match List.nth_opt (Value.as_tuple t) (k - 1) with
+        | Some v -> v
+        | None -> unsupported "join attribute %d of %s" k (Value.to_string t)
+      in
+      let cross =
+        List.concat_map
+          (fun (t1, p1) ->
+            List.filter_map
+              (fun (t2, p2) ->
+                if Value.equal (key i t1) (key j t2) then
+                  Some
+                    ( Value.tuple (Value.as_tuple t1 @ Value.as_tuple t2),
+                      Poly.mul p1 p2 )
+                else None)
+              eb)
+          ea
+      in
+      Abag
+        (List.fold_left
+           (fun acc (t, p) -> merge_entries Poly.add acc [ (t, p) ])
+           [] cross)
   | Expr.Map (x, body, e) ->
       let entries = as_entries (ainterp ctx e) in
       let images =

@@ -1,0 +1,36 @@
+(** Bottom-up static properties of algebra expressions — the analysis pass
+    behind the cost-based optimiser ({!Opt}).
+
+    [infer] walks an expression once and produces, per root, a record of
+    facts the planner consumes: the tuple arity when the result is a flat
+    bag of tuples, a saturating support estimate (exact where provable),
+    a distinctness fact, and — where the expression lives in the
+    BALG{^1}(+ε) fragment over at most one bag input — the total
+    cardinality as an occurrence polynomial via {!Polyab}
+    (Proposition 4.1), evaluated at the input's actual cardinality to
+    tighten the heuristic estimate. *)
+
+type t = {
+  arity : int option;  (** tuple width when the node is a flat bag of tuples *)
+  rows : int;  (** saturating estimate of the output support *)
+  exact : bool;  (** [rows] is exact, not a heuristic *)
+  distinct : bool;  (** every multiplicity is provably one *)
+  card : Poly.t option;
+      (** total-cardinality polynomial in the input cardinality, present
+          when the BALG{^1}+ε fragment applies *)
+}
+
+val default_rows : int
+(** Support assumed for relations with no supplied binding. *)
+
+val infer : ?vals:(string * Value.t) list -> Typecheck.env -> Expr.t -> t
+(** Infer properties bottom-up.  [vals] supplies actual relation contents
+    (e.g. the loaded database) for exact leaf supports and distinctness;
+    unbound relations fall back to {!default_rows}.  Never raises: nodes
+    that defeat the analysis degrade to conservative estimates. *)
+
+val of_value : Value.t -> t
+(** Exact properties of a concrete value. *)
+
+val to_string : t -> string
+(** One-line rendering for [balgi explain] and debugging. *)

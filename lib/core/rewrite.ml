@@ -97,6 +97,7 @@ and map_children f e =
   | Expr.UnionMax (a, b) -> Expr.UnionMax (f a, f b)
   | Expr.Inter (a, b) -> Expr.Inter (f a, f b)
   | Expr.Product (a, b) -> Expr.Product (f a, f b)
+  | Expr.Join (i, j, a, b) -> Expr.Join (i, j, f a, f b)
   | Expr.Powerset e -> Expr.Powerset (f e)
   | Expr.Powerbag e -> Expr.Powerbag (f e)
   | Expr.Destroy e -> Expr.Destroy (f e)

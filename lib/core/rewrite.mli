@@ -15,6 +15,14 @@ type rule = {
 val expr_compare : Expr.t -> Expr.t -> int
 (** Structural total order on expressions (used to orient AC operators). *)
 
+val arity_of : Typecheck.env -> Expr.t -> int option
+(** Tuple width of a flat bag-of-tuples expression, [None] when the type
+    is something else or does not infer (e.g. under an unrecorded binder). *)
+
+val map_children : (Expr.t -> Expr.t) -> Expr.t -> Expr.t
+(** Rebuild a node with [f] applied to each immediate subexpression
+    (binders untouched) — the traversal step shared with {!Opt}. *)
+
 (** {1 Bag-sound rules} *)
 
 val rule_comm_unionadd : rule

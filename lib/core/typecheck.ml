@@ -60,6 +60,23 @@ and infer_node ~record env e =
       | ta, tb ->
           error "product requires bags of tuples, got %s and %s"
             (Ty.to_string ta) (Ty.to_string tb))
+  | Expr.Join (i, j, a, b) -> (
+      match (infer env a, infer env b) with
+      | Ty.Bag (Ty.Tuple ts), Ty.Bag (Ty.Tuple us) ->
+          if i < 1 || i > List.length ts then
+            error "join: left attribute %d out of range (arity %d)" i
+              (List.length ts);
+          if j < 1 || j > List.length us then
+            error "join: right attribute %d out of range (arity %d)" j
+              (List.length us);
+          let ti = List.nth ts (i - 1) and tj = List.nth us (j - 1) in
+          if not (Ty.equal ti tj) then
+            error "join compares %s with %s" (Ty.to_string ti)
+              (Ty.to_string tj);
+          Ty.Bag (Ty.Tuple (ts @ us))
+      | ta, tb ->
+          error "join requires bags of tuples, got %s and %s"
+            (Ty.to_string ta) (Ty.to_string tb))
   | Expr.Powerset e | Expr.Powerbag e -> (
       match infer env e with
       | Ty.Bag t -> Ty.Bag (Ty.Bag t)

@@ -765,6 +765,64 @@ let product ?pool a b =
       concat_vecs parts
   | _ -> slice (0, a.rows)
 
+(* Keyed equijoin: σ_{i = ka+j}(a × b) without the product.  [b]'s rows
+   are bucketed by the hash of their [j]-th cell (cell_hash works across
+   vectors: atom codes are global, segments canonical); [a]'s rows probe
+   the table and matched (left, right) index pairs drive one gather per
+   column plus a pairwise count product — the same output rows the product
+   kernel would build and select_scalar would keep, so [to_value] coalesces
+   them to the identical canonical bag.  With a pool, probe slices cover
+   contiguous ranges of [a]'s rows against the shared table, frozen
+   (read-only) after the build. *)
+let join ?pool i j a b =
+  Fault.inject alloc_site;
+  let acols = tuple_cols a.data and bcols = tuple_cols b.data in
+  if i < 1 || i > Array.length acols then
+    unsupported "join: left attribute out of range";
+  if j < 1 || j > Array.length bcols then
+    unsupported "join: right attribute out of range";
+  let ka = acols.(i - 1) and kb = bcols.(j - 1) in
+  let tbl : (int, int list) Hashtbl.t = Hashtbl.create ((2 * b.rows) + 1) in
+  for r = b.rows - 1 downto 0 do
+    let h = cell_hash kb r in
+    let bucket = match Hashtbl.find_opt tbl h with Some l -> l | None -> [] in
+    Hashtbl.replace tbl h (r :: bucket) (* domain-local: fresh table per call, read-only after the build loop *)
+  done;
+  let probe_slice (lo, hi) =
+    let ia = ref [] and ib = ref [] in
+    for r = lo to hi - 1 do
+      match Hashtbl.find_opt tbl (cell_hash ka r) with
+      | None -> ()
+      | Some bucket ->
+          List.iter
+            (fun rb ->
+              if cell_eq ka r kb rb then begin
+                ia := r :: !ia;
+                ib := rb :: !ib
+              end)
+            bucket
+    done;
+    let ia = Array.of_list (List.rev !ia)
+    and ib = Array.of_list (List.rev !ib) in
+    {
+      rows = Array.length ia;
+      data =
+        CTuple
+          (Array.append
+             (Array.map (fun c -> gather_col c ia) acols)
+             (Array.map (fun c -> gather_col c ib) bcols));
+      cnts = mul_counts a.cnts ia b.cnts ib;
+    }
+  in
+  match pool with
+  | Some p when Pool.jobs p > 1 && a.rows >= Pool.chunk_min p ->
+      let parts =
+        pool_run p
+          (List.map (fun r () -> probe_slice r) (ranges (4 * Pool.jobs p) a.rows))
+      in
+      concat_vecs parts
+  | _ -> probe_slice (0, a.rows)
+
 let map_scalar s t =
   Fault.inject alloc_site;
   { rows = t.rows; data = eval_scalar t s; cnts = t.cnts }

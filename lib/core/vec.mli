@@ -85,6 +85,15 @@ val expected_product_rows : t -> t -> int
 (** Saturating [rows a * rows b] — the pre-materialisation guard. *)
 
 val product : ?pool:Pool.t -> t -> t -> t
+
+val join : ?pool:Pool.t -> int -> int -> t -> t -> t
+(** [join i j a b] is the keyed equijoin σ_{i = ka+j}(a × b) as one hash
+    join: [b]'s rows are bucketed by their [j]-th cell, [a]'s rows probe,
+    and only matching pairs are materialised.  [to_value] of the result is
+    bit-identical to the unfused product-then-select plan.  With [?pool],
+    contiguous probe ranges run across domains against the shared
+    read-only table. *)
+
 val map_scalar : scalar -> t -> t
 val select_scalar : ?pool:Pool.t -> scalar -> scalar -> t -> t
 

@@ -450,6 +450,13 @@ and compile_node ~att ~pn ~sub (e : Expr.t) : compiled =
           Budget.check_support st.budget ~node:att.id ~op:att.op n;
           Vec.product ?pool:st.pool xa xb)
         (fun st va vb -> Bag.product ?pool:st.pool va vb)
+  | Expr.Join (i, j, a, b) ->
+      (* Hash join: output rows are bounded by the raw product, but the
+         kernel only materialises matches, so no pre-charge beyond the
+         support check the kernel's result gets from [observe_hv]. *)
+      vbin "vec:join" a b
+        (fun st xa xb -> Vec.join ?pool:st.pool i j xa xb)
+        (fun st va vb -> Bag.join_eq ?pool:st.pool i j va vb)
   | Expr.Powerset e0 ->
       let c = sub e0 in
       fun st env ->

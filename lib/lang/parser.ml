@@ -11,6 +11,7 @@
     primary  ::= "(" expr ")" | "<" exprs ">" | bag-literal | 'atom
                | "pi" "[" ints "]" "(" expr ")"
                | "nest" "[" ints "]" "(" expr ")" | "unnest" "[" INT "]" "(" expr ")"
+               | "join" "[" INT "," INT "]" "(" expr "," expr ")"
                | "map" "(" IDENT "->" expr "," expr ")"
                | "select" "(" IDENT "->" expr "==" expr "," expr ")"
                | "fix" "(" IDENT "->" expr "," expr ")"
@@ -271,6 +272,19 @@ and parse_primary st =
       let i = int_of_string (expect_int st) in
       expect st Lexer.RBRACKET;
       parse_unary_call st (fun e -> Expr.Unnest (i, e))
+  | Lexer.IDENT "join", _ ->
+      advance st;
+      expect st Lexer.LBRACKET;
+      let i = int_of_string (expect_int st) in
+      expect st Lexer.COMMA;
+      let j = int_of_string (expect_int st) in
+      expect st Lexer.RBRACKET;
+      expect st Lexer.LPAREN;
+      let a = parse_expr st in
+      expect st Lexer.COMMA;
+      let b = parse_expr st in
+      expect st Lexer.RPAREN;
+      Expr.Join (i, j, a, b)
   | Lexer.IDENT "pi", _ ->
       advance st;
       expect st Lexer.LBRACKET;

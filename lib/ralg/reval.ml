@@ -53,6 +53,10 @@ let rec eval (env : env) (e : Expr.t) : Value.t =
       Rel.to_value (Rel.inter (as_rel (eval env a)) (as_rel (eval env b)))
   | Expr.Product (a, b) ->
       Rel.to_value (Rel.product (as_rel (eval env a)) (as_rel (eval env b)))
+  | Expr.Join (i, j, a, b) ->
+      (* set operands carry unit counts, so the bag hash join is already
+         the relational equijoin *)
+      Rel.set_value_of (Bag.join_eq i j (eval env a) (eval env b))
   | Expr.Powerset e -> Rel.to_value (Rel.powerset (as_rel (eval env e)))
   | Expr.Powerbag _ -> error "powerbag has no set semantics"
   | Expr.Destroy e -> Rel.to_value (Rel.destroy (as_rel (eval env e)))

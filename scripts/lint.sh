@@ -90,6 +90,25 @@ if [ -n "$bad" ]; then
   fail=1
 fi
 
+# rewrite coverage: every named rule in the rewriter and the optimizer
+# must be exercised by a differential/witness test — a rule whose
+# 'applies' never fires under test is an unsound-rewrite time bomb.  A
+# rule counts as covered when its name literal appears in
+# test/test_rewrite.ml or test/test_opt.ml.
+uncovered=$({ grep -hoE 'name = "[^"]+"' lib/core/rewrite.ml lib/core/opt.ml \
+    | sed 's/^.*name = "\(.*\)"$/\1/';
+    grep -hoE 'commute "[^"]+"' lib/core/rewrite.ml \
+    | sed 's/^commute "\(.*\)"$/\1/'; } \
+  | sort -u \
+  | while IFS= read -r r; do
+      grep -qF -- "$r" test/test_rewrite.ml test/test_opt.ml || echo "$r"
+    done)
+if [ -n "$uncovered" ]; then
+  echo "lint: rewrite/optimizer rules with no covering test (add a witness to test/test_rewrite.ml or test/test_opt.ml):"
+  echo "$uncovered" | sed 's/^/  /'
+  fail=1
+fi
+
 # scripts stay executable-safe: every scripts/*.sh must pass a syntax check
 for s in scripts/*.sh; do
   if ! sh -n "$s"; then

@@ -17,8 +17,12 @@ let rel2 l =
     (List.map (fun (x, y) -> Value.tuple [ Value.atom x; Value.atom y ]) l)
 
 (* Routed through the engine dispatcher so the CI vec leg (BALG_ENGINE=vec)
-   runs these semantics tests under the vectorized engine too. *)
+   runs these semantics tests under the vectorized engine too, and through
+   the planner so the optimizer leg (BALG_OPT=cost) evaluates optimized
+   plans.  The type env is empty here, so only type-agnostic rules fire —
+   prepare never raises either way. *)
 let ev ?(env = []) e =
+  let e = Opt.prepare ~vals:env (Opt.default_mode ()) Typecheck.Env.empty e in
   Veval.eval_engine (Veval.default_engine ()) (Eval.env_of_list env) e
 let tc ?(env = []) e = Typecheck.infer (Typecheck.env_of_list env) e
 

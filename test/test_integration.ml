@@ -34,6 +34,11 @@ let pipeline query =
   let v = Veval.eval_engine engine venv e
   and v' = Veval.eval_engine engine venv e' in
   Alcotest.check value "normalization preserves value" v v';
+  (* the CI optimizer leg (BALG_OPT=cost) drives every pipeline through
+     the cost-based planner as well *)
+  let e_opt = Opt.prepare (Opt.default_mode ()) tenv e in
+  Alcotest.check value "optimization preserves value" v
+    (Veval.eval_engine engine venv e_opt);
   v
 
 let test_follower_counts () =
