@@ -1,0 +1,240 @@
+(* balgd — the concurrent bag-database server.
+
+   One process serves many clients over a newline-delimited TCP protocol
+   (plus HTTP GET /metrics and /healthz on the same port): each connection
+   is a session with its own budget limits, evaluation runs only on the
+   worker domains behind the fuel-ceiling admission queue, writes go
+   through the write-ahead log and survive kill -9 (replayed through the
+   validating loader on restart).  See lib/server/server.mli for the wire
+   protocol and DESIGN.md section 14 for the architecture.
+
+   Process-exit discipline: as in balgi, no helper calls [exit] — the
+   single [exit] lives in the Cmdliner dispatch at the bottom
+   (scripts/lint.sh enforces this for both binaries). *)
+
+open Balg
+module Bagdb = Baglang.Bagdb
+module Server = Balgserver.Server
+
+let load_db = function
+  | None -> Ok []
+  | Some path -> (
+      match Bagdb.load path with
+      | db -> Ok db
+      | exception Bagdb.Db_error e ->
+          Error ("database error: " ^ Bagdb.error_to_string e))
+
+let apply_faults fault fault_seed =
+  match fault with
+  | None -> Ok ()
+  | Some spec -> (
+      match Fault.configure ?seed:fault_seed spec with
+      | Ok () -> Ok ()
+      | Error e -> Error ("bad --fault spec: " ^ e))
+
+let run_serve host port store_dir db_path ceiling max_queue workers
+    default_fuel engine optimize cache_capacity compact_bytes fault fault_seed
+    =
+  let ( let* ) r k =
+    match r with
+    | Ok v -> k v
+    | Error msg ->
+        Printf.eprintf "balgd: %s\n" msg;
+        1
+  in
+  let* () = apply_faults fault fault_seed in
+  let* seed_db = load_db db_path in
+  let cfg =
+    {
+      Server.host;
+      port;
+      store_dir;
+      seed_db;
+      ceiling;
+      max_queue;
+      workers;
+      default_fuel;
+      engine;
+      optimize;
+      cache_capacity;
+      compact_bytes;
+    }
+  in
+  (* SIGINT/SIGTERM handling: a deferred OCaml signal handler only runs
+     at a safe point, and every server thread parks in a blocking C call
+     (accept, cond-wait) — a Sys.Signal_handle would never fire.  Block
+     the signals process-wide (spawned threads and domains inherit the
+     mask) and take them synchronously on a dedicated waiter thread. *)
+  let signals = [ Sys.sigint; Sys.sigterm ] in
+  (try ignore (Thread.sigmask Unix.SIG_BLOCK signals)
+   with Invalid_argument _ | Unix.Unix_error _ -> ());
+  let* sv =
+    match Server.start cfg with Ok sv -> Ok sv | Error msg -> Error msg
+  in
+  (* announce the bound (possibly ephemeral) port on stdout: scripts and
+     the smoke test grep this line to learn where to connect *)
+  Printf.printf "balgd listening on %s:%d\n%!" cfg.Server.host (Server.port sv);
+  let _waiter =
+    Thread.create
+      (fun () ->
+        (match Thread.wait_signal signals with
+        | _ -> ()
+        | exception Unix.Unix_error _ -> ());
+        Server.stop sv)
+      ()
+  in
+  Server.wait sv;
+  Printf.printf "balgd: served %d sessions, bye\n%!" (Server.sessions_served sv);
+  0
+
+(* --- cmdliner wiring ------------------------------------------------------ *)
+
+open Cmdliner
+
+let host_arg =
+  Arg.(
+    value
+    & opt string Server.default_config.Server.host
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.port
+    & info [ "p"; "port" ] ~docv:"PORT"
+        ~doc:"Listen port; $(b,0) picks an ephemeral port (announced on \
+              stdout).")
+
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Persistence directory (snapshot.bagdb + wal.log).  Created if \
+           missing; recovered through the validating loader on start — a \
+           torn WAL tail is truncated, the surviving prefix replayed.  \
+           Without $(docv) the store is in-memory only.")
+
+let db_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "d"; "db" ] ~docv:"FILE"
+        ~doc:
+          "A .bagdb file seeding a $(i,fresh) store (ignored when the \
+           store directory already holds a snapshot or WAL).")
+
+let ceiling_arg =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.ceiling
+    & info [ "ceiling" ] ~docv:"FUEL"
+        ~doc:
+          "Admission ceiling: maximum aggregate fuel weight of requests \
+           evaluating at once.  Requests beyond it queue (strict FIFO) or \
+           are rejected ($(b,err busy)).")
+
+let max_queue_arg =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.max_queue
+    & info [ "max-queue" ] ~docv:"N" ~doc:"Admission queue bound.")
+
+let workers_arg =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.workers
+    & info [ "w"; "workers" ] ~docv:"N" ~doc:"Evaluation worker domains.")
+
+let default_fuel_arg =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.default_fuel
+    & info [ "default-fuel" ] ~docv:"N"
+        ~doc:
+          "Per-request fuel limit for sessions that never issue \
+           $(b,set fuel=...); also the request's admission weight.")
+
+let engine_arg =
+  let engine_conv = Arg.enum [ ("tree", Veval.Tree); ("vec", Veval.Vec) ] in
+  Arg.(
+    value
+    & opt engine_conv (Veval.default_engine ())
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Default execution engine for new sessions: $(b,tree) or \
+           $(b,vec).  Sessions override with $(b,set engine=...).  \
+           $(b,BALG_ENGINE) sets the default.")
+
+let optimize_arg =
+  let mode_conv =
+    Arg.enum [ ("off", Opt.Off); ("rules", Opt.Rules); ("cost", Opt.Cost) ]
+  in
+  Arg.(
+    value
+    & opt mode_conv (Opt.default_mode ())
+    & info [ "optimize" ] ~docv:"MODE"
+        ~doc:
+          "Default optimizer mode for new sessions: $(b,off), $(b,rules) \
+           or $(b,cost).  Sessions override with $(b,set optimize=...).  \
+           $(b,BALG_OPT) sets the default.")
+
+let cache_arg =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.cache_capacity
+    & info [ "cache" ] ~docv:"N"
+        ~doc:
+          "Result-cache capacity (entries).  Keys are engine, optimizer \
+           mode, query text and the hashes of the referenced relations; \
+           entries are invalidated per relation on write.")
+
+let compact_bytes_arg =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.compact_bytes
+    & info [ "compact-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "Compact the WAL into the snapshot file once it grows past \
+           $(docv) bytes (also available on demand via the $(b,compact) \
+           command).")
+
+let fault_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault" ] ~docv:"SPEC"
+        ~doc:
+          "Arm fault-injection sites, e.g. \
+           $(b,server.session:p=0.05,wal.append:n=3).  Server sites: \
+           $(b,server.accept), $(b,server.session), $(b,server.worker), \
+           $(b,wal.append).  Overrides $(b,BALG_FAULT).")
+
+let fault_seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fault-seed" ] ~docv:"N"
+        ~doc:"Seed for probabilistic fault triggers.")
+
+let serve_term =
+  Term.(
+    const run_serve $ host_arg $ port_arg $ store_arg $ db_arg $ ceiling_arg
+    $ max_queue_arg $ workers_arg $ default_fuel_arg $ engine_arg
+    $ optimize_arg $ cache_arg $ compact_bytes_arg $ fault_arg
+    $ fault_seed_arg)
+
+let main =
+  Cmd.v
+    (Cmd.info "balgd" ~version:"1.2.0"
+       ~doc:
+         "Concurrent bag-database server: many sessions over one shared, \
+          write-ahead-logged store, with per-session budgets, fuel-ceiling \
+          admission control, a shared result cache and a Prometheus \
+          /metrics endpoint.")
+    serve_term
+
+let () =
+  Fault.init_from_env ();
+  exit (Cmd.eval' main)

@@ -394,6 +394,72 @@ let run_repl db_path opts =
   in
   loop ()
 
+(* --- client subcommand ---------------------------------------------------- *)
+
+(* A thin front-end over the balgd wire protocol (lib/server/client.ml):
+   commands come from repeated -e flags or, absent those, one per stdin
+   line — so `balgi client` composes with shell pipes.  Exit codes mirror
+   `balgi eval`: 0 all ok, 2 a budget verdict came back, 1 a protocol
+   error, a transport failure or a connect failure (1 dominates 2, like a
+   failed eval dominates an exhausted one). *)
+
+let classify_reply reply =
+  if String.length reply >= 4 && String.equal (String.sub reply 0 4) "err " then
+    `Err
+  else if
+    String.length reply >= 8 && String.equal (String.sub reply 0 8) "verdict "
+  then `Verdict
+  else `Ok
+
+let run_client host port cmds http_path =
+  match http_path with
+  | Some path -> (
+      match Balgserver.Client.http_get ~host ~port path with
+      | Ok body ->
+          print_string body;
+          0
+      | Error msg ->
+          Printf.eprintf "%s\n" msg;
+          1)
+  | None -> (
+      match Balgserver.Client.connect ~host ~port with
+      | Error msg ->
+          Printf.eprintf "%s\n" msg;
+          1
+      | Ok c ->
+          let saw_err = ref false and saw_verdict = ref false in
+          let send cmd =
+            match Balgserver.Client.request c cmd with
+            | Ok reply -> (
+                match classify_reply reply with
+                | `Err ->
+                    saw_err := true;
+                    Printf.eprintf "%s\n" reply;
+                    true
+                | `Verdict ->
+                    saw_verdict := true;
+                    print_endline reply;
+                    true
+                | `Ok ->
+                    print_endline reply;
+                    true)
+            | Error msg ->
+                saw_err := true;
+                Printf.eprintf "%s\n" msg;
+                false (* transport gone: stop the command stream *)
+          in
+          let rec stdin_loop () =
+            match In_channel.input_line stdin with
+            | None -> ()
+            | Some "" -> stdin_loop ()
+            | Some line -> if send line then stdin_loop ()
+          in
+          (match cmds with
+          | [] -> stdin_loop ()
+          | cmds -> ignore (List.for_all send cmds));
+          Balgserver.Client.close c;
+          if !saw_err then 1 else if !saw_verdict then 2 else 0)
+
 (* --- cmdliner wiring ------------------------------------------------------ *)
 
 open Cmdliner
@@ -623,11 +689,50 @@ let repl_cmd =
     (Cmd.info "repl" ~doc:"Interactive query loop.")
     Term.(const run_repl $ db_arg $ opts_term)
 
+let client_host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Server address.")
+
+let client_port_arg =
+  Arg.(
+    value & opt int 7421
+    & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
+
+let client_exec_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "e"; "exec" ] ~docv:"CMD"
+        ~doc:
+          "A protocol command to send (repeatable, sent in order), e.g. \
+           $(b,-e 'eval R * R' -e metrics).  Without $(b,-e), commands are \
+           read from stdin, one per line.")
+
+let client_http_get_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "http-get" ] ~docv:"PATH"
+        ~doc:
+          "Instead of the line protocol, issue one HTTP GET for $(docv) \
+           (e.g. $(b,/metrics)) and print the body.")
+
+let client_cmd =
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running balgd server.  Exit codes mirror $(b,eval): 0 \
+          all commands succeeded, 2 a budget verdict came back, 1 a \
+          protocol error or connection failure.")
+    Term.(
+      const run_client $ client_host_arg $ client_port_arg $ client_exec_arg
+      $ client_http_get_arg)
+
 let main =
   Cmd.group
     (Cmd.info "balgi" ~version:"1.2.0"
        ~doc:"Interpreter for the Grumbach–Milo nested bag algebra (BALG).")
-    [ eval_cmd; analyze_cmd; normalize_cmd; explain_cmd; repl_cmd ]
+    [ eval_cmd; analyze_cmd; normalize_cmd; explain_cmd; repl_cmd; client_cmd ]
 
 let () =
   Fault.init_from_env ();

@@ -73,8 +73,9 @@ let exhaustion_to_string x =
 
 type t = {
   limits : limits;
-  started : float;  (** wall-clock origin of the deadline *)
-  deadline : float;  (** absolute deadline, [infinity] when none *)
+  mutable started : float;  (** wall-clock origin of the deadline *)
+  mutable deadline : float;  (** absolute deadline, [infinity] when none *)
+  mutable armed : bool;  (** {!arm} has started the deadline clock *)
   fuel_spent : int Atomic.t;
   ticks : int Atomic.t;  (** charge counter, paces the deadline probes *)
   tripped : exhaustion option Atomic.t;
@@ -88,17 +89,37 @@ type t = {
    memo-hit fast path. *)
 let deadline_stride = 32
 
-let start limits =
-  let now = Unix.gettimeofday () in
+(* Account creation and clock start are split so a request can sit in an
+   admission queue without burning its deadline: an unarmed account has
+   [deadline = infinity], so every deadline probe passes until {!arm}
+   pins the clock to the dequeue instant.  [started] is still set here so
+   [elapsed_ms] reports something sensible for never-armed accounts. *)
+let create limits =
   {
     limits;
-    started = now;
-    deadline =
-      (match limits.deadline_s with None -> infinity | Some s -> now +. s);
+    started = Unix.gettimeofday ();
+    deadline = infinity;
+    armed = false;
     fuel_spent = Atomic.make 0;
     ticks = Atomic.make 0;
     tripped = Atomic.make None;
   }
+
+let arm t =
+  if not t.armed then begin
+    t.armed <- true;
+    let now = Unix.gettimeofday () in
+    t.started <- now;
+    t.deadline <-
+      (match t.limits.deadline_s with None -> infinity | Some s -> now +. s)
+  end
+
+let armed t = t.armed
+
+let start limits =
+  let t = create limits in
+  arm t;
+  t
 
 let limits t = t.limits
 let fuel_spent t = Atomic.get t.fuel_spent

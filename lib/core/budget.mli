@@ -67,8 +67,25 @@ type t
     shared account, and the fuel limit cuts the whole computation off at
     the same total spend as a sequential run. *)
 
+val create : limits -> t
+(** Open the account with the deadline clock {e unarmed}: fuel, support
+    and the other bounds are live immediately, but every deadline probe
+    passes until {!arm} starts the clock.  This is the constructor for
+    work that may {e wait} before it runs — a request parked in an
+    admission queue must not burn wall-clock deadline it never got to
+    spend on evaluation. *)
+
+val arm : t -> unit
+(** Start the deadline clock now ([deadline_s] counts from this call).
+    Idempotent; the first call wins.  Must happen-before evaluation on
+    the domain that will charge the account (the same discipline as
+    handing the account to a pool). *)
+
+val armed : t -> bool
+
 val start : limits -> t
-(** Open the account; the deadline clock starts now. *)
+(** [create] + [arm]: open the account with the deadline clock already
+    running — the right constructor when evaluation begins immediately. *)
 
 val limits : t -> limits
 val fuel_spent : t -> int

@@ -160,11 +160,14 @@ let rec free_vars = function
       Vars.union (free_vars bound)
         (Vars.union (Vars.remove x (free_vars body)) (free_vars seed))
 
-let fresh_counter = ref 0
+(* Atomic: the optimizer alpha-renames concurrently on server worker
+   domains, and a torn increment could hand two domains the same name.
+   Capture-freshness is per-expression, but unique names keep decision
+   logs and traces unambiguous too. *)
+let fresh_counter = Atomic.make 0
 
 let fresh_var hint =
-  incr fresh_counter;
-  Printf.sprintf "%%%s%d" hint !fresh_counter
+  Printf.sprintf "%%%s%d" hint (Atomic.fetch_and_add fresh_counter 1 + 1)
 
 (** Capture-avoiding substitution of [replacement] for free occurrences of
     [x]. *)

@@ -67,9 +67,16 @@ let parse ?path ?(max_count_digits = 10_000) (source : string) : t =
         let decl =
           wrap ~offset (fun () ->
               Parser.advance st;
+              (* The duplicate diagnostic must point {e into} the second,
+                 offending definition — at the repeated name itself, not at
+                 the original declaration (or merely at this record's [bag]
+                 keyword): peek the identifier's own offset before
+                 consuming it. *)
+              let name_offset = snd (Parser.peek st) in
               let name = Parser.expect_ident st in
               if List.mem name seen then
-                db_error ?path ~offset "duplicate bag name %s" name;
+                db_error ?path ~offset:name_offset "duplicate bag name %s"
+                  name;
               Parser.expect st Lexer.COLON;
               let ty = Parser.parse_ty st in
               Parser.expect st Lexer.EQUAL;

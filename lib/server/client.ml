@@ -1,0 +1,130 @@
+(* The balgd wire-protocol client; see client.mli. *)
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable closed : bool;
+}
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let resolve host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } -> raise Not_found
+    | h -> h.Unix.h_addr_list.(0))
+
+let connect ~host ~port =
+  match
+    let addr = resolve host in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    {
+      fd;
+      ic = Unix.in_channel_of_descr fd;
+      oc = Unix.out_channel_of_descr fd;
+      closed = false;
+    }
+  with
+  | c -> Ok c
+  | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (Printf.sprintf "cannot connect to %s:%d: %s" host port
+           (Unix.error_message e))
+  | exception Not_found -> Error (Printf.sprintf "unknown host %s" host)
+
+(* Multi-line responses are decided by the command, not sniffed from the
+   reply: only [metrics] and [dump] answer with a "."-terminated block. *)
+let multi_line cmd =
+  let head =
+    match String.index_opt cmd ' ' with
+    | Some i -> String.sub cmd 0 i
+    | None -> cmd
+  in
+  String.equal head "metrics" || String.equal head "dump"
+
+let request c cmd =
+  if c.closed then Error "connection closed"
+  else
+    match
+      output_string c.oc cmd;
+      output_char c.oc '\n';
+      flush c.oc;
+      if multi_line (String.trim cmd) then begin
+        let b = Buffer.create 256 in
+        let rec read_block first =
+          let line = strip_cr (input_line c.ic) in
+          if String.equal line "." then ()
+          else begin
+            if not first then Buffer.add_char b '\n';
+            Buffer.add_string b line;
+            read_block false
+          end
+        in
+        read_block true;
+        Buffer.contents b
+      end
+      else strip_cr (input_line c.ic)
+    with
+    | reply -> Ok reply
+    | exception End_of_file -> Error "connection closed by server"
+    | exception Sys_error msg -> Error msg
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let close c =
+  if not c.closed then begin
+    c.closed <- true;
+    (try
+       output_string c.oc "quit\n";
+       flush c.oc
+     with Sys_error _ | Unix.Unix_error _ -> ());
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+let http_get ~host ~port path =
+  match connect ~host ~port with
+  | Error _ as e -> e
+  | Ok c -> (
+      match
+        output_string c.oc
+          (Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n" path host);
+        flush c.oc;
+        let status = strip_cr (input_line c.ic) in
+        (* headers until the blank line, then the body to EOF *)
+        (try
+           while not (String.equal (strip_cr (input_line c.ic)) "") do
+             ()
+           done
+         with End_of_file -> ());
+        let b = Buffer.create 1024 in
+        (try
+           while true do
+             Buffer.add_channel b c.ic 1
+           done
+         with End_of_file -> ());
+        (status, Buffer.contents b)
+      with
+      | status, body ->
+          c.closed <- true;
+          (try Unix.close c.fd with Unix.Unix_error _ -> ());
+          if
+            String.length status >= 12
+            && String.equal (String.sub status 9 3) "200"
+          then Ok body
+          else Error ("http: " ^ status)
+      | exception End_of_file ->
+          close c;
+          Error "connection closed by server"
+      | exception Sys_error msg ->
+          close c;
+          Error msg
+      | exception Unix.Unix_error (e, _, _) ->
+          close c;
+          Error (Unix.error_message e))

@@ -1,0 +1,26 @@
+(** A small synchronous client for the [balgd] wire protocol, shared by
+    [balgi client] and the server tests.
+
+    One {!t} is one connection / one server session.  {!request} sends a
+    single command line and reads the response using the protocol's
+    framing rules: [metrics] and [dump] responses are multi-line,
+    terminated by a lone ["."] line (returned with the terminator
+    stripped); everything else is a single line. *)
+
+type t
+
+val connect : host:string -> port:int -> (t, string) result
+(** TCP connect.  [Error] carries a human-readable connect failure. *)
+
+val request : t -> string -> (string, string) result
+(** Send one command line, read one framed response.  [Ok] is the raw
+    response text (which may itself be an ["err ..."] or ["verdict ..."]
+    protocol line — classifying it is the caller's business); [Error] is
+    a transport failure (connection reset, EOF mid-response). *)
+
+val close : t -> unit
+(** Best-effort [quit] then close.  Idempotent. *)
+
+val http_get : host:string -> port:int -> string -> (string, string) result
+(** One-shot [GET path] against the same port (the server sniffs HTTP
+    from the first line).  [Ok body] on a 200, [Error] otherwise. *)

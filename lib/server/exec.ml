@@ -1,0 +1,227 @@
+(* The admission-controlled executor; see exec.mli for the model. *)
+
+open Balg
+
+type outcome =
+  [ `Ok of Value.t * Ty.t | `Verdict of Budget.exhaustion | `Fail of string ]
+
+(* Injection site: a worker domain dies at job pickup.  The job fails
+   with a structured error and the dying worker spawns its replacement —
+   the supervised-restart ladder a production executor needs. *)
+let worker_site = Fault.register "server.worker"
+
+let m_admitted =
+  Metrics.counter Metrics.default "balg_server_admitted_total"
+    ~help:"Requests admitted to a worker domain"
+
+let m_queued =
+  Metrics.counter Metrics.default "balg_server_queued_total"
+    ~help:"Requests that waited in the admission queue before running"
+
+let m_rejected =
+  Metrics.counter Metrics.default "balg_server_rejected_total"
+    ~help:"Requests rejected by admission control"
+
+let m_worker_deaths =
+  Metrics.counter Metrics.default "balg_server_worker_deaths_total"
+    ~help:"Worker domains killed (injected) and respawned"
+
+let g_inflight =
+  Metrics.gauge Metrics.default "balg_server_inflight_fuel"
+    ~help:"Aggregate fuel weight of requests currently evaluating"
+
+let g_queue =
+  Metrics.gauge Metrics.default "balg_server_queue_depth"
+    ~help:"Requests waiting in the admission queue"
+
+type job = {
+  j_weight : int;
+  j_budget : Budget.t;
+  j_run : unit -> outcome;
+  j_mu : Mutex.t;
+  j_cv : Condition.t;
+  mutable j_result : (outcome, string) result option;
+}
+
+type t = {
+  ceiling : int;
+  max_queue : int;
+  mu : Mutex.t;
+  cv : Condition.t;  (* signalled on: new job, fuel released, shutdown *)
+  queue : job Queue.t;
+  mutable inflight : int;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+  mutable deaths : int;
+}
+
+let deliver j r =
+  Mutex.lock j.j_mu;
+  j.j_result <- Some r;
+  Condition.signal j.j_cv;
+  Mutex.unlock j.j_mu
+
+(* Strict FIFO under the ceiling: only the head job is ever considered,
+   and it runs only when its weight fits alongside the fuel already in
+   flight — so a heavy request cannot be starved by a stream of light
+   ones slipping past it, and aggregate admitted fuel never exceeds the
+   ceiling. *)
+let rec take_next t =
+  if t.stopping then None
+  else
+    match Queue.peek_opt t.queue with
+    | Some j when t.inflight + j.j_weight <= t.ceiling ->
+        ignore (Queue.pop t.queue);
+        t.inflight <- t.inflight + j.j_weight;
+        Metrics.set_gauge g_inflight (float_of_int t.inflight);
+        Metrics.set_gauge g_queue (float_of_int (Queue.length t.queue));
+        Some j
+    | _ ->
+        Condition.wait t.cv t.mu;
+        take_next t
+
+let release t j =
+  Mutex.lock t.mu;
+  t.inflight <- t.inflight - j.j_weight;
+  Metrics.set_gauge g_inflight (float_of_int t.inflight);
+  Condition.broadcast t.cv;
+  Mutex.unlock t.mu
+
+let rec worker_loop t =
+  Mutex.lock t.mu;
+  let j = take_next t in
+  Mutex.unlock t.mu;
+  match j with
+  | None -> () (* shutdown *)
+  | Some j ->
+      if Fault.fire worker_site then begin
+        (* injected worker death: fail the job, hand the fuel back, spawn
+           a replacement domain, and let this domain exit *)
+        release t j;
+        deliver j (Error "worker died (injected fault); request abandoned");
+        Mutex.lock t.mu;
+        t.deaths <- t.deaths + 1;
+        Metrics.incr m_worker_deaths;
+        if not t.stopping then
+          t.domains <- Domain.spawn (fun () -> worker_loop t) :: t.domains;
+        Mutex.unlock t.mu
+      end
+      else begin
+        Metrics.incr m_admitted;
+        (* the deadline clock starts here — at dequeue, not at parse — so
+           time spent waiting for admission is never billed against the
+           request's deadline (see Budget.create/arm) *)
+        Budget.arm j.j_budget;
+        let r =
+          try Ok (j.j_run ())
+          with exn -> Ok (`Fail ("internal: " ^ Printexc.to_string exn))
+        in
+        release t j;
+        deliver j r;
+        worker_loop t
+      end
+
+let create ~ceiling ~max_queue ~workers () =
+  let t =
+    {
+      ceiling = max 1 ceiling;
+      max_queue = max 1 max_queue;
+      mu = Mutex.create ();
+      cv = Condition.create ();
+      queue = Queue.create ();
+      inflight = 0;
+      stopping = false;
+      domains = [];
+      deaths = 0;
+    }
+  in
+  let workers = max 1 workers in
+  t.domains <-
+    List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let submit t ~weight ~budget ~run =
+  let weight = max 1 weight in
+  Mutex.lock t.mu;
+  if t.stopping then begin
+    Mutex.unlock t.mu;
+    Metrics.incr m_rejected;
+    Error "server shutting down"
+  end
+  else if weight > t.ceiling then begin
+    Mutex.unlock t.mu;
+    Metrics.incr m_rejected;
+    Error
+      (Printf.sprintf
+         "request fuel %d exceeds the admission ceiling %d (lower the \
+          session fuel limit)"
+         weight t.ceiling)
+  end
+  else if Queue.length t.queue >= t.max_queue then begin
+    Mutex.unlock t.mu;
+    Metrics.incr m_rejected;
+    Error "admission queue full"
+  end
+  else begin
+    if t.inflight + weight > t.ceiling || not (Queue.is_empty t.queue) then
+      Metrics.incr m_queued;
+    let j =
+      {
+        j_weight = weight;
+        j_budget = budget;
+        j_run = run;
+        j_mu = Mutex.create ();
+        j_cv = Condition.create ();
+        j_result = None;
+      }
+    in
+    Queue.push j t.queue;
+    Metrics.set_gauge g_queue (float_of_int (Queue.length t.queue));
+    Condition.broadcast t.cv;
+    Mutex.unlock t.mu;
+    Mutex.lock j.j_mu;
+    while j.j_result = None do
+      Condition.wait j.j_cv j.j_mu
+    done;
+    let r = Option.get j.j_result in
+    Mutex.unlock j.j_mu;
+    r
+  end
+
+let inflight t =
+  Mutex.lock t.mu;
+  let n = t.inflight in
+  Mutex.unlock t.mu;
+  n
+
+let queue_depth t =
+  Mutex.lock t.mu;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mu;
+  n
+
+let worker_deaths t =
+  Mutex.lock t.mu;
+  let n = t.deaths in
+  Mutex.unlock t.mu;
+  n
+
+let shutdown t =
+  Mutex.lock t.mu;
+  t.stopping <- true;
+  let abandoned = Queue.fold (fun acc j -> j :: acc) [] t.queue in
+  Queue.clear t.queue;
+  Metrics.set_gauge g_queue 0.;
+  Condition.broadcast t.cv;
+  let domains = t.domains in
+  Mutex.unlock t.mu;
+  List.iter (fun j -> deliver j (Error "server shutting down")) abandoned;
+  List.iter Domain.join domains;
+  (* a worker that died and respawned after the snapshot above: none can
+     exist — respawn checks [stopping] under the same mutex *)
+  Mutex.lock t.mu;
+  let rest =
+    List.filter (fun d -> not (List.memq d domains)) t.domains
+  in
+  Mutex.unlock t.mu;
+  List.iter Domain.join rest

@@ -1,0 +1,59 @@
+(** The admission-controlled evaluation executor.
+
+    Requests are evaluated on a fixed set of dedicated worker {e domains}
+    — never on the session I/O threads, whose shared domain-local state
+    (the evaluator's memo tables, the trace ring) assumes one evaluation
+    at a time per domain.  A submitted job waits in a strict-FIFO queue; a
+    worker takes the head job only when the job's {e fuel weight} fits
+    under the configured ceiling alongside everything already in flight,
+    so aggregate admitted fuel never exceeds the ceiling.  Over-budget
+    requests are observably {e queued} (they wait) or {e rejected} (their
+    weight alone exceeds the ceiling, or the queue is full) — never
+    evaluated past the ceiling.
+
+    The waiting request's {!Balg.Budget} account is created by the caller
+    {e unarmed}: the worker {!Balg.Budget.arm}s it at dequeue, so queue
+    wait never burns the request's wall-clock deadline (the admission /
+    deadline seam this module exists to keep honest).
+
+    The [server.worker] {!Balg.Fault} site simulates worker death at job
+    pickup: the job fails with a structured error, the dying worker spawns
+    its own replacement (supervised restart), and the queue keeps
+    draining. *)
+
+open Balg
+
+type outcome =
+  [ `Ok of Value.t * Ty.t  (** evaluated result and its type *)
+  | `Verdict of Budget.exhaustion  (** structured budget verdict *)
+  | `Fail of string  (** category-prefixed error, e.g. ["eval: ..."] *) ]
+
+type t
+
+val create : ceiling:int -> max_queue:int -> workers:int -> unit -> t
+(** Spawn [workers] (>= 1) evaluation domains.  [ceiling] is the maximum
+    aggregate fuel weight in flight; [max_queue] bounds the waiting
+    line. *)
+
+val submit :
+  t ->
+  weight:int ->
+  budget:Budget.t ->
+  run:(unit -> outcome) ->
+  (outcome, string) result
+(** Enqueue a job and block the calling (session) thread until a worker
+    completes it.  [budget] must be {e unarmed} ({!Balg.Budget.create});
+    the worker arms it at dequeue, immediately before calling [run] on
+    its own domain.  [Error] is an admission rejection (weight above the
+    ceiling, queue full, shutdown) or an injected worker death — the job
+    was not, or not fully, evaluated. *)
+
+val inflight : t -> int
+(** Aggregate fuel weight of currently running jobs. *)
+
+val queue_depth : t -> int
+val worker_deaths : t -> int
+
+val shutdown : t -> unit
+(** Stop taking work, fail queued jobs with a shutdown error, join every
+    worker domain (including respawned ones). *)

@@ -1,0 +1,532 @@
+(* The concurrent bag-database server; see server.mli for the model. *)
+
+open Balg
+module Parser = Baglang.Parser
+module Lexer = Baglang.Lexer
+module Bagdb = Baglang.Bagdb
+
+(* Injection sites.  [server.accept]: the freshly accepted connection is
+   dropped on the floor (a transient accept failure); [server.session]:
+   the session dies before serving its next request (a crashed
+   per-connection handler) — every other session must keep working. *)
+let accept_site = Fault.register "server.accept"
+let session_site = Fault.register "server.session"
+
+let m_sessions =
+  Metrics.counter Metrics.default "balg_server_sessions_total"
+    ~help:"Client connections accepted"
+
+let m_session_faults =
+  Metrics.counter Metrics.default "balg_server_session_faults_total"
+    ~help:"Sessions killed by the server.accept/server.session fault sites"
+
+let m_requests =
+  Metrics.counter Metrics.default "balg_server_requests_total"
+    ~help:"Protocol requests served (all commands)"
+
+let m_evals =
+  Metrics.counter Metrics.default "balg_server_evals_total"
+    ~help:"eval requests that reached evaluation (cache misses)"
+
+let m_http =
+  Metrics.counter Metrics.default "balg_server_http_requests_total"
+    ~help:"HTTP requests served (metrics scrapes, health checks)"
+
+let h_request_ns =
+  Metrics.histogram Metrics.default "balg_server_request_ns"
+    ~help:"Wall-clock time of evaluated requests (nanoseconds)"
+
+let g_open_sessions =
+  Metrics.gauge Metrics.default "balg_server_open_sessions"
+    ~help:"Client connections currently open"
+
+type config = {
+  host : string;
+  port : int;
+  store_dir : string option;
+  seed_db : Bagdb.t;
+  ceiling : int;
+  max_queue : int;
+  workers : int;
+  default_fuel : int;
+  engine : Veval.engine;
+  optimize : Opt.mode;
+  cache_capacity : int;
+  compact_bytes : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7421;
+    store_dir = None;
+    seed_db = [];
+    ceiling = 32_000_000;
+    max_queue = 64;
+    workers = 4;
+    default_fuel = 4_000_000;
+    engine = Veval.Tree;
+    optimize = Opt.Off;
+    cache_capacity = 512;
+    compact_bytes = 1 lsl 20;
+  }
+
+type session = {
+  s_id : int;
+  mutable s_limits : Budget.limits;
+  mutable s_engine : Veval.engine;
+  mutable s_mode : Opt.mode;
+}
+
+type t = {
+  cfg : config;
+  store : Store.t;
+  cache : Cache.t;
+  exec : Exec.t;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  mutable accept_thread : Thread.t option;
+  reg_mu : Mutex.t;
+  reg : (int, Unix.file_descr * Thread.t) Hashtbl.t;
+  mutable next_id : int;
+  mutable stopping : bool;
+  mutable stopped : bool;
+  stop_mu : Mutex.t;
+  stop_cv : Condition.t;
+}
+
+(* --- small helpers --------------------------------------------------------- *)
+
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let after prefix s =
+  String.sub s (String.length prefix) (String.length s - String.length prefix)
+
+(* Exactly-once close through the registry: both a session's own exit and
+   a server-wide [stop] funnel here, so a file descriptor is never closed
+   twice (and never closed while the other party still believes it owns
+   it). *)
+let registry_close sv id =
+  Mutex.lock sv.reg_mu;
+  let entry = Hashtbl.find_opt sv.reg id in
+  Hashtbl.remove sv.reg id;
+  Mutex.unlock sv.reg_mu;
+  match entry with
+  | None -> ()
+  | Some (fd, _) ->
+      (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Metrics.set_gauge g_open_sessions
+        (float_of_int
+           (Mutex.lock sv.reg_mu;
+            let n = Hashtbl.length sv.reg in
+            Mutex.unlock sv.reg_mu;
+            n))
+
+(* --- the eval path --------------------------------------------------------- *)
+
+let db_vals db = List.map (fun (n, _ty, v) -> (n, v)) db
+
+let handle_eval sv sess q =
+  match Parser.expr_of_string q with
+  | exception Parser.Parse_error (msg, pos) ->
+      Printf.sprintf "err parse: offset %d: %s" pos msg
+  | exception Lexer.Lex_error (msg, pos) ->
+      Printf.sprintf "err parse: lex error at offset %d: %s" pos msg
+  | e -> (
+      (* snapshot isolation: this request evaluates against the store as
+         of now, no matter how many writes land while it waits or runs *)
+      let db = Store.snapshot sv.store in
+      match Typecheck.infer (Bagdb.type_env db) e with
+      | exception Typecheck.Type_error msg -> "err type: " ^ msg
+      | ty -> (
+          let ckey, rels =
+            Cache.key ~engine:sess.s_engine ~mode:sess.s_mode ~db e
+          in
+          match Cache.find sv.cache ~key:ckey ~rels with
+          | Some (v, ty') ->
+              Printf.sprintf "ok %s : %s" (Value.to_string v)
+                (Ty.to_string ty')
+          | None -> (
+              Metrics.incr m_evals;
+              let budget = Budget.create sess.s_limits in
+              let weight = sess.s_limits.Budget.fuel in
+              let engine = sess.s_engine and mode = sess.s_mode in
+              let sid = sess.s_id in
+              let run () =
+                (* worker domain: plan, then evaluate under the armed
+                   budget; the request span lands in the worker's own
+                   trace ring *)
+                if Obs.on () then Obs.emit Obs.B ~cat:"server" ~name:"request" ~args:[ ("session", Obs.Int sid); ("engine", Obs.Str (Veval.engine_to_string engine)) ];
+                let t0 = Unix.gettimeofday () in
+                let plan =
+                  Opt.prepare ~vals:(db_vals db) ~engine mode
+                    (Bagdb.type_env db) e
+                in
+                let outcome =
+                  match
+                    Veval.run_engine engine ~budget (Bagdb.value_env db) plan
+                  with
+                  | Ok v -> `Ok (v, ty)
+                  | Error x -> `Verdict x
+                  | exception Eval.Eval_error msg ->
+                      `Fail ("eval: " ^ msg)
+                in
+                Metrics.observe h_request_ns
+                  (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9));
+                let label =
+                  match outcome with
+                  | `Ok _ -> "ok"
+                  | `Verdict x -> Budget.resource_to_string x.Budget.resource
+                  | `Fail _ -> "error"
+                in
+                if Obs.on () then Obs.emit Obs.E ~cat:"server" ~name:"request" ~args:[ ("session", Obs.Int sid); ("outcome", Obs.Str label) ];
+                outcome
+              in
+              match Exec.submit sv.exec ~weight ~budget ~run with
+              | Error msg -> "err busy: " ^ msg
+              | Ok (`Ok (v, ty)) ->
+                  Cache.add sv.cache ~key:ckey ~rels v ty;
+                  Printf.sprintf "ok %s : %s" (Value.to_string v)
+                    (Ty.to_string ty)
+              | Ok (`Verdict x) ->
+                  "verdict " ^ Budget.exhaustion_to_string x
+              | Ok (`Fail msg) -> "err " ^ msg)))
+
+(* --- writes ---------------------------------------------------------------- *)
+
+let handle_def sv rest =
+  match Bagdb.parse rest with
+  | exception Bagdb.Db_error e -> "err db: " ^ Bagdb.error_to_string e
+  | [] -> "err proto: def expects a declaration: def bag NAME : TYPE = VALUE"
+  | _ :: _ :: _ -> "err proto: def takes exactly one declaration"
+  | [ (n, ty, v) ] -> (
+      match Store.apply sv.store (Store.Def (n, ty, v)) with
+      | Ok () ->
+          Cache.invalidate sv.cache n;
+          "ok defined " ^ n
+      | Error msg -> "err wal: " ^ msg)
+
+let handle_drop sv name =
+  let name = String.trim name in
+  if String.equal name "" then "err proto: drop expects a relation name"
+  else if
+    (* a validation failure is a db error, not a WAL one; Store.apply
+       re-validates under its own lock, so a racing drop still fails
+       safely — just with the coarser label *)
+    not
+      (List.exists
+         (fun (m, _, _) -> String.equal m name)
+         (Store.snapshot sv.store))
+  then "err db: no such relation " ^ name
+  else
+    match Store.apply sv.store (Store.Drop name) with
+    | Ok () ->
+        Cache.invalidate sv.cache name;
+        "ok dropped " ^ name
+    | Error msg -> "err wal: " ^ msg
+
+(* --- session limits -------------------------------------------------------- *)
+
+let handle_set sess args =
+  let toks =
+    List.filter (fun s -> not (String.equal s "")) (String.split_on_char ' ' args)
+  in
+  let set_one acc tok =
+    match acc with
+    | Error _ as e -> e
+    | Ok () -> (
+        match String.index_opt tok '=' with
+        | None -> Error (Printf.sprintf "err proto: set expects key=value, got %s" tok)
+        | Some i -> (
+            let k = String.sub tok 0 i in
+            let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+            let int_field f =
+              match int_of_string_opt v with
+              | Some n when n > 0 ->
+                  sess.s_limits <- f sess.s_limits n;
+                  Ok ()
+              | _ -> Error (Printf.sprintf "err proto: %s expects a positive integer" k)
+            in
+            match k with
+            | "fuel" -> int_field (fun l n -> { l with Budget.fuel = n })
+            | "max-support" ->
+                int_field (fun l n -> { l with Budget.max_support = n })
+            | "max-size" -> int_field (fun l n -> { l with Budget.max_size = n })
+            | "max-count-digits" ->
+                int_field (fun l n -> { l with Budget.max_count_digits = n })
+            | "max-fix-steps" ->
+                int_field (fun l n -> { l with Budget.max_fix_steps = n })
+            | "timeout" -> (
+                match float_of_string_opt v with
+                | Some s when s > 0. ->
+                    sess.s_limits <- { sess.s_limits with Budget.deadline_s = Some s };
+                    Ok ()
+                | Some 0. ->
+                    sess.s_limits <- { sess.s_limits with Budget.deadline_s = None };
+                    Ok ()
+                | _ -> Error "err proto: timeout expects seconds (0 clears)")
+            | "engine" -> (
+                match Veval.engine_of_string v with
+                | Some e ->
+                    sess.s_engine <- e;
+                    Ok ()
+                | None -> Error "err proto: engine expects tree or vec")
+            | "optimize" -> (
+                match Opt.mode_of_string v with
+                | Some m ->
+                    sess.s_mode <- m;
+                    Ok ()
+                | None -> Error "err proto: optimize expects off, rules or cost")
+            | _ -> Error ("err proto: unknown setting " ^ k)))
+  in
+  match List.fold_left set_one (Ok ()) toks with
+  | Ok () when toks = [] -> "err proto: set expects key=value pairs"
+  | Ok () -> "ok"
+  | Error msg -> msg
+
+(* --- request dispatch ------------------------------------------------------ *)
+
+(* [None] means: close the session.  Multi-line responses are terminated
+   by a lone "." line (their payload lines never start with a dot). *)
+let respond sv sess line =
+  Metrics.incr m_requests;
+  let line = strip_cr line in
+  if String.equal (String.trim line) "" then Some ""
+  else if String.equal line "quit" then None
+  else if String.equal line "ping" then Some "ok pong"
+  else if String.equal line "list" then
+    Some
+      ("ok "
+      ^ String.concat " "
+          (List.map (fun (n, _, _) -> n) (Store.snapshot sv.store)))
+  else if String.equal line "metrics" then
+    Some (Metrics.to_prometheus Metrics.default ^ ".")
+  else if String.equal line "dump" then
+    let body = Bagdb.render (Store.snapshot sv.store) in
+    Some (if String.equal body "" then "." else body ^ "\n.")
+  else if String.equal line "compact" then
+    Some
+      (match Store.compact sv.store with
+      | Ok () -> "ok compacted"
+      | Error msg -> "err wal: " ^ one_line msg)
+  else if starts_with "eval " line then
+    Some (one_line (handle_eval sv sess (after "eval " line)))
+  else if starts_with "def " line then
+    Some (one_line (handle_def sv (after "def " line)))
+  else if starts_with "drop " line then
+    Some (one_line (handle_drop sv (after "drop " line)))
+  else if starts_with "set " line then
+    Some (one_line (handle_set sess (after "set " line)))
+  else Some ("err proto: unknown command " ^ one_line line)
+
+(* --- HTTP ------------------------------------------------------------------ *)
+
+let http_response oc status content_type body =
+  output_string oc
+    (Printf.sprintf
+       "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+        close\r\n\r\n"
+       status content_type (String.length body));
+  output_string oc body;
+  flush oc
+
+let handle_http request_line ic oc =
+  Metrics.incr m_http;
+  (* drain the header block; we answer from the request line alone *)
+  (try
+     while not (String.equal (String.trim (input_line ic)) "") do
+       ()
+     done
+   with End_of_file | Sys_error _ -> ());
+  match String.split_on_char ' ' (strip_cr request_line) with
+  | meth :: path :: _ when String.equal meth "GET" || String.equal meth "HEAD"
+    -> (
+      match path with
+      | "/metrics" ->
+          http_response oc "200 OK" "text/plain; version=0.0.4"
+            (Metrics.to_prometheus Metrics.default)
+      | "/healthz" -> http_response oc "200 OK" "text/plain" "ok\n"
+      | _ -> http_response oc "404 Not Found" "text/plain" "not found\n")
+  | _ -> http_response oc "400 Bad Request" "text/plain" "bad request\n"
+
+(* --- sessions -------------------------------------------------------------- *)
+
+let session_loop sv sess ic oc first_line =
+  let rec loop line =
+    (* the [server.session] chaos site: this session dies here — its
+       socket closes, the rest of the server keeps serving *)
+    if Fault.fire session_site then Metrics.incr m_session_faults
+    else
+      match respond sv sess line with
+      | None ->
+          output_string oc "ok bye\n";
+          flush oc
+      | Some reply ->
+          output_string oc reply;
+          output_string oc "\n";
+          flush oc;
+          loop (input_line ic)
+  in
+  loop first_line
+
+let handle_conn sv id fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let sess =
+    {
+      s_id = id;
+      s_limits = { Budget.default with Budget.fuel = sv.cfg.default_fuel };
+      s_engine = sv.cfg.engine;
+      s_mode = sv.cfg.optimize;
+    }
+  in
+  (try
+     let first = input_line ic in
+     if
+       starts_with "GET " first || starts_with "HEAD " first
+       || starts_with "POST " first
+     then handle_http first ic oc
+     else session_loop sv sess ic oc first
+   with
+  | End_of_file | Sys_error _ -> ()
+  | Unix.Unix_error _ -> ());
+  registry_close sv id
+
+(* --- accept loop / lifecycle ----------------------------------------------- *)
+
+let accept_loop sv =
+  while not sv.stopping do
+    match Unix.accept sv.listen_fd with
+    | fd, _ ->
+        if Fault.fire accept_site then begin
+          (* injected accept failure: drop the connection on the floor *)
+          Metrics.incr m_session_faults;
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        end
+        else begin
+          Metrics.incr m_sessions;
+          Mutex.lock sv.reg_mu;
+          let id = sv.next_id in
+          sv.next_id <- id + 1;
+          (* registered before the thread starts so [stop] always sees it *)
+          let th = Thread.create (fun () -> handle_conn sv id fd) () in
+          Hashtbl.replace sv.reg id (fd, th);
+          Metrics.set_gauge g_open_sessions
+            (float_of_int (Hashtbl.length sv.reg));
+          Mutex.unlock sv.reg_mu
+        end
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ ->
+        (* the listener was closed under us (stop), or a transient accept
+           failure: spin once more — the loop condition decides *)
+        if not sv.stopping then Thread.yield ()
+  done
+
+let start cfg =
+  match
+    let store =
+      Store.open_store ~compact_bytes:cfg.compact_bytes ~seed:cfg.seed_db
+        ~dir:cfg.store_dir ()
+    in
+    (* a client that vanishes mid-response must surface as EPIPE on the
+       write, not kill the process *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ());
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+       Unix.listen fd 64
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       Store.close store;
+       raise e);
+    let bound_port =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | Unix.ADDR_UNIX _ -> cfg.port
+    in
+    let sv =
+      {
+        cfg;
+        store;
+        cache = Cache.create ~capacity:cfg.cache_capacity ();
+        exec =
+          Exec.create ~ceiling:cfg.ceiling ~max_queue:cfg.max_queue
+            ~workers:cfg.workers ();
+        listen_fd = fd;
+        bound_port;
+        accept_thread = None;
+        reg_mu = Mutex.create ();
+        reg = Hashtbl.create 32;
+        next_id = 1;
+        stopping = false;
+        stopped = false;
+        stop_mu = Mutex.create ();
+        stop_cv = Condition.create ();
+      }
+    in
+    sv.accept_thread <- Some (Thread.create (fun () -> accept_loop sv) ());
+    sv
+  with
+  | sv -> Ok sv
+  | exception Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+  | exception Bagdb.Db_error e ->
+      Error ("store recovery failed: " ^ Bagdb.error_to_string e)
+  | exception Sys_error msg -> Error msg
+
+let port sv = sv.bound_port
+let store sv = sv.store
+
+let sessions_served sv =
+  Mutex.lock sv.reg_mu;
+  let n = sv.next_id - 1 in
+  Mutex.unlock sv.reg_mu;
+  n
+
+let stop sv =
+  Mutex.lock sv.stop_mu;
+  let already = sv.stopped || sv.stopping in
+  sv.stopping <- true;
+  Mutex.unlock sv.stop_mu;
+  if not already then begin
+    (* wake the accept loop: on Linux a close alone does NOT interrupt a
+       thread blocked in accept(2) — shutdown on the listening socket
+       does, making the blocked accept return EINVAL *)
+    (try Unix.shutdown sv.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    (try Unix.close sv.listen_fd with Unix.Unix_error _ -> ());
+    Option.iter Thread.join sv.accept_thread;
+    (* close every client socket: blocked session reads fail, blocked
+       submits drain through the executor shutdown below *)
+    Mutex.lock sv.reg_mu;
+    let ids = Hashtbl.fold (fun id _ acc -> id :: acc) sv.reg [] in
+    let threads = Hashtbl.fold (fun _ (_, th) acc -> th :: acc) sv.reg [] in
+    Mutex.unlock sv.reg_mu;
+    List.iter (registry_close sv) ids;
+    Exec.shutdown sv.exec;
+    List.iter Thread.join threads;
+    Store.close sv.store;
+    Mutex.lock sv.stop_mu;
+    sv.stopped <- true;
+    Condition.broadcast sv.stop_cv;
+    Mutex.unlock sv.stop_mu
+  end
+
+let wait sv =
+  Mutex.lock sv.stop_mu;
+  while not sv.stopped do
+    Condition.wait sv.stop_cv sv.stop_mu
+  done;
+  Mutex.unlock sv.stop_mu

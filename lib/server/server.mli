@@ -1,0 +1,81 @@
+(** [balgd]'s engine room: a concurrent bag-database server over one
+    shared {!Store}, with per-session budgets, admission control, a shared
+    result cache and a Prometheus endpoint.
+
+    {b Threading model.}  One accept thread; one I/O thread per client
+    connection (parsing, typechecking, protocol); evaluation happens only
+    on the {!Exec} worker domains — the evaluator's domain-local memo
+    tables and trace rings assume one evaluation at a time per domain, so
+    session threads never evaluate.
+
+    {b Wire protocol} (newline-delimited; one request line, one response):
+    {v
+    eval <query>          -> ok <value> : <type>
+                           | verdict <structured budget verdict>
+                           | err <kind>: <message>
+    def bag N : TY = V    -> ok defined N       (WAL append + publish)
+    drop N                -> ok dropped N
+    set k=v [k=v ...]     -> ok                 (fuel, max-support,
+                             max-size, max-count-digits, max-fix-steps,
+                             timeout, engine, optimize)
+    list                  -> ok <names...>
+    ping                  -> ok pong
+    compact               -> ok compacted
+    metrics               -> <Prometheus text>, terminated by a "." line
+    dump                  -> <rendered store>,  terminated by a "." line
+    quit                  -> ok bye             (connection closes)
+    v}
+    Error kinds: [parse], [type], [db], [eval], [proto], [busy]
+    (admission rejection), [wal] (write failure / read-only store),
+    [internal].  A budget exhaustion is not an [err]: it is a [verdict]
+    line carrying the same structured message [balgi eval] prints.
+
+    A connection whose first line is an HTTP request method serves HTTP
+    instead: [GET /metrics] returns the Prometheus snapshot (the
+    per-server scrape endpoint), [GET /healthz] liveness.
+
+    {b Fault sites.}  [server.accept] (the just-accepted connection is
+    dropped), [server.session] (the session dies mid-conversation; its
+    socket closes, every other session keeps working), plus the
+    [server.worker] and [wal.append] sites of {!Exec} and {!Store}. *)
+
+open Balg
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** 0 picks an ephemeral port; see {!port} *)
+  store_dir : string option;  (** persistence directory; [None] = memory *)
+  seed_db : Baglang.Bagdb.t;  (** initial contents for a fresh store *)
+  ceiling : int;  (** admission ceiling: max aggregate fuel in flight *)
+  max_queue : int;  (** admission queue bound *)
+  workers : int;  (** evaluation worker domains *)
+  default_fuel : int;  (** per-request fuel unless the session sets one *)
+  engine : Veval.engine;  (** default execution engine for new sessions *)
+  optimize : Opt.mode;  (** default optimizer mode for new sessions *)
+  cache_capacity : int;  (** result-cache entries *)
+  compact_bytes : int;  (** WAL size triggering snapshot compaction *)
+}
+
+val default_config : config
+
+type t
+
+val start : config -> (t, string) result
+(** Open (and recover) the store, spawn the workers and the accept
+    thread, bind and listen.  [Error] on bind failure or a corrupt
+    snapshot file. *)
+
+val port : t -> int
+(** The bound port (useful with [config.port = 0]). *)
+
+val store : t -> Store.t
+val sessions_served : t -> int
+
+val stop : t -> unit
+(** Graceful-enough shutdown: stop accepting, close every client socket,
+    join session threads, drain-and-fail the executor, close the WAL.
+    Idempotent. *)
+
+val wait : t -> unit
+(** Block until {!stop} is called (from a signal handler or another
+    thread). *)

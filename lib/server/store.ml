@@ -1,0 +1,309 @@
+(* The shared store: COW reads, write-ahead log, snapshot compaction.
+   See store.mli for the model. *)
+
+open Balg
+module Bagdb = Baglang.Bagdb
+
+type op = Def of string * Ty.t * Value.t | Drop of string
+
+(* Injection site: a torn WAL append — the record is cut short at a
+   deterministic, seed-derived offset, the write reports an error, and
+   the store degrades to read-only (the posture a production log takes on
+   ENOSPC or an I/O error). *)
+let wal_site = Fault.register "wal.append"
+
+let m_writes =
+  Metrics.counter Metrics.default "balg_server_store_writes_total"
+    ~help:"Store write operations applied (def + drop)"
+
+let m_write_errors =
+  Metrics.counter Metrics.default "balg_server_store_write_errors_total"
+    ~help:"Store write operations rejected"
+
+let m_wal_appends =
+  Metrics.counter Metrics.default "balg_server_wal_appends_total"
+    ~help:"WAL records appended and flushed"
+
+let m_wal_faults =
+  Metrics.counter Metrics.default "balg_server_wal_faults_total"
+    ~help:"WAL appends torn by fault injection or I/O failure"
+
+let m_compactions =
+  Metrics.counter Metrics.default "balg_server_compactions_total"
+    ~help:"Snapshot compactions (WAL folded into snapshot.bagdb)"
+
+let m_recovered =
+  Metrics.counter Metrics.default "balg_server_wal_recovered_records_total"
+    ~help:"WAL records replayed during store recovery"
+
+let m_truncated =
+  Metrics.counter Metrics.default "balg_server_wal_truncated_bytes_total"
+    ~help:"Torn/corrupt WAL tail bytes dropped during store recovery"
+
+let g_wal_bytes =
+  Metrics.gauge Metrics.default "balg_server_wal_bytes"
+    ~help:"Current WAL size in bytes"
+
+type t = {
+  dir : string option;
+  compact_bytes : int;
+  mu : Mutex.t;
+  mutable db : Bagdb.t;
+  mutable revision : int;
+  mutable wal : out_channel option;
+  mutable wal_bytes : int;
+  mutable wal_failed : bool;
+  recovered : int;
+  truncated : int;
+}
+
+let snapshot_path dir = Filename.concat dir "snapshot.bagdb"
+let wal_path dir = Filename.concat dir "wal.log"
+
+let render_op = function
+  | Def (n, ty, v) ->
+      Printf.sprintf "bag %s : %s = %s\n" n (Ty.to_string ty)
+        (Value.to_string v)
+  | Drop n -> Printf.sprintf "drop %s\n" n
+
+(* Deterministic write semantics, shared by live applies and WAL replay:
+   a def replaces in place (or appends at the end), so recovery rebuilds
+   the exact relation order the live store had. *)
+let apply_op db = function
+  | Def (n, ty, v) ->
+      if List.exists (fun (m, _, _) -> String.equal m n) db then
+        List.map
+          (fun (m, tym, vm) -> if String.equal m n then (n, ty, v) else (m, tym, vm))
+          db
+      else db @ [ (n, ty, v) ]
+  | Drop n -> List.filter (fun (m, _, _) -> not (String.equal m n)) db
+
+let validate db = function
+  | Def _ -> Ok ()
+  | Drop n ->
+      if List.exists (fun (m, _, _) -> String.equal m n) db then Ok ()
+      else Error (Printf.sprintf "no such relation %s" n)
+
+(* One WAL record: a [drop NAME] line or a single [.bagdb] declaration,
+   parsed by the same validating loader that guards database files — so
+   every corruption shape it can reject, replay rejects too. *)
+let parse_record ~path ~offset line =
+  let db_err reason =
+    raise (Bagdb.Db_error { path = Some path; offset; reason })
+  in
+  if String.length line >= 5 && String.equal (String.sub line 0 5) "drop " then begin
+    let n = String.trim (String.sub line 5 (String.length line - 5)) in
+    if String.equal n "" then db_err "drop record: missing relation name";
+    Drop n
+  end
+  else
+    match Bagdb.parse ~path line with
+    | [ (n, ty, v) ] -> Def (n, ty, v)
+    | _ -> db_err "WAL record is not a single declaration"
+
+(* Replay complete, valid records in order; stop at the first torn or
+   malformed one (including a final line with no terminator).  Returns
+   the rebuilt contents, the surviving-prefix length and the record
+   count. *)
+let replay_wal ~path content db0 =
+  let len = String.length content in
+  let rec go db off n =
+    if off >= len then (db, off, n)
+    else
+      match String.index_from_opt content off '\n' with
+      | None -> (db, off, n) (* torn tail: record never terminated *)
+      | Some nl -> (
+          let line = String.sub content off (nl - off) in
+          if String.equal (String.trim line) "" then go db (nl + 1) n
+          else
+            match parse_record ~path ~offset:off line with
+            | op -> go (apply_op db op) (nl + 1) (n + 1)
+            | exception Bagdb.Db_error _ -> (db, off, n))
+  in
+  go db0 0 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_snapshot_file dir db =
+  let snap = snapshot_path dir in
+  let tmp = snap ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Bagdb.render db);
+      output_string oc "\n");
+  Unix.rename tmp snap
+
+let open_wal_channel ?(trunc = false) dir =
+  let flags =
+    if trunc then [ Open_wronly; Open_trunc; Open_creat; Open_binary ]
+    else [ Open_wronly; Open_append; Open_creat; Open_binary ]
+  in
+  open_out_gen flags 0o644 (wal_path dir)
+
+let open_store ?(compact_bytes = 1 lsl 20) ?(seed = []) ~dir () =
+  match dir with
+  | None ->
+      {
+        dir = None;
+        compact_bytes;
+        mu = Mutex.create ();
+        db = seed;
+        revision = 0;
+        wal = None;
+        wal_bytes = 0;
+        wal_failed = false;
+        recovered = 0;
+        truncated = 0;
+      }
+  | Some d ->
+      if not (Sys.file_exists d) then Unix.mkdir d 0o755;
+      let snap = snapshot_path d in
+      let db0 =
+        if Sys.file_exists snap then Bagdb.load snap
+        else begin
+          (* a fresh store: persist the seed as the initial snapshot so a
+             restart without the seed flag finds the same contents *)
+          if seed <> [] then write_snapshot_file d seed;
+          seed
+        end
+      in
+      let wal_file = wal_path d in
+      let content =
+        if Sys.file_exists wal_file then read_file wal_file else ""
+      in
+      let db, keep, recs = replay_wal ~path:wal_file content db0 in
+      let torn = String.length content - keep in
+      if torn > 0 then begin
+        (* drop the torn tail so the next append starts at a record
+           boundary — the surviving prefix is exactly what replay used *)
+        let fd = Unix.openfile wal_file [ Unix.O_WRONLY ] 0o644 in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () -> Unix.ftruncate fd keep);
+        Metrics.incr ~by:torn m_truncated
+      end;
+      Metrics.incr ~by:recs m_recovered;
+      Metrics.set_gauge g_wal_bytes (float_of_int keep);
+      {
+        dir = Some d;
+        compact_bytes;
+        mu = Mutex.create ();
+        db;
+        revision = 0;
+        wal = Some (open_wal_channel d);
+        wal_bytes = keep;
+        wal_failed = false;
+        recovered = recs;
+        truncated = torn;
+      }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let snapshot t = locked t (fun () -> t.db)
+let revision t = locked t (fun () -> t.revision)
+let recovered_records t = t.recovered
+let truncated_bytes t = t.truncated
+let read_only t = locked t (fun () -> t.wal_failed)
+let wal_size t = locked t (fun () -> t.wal_bytes)
+
+(* Called with the store mutex held. *)
+let compact_locked t =
+  match t.dir with
+  | None -> Ok ()
+  | Some d -> (
+      match
+        write_snapshot_file d t.db;
+        (match t.wal with Some oc -> close_out_noerr oc | None -> ());
+        let oc = open_wal_channel ~trunc:true d in
+        t.wal <- Some oc;
+        t.wal_bytes <- 0
+      with
+      | () ->
+          Metrics.incr m_compactions;
+          Metrics.set_gauge g_wal_bytes 0.;
+          if Obs.on () then Obs.emit Obs.I ~cat:"server" ~name:"store.compact" ~args:[ ("revision", Obs.Int t.revision) ];
+          Ok ()
+      | exception Sys_error m -> Error ("compaction failed: " ^ m)
+      | exception Unix.Unix_error (e, _, _) ->
+          Error ("compaction failed: " ^ Unix.error_message e))
+
+(* Called with the store mutex held.  An [Error] from here leaves the
+   published contents unchanged; a torn write additionally flips the
+   store read-only — later appends would land after a record recovery
+   cannot reach. *)
+let append_locked t record =
+  match t.wal with
+  | None -> Ok ()
+  | Some oc -> (
+      match Fault.fire_payload wal_site with
+      | Some cut ->
+          let keep = cut mod String.length record in
+          (try
+             output_string oc (String.sub record 0 keep);
+             flush oc
+           with Sys_error _ -> ());
+          t.wal_failed <- true;
+          Metrics.incr m_wal_faults;
+          if Obs.on () then Obs.emit Obs.I ~cat:"server" ~name:"wal.torn" ~args:[ ("kept", Obs.Int keep); ("of", Obs.Int (String.length record)) ];
+          Error
+            "injected wal.append fault: torn record; store is read-only \
+             until restart"
+      | None -> (
+          match
+            output_string oc record;
+            flush oc
+          with
+          | () ->
+              t.wal_bytes <- t.wal_bytes + String.length record;
+              Metrics.incr m_wal_appends;
+              Metrics.set_gauge g_wal_bytes (float_of_int t.wal_bytes);
+              if Obs.on () then Obs.emit Obs.I ~cat:"server" ~name:"wal.append" ~args:[ ("bytes", Obs.Int (String.length record)) ];
+              Ok ()
+          | exception Sys_error m ->
+              t.wal_failed <- true;
+              Metrics.incr m_wal_faults;
+              Error ("wal append failed: " ^ m ^ "; store is read-only")))
+
+let apply t op =
+  let result =
+    locked t (fun () ->
+        if t.wal_failed then
+          Error "write-ahead log failed; store is read-only until restart"
+        else
+          match validate t.db op with
+          | Error _ as e -> e
+          | Ok () -> (
+              match append_locked t (render_op op) with
+              | Error _ as e -> e
+              | Ok () ->
+                  t.db <- apply_op t.db op;
+                  t.revision <- t.revision + 1;
+                  if t.wal_bytes >= t.compact_bytes then
+                    (* best-effort: a failed compaction keeps the (intact)
+                       longer WAL, it does not fail the write *)
+                    ignore (compact_locked t);
+                  Ok ()))
+  in
+  (match result with
+  | Ok () -> Metrics.incr m_writes
+  | Error _ -> Metrics.incr m_write_errors);
+  result
+
+let compact t = locked t (fun () -> compact_locked t)
+
+let close t =
+  locked t (fun () ->
+      match t.wal with
+      | Some oc ->
+          (try flush oc with Sys_error _ -> ());
+          close_out_noerr oc;
+          t.wal <- None
+      | None -> ())

@@ -1,0 +1,77 @@
+(** The shared bag store behind [balgd]: copy-on-write reads, a
+    write-ahead log, periodic snapshot compaction.
+
+    {b Reads are snapshot-isolated for free.}  The store's contents are an
+    immutable {!Baglang.Bagdb.t}; {!snapshot} hands out the current list
+    and a writer {e publishes} a fresh list — a request that captured a
+    snapshot keeps evaluating against it no matter how many writes land
+    meanwhile.
+
+    {b Writes are logged before they are visible.}  {!apply} renders the
+    operation as one WAL record (a single [.bagdb] declaration line, or a
+    [drop NAME] line), appends and flushes it, and only then publishes the
+    new contents.  Recovery replays the snapshot file through the
+    validating loader and then the WAL record by record with the same
+    parser — a torn or corrupted record surfaces as a located
+    {!Baglang.Bagdb.Db_error}, replay stops there, and the file is
+    truncated back to the surviving prefix, so a killed server restarts
+    into exactly the state the surviving WAL prefix describes.
+
+    {b Failure model.}  The [wal.append] {!Balg.Fault} site fires inside
+    {!apply}: an injected fault writes a deliberately torn record (a
+    deterministic prefix of the real one), the operation reports an error
+    without publishing, and the store goes {e read-only} until restart —
+    the same degradation a production log takes on an I/O error.  Recovery
+    then drops the torn record, landing on the pre-fault state. *)
+
+open Balg
+module Bagdb = Baglang.Bagdb
+
+type op =
+  | Def of string * Ty.t * Value.t
+      (** define or replace one named, typed bag *)
+  | Drop of string  (** remove a bag; an error if the name is unknown *)
+
+type t
+
+val open_store :
+  ?compact_bytes:int -> ?seed:Bagdb.t -> dir:string option -> unit -> t
+(** [dir = None] is a purely in-memory store (no WAL, no snapshot).  With
+    a directory: load [snapshot.bagdb] if present (else start from
+    [seed], writing it as the initial snapshot), replay [wal.log], and
+    truncate any torn tail.  [compact_bytes] (default 1 MiB) is the WAL
+    size that triggers compaction after an append.
+    @raise Bagdb.Db_error when the snapshot file itself is corrupt —
+    recovery is validating, not best-effort, for the part that must be
+    intact.  WAL corruption never raises: the prefix survives. *)
+
+val snapshot : t -> Bagdb.t
+(** The current contents — an immutable value, safe to evaluate against
+    from any thread or domain while writes continue. *)
+
+val revision : t -> int
+(** Bumped by every applied write (0 after open). *)
+
+val recovered_records : t -> int
+(** WAL records replayed by {!open_store}. *)
+
+val truncated_bytes : t -> int
+(** Bytes of torn/corrupt WAL tail dropped by {!open_store}. *)
+
+val read_only : t -> bool
+(** True once a WAL append has failed (injected or real); every later
+    {!apply} is rejected until restart. *)
+
+val apply : t -> op -> (unit, string) result
+(** Validate, log, publish — in that order, serialized across sessions.
+    [Error] leaves the published contents unchanged. *)
+
+val compact : t -> (unit, string) result
+(** Write the current contents as the snapshot file (atomic rename) and
+    start a fresh, empty WAL.  A no-op for in-memory stores. *)
+
+val wal_size : t -> int
+(** Bytes in the current WAL (0 for in-memory stores). *)
+
+val close : t -> unit
+(** Flush and close the WAL channel.  The store must not be used after. *)

@@ -46,20 +46,22 @@ done
 # exit-discipline: only a CLI's top-level command dispatch may call exit.
 # Library, test and example code must return errors (result values,
 # structured verdicts, Db_error) instead — a stray exit in an error path
-# is how a REPL dies and a harness loses its report.  bin/balgi.ml gets
-# exactly one exit: the Cmdliner dispatch line; bench/main.ml runs its
-# own dispatch and is exempt.
+# is how a REPL dies and a harness loses its report.  Each CLI
+# (bin/balgi.ml, bin/balgd.ml) gets exactly one exit: its Cmdliner
+# dispatch line; bench/main.ml runs its own dispatch and is exempt.
 bad=$(grep -rnE '(^|[^._[:alnum:]])exit[[:space:]]*([0-9]|\()' lib test examples --include='*.ml' | grep -v 'lint-exit-ok' || true)
 if [ -n "$bad" ]; then
   echo "lint: exit called outside a CLI dispatch:"
   echo "$bad" | sed 's/^/  /'
   fail=1
 fi
-balgi_exits=$(grep -cE '(^|[^._[:alnum:]])exit[[:space:]]*([0-9]|\()' bin/balgi.ml || true)
-if [ "$balgi_exits" != "1" ]; then
-  echo "lint: bin/balgi.ml must contain exactly one exit (the Cmd.eval' dispatch), found $balgi_exits"
-  fail=1
-fi
+for cli in bin/balgi.ml bin/balgd.ml; do
+  cli_exits=$(grep -cE '(^|[^._[:alnum:]])exit[[:space:]]*([0-9]|\()' "$cli" || true)
+  if [ "$cli_exits" != "1" ]; then
+    echo "lint: $cli must contain exactly one exit (the Cmd.eval' dispatch), found $cli_exits"
+    fail=1
+  fi
+done
 
 # observability: every trace-emission call site outside the sink itself
 # must keep the disarmed fast path on the same line

@@ -85,6 +85,26 @@ let test_duplicate_names_rejected () =
       Alcotest.(check bool) "reason mentions duplicate" true
         (String.length e.Bagdb.reason > 0)
 
+(* The located regression for the duplicate diagnostic: the reported
+   offset must fall inside the SECOND (offending) definition's span —
+   specifically at its name token — not at the first definition or at the
+   end of input.  Layout below: the first decl spans [0,28), the newline
+   is 28, the second decl starts at 29 and its name token 'r' sits at
+   offset 33 ("bag " is 4 bytes). *)
+let test_duplicate_offset_in_second_span () =
+  let first = "bag r : {{<U>}} = {{ <'a> }}" in
+  let second = "bag r : {{<U>}} = {{ <'b> }}" in
+  let source = first ^ "\n" ^ second in
+  let second_start = String.length first + 1 in
+  match Bagdb.parse source with
+  | _ -> Alcotest.fail "duplicate bag names must be rejected"
+  | exception Bagdb.Db_error e ->
+      Alcotest.(check bool) "offset inside the second definition" true
+        (e.Bagdb.offset >= second_start
+        && e.Bagdb.offset < String.length source);
+      Alcotest.(check int) "offset is the offending name token"
+        (second_start + 4) e.Bagdb.offset
+
 let test_oversized_count_rejected () =
   let huge =
     Value.bag_of_assoc
@@ -154,6 +174,8 @@ let () =
           Alcotest.test_case "valid roundtrip" `Quick test_valid_roundtrip;
           Alcotest.test_case "duplicate names rejected" `Quick
             test_duplicate_names_rejected;
+          Alcotest.test_case "duplicate offset in second span" `Quick
+            test_duplicate_offset_in_second_span;
           Alcotest.test_case "oversized multiplicity rejected" `Quick
             test_oversized_count_rejected;
         ] );

@@ -187,6 +187,47 @@ let test_verdict_rendering () =
     (contains s "fuel");
   Alcotest.(check bool) "names the node" true (contains s "node")
 
+(* The create/arm seam: an unarmed account's deadline clock is not
+   running, so wall-clock time spent waiting (an admission queue, a
+   parked request) is never billed against the deadline.  The regression
+   scenario: an account with a 50ms deadline waits 120ms before arming —
+   it must still evaluate successfully, while an account armed at
+   creation (Budget.start) over the same wait correctly trips. *)
+let test_create_arm_deadline_seam () =
+  (* a fixpoint probes the deadline at every iteration, deterministically *)
+  let e = Derived.transitive_closure (Expr.lit (rel2 6) (Ty.relation 2)) in
+  let limits = { Budget.unlimited with Budget.deadline_s = Some 0.05 } in
+  let queued = Budget.create limits in
+  Alcotest.(check bool) "created unarmed" false (Budget.armed queued);
+  Unix.sleepf 0.12;
+  (* the queue wait is over: the worker arms the account and evaluates *)
+  Budget.arm queued;
+  Alcotest.(check bool) "armed" true (Budget.armed queued);
+  (match run ~budget:queued e with
+  | Ok _ -> ()
+  | Error x ->
+      Alcotest.fail
+        ("queued request must not be billed for its wait: "
+        ^ Budget.exhaustion_to_string x));
+  (* counter-case: the clock armed at creation over the same wait trips *)
+  let eager = Budget.start limits in
+  Alcotest.(check bool) "start arms immediately" true (Budget.armed eager);
+  Unix.sleepf 0.12;
+  ignore (expect_exhaustion "armed-at-create" Budget.Deadline (run ~budget:eager e))
+
+(* arm is idempotent and the first call wins: re-arming after the
+   deadline passed must not grant a fresh allowance. *)
+let test_arm_idempotent () =
+  let limits = { Budget.unlimited with Budget.deadline_s = Some 0.05 } in
+  let b = Budget.create limits in
+  Budget.arm b;
+  Unix.sleepf 0.12;
+  Budget.arm b (* must NOT restart the clock *);
+  ignore
+    (expect_exhaustion "re-arm" Budget.Deadline
+       (run ~budget:b
+          (Derived.transitive_closure (Expr.lit (rel2 6) (Ty.relation 2)))))
+
 (* The legacy eval wrapper converts every verdict into Resource_limit. *)
 let test_legacy_wrapper () =
   let e = Expr.Powerset (Expr.Powerset (Expr.lit (rel1 24) (Ty.relation 1))) in
@@ -208,6 +249,9 @@ let () =
           Alcotest.test_case "fix steps" `Quick test_fix_steps;
           Alcotest.test_case "count digits" `Quick test_count_digits;
           Alcotest.test_case "legacy wrapper" `Quick test_legacy_wrapper;
+          Alcotest.test_case "create/arm deadline seam" `Quick
+            test_create_arm_deadline_seam;
+          Alcotest.test_case "arm idempotent" `Quick test_arm_idempotent;
         ] );
       ( "telemetry",
         [

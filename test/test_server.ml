@@ -1,0 +1,652 @@
+(* The balgd server stack, in-process: the store's COW snapshots, WAL
+   persistence and torn-tail recovery, the result cache, the
+   admission-controlled executor (including the deadline-vs-queue-wait
+   regression the Budget create/arm split exists for), and the protocol
+   server end to end — concurrent sessions differentially checked against
+   direct library evaluation, under injected faults when BALG_FAULT asks
+   for chaos. *)
+
+open Balg
+module Parser = Baglang.Parser
+module Bagdb = Baglang.Bagdb
+module Store = Balgserver.Store
+module Cache = Balgserver.Cache
+module Exec = Balgserver.Exec
+module Server = Balgserver.Server
+module Client = Balgserver.Client
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let seed_src =
+  "bag R : {{<U>}} = {{ <'a>, <'b>:2, <'c> }}\n\
+   bag G : {{<U, U>}} = {{ <'a,'b>, <'b,'c> }}"
+
+let seed () = Bagdb.parse seed_src
+
+let rel1_of names =
+  Value.bag_of_list (List.map (fun n -> Value.tuple [ Value.atom n ]) names)
+
+let graph =
+  Value.bag_of_list
+    [
+      Value.tuple [ Value.atom "a"; Value.atom "b" ];
+      Value.tuple [ Value.atom "b"; Value.atom "c" ];
+    ]
+
+let temp_dir =
+  let ctr = ref 0 in
+  fun () ->
+    incr ctr;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "balg_server_test_%d_%d" (Unix.getpid ()) !ctr)
+    in
+    (try Unix.mkdir d 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+(* --- store ----------------------------------------------------------------- *)
+
+let test_store_cow () =
+  let st = Store.open_store ~dir:None ~seed:(seed ()) () in
+  let before = Store.snapshot st in
+  (match Store.apply st (Store.Def ("Z", Ty.relation 1, rel1_of [ "z" ])) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (* the old snapshot is immutable: a request that captured it keeps
+     evaluating against it no matter what writes land meanwhile *)
+  Alcotest.(check int) "captured snapshot unchanged" 2 (List.length before);
+  Alcotest.(check int) "new snapshot sees the write" 3
+    (List.length (Store.snapshot st));
+  Alcotest.(check int) "revision bumped" 1 (Store.revision st);
+  (match Store.apply st (Store.Drop "Z") with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check int) "drop published" 2 (List.length (Store.snapshot st));
+  (match Store.apply st (Store.Drop "nope") with
+  | Ok () -> Alcotest.fail "dropping an unknown bag must fail"
+  | Error _ -> ());
+  Store.close st
+
+let test_store_wal_roundtrip () =
+  let dir = temp_dir () in
+  let st = Store.open_store ~dir:(Some dir) ~seed:(seed ()) () in
+  (match Store.apply st (Store.Def ("Z", Ty.relation 1, rel1_of [ "z" ])) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (match Store.apply st (Store.Drop "G") with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let before = Bagdb.render (Store.snapshot st) in
+  Store.close st;
+  (* restart: snapshot + WAL replay must land on the identical database *)
+  let st2 = Store.open_store ~dir:(Some dir) () in
+  Alcotest.(check string) "recovered byte-identical" before
+    (Bagdb.render (Store.snapshot st2));
+  Alcotest.(check int) "replayed both records" 2 (Store.recovered_records st2);
+  Alcotest.(check int) "nothing truncated" 0 (Store.truncated_bytes st2);
+  Store.close st2
+
+let test_store_torn_tail () =
+  let dir = temp_dir () in
+  let st = Store.open_store ~dir:(Some dir) ~seed:(seed ()) () in
+  (match Store.apply st (Store.Def ("Z", Ty.relation 1, rel1_of [ "z" ])) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let before = Bagdb.render (Store.snapshot st) in
+  Store.close st;
+  (* a kill mid-append leaves a torn record: recovery must stop at the
+     surviving prefix and truncate the tail, not reject the whole log *)
+  let oc =
+    open_out_gen [ Open_append ] 0o644 (Filename.concat dir "wal.log")
+  in
+  output_string oc "bag Q : {{<U>}} = {{ <'q";
+  close_out oc;
+  let st2 = Store.open_store ~dir:(Some dir) () in
+  Alcotest.(check string) "prefix state recovered" before
+    (Bagdb.render (Store.snapshot st2));
+  Alcotest.(check int) "one surviving record" 1 (Store.recovered_records st2);
+  Alcotest.(check bool) "torn tail measured" true
+    (Store.truncated_bytes st2 > 0);
+  Store.close st2;
+  (* the tail is gone from disk: a further restart is clean *)
+  let st3 = Store.open_store ~dir:(Some dir) () in
+  Alcotest.(check int) "second restart truncates nothing" 0
+    (Store.truncated_bytes st3);
+  Alcotest.(check string) "state stable across restarts" before
+    (Bagdb.render (Store.snapshot st3));
+  Store.close st3
+
+let test_store_wal_append_fault () =
+  let dir = temp_dir () in
+  let st = Store.open_store ~dir:(Some dir) ~seed:(seed ()) () in
+  (match Store.apply st (Store.Def ("Z", Ty.relation 1, rel1_of [ "z" ])) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let before = Bagdb.render (Store.snapshot st) in
+  Fault.with_faults ~seed:1 "wal.append:always" (fun () ->
+      match Store.apply st (Store.Def ("Q", Ty.relation 1, rel1_of [ "q" ])) with
+      | Ok () -> Alcotest.fail "a torn append must not publish"
+      | Error _ -> ());
+  Alcotest.(check string) "published contents unchanged" before
+    (Bagdb.render (Store.snapshot st));
+  Alcotest.(check bool) "store went read-only" true (Store.read_only st);
+  (match Store.apply st (Store.Def ("Q2", Ty.relation 1, rel1_of [ "q" ])) with
+  | Ok () -> Alcotest.fail "read-only store must reject writes"
+  | Error m -> Alcotest.(check bool) "says read-only" true (contains m "read-only"));
+  Store.close st;
+  (* restart: the torn record is dropped, landing on the pre-fault state *)
+  let st2 = Store.open_store ~dir:(Some dir) () in
+  Alcotest.(check string) "recovery lands on pre-fault state" before
+    (Bagdb.render (Store.snapshot st2));
+  Alcotest.(check bool) "torn record dropped" true
+    (Store.truncated_bytes st2 > 0);
+  Alcotest.(check bool) "writable again after restart" true
+    (not (Store.read_only st2));
+  Store.close st2
+
+let test_store_compact () =
+  let dir = temp_dir () in
+  let st = Store.open_store ~dir:(Some dir) ~seed:(seed ()) () in
+  (match Store.apply st (Store.Def ("Z", Ty.relation 1, rel1_of [ "z" ])) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check bool) "wal non-empty before compact" true
+    (Store.wal_size st > 0);
+  (match Store.compact st with Ok () -> () | Error m -> Alcotest.fail m);
+  Alcotest.(check int) "wal empty after compact" 0 (Store.wal_size st);
+  let before = Bagdb.render (Store.snapshot st) in
+  Store.close st;
+  let st2 = Store.open_store ~dir:(Some dir) () in
+  Alcotest.(check string) "compacted snapshot is the whole state" before
+    (Bagdb.render (Store.snapshot st2));
+  Alcotest.(check int) "no wal records to replay" 0
+    (Store.recovered_records st2);
+  Store.close st2
+
+(* --- cache ----------------------------------------------------------------- *)
+
+let test_cache_basics () =
+  let db = seed () in
+  let c = Cache.create ~capacity:2 () in
+  let e = Parser.expr_of_string "R ++ R" in
+  let key, rels = Cache.key ~engine:Veval.Tree ~mode:Opt.Off ~db e in
+  Alcotest.(check bool) "miss on empty" true
+    (Cache.find c ~key ~rels = None);
+  Cache.add c ~key ~rels (Value.atom "v") (Ty.relation 1);
+  (match Cache.find c ~key ~rels with
+  | Some (v, _) ->
+      Alcotest.(check bool) "hit returns the stored value" true
+        (Value.equal v (Value.atom "v"))
+  | None -> Alcotest.fail "expected a hit");
+  (* a write to a referenced relation invalidates *)
+  Cache.invalidate c "R";
+  Alcotest.(check bool) "miss after invalidation" true
+    (Cache.find c ~key ~rels = None);
+  Alcotest.(check int) "entry dropped" 0 (Cache.length c);
+  (* a write to an unreferenced relation does not *)
+  Cache.add c ~key ~rels (Value.atom "v") (Ty.relation 1);
+  Cache.invalidate c "G";
+  Alcotest.(check bool) "unrelated invalidation keeps the entry" true
+    (Cache.find c ~key ~rels <> None);
+  (* the capacity bound evicts FIFO *)
+  let add_query q =
+    let e = Parser.expr_of_string q in
+    let key, rels = Cache.key ~engine:Veval.Tree ~mode:Opt.Off ~db e in
+    Cache.add c ~key ~rels (Value.atom q) (Ty.relation 1)
+  in
+  add_query "R /\\ R";
+  add_query "R -- R";
+  Alcotest.(check int) "capacity bound holds" 2 (Cache.length c)
+
+let test_cache_key_discriminates () =
+  let db = seed () in
+  let e = Parser.expr_of_string "R ++ R" in
+  let k1, _ = Cache.key ~engine:Veval.Tree ~mode:Opt.Off ~db e in
+  let k2, _ = Cache.key ~engine:Veval.Vec ~mode:Opt.Off ~db e in
+  let k3, _ = Cache.key ~engine:Veval.Tree ~mode:Opt.Cost ~db e in
+  Alcotest.(check bool) "engine in the fingerprint" true (k1 <> k2);
+  Alcotest.(check bool) "optimizer mode in the fingerprint" true (k1 <> k3);
+  (* same query, different relation contents: different key *)
+  let db' =
+    List.map
+      (fun (n, ty, v) ->
+        if n = "R" then (n, ty, rel1_of [ "x"; "y" ]) else (n, ty, v))
+      db
+  in
+  let k4, _ = Cache.key ~engine:Veval.Tree ~mode:Opt.Off ~db:db' e in
+  Alcotest.(check bool) "relation contents in the fingerprint" true (k1 <> k4)
+
+(* --- executor / admission -------------------------------------------------- *)
+
+let ok_outcome = `Ok (Value.atom "done", Ty.relation 1)
+
+let tc_query () = Derived.transitive_closure (Expr.lit graph (Ty.relation 2))
+
+(* THE satellite regression: a queued request whose deadline is shorter
+   than its queue wait must still complete, because its deadline clock
+   arms at dequeue (Budget.arm on the worker), not at creation.  Before
+   the create/arm split, the clock started at parse time and the request
+   below came back with a spurious Deadline verdict. *)
+let test_exec_deadline_vs_queue_wait () =
+  let ex = Exec.create ~ceiling:10 ~max_queue:8 ~workers:1 () in
+  let occupy () =
+    let b = Budget.create Budget.unlimited in
+    ignore
+      (Exec.submit ex ~weight:10 ~budget:b ~run:(fun () ->
+           Unix.sleepf 0.3;
+           ok_outcome))
+  in
+  let t1 = Thread.create occupy () in
+  Unix.sleepf 0.05 (* let the occupier take the whole ceiling *);
+  let limits = { Budget.unlimited with Budget.deadline_s = Some 0.1 } in
+  let b = Budget.create limits in
+  let r =
+    Exec.submit ex ~weight:10 ~budget:b ~run:(fun () ->
+        match Eval.run ~budget:b (Eval.env_of_list []) (tc_query ()) with
+        | Ok v -> `Ok (v, Ty.relation 2)
+        | Error x -> `Verdict x)
+  in
+  (match r with
+  | Ok (`Ok _) -> ()
+  | Ok (`Verdict x) ->
+      Alcotest.fail
+        ("queue wait was billed against the deadline: "
+        ^ Budget.exhaustion_to_string x)
+  | Ok (`Fail m) | Error m -> Alcotest.fail m);
+  Thread.join t1;
+  (* counter-case: an account armed at creation (Budget.start) correctly
+     pays for the same queue wait and trips its deadline *)
+  let t2 = Thread.create occupy () in
+  Unix.sleepf 0.05;
+  let eager = Budget.start limits in
+  let r2 =
+    Exec.submit ex ~weight:10 ~budget:eager ~run:(fun () ->
+        match Eval.run ~budget:eager (Eval.env_of_list []) (tc_query ()) with
+        | Ok v -> `Ok (v, Ty.relation 2)
+        | Error x -> `Verdict x)
+  in
+  (match r2 with
+  | Ok (`Verdict x) when x.Budget.resource = Budget.Deadline -> ()
+  | Ok (`Verdict x) ->
+      Alcotest.fail ("wrong verdict: " ^ Budget.exhaustion_to_string x)
+  | Ok (`Ok _) -> Alcotest.fail "armed-at-create must trip its deadline"
+  | Ok (`Fail m) | Error m -> Alcotest.fail m);
+  Thread.join t2;
+  Exec.shutdown ex
+
+let test_exec_ceiling () =
+  let ex = Exec.create ~ceiling:10 ~max_queue:8 ~workers:4 () in
+  (* a weight that can never fit is rejected, not queued forever *)
+  (match
+     Exec.submit ex ~weight:11
+       ~budget:(Budget.create Budget.unlimited)
+       ~run:(fun () -> ok_outcome)
+   with
+  | Error m -> Alcotest.(check bool) "names the ceiling" true (contains m "ceiling")
+  | Ok _ -> Alcotest.fail "over-ceiling weight must be rejected");
+  (* two weight-6 jobs cannot run concurrently under a ceiling of 10:
+     with 4 idle workers, observed concurrency must still stay at 1 *)
+  let running = Atomic.make 0 and peak = Atomic.make 0 in
+  let rec bump_peak n =
+    let p = Atomic.get peak in
+    if n > p && not (Atomic.compare_and_set peak p n) then bump_peak n
+  in
+  let job () =
+    let n = Atomic.fetch_and_add running 1 + 1 in
+    bump_peak n;
+    Unix.sleepf 0.05;
+    ignore (Atomic.fetch_and_add running (-1));
+    ok_outcome
+  in
+  let threads =
+    List.init 3 (fun _ ->
+        Thread.create
+          (fun () ->
+            match
+              Exec.submit ex ~weight:6
+                ~budget:(Budget.create Budget.unlimited)
+                ~run:job
+            with
+            | Ok (`Ok _) -> ()
+            | _ -> Alcotest.fail "weight-6 job must run")
+          ())
+  in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "aggregate fuel never above the ceiling" 1
+    (Atomic.get peak);
+  Alcotest.(check int) "fuel fully released" 0 (Exec.inflight ex);
+  Exec.shutdown ex
+
+let test_exec_queue_full () =
+  let ex = Exec.create ~ceiling:1 ~max_queue:1 ~workers:1 () in
+  let slow () =
+    ignore
+      (Exec.submit ex ~weight:1
+         ~budget:(Budget.create Budget.unlimited)
+         ~run:(fun () ->
+           Unix.sleepf 0.2;
+           ok_outcome))
+  in
+  let t1 = Thread.create slow () in
+  Unix.sleepf 0.05;
+  let t2 = Thread.create slow () in
+  Unix.sleepf 0.05 (* t1 running, t2 queued: the queue is now full *);
+  (match
+     Exec.submit ex ~weight:1
+       ~budget:(Budget.create Budget.unlimited)
+       ~run:(fun () -> ok_outcome)
+   with
+  | Error m -> Alcotest.(check bool) "says queue full" true (contains m "queue")
+  | Ok _ -> Alcotest.fail "third job must be rejected");
+  Thread.join t1;
+  Thread.join t2;
+  Exec.shutdown ex
+
+let test_exec_worker_death () =
+  Fault.with_faults ~seed:1 "server.worker:n=1" (fun () ->
+      let ex = Exec.create ~ceiling:100 ~max_queue:8 ~workers:1 () in
+      (match
+         Exec.submit ex ~weight:1
+           ~budget:(Budget.create Budget.unlimited)
+           ~run:(fun () -> ok_outcome)
+       with
+      | Error m ->
+          Alcotest.(check bool) "structured death report" true
+            (contains m "worker died")
+      | Ok _ -> Alcotest.fail "the injected death must fail the job");
+      (* the dying worker spawned its replacement: the queue keeps draining *)
+      (match
+         Exec.submit ex ~weight:1
+           ~budget:(Budget.create Budget.unlimited)
+           ~run:(fun () -> ok_outcome)
+       with
+      | Ok (`Ok _) -> ()
+      | _ -> Alcotest.fail "respawned worker must serve the next job");
+      Alcotest.(check int) "death counted" 1 (Exec.worker_deaths ex);
+      Exec.shutdown ex)
+
+(* --- the server, end to end ------------------------------------------------ *)
+
+let with_server ?(tweak = fun c -> c) f =
+  let cfg =
+    tweak
+      {
+        Server.default_config with
+        Server.port = 0;
+        seed_db = seed ();
+        workers = 2;
+        engine = Veval.Tree;
+        optimize = Opt.Off;
+      }
+  in
+  match Server.start cfg with
+  | Error msg -> Alcotest.fail ("server start: " ^ msg)
+  | Ok sv -> Fun.protect ~finally:(fun () -> Server.stop sv) (fun () -> f sv)
+
+let connect sv =
+  match Client.connect ~host:"127.0.0.1" ~port:(Server.port sv) with
+  | Ok c -> c
+  | Error m -> Alcotest.fail ("connect: " ^ m)
+
+let req c cmd =
+  match Client.request c cmd with
+  | Ok r -> r
+  | Error m -> Alcotest.fail (cmd ^ ": transport error: " ^ m)
+
+(* what `balgd` must answer for `eval q`, computed without the server *)
+let reference db q =
+  let e = Parser.expr_of_string q in
+  let ty = Typecheck.infer (Bagdb.type_env db) e in
+  match Veval.run_engine Veval.Tree (Bagdb.value_env db) e with
+  | Ok v -> Printf.sprintf "ok %s : %s" (Value.to_string v) (Ty.to_string ty)
+  | Error x -> "verdict " ^ Budget.exhaustion_to_string x
+
+let queries = [ "R ++ R"; "R /\\ R"; "R -- R"; "G * G"; "powerset(R)" ]
+
+let test_server_roundtrip () =
+  with_server (fun sv ->
+      let c = connect sv in
+      Alcotest.(check string) "ping" "ok pong" (req c "ping");
+      Alcotest.(check string) "list" "ok R G" (req c "list");
+      let db = seed () in
+      List.iter
+        (fun q ->
+          Alcotest.(check string) q (reference db q) (req c ("eval " ^ q)))
+        queries;
+      Alcotest.(check bool) "parse errors are err parse" true
+        (starts_with "err parse" (req c "eval R ++"));
+      Alcotest.(check bool) "type errors are err type" true
+        (starts_with "err type" (req c "eval Zebra"));
+      Alcotest.(check bool) "unknown command is err proto" true
+        (starts_with "err proto" (req c "frobnicate"));
+      Alcotest.(check bool) "bad set is err proto" true
+        (starts_with "err proto" (req c "set fuel=banana"));
+      Alcotest.(check string) "set ok" "ok" (req c "set fuel=5");
+      Alcotest.(check bool) "tiny fuel yields a verdict line" true
+        (starts_with "verdict " (req c "eval powerset(G * G)"));
+      Client.close c;
+      Alcotest.(check bool) "sessions counted" true (Server.sessions_served sv >= 1))
+
+let test_server_writes_and_cache () =
+  with_server (fun sv ->
+      let c = connect sv in
+      Alcotest.(check string) "def" "ok defined S"
+        (req c "def bag S : {{<U>}} = {{ <'z>:9 }}");
+      Alcotest.(check string) "new bag evaluates" "ok {{<'z>:9}} : {{<U>}}"
+        (req c "eval S");
+      let r1 = req c "eval S ++ S" in
+      Alcotest.(check string) "cached re-eval identical" r1 (req c "eval S ++ S");
+      (* a write to S must invalidate the cached result *)
+      Alcotest.(check string) "redef" "ok defined S"
+        (req c "def bag S : {{<U>}} = {{ <'z> }}");
+      Alcotest.(check string) "post-write eval sees the new contents"
+        "ok {{<'z>:2}} : {{<U>}}" (req c "eval S ++ S");
+      Alcotest.(check string) "drop" "ok dropped S" (req c "drop S");
+      Alcotest.(check bool) "dropped bag is unbound" true
+        (starts_with "err type" (req c "eval S"));
+      Alcotest.(check bool) "drop of unknown bag is err db" true
+        (starts_with "err db" (req c "drop S"));
+      (* the "."-framed multi-line responses *)
+      Alcotest.(check bool) "metrics over the line protocol" true
+        (contains (req c "metrics") "balg_server_requests_total");
+      Alcotest.(check bool) "dump renders the store" true
+        (contains (req c "dump") "bag R : {{<U>}}");
+      Client.close c)
+
+let test_server_admission_rejects () =
+  (* default_fuel far above the ceiling: every eval must be rejected with
+     err busy — never evaluated past the ceiling *)
+  with_server
+    ~tweak:(fun c -> { c with Server.ceiling = 1000; default_fuel = 4_000_000 })
+    (fun sv ->
+      let c = connect sv in
+      Alcotest.(check bool) "over-ceiling request is err busy" true
+        (starts_with "err busy" (req c "eval R ++ R"));
+      (* a session that lowers its fuel below the ceiling gets served *)
+      Alcotest.(check string) "set fuel" "ok" (req c "set fuel=900");
+      Alcotest.(check string) "fits under the ceiling now"
+        (reference (seed ()) "R ++ R")
+        (req c "eval R ++ R");
+      Client.close c)
+
+let test_server_http () =
+  with_server (fun sv ->
+      let c = connect sv in
+      ignore (req c "eval R ++ R");
+      Client.close c;
+      (match Client.http_get ~host:"127.0.0.1" ~port:(Server.port sv) "/metrics" with
+      | Ok body ->
+          Alcotest.(check bool) "exposes server counters" true
+            (contains body "balg_server_requests_total");
+          Alcotest.(check bool) "exposes cache counters" true
+            (contains body "balg_server_cache_misses_total")
+      | Error m -> Alcotest.fail ("GET /metrics: " ^ m));
+      (match Client.http_get ~host:"127.0.0.1" ~port:(Server.port sv) "/healthz" with
+      | Ok body -> Alcotest.(check bool) "healthz says ok" true (contains body "ok")
+      | Error m -> Alcotest.fail ("GET /healthz: " ^ m));
+      match Client.http_get ~host:"127.0.0.1" ~port:(Server.port sv) "/nope" with
+      | Ok _ -> Alcotest.fail "unknown path must not be 200"
+      | Error _ -> ())
+
+let test_server_session_fault_isolated () =
+  with_server (fun sv ->
+      let c1 = connect sv in
+      let c2 = connect sv in
+      (* both sessions are live *)
+      Alcotest.(check string) "c1 live" "ok pong" (req c1 "ping");
+      Alcotest.(check string) "c2 live" "ok pong" (req c2 "ping");
+      Fault.with_faults ~seed:1 "server.session:n=1" (fun () ->
+          (match Client.request c1 "ping" with
+          | Error _ -> () (* the injected death closed c1's socket *)
+          | Ok r -> Alcotest.fail ("c1 must die, got: " ^ r));
+          (* the blast radius is one session: c2 keeps working *)
+          match Client.request c2 "ping" with
+          | Ok r -> Alcotest.(check string) "c2 survives" "ok pong" r
+          | Error m -> Alcotest.fail ("c2 must survive: " ^ m));
+      Client.close c1;
+      Client.close c2)
+
+let test_server_persistence_across_restart () =
+  let dir = temp_dir () in
+  let dump_before = ref "" in
+  with_server
+    ~tweak:(fun c -> { c with Server.store_dir = Some dir })
+    (fun sv ->
+      let c = connect sv in
+      Alcotest.(check string) "def" "ok defined S"
+        (req c "def bag S : {{<U>}} = {{ <'z>:9 }}");
+      Alcotest.(check string) "drop" "ok dropped G" (req c "drop G");
+      dump_before := req c "dump";
+      Client.close c);
+  (* a second server over the same directory recovers the same state *)
+  with_server
+    ~tweak:(fun c -> { c with Server.store_dir = Some dir; seed_db = [] })
+    (fun sv ->
+      let c = connect sv in
+      Alcotest.(check string) "state recovered byte-identical" !dump_before
+        (req c "dump");
+      Alcotest.(check string) "recovered bag evaluates"
+        "ok {{<'z>:9}} : {{<U>}}" (req c "eval S");
+      Client.close c)
+
+(* The concurrent differential: N clients hammer the same query mix; every
+   response must be bit-identical to direct library evaluation.  When
+   BALG_FAULT is set (the CI chaos job), its spec is armed for the storm
+   and a response may instead be a structured failure — an err line, a
+   verdict, or a dead socket — but never a wrong answer, and the server
+   must still answer cleanly once the faults are disarmed. *)
+let test_server_concurrent_differential () =
+  let chaos_spec = Sys.getenv_opt "BALG_FAULT" in
+  let chaos_seed =
+    Option.bind (Sys.getenv_opt "BALG_FAULT_SEED") int_of_string_opt
+  in
+  with_server
+    ~tweak:(fun c -> { c with Server.workers = 3 })
+    (fun sv ->
+      let db = seed () in
+      let expected = List.map (fun q -> (q, reference db q)) queries in
+      let failures = Atomic.make 0 in
+      let fail_msg = ref "" in
+      let record msg =
+        ignore (Atomic.fetch_and_add failures 1);
+        fail_msg := msg
+      in
+      let client_thread i =
+        let rec with_conn attempts k =
+          match Client.connect ~host:"127.0.0.1" ~port:(Server.port sv) with
+          | Ok c -> k c
+          | Error _ when chaos_spec <> None && attempts < 5 ->
+              (* an injected accept fault dropped us: reconnect *)
+              Unix.sleepf 0.01;
+              with_conn (attempts + 1) k
+          | Error m -> record (Printf.sprintf "client %d connect: %s" i m)
+        in
+        with_conn 0 @@ fun c ->
+        let conn = ref c in
+        for round = 0 to 2 do
+          List.iter
+            (fun (q, want) ->
+              match Client.request !conn ("eval " ^ q) with
+              | Ok got when String.equal got want -> ()
+              | Ok got
+                when chaos_spec <> None
+                     && (starts_with "err " got || starts_with "verdict " got)
+                ->
+                  () (* structured failure under chaos: acceptable *)
+              | Ok got ->
+                  record
+                    (Printf.sprintf "client %d round %d %s: got %s, want %s" i
+                       round q got want)
+              | Error _ when chaos_spec <> None ->
+                  (* session killed under us: reconnect and carry on *)
+                  with_conn 0 (fun c' -> conn := c')
+              | Error m ->
+                  record (Printf.sprintf "client %d round %d %s: %s" i round q m))
+            expected
+        done;
+        Client.close !conn
+      in
+      let storm () =
+        let threads = List.init 8 (fun i -> Thread.create client_thread i) in
+        List.iter Thread.join threads
+      in
+      (match chaos_spec with
+      | Some spec -> Fault.with_faults ?seed:chaos_seed spec storm
+      | None -> storm ());
+      Alcotest.(check string) "no differential failure" "" !fail_msg;
+      Alcotest.(check int) "all clients clean" 0 (Atomic.get failures);
+      (* faults disarmed: the server must answer cleanly again *)
+      let c = connect sv in
+      Alcotest.(check string) "healthy after the storm" "ok pong" (req c "ping");
+      Client.close c)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "cow snapshots" `Quick test_store_cow;
+          Alcotest.test_case "wal roundtrip" `Quick test_store_wal_roundtrip;
+          Alcotest.test_case "torn tail" `Quick test_store_torn_tail;
+          Alcotest.test_case "wal.append fault" `Quick
+            test_store_wal_append_fault;
+          Alcotest.test_case "compaction" `Quick test_store_compact;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss/invalidate" `Quick test_cache_basics;
+          Alcotest.test_case "key discriminates" `Quick
+            test_cache_key_discriminates;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "deadline vs queue wait" `Quick
+            test_exec_deadline_vs_queue_wait;
+          Alcotest.test_case "ceiling" `Quick test_exec_ceiling;
+          Alcotest.test_case "queue full" `Quick test_exec_queue_full;
+          Alcotest.test_case "worker death" `Quick test_exec_worker_death;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "protocol roundtrip" `Quick test_server_roundtrip;
+          Alcotest.test_case "writes and cache" `Quick
+            test_server_writes_and_cache;
+          Alcotest.test_case "admission rejects" `Quick
+            test_server_admission_rejects;
+          Alcotest.test_case "http endpoints" `Quick test_server_http;
+          Alcotest.test_case "session fault isolated" `Quick
+            test_server_session_fault_isolated;
+          Alcotest.test_case "persistence across restart" `Quick
+            test_server_persistence_across_restart;
+          Alcotest.test_case "concurrent differential" `Quick
+            test_server_concurrent_differential;
+        ] );
+    ]
