@@ -32,9 +32,22 @@ let apply_faults fault fault_seed =
       | Ok () -> Ok ()
       | Error e -> Error ("bad --fault spec: " ^ e))
 
+let parse_follow = function
+  | None -> Ok None
+  | Some spec -> (
+      match String.rindex_opt spec ':' with
+      | None -> Error "bad --follow: expected HOST:PORT"
+      | Some i -> (
+          let host = String.sub spec 0 i in
+          let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+          match int_of_string_opt port with
+          | Some p when p > 0 && not (String.equal host "") ->
+              Ok (Some (host, p))
+          | _ -> Error "bad --follow: expected HOST:PORT"))
+
 let run_serve host port store_dir db_path ceiling max_queue workers
-    default_fuel engine optimize cache_capacity compact_bytes fault fault_seed
-    =
+    default_fuel engine optimize cache_capacity compact_bytes follow fault
+    fault_seed =
   let ( let* ) r k =
     match r with
     | Ok v -> k v
@@ -44,6 +57,7 @@ let run_serve host port store_dir db_path ceiling max_queue workers
   in
   let* () = apply_faults fault fault_seed in
   let* seed_db = load_db db_path in
+  let* follow = parse_follow follow in
   let cfg =
     {
       Server.host;
@@ -58,14 +72,18 @@ let run_serve host port store_dir db_path ceiling max_queue workers
       optimize;
       cache_capacity;
       compact_bytes;
+      follow;
+      repl_params = Balgserver.Repl.default_params;
     }
   in
-  (* SIGINT/SIGTERM handling: a deferred OCaml signal handler only runs
-     at a safe point, and every server thread parks in a blocking C call
-     (accept, cond-wait) — a Sys.Signal_handle would never fire.  Block
-     the signals process-wide (spawned threads and domains inherit the
-     mask) and take them synchronously on a dedicated waiter thread. *)
-  let signals = [ Sys.sigint; Sys.sigterm ] in
+  (* SIGINT/SIGTERM/SIGUSR1 handling: a deferred OCaml signal handler
+     only runs at a safe point, and every server thread parks in a
+     blocking C call (accept, cond-wait) — a Sys.Signal_handle would
+     never fire.  Block the signals process-wide (spawned threads and
+     domains inherit the mask) and take them synchronously on a
+     dedicated waiter thread.  SIGUSR1 promotes a follower to primary
+     and keeps waiting; SIGINT/SIGTERM stop the server. *)
+  let signals = [ Sys.sigint; Sys.sigterm; Sys.sigusr1 ] in
   (try ignore (Thread.sigmask Unix.SIG_BLOCK signals)
    with Invalid_argument _ | Unix.Unix_error _ -> ());
   let* sv =
@@ -73,14 +91,26 @@ let run_serve host port store_dir db_path ceiling max_queue workers
   in
   (* announce the bound (possibly ephemeral) port on stdout: scripts and
      the smoke test grep this line to learn where to connect *)
-  Printf.printf "balgd listening on %s:%d\n%!" cfg.Server.host (Server.port sv);
+  Printf.printf "balgd listening on %s:%d%s\n%!" cfg.Server.host
+    (Server.port sv)
+    (match cfg.Server.follow with
+    | None -> ""
+    | Some (h, p) -> Printf.sprintf " (follower of %s:%d)" h p);
   let _waiter =
     Thread.create
       (fun () ->
-        (match Thread.wait_signal signals with
-        | _ -> ()
-        | exception Unix.Unix_error _ -> ());
-        Server.stop sv)
+        let rec wait () =
+          match Thread.wait_signal signals with
+          | s when s = Sys.sigusr1 ->
+              (match Server.promote sv with
+              | `Promoted -> Printf.printf "balgd: promoted to primary\n%!"
+              | `Already_primary ->
+                  Printf.printf "balgd: already primary\n%!");
+              wait ()
+          | _ -> Server.stop sv
+          | exception Unix.Unix_error _ -> Server.stop sv
+        in
+        wait ())
       ()
   in
   Server.wait sv;
@@ -200,6 +230,17 @@ let compact_bytes_arg =
            $(docv) bytes (also available on demand via the $(b,compact) \
            command).")
 
+let follow_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "follow" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Start as a read-only follower replicating from the primary at \
+           $(docv): bootstrap from its snapshot, apply its shipped WAL \
+           records, reconnect with capped backoff.  Promote to a writable \
+           primary with the $(b,promote) command or $(b,SIGUSR1).")
+
 let fault_arg =
   Arg.(
     value
@@ -209,7 +250,8 @@ let fault_arg =
           "Arm fault-injection sites, e.g. \
            $(b,server.session:p=0.05,wal.append:n=3).  Server sites: \
            $(b,server.accept), $(b,server.session), $(b,server.worker), \
-           $(b,wal.append).  Overrides $(b,BALG_FAULT).")
+           $(b,wal.append), $(b,repl.ship), $(b,repl.connect), \
+           $(b,repl.apply).  Overrides $(b,BALG_FAULT).")
 
 let fault_seed_arg =
   Arg.(
@@ -222,7 +264,7 @@ let serve_term =
   Term.(
     const run_serve $ host_arg $ port_arg $ store_arg $ db_arg $ ceiling_arg
     $ max_queue_arg $ workers_arg $ default_fuel_arg $ engine_arg
-    $ optimize_arg $ cache_arg $ compact_bytes_arg $ fault_arg
+    $ optimize_arg $ cache_arg $ compact_bytes_arg $ follow_arg $ fault_arg
     $ fault_seed_arg)
 
 let main =

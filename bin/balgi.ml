@@ -411,54 +411,106 @@ let classify_reply reply =
   then `Verdict
   else `Ok
 
-let run_client host port cmds http_path =
+(* A reply worth retrying during a failover window: a follower that is
+   not yet promoted answers [err readonly], an overloaded server answers
+   [err busy] — both are transient in a way [err type] never is. *)
+let retryable_reply reply =
+  let has p =
+    String.length reply >= String.length p
+    && String.equal (String.sub reply 0 (String.length p)) p
+  in
+  has "err readonly" || has "err busy"
+
+let run_client host port cmds http_path retries timeout =
   match http_path with
   | Some path -> (
-      match Balgserver.Client.http_get ~host ~port path with
+      match
+        Balgserver.Client.retrying ~attempts:retries (fun _ ->
+            Balgserver.Client.http_get ?timeout_s:timeout ~host ~port path)
+      with
       | Ok body ->
           print_string body;
           0
       | Error msg ->
           Printf.eprintf "%s\n" msg;
           1)
-  | None -> (
-      match Balgserver.Client.connect ~host ~port with
-      | Error msg ->
-          Printf.eprintf "%s\n" msg;
-          1
-      | Ok c ->
-          let saw_err = ref false and saw_verdict = ref false in
-          let send cmd =
-            match Balgserver.Client.request c cmd with
-            | Ok reply -> (
-                match classify_reply reply with
-                | `Err ->
-                    saw_err := true;
-                    Printf.eprintf "%s\n" reply;
-                    true
-                | `Verdict ->
-                    saw_verdict := true;
-                    print_endline reply;
-                    true
-                | `Ok ->
-                    print_endline reply;
-                    true)
-            | Error msg ->
+  | None ->
+      (* one logical stream over possibly many connections: a transport
+         failure drops the connection and the next attempt redials, so a
+         retrying client rides out a primary restart or a failover *)
+      let conn = ref None in
+      let get_conn () =
+        match !conn with
+        | Some c -> Ok c
+        | None -> (
+            match
+              Balgserver.Client.connect ?timeout_s:timeout ~host ~port ()
+            with
+            | Ok c ->
+                conn := Some c;
+                Ok c
+            | Error _ as e -> e)
+      in
+      let drop_conn () =
+        match !conn with
+        | Some c ->
+            Balgserver.Client.close c;
+            conn := None
+        | None -> ()
+      in
+      let saw_err = ref false and saw_verdict = ref false in
+      (* [`Reply]: the server answered, just unfavourably — the stream
+         can continue; [`Transport]/[`Connect]: the wire itself failed *)
+      let last_kind = ref `Transport in
+      let send cmd =
+        let attempt _k =
+          match get_conn () with
+          | Error msg ->
+              last_kind := `Connect;
+              Error msg
+          | Ok c -> (
+              match Balgserver.Client.request c cmd with
+              | Error msg ->
+                  last_kind := `Transport;
+                  drop_conn ();
+                  Error msg
+              | Ok reply when retryable_reply reply ->
+                  last_kind := `Reply;
+                  Error reply
+              | Ok reply -> Ok reply)
+        in
+        match Balgserver.Client.retrying ~attempts:retries attempt with
+        | Ok reply -> (
+            match classify_reply reply with
+            | `Err ->
                 saw_err := true;
-                Printf.eprintf "%s\n" msg;
-                false (* transport gone: stop the command stream *)
-          in
-          let rec stdin_loop () =
-            match In_channel.input_line stdin with
-            | None -> ()
-            | Some "" -> stdin_loop ()
-            | Some line -> if send line then stdin_loop ()
-          in
-          (match cmds with
-          | [] -> stdin_loop ()
-          | cmds -> ignore (List.for_all send cmds));
-          Balgserver.Client.close c;
-          if !saw_err then 1 else if !saw_verdict then 2 else 0)
+                Printf.eprintf "%s\n" reply;
+                true
+            | `Verdict ->
+                saw_verdict := true;
+                print_endline reply;
+                true
+            | `Ok ->
+                print_endline reply;
+                true)
+        | Error msg -> (
+            saw_err := true;
+            Printf.eprintf "%s\n" msg;
+            match !last_kind with
+            | `Reply -> true (* the connection is fine; keep going *)
+            | `Transport | `Connect -> false (* wire gone: stop the stream *))
+      in
+      let rec stdin_loop () =
+        match In_channel.input_line stdin with
+        | None -> ()
+        | Some "" -> stdin_loop ()
+        | Some line -> if send line then stdin_loop ()
+      in
+      (match cmds with
+      | [] -> stdin_loop ()
+      | cmds -> ignore (List.for_all send cmds));
+      drop_conn ();
+      if !saw_err then 1 else if !saw_verdict then 2 else 0
 
 (* --- cmdliner wiring ------------------------------------------------------ *)
 
@@ -708,6 +760,26 @@ let client_exec_arg =
            $(b,-e 'eval R * R' -e metrics).  Without $(b,-e), commands are \
            read from stdin, one per line.")
 
+let client_retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retry a failed command up to $(docv) times with capped \
+           exponential backoff.  Retried failures: connect errors, \
+           transport errors (the client reconnects), and the transient \
+           replies $(b,err readonly) (a follower awaiting promotion) and \
+           $(b,err busy) (admission rejection).")
+
+let client_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Connect and read timeout per attempt; without it the client \
+           blocks indefinitely on a stalled server.")
+
 let client_http_get_arg =
   Arg.(
     value
@@ -726,7 +798,7 @@ let client_cmd =
           protocol error or connection failure.")
     Term.(
       const run_client $ client_host_arg $ client_port_arg $ client_exec_arg
-      $ client_http_get_arg)
+      $ client_http_get_arg $ client_retries_arg $ client_timeout_arg)
 
 let main =
   Cmd.group

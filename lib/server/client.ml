@@ -18,11 +18,34 @@ let resolve host =
     | { Unix.h_addr_list = [||]; _ } -> raise Not_found
     | h -> h.Unix.h_addr_list.(0))
 
-let connect ~host ~port =
+(* A timed connect: non-blocking connect, poll writability with select,
+   then read SO_ERROR for the real outcome — the portable shape of
+   "connect with a deadline". *)
+let timed_connect fd addr timeout_s =
+  Unix.set_nonblock fd;
+  (try Unix.connect fd addr with
+  | Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) -> (
+      match Unix.select [] [ fd ] [] timeout_s with
+      | _, [], _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+      | _ -> (
+          match Unix.getsockopt_error fd with
+          | None -> ()
+          | Some e -> raise (Unix.Unix_error (e, "connect", "")))));
+  Unix.clear_nonblock fd
+
+let connect ?timeout_s ~host ~port () =
   match
     let addr = resolve host in
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-    (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+    (try
+       (match timeout_s with
+       | None -> Unix.connect fd (Unix.ADDR_INET (addr, port))
+       | Some s ->
+           timed_connect fd (Unix.ADDR_INET (addr, port)) s;
+           (* reads and writes inherit the same deadline: a stalled
+              server surfaces as a timeout error, never a hung client *)
+           Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+           Unix.setsockopt_float fd Unix.SO_SNDTIMEO s)
      with e ->
        (try Unix.close fd with Unix.Unix_error _ -> ());
        raise e);
@@ -76,7 +99,17 @@ let request c cmd =
     | reply -> Ok reply
     | exception End_of_file -> Error "connection closed by server"
     | exception Sys_error msg -> Error msg
+    (* SO_RCVTIMEO expiring surfaces as EAGAIN from the read; channel
+       reads report it as Sys_blocked_io *)
+    | exception Sys_blocked_io -> Error "read timed out"
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Error "read timed out"
     | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let raw c = (c.ic, c.oc)
+
+let shutdown c =
+  try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
 
 let close c =
   if not c.closed then begin
@@ -88,8 +121,8 @@ let close c =
     try Unix.close c.fd with Unix.Unix_error _ -> ()
   end
 
-let http_get ~host ~port path =
-  match connect ~host ~port with
+let http_get ?timeout_s ~host ~port path =
+  match connect ?timeout_s ~host ~port () with
   | Error _ as e -> e
   | Ok c -> (
       match
@@ -103,12 +136,19 @@ let http_get ~host ~port path =
              ()
            done
          with End_of_file -> ());
+        (* chunked body reads: a /metrics scrape is kilobytes, and a
+           byte-at-a-time channel refill costs a buffer-management pass
+           per byte — read in 8 KiB slabs instead *)
         let b = Buffer.create 1024 in
-        (try
-           while true do
-             Buffer.add_channel b c.ic 1
-           done
-         with End_of_file -> ());
+        let chunk = Bytes.create 8192 in
+        let rec drain () =
+          let n = input c.ic chunk 0 (Bytes.length chunk) in
+          if n > 0 then begin
+            Buffer.add_subbytes b chunk 0 n;
+            drain ()
+          end
+        in
+        (try drain () with End_of_file -> ());
         (status, Buffer.contents b)
       with
       | status, body ->
@@ -125,6 +165,38 @@ let http_get ~host ~port path =
       | exception Sys_error msg ->
           close c;
           Error msg
+      | exception Sys_blocked_io ->
+          close c;
+          Error "read timed out"
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          close c;
+          Error "read timed out"
       | exception Unix.Unix_error (e, _, _) ->
           close c;
           Error (Unix.error_message e))
+
+(* --- retry policy ---------------------------------------------------------- *)
+
+(* Deterministic jitter in [0.5, 1.0]: a pure hash of the attempt number
+   alone, so the same retry sequence replays the same delays (the test
+   and chaos-replay posture the Fault module takes, applied to time). *)
+let jitter attempt =
+  let h = Hashtbl.hash (attempt * 2654435761) land 0xFFFF in
+  0.5 +. (0.5 *. float_of_int h /. 65536.)
+
+let backoff_delay ?(base_s = 0.1) ?(cap_s = 5.0) ~attempt () =
+  let exp = base_s *. (2. ** float_of_int (min (max 0 (attempt - 1)) 16)) in
+  Float.min cap_s exp *. jitter attempt
+
+let retrying ~attempts ?base_s ?cap_s ?(sleep = Unix.sleepf) f =
+  let rec go k =
+    match f k with
+    | Ok _ as ok -> ok
+    | Error _ as e ->
+        if k >= attempts then e
+        else begin
+          sleep (backoff_delay ?base_s ?cap_s ~attempt:(k + 1) ());
+          go (k + 1)
+        end
+  in
+  go 0

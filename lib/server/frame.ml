@@ -1,0 +1,56 @@
+(* Checksummed WAL record framing; see frame.mli for the format. *)
+
+(* IEEE CRC-32, table-driven.  OCaml's native ints are 63-bit on every
+   platform we build for, so the 32-bit arithmetic fits without Int32
+   boxing. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+type record = { seq : int; payload : string }
+
+let encode ~seq payload =
+  if String.contains payload '\n' then
+    invalid_arg "Frame.encode: payload contains a newline";
+  Printf.sprintf "@%d %d %08x %s\n" seq (String.length payload) (crc32 payload)
+    payload
+
+let decode_line line =
+  match
+    Scanf.sscanf line "@%d %d %x %n" (fun seq len crc pos -> (seq, len, crc, pos))
+  with
+  | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) ->
+      Error "bad frame header"
+  | seq, len, crc, pos ->
+      let payload = String.sub line pos (String.length line - pos) in
+      if String.length payload <> len then
+        Error
+          (Printf.sprintf "length mismatch: header says %d, payload is %d" len
+             (String.length payload))
+      else if crc32 payload <> crc then
+        Error
+          (Printf.sprintf "crc mismatch: header says %08x, payload is %08x" crc
+             (crc32 payload))
+      else if seq <= 0 then Error "non-positive sequence number"
+      else Ok { seq; payload }
+
+let decode_at content ~pos =
+  match String.index_from_opt content pos '\n' with
+  | None -> Error `Torn
+  | Some nl -> (
+      match decode_line (String.sub content pos (nl - pos)) with
+      | Ok r -> Ok (r, nl + 1)
+      | Error why -> Error (`Corrupt why))

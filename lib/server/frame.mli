@@ -1,0 +1,44 @@
+(** Checksummed WAL record framing, shared by the on-disk log and the
+    replication wire.
+
+    One frame is one line:
+    {v @<seq> <len> <crc32> <payload>\n v}
+    where [seq] is the record's {e global log offset} (1-based, monotone
+    across compactions — the position in the logical log, not a byte
+    offset in the current file), [len] is the byte length of [payload]
+    and [crc32] is the IEEE CRC-32 of [payload], printed as 8 lowercase
+    hex digits.  Payloads are single lines (a [.bagdb] declaration or a
+    [drop NAME] record) and never contain a newline, so the frame's
+    ['\n'] is the only one on the line.
+
+    The header lets recovery — and a follower applying shipped frames —
+    tell the two failure shapes apart:
+    - a {e torn tail}: the final line has no terminator (a write was cut
+      by a crash mid-record).  Normal; replay stops there and the tail is
+      truncated.
+    - {e corruption}: a terminated line whose header does not parse,
+      whose payload length disagrees with [len], whose CRC disagrees
+      with [crc32], or whose [seq] breaks the expected sequence.  Replay
+      also stops there, but the store reports it as detected corruption
+      rather than a clean torn tail. *)
+
+val crc32 : string -> int
+(** IEEE CRC-32 (polynomial 0xEDB88320) of the whole string, in
+    [0, 2^32). *)
+
+type record = { seq : int; payload : string }
+
+val encode : seq:int -> string -> string
+(** [encode ~seq payload] is the framed line, terminator included.
+    @raise Invalid_argument if the payload contains a newline. *)
+
+val decode_line : string -> (record, string) result
+(** Decode one frame line (terminator already stripped).  [Error]
+    describes the corruption (bad header, length mismatch, CRC
+    mismatch). *)
+
+val decode_at :
+  string -> pos:int -> (record * int, [ `Torn | `Corrupt of string ]) result
+(** Decode the frame starting at byte [pos] of a log buffer; [Ok]
+    carries the record and the position just past its terminator.
+    [`Torn] when the line never terminates (crash mid-append). *)

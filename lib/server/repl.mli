@@ -1,0 +1,83 @@
+(** WAL-shipping replication: the primary's ship loop and the follower's
+    catch-up/apply loop, connected by the wire protocol's [sync] command.
+
+    {b Model.}  The unit of replication is the framed WAL record
+    (see {!Frame}): the line a primary appends to its log is the line it
+    ships, and the line a follower appends to {e its} log — the two logs
+    are byte-compatible at every shared offset, so a promoted follower's
+    WAL needs no rewriting.  Positions are global record sequence
+    numbers, monotone across compactions on either side.
+
+    {b Wire shape.}  A follower connects like any client and sends
+    [sync <offset>] with its own durable offset.  The primary answers
+    [ok <current-offset>] and then streams lines, each one of:
+    {v
+    @<seq> <len> <crc32> <payload>     a framed record (disk format)
+    hb <seq>                           heartbeat: alive and caught up
+    snapshot <seq>                     bootstrap block: the rendered
+    <declaration lines...>             store follows, terminated by a
+    .                                  lone "." — offset [seq] inclusive
+    v}
+    A [snapshot] block is sent whenever the follower's position predates
+    what the primary's WAL still covers (fresh follower, or the primary
+    compacted past it) — including mid-stream.
+
+    {b Failure model.}  Three {!Balg.Fault} sites: [repl.ship] (the
+    primary cuts the feed before a batch), [repl.connect] (a follower
+    connect attempt fails), [repl.apply] (a follower apply fails and
+    forces a resync).  The follower reconnects forever with capped
+    exponential backoff and deterministic jitter
+    ({!Client.backoff_delay}); after [lost_after] consecutive failures
+    {!status} reports it {e lost}, which the server surfaces as a 503 on
+    [/healthz]. *)
+
+type params = {
+  backoff_min_s : float;  (** reconnect backoff floor (default 0.1) *)
+  backoff_max_s : float;  (** reconnect backoff cap (default 5.0) *)
+  lost_after : int;
+      (** consecutive failures before the follower reports itself lost
+          (default 8) *)
+  read_timeout_s : float;
+      (** follower-side socket timeout; with heartbeats every
+          [hb_interval_s] a healthy feed never trips it (default 3.0) *)
+  hb_interval_s : float;  (** primary heartbeat period when idle (default 0.5) *)
+}
+
+val default_params : params
+
+val serve_sync :
+  store:Store.t ->
+  params:params ->
+  stopping:(unit -> bool) ->
+  after:int ->
+  out_channel ->
+  unit
+(** The primary side: stream the log tail to one follower, starting
+    after offset [after], until the connection drops, [stopping] turns
+    true, or the [repl.ship] fault cuts the feed.  Runs on the session's
+    own thread; the caller closes the connection when this returns. *)
+
+type follower
+
+type status = {
+  connected : bool;  (** a sync stream is currently up *)
+  applied_seq : int;  (** the follower store's durable offset *)
+  primary_seq : int;  (** last offset heard from the primary (frame or hb) *)
+  lag : int;  (** [primary_seq - applied_seq], never negative *)
+  reconnects : int;  (** connection attempts after the first *)
+  failures : int;  (** consecutive failed attempts right now *)
+  lost : bool;  (** [failures >= lost_after]: past the backoff horizon *)
+}
+
+val start : store:Store.t -> host:string -> port:int -> params:params -> follower
+(** Spawn the follower thread: connect, sync, apply shipped records
+    through the validating loader into [store], reconnect with backoff
+    forever.  Never writes to [store] except via
+    {!Store.apply_replicated} / {!Store.install_snapshot}. *)
+
+val status : follower -> status
+
+val stop : follower -> unit
+(** Stop the loop and join the thread: wakes a blocked read by shutting
+    the connection down.  Idempotent.  This is the first half of
+    promotion; the server then seals the store and flips its role. *)

@@ -40,6 +40,10 @@ let g_open_sessions =
   Metrics.gauge Metrics.default "balg_server_open_sessions"
     ~help:"Client connections currently open"
 
+let g_role =
+  Metrics.gauge Metrics.default "balg_server_role"
+    ~help:"Replication role: 1 primary (writable), 0 follower (read-only)"
+
 type config = {
   host : string;
   port : int;
@@ -53,6 +57,8 @@ type config = {
   optimize : Opt.mode;
   cache_capacity : int;
   compact_bytes : int;
+  follow : (string * int) option;
+  repl_params : Repl.params;
 }
 
 let default_config =
@@ -69,6 +75,8 @@ let default_config =
     optimize = Opt.Off;
     cache_capacity = 512;
     compact_bytes = 1 lsl 20;
+    follow = None;
+    repl_params = Repl.default_params;
   }
 
 type session = {
@@ -93,6 +101,9 @@ type t = {
   mutable stopped : bool;
   stop_mu : Mutex.t;
   stop_cv : Condition.t;
+  role_mu : Mutex.t;
+  mutable role : [ `Primary | `Follower ];
+  mutable follower : Repl.follower option;
 }
 
 (* --- small helpers --------------------------------------------------------- *)
@@ -131,6 +142,56 @@ let registry_close sv id =
             let n = Hashtbl.length sv.reg in
             Mutex.unlock sv.reg_mu;
             n))
+
+(* --- roles ------------------------------------------------------------------ *)
+
+let follower_status sv =
+  Mutex.lock sv.role_mu;
+  let f = sv.follower in
+  Mutex.unlock sv.role_mu;
+  Option.map Repl.status f
+
+(* [Some err] when this node must reject writes: a follower serves reads
+   only until it is promoted.  (A WAL failure is a different rejection —
+   the store itself answers that one.) *)
+let follower_guard sv =
+  Mutex.lock sv.role_mu;
+  let r = sv.role in
+  Mutex.unlock sv.role_mu;
+  match r with
+  | `Primary -> None
+  | `Follower -> Some "err readonly: follower (promote to accept writes)"
+
+(* Promotion: stop the catch-up loop, seal the replicated log into a
+   snapshot, flip the role.  The seal is best-effort — the WAL is intact
+   and replayable either way, and a new primary that cannot compact is
+   still better than no primary at all. *)
+let promote sv =
+  Mutex.lock sv.role_mu;
+  match sv.role with
+  | `Primary ->
+      Mutex.unlock sv.role_mu;
+      `Already_primary
+  | `Follower ->
+      let f = sv.follower in
+      sv.follower <- None;
+      sv.role <- `Primary;
+      Mutex.unlock sv.role_mu;
+      Option.iter Repl.stop f;
+      ignore (Store.compact sv.store);
+      Metrics.set_gauge g_role 1.;
+      if Obs.on () then Obs.emit Obs.I ~cat:"repl" ~name:"repl.promote" ~args:[ ("offset", Obs.Int (Store.log_seq sv.store)) ];
+      `Promoted
+
+let role_line sv =
+  match follower_status sv with
+  | Some st ->
+      Printf.sprintf "ok follower offset=%d lag=%d %s" st.Repl.applied_seq
+        st.Repl.lag
+        (if st.Repl.lost then "lost"
+         else if st.Repl.connected then "connected"
+         else "connecting")
+  | None -> Printf.sprintf "ok primary offset=%d" (Store.log_seq sv.store)
 
 (* --- the eval path --------------------------------------------------------- *)
 
@@ -314,17 +375,32 @@ let respond sv sess line =
   else if String.equal line "dump" then
     let body = Bagdb.render (Store.snapshot sv.store) in
     Some (if String.equal body "" then "." else body ^ "\n.")
+  else if String.equal line "role" then Some (role_line sv)
+  else if String.equal line "promote" then
+    Some
+      (match promote sv with
+      | `Promoted -> "ok promoted"
+      | `Already_primary -> "ok already primary")
   else if String.equal line "compact" then
     Some
-      (match Store.compact sv.store with
-      | Ok () -> "ok compacted"
-      | Error msg -> "err wal: " ^ one_line msg)
+      (match follower_guard sv with
+      | Some err -> err
+      | None -> (
+          match Store.compact sv.store with
+          | Ok () -> "ok compacted"
+          | Error msg -> "err wal: " ^ one_line msg))
   else if starts_with "eval " line then
     Some (one_line (handle_eval sv sess (after "eval " line)))
   else if starts_with "def " line then
-    Some (one_line (handle_def sv (after "def " line)))
+    Some
+      (match follower_guard sv with
+      | Some err -> err
+      | None -> one_line (handle_def sv (after "def " line)))
   else if starts_with "drop " line then
-    Some (one_line (handle_drop sv (after "drop " line)))
+    Some
+      (match follower_guard sv with
+      | Some err -> err
+      | None -> one_line (handle_drop sv (after "drop " line)))
   else if starts_with "set " line then
     Some (one_line (handle_set sess (after "set " line)))
   else Some ("err proto: unknown command " ^ one_line line)
@@ -340,7 +416,30 @@ let http_response oc status content_type body =
   output_string oc body;
   flush oc
 
-let handle_http request_line ic oc =
+(* Health is role-aware and degradation-aware: a store that went
+   read-only (wal.append fault, ENOSPC) or a follower past its backoff
+   horizon answers 503 so a load balancer stops routing here, while the
+   body says which degradation it is. *)
+let healthz_body sv =
+  if Store.read_only sv.store then
+    ("503 Service Unavailable", "degraded: store read-only (write-ahead log failed)\n")
+  else
+    match follower_status sv with
+    | Some st when st.Repl.lost ->
+        ( "503 Service Unavailable",
+          Printf.sprintf
+            "degraded: replication lost (%d consecutive failures)\n"
+            st.Repl.failures )
+    | Some st ->
+        ( "200 OK",
+          Printf.sprintf "ok role=follower offset=%d lag=%d\n"
+            st.Repl.applied_seq st.Repl.lag )
+    | None ->
+        ( "200 OK",
+          Printf.sprintf "ok role=primary offset=%d\n"
+            (Store.log_seq sv.store) )
+
+let handle_http sv request_line ic oc =
   Metrics.incr m_http;
   (* drain the header block; we answer from the request line alone *)
   (try
@@ -355,7 +454,9 @@ let handle_http request_line ic oc =
       | "/metrics" ->
           http_response oc "200 OK" "text/plain; version=0.0.4"
             (Metrics.to_prometheus Metrics.default)
-      | "/healthz" -> http_response oc "200 OK" "text/plain" "ok\n"
+      | "/healthz" ->
+          let status, body = healthz_body sv in
+          http_response oc status "text/plain" body
       | _ -> http_response oc "404 Not Found" "text/plain" "not found\n")
   | _ -> http_response oc "400 Bad Request" "text/plain" "bad request\n"
 
@@ -366,6 +467,20 @@ let session_loop sv sess ic oc first_line =
     (* the [server.session] chaos site: this session dies here — its
        socket closes, the rest of the server keeps serving *)
     if Fault.fire session_site then Metrics.incr m_session_faults
+    else if starts_with "sync " (strip_cr line) then begin
+      (* [sync] takes over the connection: the session becomes a
+         replication feed and never returns to request/response *)
+      Metrics.incr m_requests;
+      match int_of_string_opt (String.trim (after "sync " (strip_cr line))) with
+      | Some a when a >= 0 ->
+          Repl.serve_sync ~store:sv.store ~params:sv.cfg.repl_params
+            ~stopping:(fun () -> sv.stopping)
+            ~after:a oc
+      | _ ->
+          output_string oc "err proto: sync expects a non-negative log offset\n";
+          flush oc;
+          loop (input_line ic)
+    end
     else
       match respond sv sess line with
       | None ->
@@ -395,7 +510,7 @@ let handle_conn sv id fd =
      if
        starts_with "GET " first || starts_with "HEAD " first
        || starts_with "POST " first
-     then handle_http first ic oc
+     then handle_http sv first ic oc
      else session_loop sv sess ic oc first
    with
   | End_of_file | Sys_error _ -> ()
@@ -474,8 +589,17 @@ let start cfg =
         stopped = false;
         stop_mu = Mutex.create ();
         stop_cv = Condition.create ();
+        role_mu = Mutex.create ();
+        role = (match cfg.follow with None -> `Primary | Some _ -> `Follower);
+        follower = None;
       }
     in
+    (match cfg.follow with
+    | None -> Metrics.set_gauge g_role 1.
+    | Some (h, p) ->
+        Metrics.set_gauge g_role 0.;
+        sv.follower <-
+          Some (Repl.start ~store ~host:h ~port:p ~params:cfg.repl_params));
     sv.accept_thread <- Some (Thread.create (fun () -> accept_loop sv) ());
     sv
   with
@@ -515,6 +639,12 @@ let stop sv =
     let threads = Hashtbl.fold (fun _ (_, th) acc -> th :: acc) sv.reg [] in
     Mutex.unlock sv.reg_mu;
     List.iter (registry_close sv) ids;
+    (* stop the follower before the store it writes into goes away *)
+    Mutex.lock sv.role_mu;
+    let f = sv.follower in
+    sv.follower <- None;
+    Mutex.unlock sv.role_mu;
+    Option.iter Repl.stop f;
     Exec.shutdown sv.exec;
     List.iter Thread.join threads;
     Store.close sv.store;

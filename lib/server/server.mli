@@ -21,23 +21,40 @@
     list                  -> ok <names...>
     ping                  -> ok pong
     compact               -> ok compacted
+    role                  -> ok primary offset=N
+                           | ok follower offset=N lag=N <state>
+    promote               -> ok promoted | ok already primary
+    sync <offset>         -> ok <offset>, then the connection becomes a
+                             replication feed (see {!Repl})
     metrics               -> <Prometheus text>, terminated by a "." line
     dump                  -> <rendered store>,  terminated by a "." line
     quit                  -> ok bye             (connection closes)
     v}
     Error kinds: [parse], [type], [db], [eval], [proto], [busy]
     (admission rejection), [wal] (write failure / read-only store),
+    [readonly] (this node is a follower; [promote] to accept writes),
     [internal].  A budget exhaustion is not an [err]: it is a [verdict]
     line carrying the same structured message [balgi eval] prints.
 
     A connection whose first line is an HTTP request method serves HTTP
     instead: [GET /metrics] returns the Prometheus snapshot (the
-    per-server scrape endpoint), [GET /healthz] liveness.
+    per-server scrape endpoint, including role, log offset and
+    replication lag), [GET /healthz] health: [200 ok role=... offset=...]
+    when serving, [503 degraded: ...] when the store has gone read-only
+    or a follower has lost its primary past the backoff horizon.
+
+    {b Replication.}  With [config.follow = Some (host, port)] the server
+    starts as a read-only follower of that primary: it bootstraps from
+    the primary's snapshot, applies shipped records through the
+    validating loader, reconnects with capped backoff, and answers
+    [promote] (or SIGUSR1 in [balgd]) by sealing its WAL and becoming a
+    writable primary.  See {!Repl}.
 
     {b Fault sites.}  [server.accept] (the just-accepted connection is
     dropped), [server.session] (the session dies mid-conversation; its
     socket closes, every other session keeps working), plus the
-    [server.worker] and [wal.append] sites of {!Exec} and {!Store}. *)
+    [server.worker] and [wal.append] sites of {!Exec} and {!Store} and
+    the [repl.ship]/[repl.connect]/[repl.apply] sites of {!Repl}. *)
 
 open Balg
 
@@ -54,6 +71,10 @@ type config = {
   optimize : Opt.mode;  (** default optimizer mode for new sessions *)
   cache_capacity : int;  (** result-cache entries *)
   compact_bytes : int;  (** WAL size triggering snapshot compaction *)
+  follow : (string * int) option;
+      (** replicate from this primary; the server starts as a read-only
+          follower *)
+  repl_params : Repl.params;  (** backoff / heartbeat / loss tuning *)
 }
 
 val default_config : config
@@ -70,6 +91,12 @@ val port : t -> int
 
 val store : t -> Store.t
 val sessions_served : t -> int
+
+val promote : t -> [ `Promoted | `Already_primary ]
+(** Failover: stop the follower loop, seal the replicated WAL into a
+    snapshot (best-effort) and start accepting writes.  Idempotent —
+    promoting a primary reports [`Already_primary].  Also reachable as
+    the wire command [promote] and, in [balgd], via SIGUSR1. *)
 
 val stop : t -> unit
 (** Graceful-enough shutdown: stop accepting, close every client socket,

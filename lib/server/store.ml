@@ -1,5 +1,5 @@
-(* The shared store: COW reads, write-ahead log, snapshot compaction.
-   See store.mli for the model. *)
+(* The shared store: COW reads, checksummed write-ahead log, snapshot
+   compaction, replication tail.  See store.mli for the model. *)
 
 open Balg
 module Bagdb = Baglang.Bagdb
@@ -14,7 +14,7 @@ let wal_site = Fault.register "wal.append"
 
 let m_writes =
   Metrics.counter Metrics.default "balg_server_store_writes_total"
-    ~help:"Store write operations applied (def + drop)"
+    ~help:"Store write operations applied (def + drop, local and replicated)"
 
 let m_write_errors =
   Metrics.counter Metrics.default "balg_server_store_write_errors_total"
@@ -40,9 +40,19 @@ let m_truncated =
   Metrics.counter Metrics.default "balg_server_wal_truncated_bytes_total"
     ~help:"Torn/corrupt WAL tail bytes dropped during store recovery"
 
+let m_corrupt =
+  Metrics.counter Metrics.default "balg_server_wal_corrupt_frames_total"
+    ~help:
+      "WAL frames rejected by the CRC/length/sequence checks (silent \
+       corruption, as opposed to a clean torn tail)"
+
 let g_wal_bytes =
   Metrics.gauge Metrics.default "balg_server_wal_bytes"
     ~help:"Current WAL size in bytes"
+
+let g_log_seq =
+  Metrics.gauge Metrics.default "balg_server_log_seq"
+    ~help:"Durable log offset (global sequence of the last flushed record)"
 
 type t = {
   dir : string option;
@@ -53,18 +63,22 @@ type t = {
   mutable wal : out_channel option;
   mutable wal_bytes : int;
   mutable wal_failed : bool;
+  mutable seq : int;  (* global log offset of the last durable record *)
+  mutable base : int;  (* offset covered by the snapshot / tail start *)
+  mutable tail : (int * string) list;  (* newest-first (seq, payload) *)
   recovered : int;
   truncated : int;
+  corrupt : bool;
 }
 
 let snapshot_path dir = Filename.concat dir "snapshot.bagdb"
 let wal_path dir = Filename.concat dir "wal.log"
+let base_path dir = Filename.concat dir "wal.base"
 
 let render_op = function
   | Def (n, ty, v) ->
-      Printf.sprintf "bag %s : %s = %s\n" n (Ty.to_string ty)
-        (Value.to_string v)
-  | Drop n -> Printf.sprintf "drop %s\n" n
+      Printf.sprintf "bag %s : %s = %s" n (Ty.to_string ty) (Value.to_string v)
+  | Drop n -> Printf.sprintf "drop %s" n
 
 (* Deterministic write semantics, shared by live applies and WAL replay:
    a def replaces in place (or appends at the end), so recovery rebuilds
@@ -84,9 +98,9 @@ let validate db = function
       if List.exists (fun (m, _, _) -> String.equal m n) db then Ok ()
       else Error (Printf.sprintf "no such relation %s" n)
 
-(* One WAL record: a [drop NAME] line or a single [.bagdb] declaration,
-   parsed by the same validating loader that guards database files — so
-   every corruption shape it can reject, replay rejects too. *)
+(* One WAL record payload: a [drop NAME] line or a single [.bagdb]
+   declaration, parsed by the same validating loader that guards database
+   files — so every corruption shape it can reject, replay rejects too. *)
 let parse_record ~path ~offset line =
   let db_err reason =
     raise (Bagdb.Db_error { path = Some path; offset; reason })
@@ -101,32 +115,76 @@ let parse_record ~path ~offset line =
     | [ (n, ty, v) ] -> Def (n, ty, v)
     | _ -> db_err "WAL record is not a single declaration"
 
-(* Replay complete, valid records in order; stop at the first torn or
-   malformed one (including a final line with no terminator).  Returns
-   the rebuilt contents, the surviving-prefix length and the record
-   count. *)
-let replay_wal ~path content db0 =
+let op_of_payload line =
+  match parse_record ~path:"<repl>" ~offset:0 line with
+  | op -> Ok op
+  | exception Bagdb.Db_error e -> Error (Bagdb.error_to_string e)
+
+(* Replay complete, valid frames in order; stop at the first torn or
+   corrupt one.  Frames at or below [base] are stale leftovers of a crash
+   between compaction's base update and its WAL truncate: the snapshot
+   already contains them, and skipping is idempotent because records are
+   absolute (def replaces, drop removes).  Returns the rebuilt contents,
+   the surviving-prefix length, the last offset, the replayed count, the
+   surviving tail (newest-first) and the corruption reason if any. *)
+let replay_wal ~path content ~base db0 =
   let len = String.length content in
-  let rec go db off n =
-    if off >= len then (db, off, n)
+  let rec go db pos seq applied tail =
+    if pos >= len then (db, pos, seq, applied, tail, None)
     else
-      match String.index_from_opt content off '\n' with
-      | None -> (db, off, n) (* torn tail: record never terminated *)
-      | Some nl -> (
-          let line = String.sub content off (nl - off) in
-          if String.equal (String.trim line) "" then go db (nl + 1) n
-          else
-            match parse_record ~path ~offset:off line with
-            | op -> go (apply_op db op) (nl + 1) (n + 1)
-            | exception Bagdb.Db_error _ -> (db, off, n))
+      match Frame.decode_at content ~pos with
+      | Error `Torn -> (db, pos, seq, applied, tail, None)
+      | Error (`Corrupt why) -> (db, pos, seq, applied, tail, Some why)
+      | Ok (r, next) ->
+          if r.Frame.seq <= seq then go db next seq applied tail
+          else if r.Frame.seq <> seq + 1 then
+            ( db,
+              pos,
+              seq,
+              applied,
+              tail,
+              Some
+                (Printf.sprintf "sequence gap: frame %d after record %d"
+                   r.Frame.seq seq) )
+          else (
+            match parse_record ~path ~offset:pos r.Frame.payload with
+            | op ->
+                go (apply_op db op) next r.Frame.seq (applied + 1)
+                  ((r.Frame.seq, r.Frame.payload) :: tail)
+            | exception Bagdb.Db_error e ->
+                ( db,
+                  pos,
+                  seq,
+                  applied,
+                  tail,
+                  Some ("unparseable record: " ^ Bagdb.error_to_string e) ))
   in
-  go db0 0 0
+  go db0 0 base 0 []
 
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Durability invariant for renames: [rename tmp final] makes the new
+   contents atomic, but the {e directory entry} itself is only durable
+   once the parent directory is fsynced — without it a power loss just
+   after the rename can resurrect the old file (or lose the new one
+   entirely), silently undoing a compaction the WAL truncate already
+   assumed.  Every rename below is therefore followed by [fsync_dir]. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let fsync_out oc =
+  try Unix.fsync (Unix.descr_of_out_channel oc) with
+  | Unix.Unix_error _ -> ()
+  | Sys_error _ -> ()
 
 let write_snapshot_file dir db =
   let snap = snapshot_path dir in
@@ -136,8 +194,40 @@ let write_snapshot_file dir db =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
       output_string oc (Bagdb.render db);
-      output_string oc "\n");
-  Unix.rename tmp snap
+      output_string oc "\n";
+      flush oc;
+      fsync_out oc);
+  Unix.rename tmp snap;
+  fsync_dir dir
+
+let write_base_file dir seq =
+  let p = base_path dir in
+  let tmp = p ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (string_of_int seq);
+      output_char oc '\n';
+      flush oc;
+      fsync_out oc);
+  Unix.rename tmp p;
+  fsync_dir dir
+
+let read_base_file dir =
+  let p = base_path dir in
+  if not (Sys.file_exists p) then 0
+  else
+    match int_of_string_opt (String.trim (read_file p)) with
+    | Some n when n >= 0 -> n
+    | _ ->
+        raise
+          (Bagdb.Db_error
+             {
+               path = Some p;
+               offset = 0;
+               reason = "malformed wal.base: expected a non-negative integer";
+             })
 
 let open_wal_channel ?(trunc = false) dir =
   let flags =
@@ -158,8 +248,12 @@ let open_store ?(compact_bytes = 1 lsl 20) ?(seed = []) ~dir () =
         wal = None;
         wal_bytes = 0;
         wal_failed = false;
+        seq = 0;
+        base = 0;
+        tail = [];
         recovered = 0;
         truncated = 0;
+        corrupt = false;
       }
   | Some d ->
       if not (Sys.file_exists d) then Unix.mkdir d 0o755;
@@ -173,23 +267,33 @@ let open_store ?(compact_bytes = 1 lsl 20) ?(seed = []) ~dir () =
           seed
         end
       in
+      let base = read_base_file d in
       let wal_file = wal_path d in
       let content =
         if Sys.file_exists wal_file then read_file wal_file else ""
       in
-      let db, keep, recs = replay_wal ~path:wal_file content db0 in
+      let db, keep, seq, recs, tail, corrupt =
+        replay_wal ~path:wal_file content ~base db0
+      in
       let torn = String.length content - keep in
       if torn > 0 then begin
-        (* drop the torn tail so the next append starts at a record
-           boundary — the surviving prefix is exactly what replay used *)
+        (* drop the torn/corrupt tail so the next append starts at a
+           frame boundary — the surviving prefix is exactly what replay
+           used *)
         let fd = Unix.openfile wal_file [ Unix.O_WRONLY ] 0o644 in
         Fun.protect
           ~finally:(fun () -> Unix.close fd)
           (fun () -> Unix.ftruncate fd keep);
         Metrics.incr ~by:torn m_truncated
       end;
+      (match corrupt with
+      | Some why ->
+          Metrics.incr m_corrupt;
+          if Obs.on () then Obs.emit Obs.I ~cat:"server" ~name:"wal.corrupt" ~args:[ ("reason", Obs.Str why); ("offset", Obs.Int keep) ]
+      | None -> ());
       Metrics.incr ~by:recs m_recovered;
       Metrics.set_gauge g_wal_bytes (float_of_int keep);
+      Metrics.set_gauge g_log_seq (float_of_int seq);
       {
         dir = Some d;
         compact_bytes;
@@ -199,8 +303,12 @@ let open_store ?(compact_bytes = 1 lsl 20) ?(seed = []) ~dir () =
         wal = Some (open_wal_channel d);
         wal_bytes = keep;
         wal_failed = false;
+        seq;
+        base;
+        tail;
         recovered = recs;
         truncated = torn;
+        corrupt = corrupt <> None;
       }
 
 let locked t f =
@@ -208,32 +316,57 @@ let locked t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
 let snapshot t = locked t (fun () -> t.db)
+let state t = locked t (fun () -> (t.db, t.seq))
 let revision t = locked t (fun () -> t.revision)
+let log_seq t = locked t (fun () -> t.seq)
+let base_seq t = locked t (fun () -> t.base)
 let recovered_records t = t.recovered
 let truncated_bytes t = t.truncated
+let corruption_detected t = t.corrupt
 let read_only t = locked t (fun () -> t.wal_failed)
-let wal_size t = locked t (fun () -> t.wal_bytes)
+let wal_size t = locked t (fun () -> match t.dir with None -> 0 | Some _ -> t.wal_bytes)
 
-(* Called with the store mutex held. *)
-let compact_locked t =
+(* Seal the log at [seq] with contents [db]: persist the snapshot and its
+   base offset, truncate the WAL, drop the in-memory tail.  Called with
+   the store mutex held.  The write order matters for crash safety:
+   snapshot first (fsynced), then wal.base (fsynced), then the WAL
+   truncate — a crash between any two steps leaves either a stale WAL
+   whose low frames replay idempotently over the newer snapshot, or a
+   fresh base with the old WAL whose low frames are skipped by the
+   sequence check. *)
+let seal_locked t db seq =
   match t.dir with
-  | None -> Ok ()
+  | None ->
+      t.base <- seq;
+      t.tail <- [];
+      t.wal_bytes <- 0;
+      Ok ()
   | Some d -> (
       match
-        write_snapshot_file d t.db;
+        write_snapshot_file d db;
+        write_base_file d seq;
         (match t.wal with Some oc -> close_out_noerr oc | None -> ());
         let oc = open_wal_channel ~trunc:true d in
         t.wal <- Some oc;
-        t.wal_bytes <- 0
+        t.wal_bytes <- 0;
+        t.base <- seq;
+        t.tail <- []
       with
       | () ->
-          Metrics.incr m_compactions;
           Metrics.set_gauge g_wal_bytes 0.;
-          if Obs.on () then Obs.emit Obs.I ~cat:"server" ~name:"store.compact" ~args:[ ("revision", Obs.Int t.revision) ];
           Ok ()
       | exception Sys_error m -> Error ("compaction failed: " ^ m)
       | exception Unix.Unix_error (e, _, _) ->
           Error ("compaction failed: " ^ Unix.error_message e))
+
+(* Called with the store mutex held. *)
+let compact_locked t =
+  match seal_locked t t.db t.seq with
+  | Ok () ->
+      Metrics.incr m_compactions;
+      if Obs.on () then Obs.emit Obs.I ~cat:"server" ~name:"store.compact" ~args:[ ("revision", Obs.Int t.revision); ("seq", Obs.Int t.seq) ];
+      Ok ()
+  | Error _ as e -> e
 
 (* Called with the store mutex held.  An [Error] from here leaves the
    published contents unchanged; a torn write additionally flips the
@@ -241,7 +374,10 @@ let compact_locked t =
    cannot reach. *)
 let append_locked t record =
   match t.wal with
-  | None -> Ok ()
+  | None ->
+      (* in-memory: no log, but the byte budget still drives tail trims *)
+      t.wal_bytes <- t.wal_bytes + String.length record;
+      Ok ()
   | Some oc -> (
       match Fault.fire_payload wal_site with
       | Some cut ->
@@ -272,30 +408,95 @@ let append_locked t record =
               Metrics.incr m_wal_faults;
               Error ("wal append failed: " ^ m ^ "; store is read-only")))
 
-let apply t op =
-  let result =
-    locked t (fun () ->
-        if t.wal_failed then
-          Error "write-ahead log failed; store is read-only until restart"
-        else
-          match validate t.db op with
-          | Error _ as e -> e
-          | Ok () -> (
-              match append_locked t (render_op op) with
-              | Error _ as e -> e
-              | Ok () ->
-                  t.db <- apply_op t.db op;
-                  t.revision <- t.revision + 1;
-                  if t.wal_bytes >= t.compact_bytes then
-                    (* best-effort: a failed compaction keeps the (intact)
-                       longer WAL, it does not fail the write *)
-                    ignore (compact_locked t);
-                  Ok ()))
-  in
+(* Frame, append, publish one record at offset [seq].  Called with the
+   mutex held, after validation/sequencing. *)
+let commit_locked t seq op =
+  let payload = render_op op in
+  match append_locked t (Frame.encode ~seq payload) with
+  | Error _ as e -> e
+  | Ok () ->
+      t.db <- apply_op t.db op;
+      t.seq <- seq;
+      t.tail <- (seq, payload) :: t.tail;
+      t.revision <- t.revision + 1;
+      Metrics.set_gauge g_log_seq (float_of_int seq);
+      if t.wal_bytes >= t.compact_bytes then
+        (* best-effort: a failed compaction keeps the (intact) longer
+           WAL, it does not fail the write *)
+        ignore (compact_locked t);
+      Ok ()
+
+let count_result result =
   (match result with
   | Ok () -> Metrics.incr m_writes
   | Error _ -> Metrics.incr m_write_errors);
   result
+
+let ro_error = "write-ahead log failed; store is read-only until restart"
+
+let apply t op =
+  count_result
+    (locked t (fun () ->
+         if t.wal_failed then Error ro_error
+         else
+           match validate t.db op with
+           | Error _ as e -> e
+           | Ok () -> commit_locked t (t.seq + 1) op))
+
+let apply_replicated t ~seq op =
+  count_result
+    (locked t (fun () ->
+         if t.wal_failed then Error ro_error
+         else if seq <= t.seq then Ok () (* duplicate delivery: applied *)
+         else if seq <> t.seq + 1 then
+           Error
+             (Printf.sprintf "replication gap: record %d after offset %d" seq
+                t.seq)
+         else commit_locked t seq op))
+
+let install_snapshot t db ~seq =
+  locked t (fun () ->
+      if t.wal_failed then Error ro_error
+      else
+        match seal_locked t db seq with
+        | Error _ as e -> e
+        | Ok () ->
+            t.db <- db;
+            t.seq <- seq;
+            t.revision <- t.revision + 1;
+            Metrics.set_gauge g_log_seq (float_of_int seq);
+            Ok ())
+
+let read_from ?(synced = false) t ~after =
+  locked t (fun () ->
+      (* An unsynced [after = 0] always bootstraps: offset 0 means "I
+         have nothing", and the log's records apply on top of the
+         offset-0 state — which is the seed snapshot, not the empty
+         database, so records alone cannot reconstruct it.  Once the
+         follower holds a shipped snapshot ([synced]) the rule lapses:
+         only [after < base] (compaction folded the tail away) still
+         forces a snapshot, otherwise the ship loop would bootstrap an
+         empty primary forever. *)
+      if after < t.base || ((not synced) && after = 0) then
+        `Snapshot (t.db, t.seq)
+      else
+        `Records (List.filter (fun (s, _) -> s > after) (List.rev t.tail)))
+
+(* Polling subscription: the stdlib [Condition] has no timed wait, and
+   the ship loop needs one to interleave heartbeats and stop checks with
+   its blocking.  20ms granularity keeps replication latency well under
+   the heartbeat interval without measurable idle cost. *)
+let wait_change t ~seen ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if log_seq t > seen then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Thread.delay 0.02;
+      go ()
+    end
+  in
+  go ()
 
 let compact t = locked t (fun () -> compact_locked t)
 

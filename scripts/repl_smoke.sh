@@ -1,0 +1,167 @@
+#!/bin/sh
+# End-to-end replication smoke test for balgd, run as CI's repl-smoke
+# job: start a primary and a follower, load data, verify the follower
+# serves a bit-identical dump, kill -9 the primary mid-load, promote the
+# follower with SIGUSR1, and assert that a retrying client's writes
+# survive the failover window.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build bin/balgd.exe bin/balgi.exe
+BALGD=_build/default/bin/balgd.exe
+BALGI=_build/default/bin/balgi.exe
+
+tmp=$(mktemp -d)
+ppid=
+fpid=
+cleanup() {
+  [ -n "$ppid" ] && kill -9 "$ppid" 2>/dev/null || true
+  [ -n "$fpid" ] && kill -9 "$fpid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+  echo "repl-smoke: FAIL: $1" >&2
+  [ -f "$tmp/primary.out" ] && sed 's/^/  primary: /' "$tmp/primary.out" >&2
+  [ -f "$tmp/follower.out" ] && sed 's/^/  follower: /' "$tmp/follower.out" >&2
+  exit 1
+}
+
+# wait for a balgd's announce line and echo the port it chose
+await_port() {
+  out=$1
+  who=$2
+  i=0
+  while [ $i -lt 100 ]; do
+    p=$(sed -n 's/.*listening on [^:]*:\([0-9][0-9]*\).*$/\1/p' "$out")
+    if [ -n "$p" ]; then
+      echo "$p"
+      return 0
+    fi
+    sleep 0.1
+    i=$((i + 1))
+  done
+  fail "$who never announced its port"
+}
+
+# wait until the follower reports zero lag at the given primary offset
+await_caught_up() {
+  want_off=$1
+  i=0
+  while [ $i -lt 100 ]; do
+    line=$("$BALGI" client --port "$fport" -e role 2>/dev/null || true)
+    case "$line" in
+    "ok follower offset=$want_off lag=0"*) return 0 ;;
+    esac
+    sleep 0.1
+    i=$((i + 1))
+  done
+  fail "follower never caught up to offset $want_off (last: $line)"
+}
+
+# --- primary + follower come up --------------------------------------------
+
+"$BALGD" --port 0 --store "$tmp/pstore" >"$tmp/primary.out" 2>&1 &
+ppid=$!
+pport=$(await_port "$tmp/primary.out" primary)
+echo "repl-smoke: primary up on port $pport"
+
+"$BALGD" --port 0 --store "$tmp/fstore" --follow "127.0.0.1:$pport" \
+  >"$tmp/follower.out" 2>&1 &
+fpid=$!
+fport=$(await_port "$tmp/follower.out" follower)
+echo "repl-smoke: follower up on port $fport"
+
+# --- load data, verify bit-identical replicas ------------------------------
+
+"$BALGI" client --port "$pport" -e "def bag R : {{<U>}} = {{ <'a>, <'b>:2 }}" \
+  | grep -q "ok defined R" || fail "def R not acknowledged"
+for i in 1 2 3 4 5; do
+  "$BALGI" client --port "$pport" -e "def bag W$i : {{<U>}} = {{ <'w>:$i }}" \
+    | grep -q "ok defined W$i" || fail "write W$i not acknowledged"
+done
+
+# six applied writes = log offset 6
+await_caught_up 6
+pdump=$("$BALGI" client --port "$pport" -e dump) || fail "dump on primary"
+fdump=$("$BALGI" client --port "$fport" -e dump) || fail "dump on follower"
+[ "$pdump" = "$fdump" ] || fail "follower dump diverged from primary"
+echo "repl-smoke: follower serves a bit-identical dump"
+
+# the follower refuses writes until promoted (balgi exits non-zero on
+# an err reply and echoes it to stderr — both are expected here)
+ro=$("$BALGI" client --port "$fport" -e "def bag X : {{<U>}} = {{ <'x> }}" 2>&1) || true
+case "$ro" in
+err\ readonly*) ;;
+*) fail "unpromoted follower accepted a write: $ro" ;;
+esac
+
+# --- failover: kill -9 the primary mid-load, promote the follower ----------
+
+# a background writer is mid-stream on the primary when it dies; its
+# in-flight write may or may not replicate, the six acknowledged must
+(
+  j=0
+  while [ $j -lt 200 ]; do
+    "$BALGI" client --port "$pport" -e "def bag K : {{<U>}} = {{ <'k>:$((j + 1)) }}" \
+      >/dev/null 2>&1 || exit 0
+    j=$((j + 1))
+  done
+) &
+writer=$!
+sleep 0.3
+kill -9 "$ppid" 2>/dev/null || true
+wait "$ppid" 2>/dev/null || true
+ppid=
+wait "$writer" 2>/dev/null || true
+echo "repl-smoke: killed primary mid-load"
+
+# a retrying client starts writing against the follower BEFORE the
+# promotion lands: every attempt until then answers "err readonly",
+# which the retry policy treats as retryable — the write must succeed
+# once the follower becomes primary
+"$BALGI" client --port "$fport" --retries 30 --timeout 2 \
+  -e "def bag F : {{<U>}} = {{ <'f>:7 }}" >"$tmp/retry.out" 2>&1 &
+retrier=$!
+sleep 0.3
+kill -USR1 "$fpid"
+i=0
+while [ $i -lt 50 ]; do
+  grep -q "promoted to primary" "$tmp/follower.out" && break
+  sleep 0.1
+  i=$((i + 1))
+done
+grep -q "promoted to primary" "$tmp/follower.out" \
+  || fail "follower did not announce promotion on SIGUSR1"
+wait "$retrier" || fail "retrying client failed across the failover window"
+grep -q "ok defined F" "$tmp/retry.out" \
+  || fail "retrying write not acknowledged: $(cat "$tmp/retry.out")"
+echo "repl-smoke: retrying client survived the failover window"
+
+# --- the promoted follower is a real primary -------------------------------
+
+"$BALGI" client --port "$fport" -e role | grep -q "ok primary" \
+  || fail "promoted follower does not report primary role"
+names=$("$BALGI" client --port "$fport" -e list) || fail "list after failover"
+for n in R W1 W2 W3 W4 W5 F; do
+  case " $names " in
+  *" $n "* | *" $n") ;;
+  *) fail "acknowledged bag $n missing after failover (have: $names)" ;;
+  esac
+done
+got=$("$BALGI" client --port "$fport" -e "eval R ++ R") \
+  || fail "eval after failover"
+case "$got" in ok\ *) ;; *) fail "eval after failover answered: $got" ;; esac
+echo "repl-smoke: all acknowledged writes survived failover"
+
+# graceful shutdown on SIGTERM
+kill -TERM "$fpid"
+i=0
+while kill -0 "$fpid" 2>/dev/null && [ $i -lt 50 ]; do
+  sleep 0.1
+  i=$((i + 1))
+done
+kill -0 "$fpid" 2>/dev/null && fail "promoted balgd ignored SIGTERM"
+fpid=
+echo "repl-smoke: ok"

@@ -14,6 +14,8 @@ module Cache = Balgserver.Cache
 module Exec = Balgserver.Exec
 module Server = Balgserver.Server
 module Client = Balgserver.Client
+module Frame = Balgserver.Frame
+module Repl = Balgserver.Repl
 
 let contains s sub =
   let n = String.length s and m = String.length sub in
@@ -51,6 +53,92 @@ let temp_dir =
     in
     (try Unix.mkdir d 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
     d
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content)
+
+let wait_until ?(timeout_s = 10.0) ?(what = "condition") pred =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () >= deadline then
+      Alcotest.fail ("timed out waiting for " ^ what)
+    else begin
+      Thread.delay 0.02;
+      go ()
+    end
+  in
+  go ()
+
+(* --- frames ---------------------------------------------------------------- *)
+
+let test_frame_roundtrip () =
+  let line = Frame.encode ~seq:7 "bag Z : {{<U>}} = {{ <'z> }}" in
+  Alcotest.(check bool) "newline-terminated" true
+    (line.[String.length line - 1] = '\n');
+  (match Frame.decode_line (String.sub line 0 (String.length line - 1)) with
+  | Ok r ->
+      Alcotest.(check int) "seq survives" 7 r.Frame.seq;
+      Alcotest.(check string) "payload survives"
+        "bag Z : {{<U>}} = {{ <'z> }}" r.Frame.payload
+  | Error m -> Alcotest.fail ("roundtrip: " ^ m));
+  (* decode_at over a concatenation walks frame boundaries *)
+  let two = Frame.encode ~seq:1 "drop A" ^ Frame.encode ~seq:2 "drop B" in
+  (match Frame.decode_at two ~pos:0 with
+  | Ok (r, next) ->
+      Alcotest.(check int) "first frame" 1 r.Frame.seq;
+      (match Frame.decode_at two ~pos:next with
+      | Ok (r2, next2) ->
+          Alcotest.(check int) "second frame" 2 r2.Frame.seq;
+          Alcotest.(check int) "consumed exactly" (String.length two) next2
+      | Error _ -> Alcotest.fail "second frame must decode")
+  | Error _ -> Alcotest.fail "first frame must decode");
+  match Frame.encode ~seq:1 "two\nlines" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "a payload with a newline must be rejected"
+
+(* The gate a follower runs on every shipped line, and recovery on every
+   stored one: a single flipped bit in a parseable record must fail the
+   CRC, not slip through the parser. *)
+let test_frame_bit_flip () =
+  let line = Frame.encode ~seq:3 "bag Z : {{<U>}} = {{ <'z> }}" in
+  let line = String.sub line 0 (String.length line - 1) in
+  let i = String.length line - 3 in
+  let flipped =
+    String.mapi
+      (fun j c -> if j = i then Char.chr (Char.code c lxor 1) else c)
+      line
+  in
+  (match Frame.decode_line flipped with
+  | Error m -> Alcotest.(check bool) "names the crc" true (contains m "crc")
+  | Ok _ -> Alcotest.fail "a bit-flipped payload must fail the CRC");
+  (* a truncated payload is a length mismatch, not a parse accident *)
+  (match Frame.decode_line (String.sub line 0 (String.length line - 4)) with
+  | Error m ->
+      Alcotest.(check bool) "names the length" true
+        (contains m "length" || contains m "crc")
+  | Ok _ -> Alcotest.fail "a short payload must be rejected");
+  (* garbage before the header *)
+  match Frame.decode_line ("x" ^ line) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a mangled header must be rejected"
+
+let test_frame_torn () =
+  let whole = Frame.encode ~seq:1 "drop A" in
+  let torn = String.sub whole 0 (String.length whole - 3) in
+  match Frame.decode_at torn ~pos:0 with
+  | Error `Torn -> ()
+  | Error (`Corrupt m) -> Alcotest.fail ("torn read as corrupt: " ^ m)
+  | Ok _ -> Alcotest.fail "an unterminated frame must read as torn"
 
 (* --- store ----------------------------------------------------------------- *)
 
@@ -170,6 +258,138 @@ let test_store_compact () =
   Alcotest.(check int) "no wal records to replay" 0
     (Store.recovered_records st2);
   Store.close st2
+
+(* Satellite (d): a bit-flipped record in the MIDDLE of the log — still
+   perfectly parseable as text — must be caught by the CRC, and replay
+   must truncate at that frame: the records behind it are gone too,
+   because a log with a corrupt middle has no trustworthy suffix. *)
+let test_store_crc_bit_flip () =
+  let dir = temp_dir () in
+  let st = Store.open_store ~dir:(Some dir) ~seed:(seed ()) () in
+  List.iter
+    (fun n ->
+      match Store.apply st (Store.Def (n, Ty.relation 1, rel1_of [ "x" ])) with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m)
+    [ "Z"; "W"; "V" ];
+  Store.close st;
+  let wal = Filename.concat dir "wal.log" in
+  let content = read_file wal in
+  (* flip one character inside the SECOND frame's payload: 'x' -> 'y'
+     keeps the record parseable, so only the checksum can object *)
+  let lines = String.split_on_char '\n' content in
+  let second = List.nth lines 1 in
+  let i = String.rindex second 'x' in
+  let flipped =
+    String.mapi (fun j c -> if j = i then 'y' else c) second
+  in
+  write_file wal
+    (String.concat "\n"
+       (List.mapi (fun k l -> if k = 1 then flipped else l) lines));
+  let st2 = Store.open_store ~dir:(Some dir) () in
+  Alcotest.(check int) "replay stops after the first record" 1
+    (Store.recovered_records st2);
+  Alcotest.(check bool) "corruption detected, not read as torn" true
+    (Store.corruption_detected st2);
+  Alcotest.(check bool) "corrupt tail measured" true
+    (Store.truncated_bytes st2 > 0);
+  Alcotest.(check bool) "state is the surviving prefix" true
+    (List.exists (fun (n, _, _) -> n = "Z") (Store.snapshot st2)
+    && not (List.exists (fun (n, _, _) -> n = "W") (Store.snapshot st2)));
+  Alcotest.(check int) "offset is the surviving prefix's" 1
+    (Store.log_seq st2);
+  Store.close st2;
+  (* the corrupt tail was truncated from disk: the next restart is clean *)
+  let st3 = Store.open_store ~dir:(Some dir) () in
+  Alcotest.(check bool) "second restart sees no corruption" false
+    (Store.corruption_detected st3);
+  Alcotest.(check int) "second restart truncates nothing" 0
+    (Store.truncated_bytes st3);
+  Store.close st3
+
+(* The replication surface of the store, without any server: bootstrap
+   snapshot at offset 0, framed catch-up records after it, idempotent
+   duplicate delivery, gap detection, and byte-compatible follower logs. *)
+let test_store_replication_api () =
+  let pdir = temp_dir () and fdir = temp_dir () in
+  let p = Store.open_store ~dir:(Some pdir) ~seed:(seed ()) () in
+  List.iter
+    (fun n ->
+      match Store.apply p (Store.Def (n, Ty.relation 1, rel1_of [ "x" ])) with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m)
+    [ "Z"; "W"; "V" ];
+  (* a fresh follower (offset 0) must get a snapshot, never records: the
+     records apply on top of the seed, which it does not have *)
+  let f = Store.open_store ~dir:(Some fdir) () in
+  (match Store.read_from p ~after:0 with
+  | `Records _ -> Alcotest.fail "offset 0 must bootstrap via snapshot"
+  | `Snapshot (db, sq) -> (
+      Alcotest.(check int) "snapshot at the primary's offset" 3 sq;
+      match Store.install_snapshot f db ~seq:sq with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail ("install: " ^ m)));
+  Alcotest.(check string) "bootstrap lands on identical contents"
+    (Bagdb.render (Store.snapshot p))
+    (Bagdb.render (Store.snapshot f));
+  Alcotest.(check int) "follower offset advanced" 3 (Store.log_seq f);
+  (* two more primary writes ship as framed records *)
+  (match Store.apply p (Store.Drop "W") with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (match Store.apply p (Store.Def ("Q", Ty.relation 1, rel1_of [ "q" ])) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (match Store.read_from p ~after:(Store.log_seq f) with
+  | `Snapshot _ -> Alcotest.fail "tail still covers offset 3"
+  | `Records rs ->
+      Alcotest.(check int) "two records to ship" 2 (List.length rs);
+      List.iter
+        (fun (sq, payload) ->
+          match Store.op_of_payload payload with
+          | Error m -> Alcotest.fail ("op_of_payload: " ^ m)
+          | Ok op -> (
+              match Store.apply_replicated f ~seq:sq op with
+              | Ok () -> ()
+              | Error m -> Alcotest.fail ("apply_replicated: " ^ m)))
+        rs;
+      (* duplicate delivery (a resync overlap) is a no-op, not an error *)
+      (match rs with
+      | (sq, payload) :: _ -> (
+          match Store.apply_replicated f ~seq:sq
+                  (Result.get_ok (Store.op_of_payload payload))
+          with
+          | Ok () -> ()
+          | Error m -> Alcotest.fail ("duplicate must be ok: " ^ m))
+      | [] -> assert false));
+  Alcotest.(check string) "caught up byte-identical"
+    (Bagdb.render (Store.snapshot p))
+    (Bagdb.render (Store.snapshot f));
+  (* a sequence gap must be refused: the follower has to resync *)
+  (match
+     Store.apply_replicated f ~seq:(Store.log_seq f + 2)
+       (Store.Def ("G2", Ty.relation 1, rel1_of [ "g" ]))
+   with
+  | Error m -> Alcotest.(check bool) "names the gap" true (contains m "gap")
+  | Ok () -> Alcotest.fail "a gap must be an error");
+  (* byte compatibility: the frames the follower appended are literally
+     the primary's log tail — a promoted follower's WAL needs no rewrite *)
+  let pwal = read_file (Filename.concat pdir "wal.log") in
+  let fwal = read_file (Filename.concat fdir "wal.log") in
+  Alcotest.(check bool) "follower log is a suffix of the primary's" true
+    (String.length fwal > 0
+    && String.length pwal >= String.length fwal
+    && String.equal fwal
+         (String.sub pwal
+            (String.length pwal - String.length fwal)
+            (String.length fwal)));
+  (* after the primary compacts, a lagging offset forces a snapshot *)
+  (match Store.compact p with Ok () -> () | Error m -> Alcotest.fail m);
+  (match Store.read_from p ~after:1 with
+  | `Snapshot _ -> ()
+  | `Records _ -> Alcotest.fail "compaction folded offset 1 away");
+  Store.close p;
+  Store.close f
 
 (* --- cache ----------------------------------------------------------------- *)
 
@@ -392,7 +612,7 @@ let with_server ?(tweak = fun c -> c) f =
   | Ok sv -> Fun.protect ~finally:(fun () -> Server.stop sv) (fun () -> f sv)
 
 let connect sv =
-  match Client.connect ~host:"127.0.0.1" ~port:(Server.port sv) with
+  match Client.connect ~host:"127.0.0.1" ~port:(Server.port sv) () with
   | Ok c -> c
   | Error m -> Alcotest.fail ("connect: " ^ m)
 
@@ -537,6 +757,347 @@ let test_server_persistence_across_restart () =
         "ok {{<'z>:9}} : {{<U>}}" (req c "eval S");
       Client.close c)
 
+(* --- client timeouts and retry policy --------------------------------------- *)
+
+(* A listener that completes TCP handshakes (backlog) but never reads or
+   writes: the client's connect succeeds, and only SO_RCVTIMEO can save a
+   request from blocking forever. *)
+let test_client_timeout () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      Unix.listen fd 4;
+      let port =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> assert false
+      in
+      match Client.connect ~timeout_s:0.3 ~host:"127.0.0.1" ~port () with
+      | Error m -> Alcotest.fail ("connect into the backlog: " ^ m)
+      | Ok c ->
+          let t0 = Unix.gettimeofday () in
+          (match Client.request c "ping" with
+          | Ok r -> Alcotest.fail ("a silent server answered: " ^ r)
+          | Error _ ->
+              Alcotest.(check bool) "timed out, not blocked" true
+                (Unix.gettimeofday () -. t0 < 2.0));
+          Client.close c)
+
+let test_client_retry_policy () =
+  (* deterministic jitter: the same attempt always gets the same delay,
+     bounded by the cap and at least half the exponential step *)
+  List.iter
+    (fun k ->
+      let d1 = Client.backoff_delay ~base_s:0.1 ~cap_s:5.0 ~attempt:k () in
+      let d2 = Client.backoff_delay ~base_s:0.1 ~cap_s:5.0 ~attempt:k () in
+      Alcotest.(check (float 0.0)) (Printf.sprintf "attempt %d replays" k) d1 d2;
+      let step = Float.min 5.0 (0.1 *. (2. ** float_of_int (k - 1))) in
+      Alcotest.(check bool) "within the jitter band" true
+        (d1 >= (0.5 *. step) -. 1e-9 && d1 <= step +. 1e-9))
+    [ 1; 2; 3; 7; 20 ];
+  (* retrying: calls = attempts + 1, sleeps follow the backoff schedule *)
+  let calls = ref 0 and slept = ref [] in
+  (match
+     Client.retrying ~attempts:3 ~base_s:0.1 ~cap_s:5.0
+       ~sleep:(fun d -> slept := d :: !slept)
+       (fun _ ->
+         incr calls;
+         Error "nope")
+   with
+  | Ok _ -> Alcotest.fail "must fail after the retry budget"
+  | Error m -> Alcotest.(check string) "last error surfaces" "nope" m);
+  Alcotest.(check int) "initial try + 3 retries" 4 !calls;
+  Alcotest.(check (list (float 0.0))) "slept the schedule"
+    (List.map
+       (fun k -> Client.backoff_delay ~base_s:0.1 ~cap_s:5.0 ~attempt:k ())
+       [ 3; 2; 1 ])
+    !slept;
+  (* first success stops the retries *)
+  let calls = ref 0 in
+  match
+    Client.retrying ~attempts:5 ~sleep:(fun _ -> ())
+      (fun k ->
+        incr calls;
+        if k >= 2 then Ok k else Error "warming up")
+  with
+  | Ok k ->
+      Alcotest.(check int) "succeeded on attempt 2" 2 k;
+      Alcotest.(check int) "stopped retrying after success" 3 !calls
+  | Error m -> Alcotest.fail m
+
+(* --- replication, end to end ------------------------------------------------ *)
+
+(* Small params so tests converge fast: reconnects in tens of ms, a
+   follower is "lost" after 3 straight failures, heartbeats every 50ms. *)
+let test_repl_params =
+  {
+    Repl.backoff_min_s = 0.02;
+    backoff_max_s = 0.2;
+    lost_after = 3;
+    read_timeout_s = 2.0;
+    hb_interval_s = 0.05;
+  }
+
+let with_pair ?(primary_tweak = fun c -> c) ?(follower_tweak = fun c -> c) f =
+  with_server
+    ~tweak:(fun c ->
+      primary_tweak { c with Server.repl_params = test_repl_params })
+    (fun prim ->
+      with_server
+        ~tweak:(fun c ->
+          follower_tweak
+            {
+              c with
+              Server.seed_db = [];
+              follow = Some ("127.0.0.1", Server.port prim);
+              repl_params = test_repl_params;
+            })
+        (fun fol -> f prim fol))
+
+let caught_up prim fol () =
+  Store.log_seq (Server.store fol) = Store.log_seq (Server.store prim)
+  && Store.log_seq (Server.store prim) > 0
+
+let test_repl_catch_up () =
+  with_pair (fun prim fol ->
+      let c = connect prim in
+      Alcotest.(check string) "write on the primary" "ok defined S"
+        (req c "def bag S : {{<U>}} = {{ <'z>:9 }}");
+      Alcotest.(check string) "and another" "ok dropped G" (req c "drop G");
+      wait_until ~what:"follower catch-up" (caught_up prim fol);
+      let cf = connect fol in
+      Alcotest.(check string) "dumps bit-identical" (req c "dump")
+        (req cf "dump");
+      (* the follower serves reads from the replicated state... *)
+      Alcotest.(check string) "replicated bag evaluates"
+        "ok {{<'z>:9}} : {{<U>}}" (req cf "eval S");
+      (* ...and refuses writes until promoted *)
+      Alcotest.(check bool) "writes rejected as err readonly" true
+        (starts_with "err readonly" (req cf "def bag X : {{<U>}} = {{ <'x> }}"));
+      Alcotest.(check bool) "compact rejected too" true
+        (starts_with "err readonly" (req cf "compact"));
+      Alcotest.(check bool) "role says follower" true
+        (starts_with "ok follower" (req cf "role"));
+      Alcotest.(check bool) "role says primary" true
+        (starts_with "ok primary" (req c "role"));
+      (match
+         Client.http_get ~host:"127.0.0.1" ~port:(Server.port fol) "/healthz"
+       with
+      | Ok body ->
+          Alcotest.(check bool) "healthz reports the follower role" true
+            (contains body "role=follower")
+      | Error m -> Alcotest.fail ("follower healthz: " ^ m));
+      Client.close cf;
+      Client.close c)
+
+(* A follower that bootstraps against a primary whose WAL was already
+   compacted away can only arrive via the snapshot block. *)
+let test_repl_snapshot_bootstrap () =
+  with_pair
+    ~primary_tweak:(fun c -> c)
+    (fun prim fol ->
+      let c = connect prim in
+      Alcotest.(check string) "write" "ok defined S"
+        (req c "def bag S : {{<U>}} = {{ <'s> }}");
+      Alcotest.(check string) "compact folds the log" "ok compacted"
+        (req c "compact");
+      wait_until ~what:"snapshot bootstrap" (caught_up prim fol);
+      let cf = connect fol in
+      Alcotest.(check string) "bootstrapped dump identical" (req c "dump")
+        (req cf "dump");
+      Alcotest.(check bool) "a snapshot block was installed" true
+        (contains (req cf "metrics") "balg_repl_snapshots_installed_total");
+      Client.close cf;
+      Client.close c)
+
+let test_repl_promote () =
+  with_pair (fun prim fol ->
+      let c = connect prim in
+      Alcotest.(check string) "write before failover" "ok defined S"
+        (req c "def bag S : {{<U>}} = {{ <'s>:3 }}");
+      wait_until ~what:"catch-up before failover" (caught_up prim fol);
+      let dump_before = req c "dump" in
+      Client.close c;
+      (* the primary dies; a retrying writer aimed at the follower keeps
+         failing with err readonly until the promotion lands *)
+      Server.stop prim;
+      let late = ref "" in
+      let writer =
+        Thread.create
+          (fun () ->
+            let r =
+              Client.retrying ~attempts:40 ~base_s:0.02 ~cap_s:0.1 (fun _ ->
+                  match
+                    Client.connect ~host:"127.0.0.1" ~port:(Server.port fol) ()
+                  with
+                  | Error m -> Error m
+                  | Ok c -> (
+                      let r = Client.request c "def bag L : {{<U>}} = {{ <'l> }}" in
+                      Client.close c;
+                      match r with
+                      | Ok reply when starts_with "ok" reply -> Ok reply
+                      | Ok reply -> Error reply
+                      | Error m -> Error m))
+            in
+            late := (match r with Ok r -> r | Error m -> "FAILED: " ^ m))
+          ()
+      in
+      Unix.sleepf 0.05 (* let the writer taste err readonly first *);
+      (match Server.promote fol with
+      | `Promoted -> ()
+      | `Already_primary -> Alcotest.fail "follower must report Promoted");
+      Thread.join writer;
+      Alcotest.(check string) "retrying writer survives the failover window"
+        "ok defined L" !late;
+      let cf = connect fol in
+      Alcotest.(check bool) "role flipped" true
+        (starts_with "ok primary" (req cf "role"));
+      Alcotest.(check string) "promote is idempotent" "ok already primary"
+        (req cf "promote");
+      (* every pre-failover write survives on the new primary *)
+      Alcotest.(check string) "replicated bag still evaluates"
+        "ok {{<'s>:3}} : {{<U>}}" (req cf "eval S");
+      Alcotest.(check bool) "pre-failover state carried over" true
+        (contains dump_before "bag S");
+      (match
+         Client.http_get ~host:"127.0.0.1" ~port:(Server.port fol) "/healthz"
+       with
+      | Ok body ->
+          Alcotest.(check bool) "healthz reports the new primary" true
+            (contains body "role=primary")
+      | Error m -> Alcotest.fail ("promoted healthz: " ^ m));
+      Client.close cf)
+
+(* Satellite (c), follower half: a follower whose primary is gone past
+   the backoff horizon answers 503 so a load balancer stops routing to
+   it. *)
+let test_repl_follower_lost_healthz () =
+  (* reserve a port with no listener behind it *)
+  let dead_port =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    let p =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> assert false
+    in
+    Unix.close fd;
+    p
+  in
+  with_server
+    ~tweak:(fun c ->
+      {
+        c with
+        Server.seed_db = [];
+        follow = Some ("127.0.0.1", dead_port);
+        repl_params = test_repl_params;
+      })
+    (fun fol ->
+      wait_until ~what:"healthz to degrade" (fun () ->
+          match
+            Client.http_get ~host:"127.0.0.1" ~port:(Server.port fol)
+              "/healthz"
+          with
+          | Error m -> contains m "503"
+          | Ok _ -> false);
+      let cf = connect fol in
+      Alcotest.(check bool) "role line reports lost" true
+        (contains (req cf "role") "lost");
+      Client.close cf)
+
+(* Satellite (c), store half: a wal.append fault flips the store
+   read-only, and health stops saying ok. *)
+let test_server_readonly_healthz () =
+  let dir = temp_dir () in
+  with_server
+    ~tweak:(fun c -> { c with Server.store_dir = Some dir })
+    (fun sv ->
+      let c = connect sv in
+      (match
+         Client.http_get ~host:"127.0.0.1" ~port:(Server.port sv) "/healthz"
+       with
+      | Ok body -> Alcotest.(check bool) "healthy first" true (contains body "ok")
+      | Error m -> Alcotest.fail ("healthz before fault: " ^ m));
+      Fault.with_faults ~seed:1 "wal.append:always" (fun () ->
+          match Client.request c "def bag F : {{<U>}} = {{ <'f> }}" with
+          | Ok reply ->
+              Alcotest.(check bool) "write fails under the fault" true
+                (starts_with "err wal" reply)
+          | Error m -> Alcotest.fail ("transport during fault: " ^ m));
+      (match
+         Client.http_get ~host:"127.0.0.1" ~port:(Server.port sv) "/healthz"
+       with
+      | Ok body -> Alcotest.fail ("healthz still 200 after wal failure: " ^ body)
+      | Error m -> Alcotest.(check bool) "healthz is 503" true (contains m "503"));
+      Client.close c)
+
+(* THE acceptance test: failover end to end with the replication fault
+   sites armed.  Concurrent writers land acknowledged writes on the
+   primary while repl.ship keeps cutting the feed and repl.connect keeps
+   failing reconnects; the follower must still converge.  Then the
+   primary dies, the follower is promoted, and every acknowledged write
+   must be served by the new primary. *)
+let test_repl_failover_differential () =
+  Fault.with_faults ~seed:7 "repl.ship:p=0.05,repl.connect:p=0.05" (fun () ->
+      with_pair (fun prim fol ->
+          let writers = 4 and per_writer = 8 in
+          let acked = Array.make writers [] in
+          let errors = ref [] in
+          let err_mu = Mutex.create () in
+          let writer i =
+            for j = 0 to per_writer - 1 do
+              let name = Printf.sprintf "W%d_%d" i j in
+              let cmd =
+                Printf.sprintf "def bag %s : {{<U>}} = {{ <'w> }}" name
+              in
+              let r =
+                Client.retrying ~attempts:8 ~base_s:0.01 ~cap_s:0.1 (fun _ ->
+                    match
+                      Client.connect ~host:"127.0.0.1"
+                        ~port:(Server.port prim) ()
+                    with
+                    | Error m -> Error m
+                    | Ok c -> (
+                        let r = Client.request c cmd in
+                        Client.close c;
+                        match r with
+                        | Ok reply when starts_with "ok" reply -> Ok reply
+                        | Ok reply -> Error reply
+                        | Error m -> Error m))
+              in
+              match r with
+              | Ok _ -> acked.(i) <- name :: acked.(i)
+              | Error m ->
+                  Mutex.lock err_mu;
+                  errors := Printf.sprintf "%s: %s" name m :: !errors;
+                  Mutex.unlock err_mu
+            done
+          in
+          let threads = List.init writers (fun i -> Thread.create writer i) in
+          List.iter Thread.join threads;
+          Alcotest.(check (list string)) "every write acknowledged" [] !errors;
+          (* the follower converges despite the armed chaos *)
+          wait_until ~timeout_s:20.0 ~what:"chaos catch-up" (caught_up prim fol);
+          (* failover *)
+          Server.stop prim;
+          (match Server.promote fol with
+          | `Promoted -> ()
+          | `Already_primary -> Alcotest.fail "follower must promote");
+          let cf = connect fol in
+          Array.iter
+            (List.iter (fun name ->
+                 Alcotest.(check string)
+                   (name ^ " survives the failover")
+                   "ok {{<'w>}} : {{<U>}}"
+                   (req cf ("eval " ^ name))))
+            acked;
+          (* the new primary accepts writes *)
+          Alcotest.(check string) "new primary is writable" "ok defined AFTER"
+            (req cf "def bag AFTER : {{<U>}} = {{ <'a> }}");
+          Client.close cf))
+
 (* The concurrent differential: N clients hammer the same query mix; every
    response must be bit-identical to direct library evaluation.  When
    BALG_FAULT is set (the CI chaos job), its spec is armed for the storm
@@ -561,7 +1122,7 @@ let test_server_concurrent_differential () =
       in
       let client_thread i =
         let rec with_conn attempts k =
-          match Client.connect ~host:"127.0.0.1" ~port:(Server.port sv) with
+          match Client.connect ~host:"127.0.0.1" ~port:(Server.port sv) () with
           | Ok c -> k c
           | Error _ when chaos_spec <> None && attempts < 5 ->
               (* an injected accept fault dropped us: reconnect *)
@@ -611,14 +1172,29 @@ let test_server_concurrent_differential () =
 let () =
   Alcotest.run "server"
     [
+      ( "frame",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "bit flip" `Quick test_frame_bit_flip;
+          Alcotest.test_case "torn" `Quick test_frame_torn;
+        ] );
       ( "store",
         [
           Alcotest.test_case "cow snapshots" `Quick test_store_cow;
           Alcotest.test_case "wal roundtrip" `Quick test_store_wal_roundtrip;
           Alcotest.test_case "torn tail" `Quick test_store_torn_tail;
+          Alcotest.test_case "crc bit flip mid-log" `Quick
+            test_store_crc_bit_flip;
           Alcotest.test_case "wal.append fault" `Quick
             test_store_wal_append_fault;
           Alcotest.test_case "compaction" `Quick test_store_compact;
+          Alcotest.test_case "replication api" `Quick
+            test_store_replication_api;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "timeout" `Quick test_client_timeout;
+          Alcotest.test_case "retry policy" `Quick test_client_retry_policy;
         ] );
       ( "cache",
         [
@@ -646,7 +1222,20 @@ let () =
             test_server_session_fault_isolated;
           Alcotest.test_case "persistence across restart" `Quick
             test_server_persistence_across_restart;
+          Alcotest.test_case "readonly healthz" `Quick
+            test_server_readonly_healthz;
           Alcotest.test_case "concurrent differential" `Quick
             test_server_concurrent_differential;
+        ] );
+      ( "repl",
+        [
+          Alcotest.test_case "catch-up" `Quick test_repl_catch_up;
+          Alcotest.test_case "snapshot bootstrap" `Quick
+            test_repl_snapshot_bootstrap;
+          Alcotest.test_case "promote" `Quick test_repl_promote;
+          Alcotest.test_case "follower lost healthz" `Quick
+            test_repl_follower_lost_healthz;
+          Alcotest.test_case "failover differential" `Quick
+            test_repl_failover_differential;
         ] );
     ]
