@@ -45,9 +45,25 @@ let parse_follow = function
               Ok (Some (host, p))
           | _ -> Error "bad --follow: expected HOST:PORT"))
 
+(* Written once, after the server has fully stopped — every session
+   thread and worker domain has flushed its ring, so the trace is the
+   complete request history of the run. *)
+let write_trace path =
+  match open_out path with
+  | oc -> (
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> Obs.Trace.to_chrome oc);
+      let dropped = Obs.dropped () in
+      if dropped > 0 then
+        Printf.eprintf
+          "balgd: trace ring overflowed: %d oldest events dropped\n" dropped;
+      Ok ())
+  | exception Sys_error msg -> Error msg
+
 let run_serve host port store_dir db_path ceiling max_queue workers
     default_fuel engine optimize cache_capacity compact_bytes follow fault
-    fault_seed =
+    fault_seed trace_out log_json slow_log slow_ms =
   let ( let* ) r k =
     match r with
     | Ok v -> k v
@@ -58,6 +74,9 @@ let run_serve host port store_dir db_path ceiling max_queue workers
   let* () = apply_faults fault fault_seed in
   let* seed_db = load_db db_path in
   let* follow = parse_follow follow in
+  (* Tracing must be on before [Server.start]: the server pins the trace
+     id for the process when it sees tracing enabled. *)
+  if trace_out <> None then Obs.enable ();
   let cfg =
     {
       Server.host;
@@ -74,6 +93,9 @@ let run_serve host port store_dir db_path ceiling max_queue workers
       compact_bytes;
       follow;
       repl_params = Balgserver.Repl.default_params;
+      access_log = log_json;
+      slow_log;
+      slow_ms;
     }
   in
   (* SIGINT/SIGTERM/SIGUSR1 handling: a deferred OCaml signal handler
@@ -115,7 +137,14 @@ let run_serve host port store_dir db_path ceiling max_queue workers
   in
   Server.wait sv;
   Printf.printf "balgd: served %d sessions, bye\n%!" (Server.sessions_served sv);
-  0
+  match trace_out with
+  | None -> 0
+  | Some path -> (
+      match write_trace path with
+      | Ok () -> 0
+      | Error msg ->
+          Printf.eprintf "balgd: cannot write trace %s: %s\n" path msg;
+          1)
 
 (* --- cmdliner wiring ------------------------------------------------------ *)
 
@@ -260,12 +289,54 @@ let fault_seed_arg =
     & info [ "fault-seed" ] ~docv:"N"
         ~doc:"Seed for probabilistic fault triggers.")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable request tracing and write the Chrome trace-event JSON to \
+           $(docv) at shutdown (load in Perfetto or chrome://tracing).  \
+           Every protocol command is a span on its session's lane, linked \
+           by request id to its queue-wait, worker-evaluation and \
+           WAL-commit sub-spans.  A live snapshot is also available via \
+           the $(b,trace) wire command.")
+
+let log_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-json" ] ~docv:"FILE"
+        ~doc:
+          "Append a JSONL access log to $(docv): one line per protocol \
+           command with session id, request id, command word, duration in \
+           microseconds and outcome.")
+
+let slow_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "slow-log" ] ~docv:"FILE"
+        ~doc:
+          "Append a JSONL slow-query log to $(docv): every eval at or \
+           above the $(b,--slow-ms) threshold is recorded with its query \
+           text, chosen plan, optimizer decisions, engine labels, cache \
+           outcome, queue wait, fuel spent and verdict.")
+
+let slow_ms_arg =
+  Arg.(
+    value
+    & opt float Server.default_config.Server.slow_ms
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:"Slow-query threshold in milliseconds (default 100).")
+
 let serve_term =
   Term.(
     const run_serve $ host_arg $ port_arg $ store_arg $ db_arg $ ceiling_arg
     $ max_queue_arg $ workers_arg $ default_fuel_arg $ engine_arg
     $ optimize_arg $ cache_arg $ compact_bytes_arg $ follow_arg $ fault_arg
-    $ fault_seed_arg)
+    $ fault_seed_arg $ trace_out_arg $ log_json_arg $ slow_log_arg
+    $ slow_ms_arg)
 
 let main =
   Cmd.v

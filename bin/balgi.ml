@@ -305,10 +305,21 @@ let run_normalize db_path query =
     Printf.printf "# rules applied: %s\n" (String.concat ", " applied);
   0
 
-let run_explain db_path engine optimize query =
+let run_explain db_path engine optimize analyze calibration calibration_out
+    query =
   let* db = load_db db_path in
   let* e = parse_query query in
   let* _ty = check db e in
+  let* () =
+    match calibration with
+    | None -> Ok ()
+    | Some path -> (
+        match Calib.load path with
+        | Ok c ->
+            Calib.set_current (Some c);
+            Ok ()
+        | Error msg -> Error ("cannot load calibration " ^ path ^ ": " ^ msg))
+  in
   (* Planning happens out loud here: explain shows every candidate the
      optimiser considered — chosen and rejected, with both cost
      estimates — before profiling the plan it settled on. *)
@@ -325,17 +336,35 @@ let run_explain db_path engine optimize query =
         e
   in
   let explain () =
-    match engine with
-    | Veval.Tree ->
-        let v, profile = Explain.run ~env:(Bagdb.value_env db) e in
-        print_string (Explain.profile_to_string profile);
-        v
-    | Veval.Vec ->
-        (* the vec engine's profile is its executed plan: which subtrees
-           ran a columnar kernel and which fell back to the tree path *)
-        let v, plan = Explain.run_vec ~env:(Bagdb.value_env db) e in
-        print_string (Veval.plan_to_string plan);
-        v
+    if analyze then begin
+      (* EXPLAIN ANALYZE: measured vs estimated rows per operator, and
+         optionally the calibration table the comparison induces *)
+      let v, an =
+        Explain.analyze ~env:(Bagdb.value_env db) ~vals:(db_vals db)
+          ~tenv:(Bagdb.type_env db) ~engine e
+      in
+      print_string (Explain.analysis_to_string an);
+      (match calibration_out with
+      | None -> ()
+      | Some path -> (
+          match Calib.save path (Explain.calibration_of an) with
+          | Ok () -> Printf.printf "calibration written to %s\n" path
+          | Error msg ->
+              Printf.eprintf "cannot write calibration %s: %s\n" path msg));
+      v
+    end
+    else
+      match engine with
+      | Veval.Tree ->
+          let v, profile = Explain.run ~env:(Bagdb.value_env db) e in
+          print_string (Explain.profile_to_string profile);
+          v
+      | Veval.Vec ->
+          (* the vec engine's profile is its executed plan: which subtrees
+             ran a columnar kernel and which fell back to the tree path *)
+          let v, plan = Explain.run_vec ~env:(Bagdb.value_env db) e in
+          print_string (Veval.plan_to_string plan);
+          v
   in
   match explain () with
   | v ->
@@ -727,14 +756,49 @@ let normalize_cmd =
     (Cmd.info "normalize" ~doc:"Apply the bag-sound rewrite rules.")
     Term.(const run_normalize $ db_arg $ query_arg)
 
+let analyze_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "analyze" ]
+        ~doc:
+          "EXPLAIN ANALYZE: annotate every operator with its measured \
+           output cardinality next to the cost model's estimate, and \
+           print the estimation-error (q-error) table.  Works under both \
+           engines; results are bit-identical.")
+
+let calibration_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "calibration" ] ~docv:"FILE"
+        ~doc:
+          "Load per-operator correction factors from $(docv) (written by \
+           $(b,--calibration-out)) before planning: the cost model \
+           multiplies its heuristic row estimates by them.  $(b,eval) \
+           consumes the same file via $(b,BALG_CALIB).")
+
+let calibration_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "calibration-out" ] ~docv:"FILE"
+        ~doc:
+          "With $(b,--analyze): write the calibration table induced by \
+           the measured-vs-estimated comparison to $(docv).")
+
 let explain_cmd =
   Cmd.v
     (Cmd.info "explain"
        ~doc:
          "Evaluate with profiling: per-operator call counts and largest \
           intermediate bag sizes ($(b,--engine tree)), or the executed \
-          engine plan ($(b,--engine vec)).")
-    Term.(const run_explain $ db_arg $ engine_arg $ optimize_arg $ query_arg)
+          engine plan ($(b,--engine vec)).  $(b,--analyze) adds measured \
+          vs estimated rows per operator and can emit a calibration file \
+          ($(b,--calibration-out)) that feeds the cost model back \
+          ($(b,--calibration) / $(b,BALG_CALIB)).")
+    Term.(
+      const run_explain $ db_arg $ engine_arg $ optimize_arg
+      $ analyze_flag_arg $ calibration_arg $ calibration_out_arg $ query_arg)
 
 let repl_cmd =
   Cmd.v

@@ -1,0 +1,139 @@
+(* Estimator calibration: per-operator correction factors measured by
+   [explain --analyze] and consumed by Props.infer.  See calib.mli. *)
+
+type entry = { c_factor : float; c_samples : int }
+type t = (string * entry) list
+
+let empty = []
+
+(* Calibration keys by operator family, not the fully parameterized node
+   label: "join 2=1" and "join 1=3" share one "join" factor, so a
+   calibration measured on one query generalizes to others (and the
+   single-token key keeps the file format whitespace-delimited). *)
+let op_key op =
+  match String.index_opt op ' ' with
+  | Some i -> String.sub op 0 i
+  | None -> op
+
+let factor t op =
+  match List.assoc_opt op t with
+  | Some e when e.c_factor > 0. -> Some e.c_factor
+  | _ -> None
+
+let entries t = t
+
+let of_observations obs =
+  (* Geometric mean of actual/estimated per operator: multiplicative
+     errors compose along a plan tree, so the log-domain mean is the
+     factor that centres them. *)
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (op, est, actual) ->
+      let ratio = float_of_int (max 1 actual) /. float_of_int (max 1 est) in
+      let sum, n =
+        match Hashtbl.find_opt tbl op with Some p -> p | None -> (0., 0)
+      in
+      Hashtbl.replace tbl op (sum +. log ratio, n + 1))
+    obs;
+  Hashtbl.fold
+    (fun op (sum, n) acc ->
+      (op, { c_factor = exp (sum /. float_of_int n); c_samples = n }) :: acc)
+    tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* The file format: a versioned header then one 'op factor samples'
+   line per operator.  Plain text, diffable, no JSON dependency. *)
+
+let header = "# balg calibration v1"
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (op, e) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %.6g %d\n" op e.c_factor e.c_samples))
+    t;
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec go acc seen_header = function
+    | [] ->
+        if seen_header then Ok (List.rev acc)
+        else Error "calibration: missing '# balg calibration v1' header"
+    | line :: rest -> (
+        let line = String.trim line in
+        if String.length line = 0 then go acc seen_header rest
+        else if String.length line > 0 && line.[0] = '#' then
+          if String.equal line header then go acc true rest
+          else if not seen_header then
+            Error (Printf.sprintf "calibration: unknown header %S" line)
+          else go acc seen_header rest
+        else if not seen_header then
+          Error "calibration: data before the version header"
+        else
+          match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+          | [ op; f; n ] -> (
+              match (float_of_string_opt f, int_of_string_opt n) with
+              | Some f, Some n when f > 0. && n > 0 ->
+                  go ((op, { c_factor = f; c_samples = n }) :: acc) true rest
+              | _ ->
+                  Error (Printf.sprintf "calibration: bad line %S" line))
+          | _ -> Error (Printf.sprintf "calibration: bad line %S" line))
+  in
+  go [] false lines
+
+let save path t =
+  match open_out path with
+  | exception Sys_error e -> Error e
+  | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (to_string t);
+          Ok ())
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let n = in_channel_length ic in
+          of_string (really_input_string ic n))
+
+(* ------------------------------------------------------------------ *)
+(* The ambient calibration consumed by Props.infer when no explicit
+   lookup is passed: set programmatically, or loaded once from the file
+   named by BALG_CALIB.  A mutex guards the lazy load — Props.infer runs
+   on worker domains. *)
+
+let mu = Mutex.create ()
+let current_v : t option ref = ref None
+let env_loaded = ref false
+
+let set_current c =
+  Mutex.lock mu;
+  current_v := c;
+  env_loaded := true;
+  Mutex.unlock mu
+
+let current () =
+  Mutex.lock mu;
+  if not !env_loaded then begin
+    env_loaded := true;
+    match Sys.getenv_opt "BALG_CALIB" with
+    | None | Some "" -> ()
+    | Some path -> (
+        match load path with Ok c -> current_v := Some c | Error _ -> ())
+  end;
+  let c = !current_v in
+  Mutex.unlock mu;
+  c
+
+let lookup_current op =
+  match current () with None -> None | Some t -> factor t op

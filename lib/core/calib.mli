@@ -1,0 +1,67 @@
+(** Estimator calibration: per-operator correction factors that close
+    the loop between {!Props}' heuristic row estimates and the
+    cardinalities {!Explain} actually measures.
+
+    [explain --analyze] pairs every operator's measured output support
+    with the estimate {!Props.infer} produced for the same subtree, and
+    condenses the ratios into one multiplicative factor per operator
+    (the geometric mean of actual/estimated — multiplicative errors
+    compose along a plan, so the log-domain mean centres them).
+    {!Props.infer} then multiplies its non-exact row estimates by the
+    matching factor, which shifts {!Opt}'s costs — and possibly its
+    plan choices — without touching any rewrite's soundness: calibration
+    is plan-semantics-preserving by construction, because it only ever
+    changes numbers the cost model reads.
+
+    {b File format} (["# balg calibration v1"]): the version header
+    followed by one [op factor samples] line per operator.  Plain text,
+    diffable, parser round-trips via {!to_string}/{!of_string}.
+
+    {b Ambient calibration.}  {!current} is what {!Props.infer} consults
+    by default: set it programmatically with {!set_current}, or name a
+    calibration file in the [BALG_CALIB] environment variable and it is
+    loaded on first use (unreadable or malformed files are ignored — a
+    stale calibration must never stop a query). *)
+
+type entry = { c_factor : float; c_samples : int }
+
+type t
+(** A calibration table: operator name → correction factor. *)
+
+val empty : t
+
+val op_key : string -> string
+(** The calibration key for an {!Expr.op_name} label: the operator
+    family, i.e. the label up to its first space ("join 2=1" → "join"),
+    so a factor measured on one query generalizes to any join. *)
+
+val factor : t -> string -> float option
+(** The correction factor for an operator, if calibrated. *)
+
+val entries : t -> (string * entry) list
+(** All entries, sorted by operator name. *)
+
+val of_observations : (string * int * int) list -> t
+(** [of_observations [(op, estimated, actual); ...]] condenses measured
+    pairs into per-operator factors (geometric mean of actual/estimated,
+    both clamped to at least 1). *)
+
+(** {1 Persistence} *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val save : string -> t -> (unit, string) result
+val load : string -> (t, string) result
+
+(** {1 The ambient calibration} *)
+
+val set_current : t option -> unit
+(** Install (or clear) the process-wide calibration; suppresses any
+    later [BALG_CALIB] load. *)
+
+val current : unit -> t option
+(** The installed calibration, loading [BALG_CALIB] on first call. *)
+
+val lookup_current : string -> float option
+(** [factor] against {!current} — the default lookup {!Props.infer}
+    uses. *)

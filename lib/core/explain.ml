@@ -161,6 +161,123 @@ let run_vec ?(config = Eval.default_config) ?(env = Eval.Env.empty) e =
       | None -> assert false (* report fires on every exit path *))
   | Error x -> raise (Eval.Resource_limit (Budget.exhaustion_to_string x))
 
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE: measured output rows next to the Props estimate,
+   per operator, plus the calibration table the comparison induces. *)
+
+type annotated = {
+  an_op : string;
+  an_est : int;
+  an_exact : bool;
+  an_actual : int;
+  an_calls : int;
+  an_engine : string option;
+  an_children : annotated list;
+}
+
+let analyze ?config ?(env = Eval.Env.empty) ?(vals = []) ~tenv ~engine e =
+  (* Measured rows always come from the instrumented tree walk; when the
+     vec engine is selected we additionally run it for the result value
+     and its per-subtree engine labels.  Both engines are bit-identical
+     by the differential suite, so the double evaluation only costs
+     time, never changes the answer. *)
+  let value_tree, prof = run ?config ~env e in
+  let value, plan =
+    match engine with
+    | Veval.Tree -> (value_tree, None)
+    | Veval.Vec ->
+        let v, p = run_vec ?config ~env e in
+        (v, Some p)
+  in
+  (* Estimates are the raw uncalibrated heuristics: analyze measures the
+     estimator itself, so an ambient calibration must not contaminate
+     the baseline. *)
+  let raw = Props.infer ~vals ~calib:(fun _ -> None) tenv in
+  let rec annot e (p : profile) plan =
+    let est = raw e in
+    let child_plans =
+      match plan with
+      | Some pl when List.length pl.Veval.p_children = List.length p.children
+        ->
+          List.map Option.some pl.Veval.p_children
+      | _ -> List.map (fun _ -> None) p.children
+    in
+    let rec zip3 es ps pls =
+      match (es, ps, pls) with
+      | [], [], [] -> []
+      | e :: es, p :: ps, pl :: pls -> annot e p pl :: zip3 es ps pls
+      | _ -> []
+    in
+    {
+      an_op = p.op;
+      an_est = est.Props.rows;
+      an_exact = est.Props.exact;
+      an_actual = p.max_support;
+      an_calls = p.calls;
+      an_engine = Option.map (fun pl -> pl.Veval.p_engine) plan;
+      an_children = zip3 (Expr.children e) p.children child_plans;
+    }
+  in
+  (value, annot e prof plan)
+
+let rec fold_annotated f acc a =
+  List.fold_left (fold_annotated f) (f acc a) a.an_children
+
+(* Operators whose estimate is a heuristic and was actually exercised:
+   the population both the error table's summary and the calibration
+   table draw from. *)
+let calibratable a =
+  a.an_calls > 0 && (not a.an_exact) && a.an_est < max_int
+
+let calibration_of a =
+  fold_annotated
+    (fun acc n ->
+      if calibratable n then (Calib.op_key n.an_op, n.an_est, n.an_actual) :: acc
+      else acc)
+    [] a
+  |> List.rev |> Calib.of_observations
+
+let q_error est actual =
+  let e = float_of_int (max 1 est) and a = float_of_int (max 1 actual) in
+  if a >= e then a /. e else e /. a
+
+let pp_analysis ppf a =
+  let fmt_rows n = if n = max_int then "inf" else string_of_int n in
+  Format.fprintf ppf "%-32s %12s %12s %8s %6s  %s@\n" "operator" "est rows"
+    "actual" "err" "calls" "engine";
+  let rec row indent a =
+    let err =
+      if a.an_calls = 0 then "-"
+      else Format.sprintf "%.2fx" (q_error a.an_est a.an_actual)
+    in
+    Format.fprintf ppf "%-32s %12s %12s %8s %6d  %s@\n"
+      (String.make indent ' ' ^ a.an_op)
+      (fmt_rows a.an_est ^ if a.an_exact then "=" else "~")
+      (fmt_rows a.an_actual) err a.an_calls
+      (Option.value a.an_engine ~default:"tree");
+    List.iter (row (indent + 2)) a.an_children
+  in
+  row 0 a;
+  let errs =
+    fold_annotated
+      (fun acc n ->
+        if calibratable n then q_error n.an_est n.an_actual :: acc else acc)
+      [] a
+    |> List.sort compare
+  in
+  match errs with
+  | [] -> Format.fprintf ppf "q-error: no heuristic operators exercised@\n"
+  | _ ->
+      let n = List.length errs in
+      let median = List.nth errs (n / 2) in
+      let worst = List.nth errs (n - 1) in
+      Format.fprintf ppf
+        "q-error over %d heuristic operator%s: median=%.2fx max=%.2fx@\n" n
+        (if n = 1 then "" else "s")
+        median worst
+
+let analysis_to_string a = Format.asprintf "%a" (fun ppf -> pp_analysis ppf) a
+
 let rec pp_profile ?(indent = 0) ppf p =
   Format.fprintf ppf "%s%-14s calls=%d  max support=%d  max cardinality=%s@\n"
     (String.make indent ' ') p.op p.calls p.max_support

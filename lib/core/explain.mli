@@ -26,3 +26,47 @@ val run_vec :
 
 val pp_profile : ?indent:int -> Format.formatter -> profile -> unit
 val profile_to_string : profile -> string
+
+(** {1 EXPLAIN ANALYZE}
+
+    Measured-vs-estimated cardinalities per operator, and the
+    calibration table ({!Calib}) the comparison induces. *)
+
+type annotated = {
+  an_op : string;
+  an_est : int;  (** {!Props.infer}'s (uncalibrated) row estimate *)
+  an_exact : bool;  (** the estimate was exact, not heuristic *)
+  an_actual : int;  (** measured max output support *)
+  an_calls : int;
+  an_engine : string option;  (** vec plan label under [--engine vec] *)
+  an_children : annotated list;  (** in {!Expr.children} order *)
+}
+
+val analyze :
+  ?config:Eval.config ->
+  ?env:Eval.env ->
+  ?vals:(string * Value.t) list ->
+  tenv:Typecheck.env ->
+  engine:Veval.engine ->
+  Expr.t ->
+  Value.t * annotated
+(** Evaluate and annotate every operator with its measured output
+    support next to the raw {!Props.infer} estimate (ambient calibration
+    deliberately bypassed — this measures the estimator).  Under
+    [engine = Vec] the vec engine supplies the result value and
+    per-subtree engine labels while the instrumented tree walk supplies
+    the per-node measurements; results are bit-identical across engines.
+    [vals] should carry the database bindings so leaf estimates are
+    exact.
+    @raise Eval.Eval_error / Eval.Resource_limit like the evaluator. *)
+
+val calibration_of : annotated -> Calib.t
+(** Condense an analysis into per-operator correction factors over the
+    heuristic operators actually exercised. *)
+
+val pp_analysis : Format.formatter -> annotated -> unit
+(** The estimation-error table: one row per operator (tree-indented)
+    with estimate, measurement, q-error, call count and engine label,
+    then a median/max q-error summary. *)
+
+val analysis_to_string : annotated -> string

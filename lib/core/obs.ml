@@ -17,13 +17,18 @@ type event = {
 let dummy_event =
   { ts = 0.; pid = 0; tid = 0; ph = I; cat = ""; name = ""; args = [] }
 
-(* A ring is written by exactly one domain (the one that created it), so
-   emission takes no locks: clamp the clock, store, bump the head.  Rings
-   are tagged with the capture epoch — [enable]/[reset] bump it, which
-   retires every existing ring without touching other domains. *)
+(* A ring belongs to one domain, but several systhreads of that domain
+   (balgd session threads, the replication feed) may emit into it
+   concurrently, and systhreads can be preempted between the clamp and
+   the store.  A per-ring mutex keeps the multi-word append atomic; for
+   the single-threaded worker domains it is always uncontended (one
+   CAS), which is noise next to the gettimeofday call.  Rings are tagged
+   with the capture epoch — [enable]/[reset] bump it, which retires
+   every existing ring without touching other domains. *)
 type ring = {
   r_tid : int;
   r_epoch : int;
+  r_mu : Mutex.t;
   buf : event array;  (* capacity, a power of two *)
   mask : int;
   mutable head : int;  (* total events ever written to this ring *)
@@ -35,6 +40,15 @@ let epoch = Atomic.make 0
 let ring_capacity = Atomic.make (1 lsl 16)
 let t0 = Atomic.make 0.
 let current_pid = Atomic.make 0
+let pid_pinned = Atomic.make false
+
+(* Synthetic lanes for threads that share domain 0's ring but deserve
+   their own Perfetto track: balgd gives each session its own lane so
+   concurrent requests don't visually nest, and the replication feed
+   gets a fixed lane.  Chosen far above any plausible domain id. *)
+let lane_repl = 9999
+let session_lane_base = 10000
+let lane_session sid = session_lane_base + sid
 
 (* The ring registry: locked only when a domain creates its ring (rare);
    emission never touches it.  Rings outlive their domains so a joined
@@ -57,6 +71,7 @@ let new_ring () =
     {
       r_tid = (Domain.self () :> int);
       r_epoch = Atomic.get epoch;
+      r_mu = Mutex.create ();
       buf = Array.make cap dummy_event;
       mask = cap - 1;
       head = 0;
@@ -77,15 +92,20 @@ let my_ring () =
       slot := Some r;
       r
 
-let emit ?(args = []) ~cat ~name ph =
+let now_us () = (Unix.gettimeofday () -. Atomic.get t0) *. 1e6
+
+let emit ?pid ?tid ?ts_us ?(args = []) ~cat ~name ph =
   if Atomic.get enabled then begin
     let r = my_ring () in
-    let now = (Unix.gettimeofday () -. Atomic.get t0) *. 1e6 in
+    Mutex.lock r.r_mu;
+    let now = match ts_us with Some t -> t | None -> now_us () in
     let ts = if now >= r.last_ts then now else r.last_ts in
     r.last_ts <- ts;
-    r.buf.(r.head land r.mask) <-
-      { ts; pid = Atomic.get current_pid; tid = r.r_tid; ph; cat; name; args };
-    r.head <- r.head + 1
+    let pid = match pid with Some p -> p | None -> Atomic.get current_pid in
+    let tid = match tid with Some t -> t | None -> r.r_tid in
+    r.buf.(r.head land r.mask) <- { ts; pid; tid; ph; cat; name; args };
+    r.head <- r.head + 1;
+    Mutex.unlock r.r_mu
   end
 
 let reset () = ignore (Atomic.fetch_and_add epoch 1)
@@ -94,11 +114,18 @@ let enable ?(capacity = 1 lsl 16) () =
   Atomic.set t0 (Unix.gettimeofday ());
   Atomic.set ring_capacity (round_pow2 (max 16 capacity));
   reset ();
+  Atomic.set pid_pinned false;
   Atomic.set enabled true
 
 let disable () = Atomic.set enabled false
 
-let set_trace_id id = Atomic.set current_pid id
+let set_trace_id id =
+  if not (Atomic.get pid_pinned) then Atomic.set current_pid id
+
+let pin_trace_id id =
+  Atomic.set current_pid id;
+  Atomic.set pid_pinned true
+
 let trace_id () = Atomic.get current_pid
 
 let live_rings () =
@@ -184,12 +211,18 @@ module Trace = struct
       first := false;
       render x
     in
+    let lane_label tid =
+      if tid >= session_lane_base then
+        Printf.sprintf "session %d" (tid - session_lane_base)
+      else if tid = lane_repl then "repl"
+      else Printf.sprintf "domain %d" tid
+    in
     List.iter
       (line (fun (pid, tid) ->
            Buffer.add_string buf
              (Printf.sprintf
-                "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"domain %d\"}}"
-                pid tid tid)))
+                "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+                pid tid (json_escape (lane_label tid)))))
       lanes;
     List.iter (line (fun ev -> render_event buf ev)) evs;
     Buffer.add_string buf

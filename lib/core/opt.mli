@@ -37,7 +37,12 @@ val rules : Rewrite.rule list
 val cost : ?vals:(string * Value.t) list -> Veval.engine -> Typecheck.env -> Expr.t -> float
 (** Estimated execution cost: per-node kernel work charged against
     {!Props} row estimates, with cheaper constants for shapes the
-    vectorized engine runs as flat-array kernels. *)
+    vectorized engine runs as flat-array kernels.  Row estimates consult
+    the ambient {!Calib.current} correction factors (fed by
+    [explain --analyze] via [BALG_CALIB]), so a measured calibration
+    shifts costs — and possibly plan choices — while every candidate
+    rewrite stays sound: results are bit-identical with or without
+    calibration. *)
 
 (** One candidate rewrite considered by the planner. *)
 type decision = {

@@ -130,7 +130,28 @@ let scalar = { arity = None; rows = 1; exact = true; distinct = true; card = Non
 let unknown_bag =
   { arity = None; rows = default_rows; exact = false; distinct = false; card = None }
 
-let infer ?(vals = []) (tenv : Typecheck.env) e =
+(* Measured correction factors (Calib) scale the heuristic estimates;
+   exact figures and saturated estimates are left alone.  Factors apply
+   per node inside the recursion, so a calibrated child feeds its
+   corrected rows to the parent's formula — multiplicative errors
+   compose the same way they were measured. *)
+let apply_calib calib e p =
+  if p.exact || p.rows = max_int then p
+  else
+    match calib (Calib.op_key (Expr.op_name e)) with
+    | None -> p
+    | Some f when f = 1.0 -> p
+    | Some f ->
+        let r = float_of_int p.rows *. f in
+        let rows =
+          if r >= 4.6e18 then max_int else max 1 (int_of_float (r +. 0.5))
+        in
+        { p with rows }
+
+let infer ?(vals = []) ?calib (tenv : Typecheck.env) e =
+  let calib =
+    match calib with Some f -> f | None -> Calib.lookup_current
+  in
   (* Known input cardinality for the Polyab path: only meaningful when the
      expression reads a single relation. *)
   let input_card x =
@@ -316,7 +337,7 @@ let infer ?(vals = []) (tenv : Typecheck.env) e =
             card = None;
           }
     in
-    p
+    apply_calib calib e p
   in
   let p = go Env.empty e in
   let arity = match p.arity with Some _ as a -> a | None -> arity_of tenv e in

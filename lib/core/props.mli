@@ -23,11 +23,23 @@ type t = {
 val default_rows : int
 (** Support assumed for relations with no supplied binding. *)
 
-val infer : ?vals:(string * Value.t) list -> Typecheck.env -> Expr.t -> t
+val infer :
+  ?vals:(string * Value.t) list ->
+  ?calib:(string -> float option) ->
+  Typecheck.env ->
+  Expr.t ->
+  t
 (** Infer properties bottom-up.  [vals] supplies actual relation contents
     (e.g. the loaded database) for exact leaf supports and distinctness;
-    unbound relations fall back to {!default_rows}.  Never raises: nodes
-    that defeat the analysis degrade to conservative estimates. *)
+    unbound relations fall back to {!default_rows}.  [calib] maps an
+    operator name ({!Expr.op_name}) to a measured correction factor that
+    scales the node's heuristic row estimate (exact and saturated
+    estimates are never touched); it defaults to the ambient
+    {!Calib.current} table, so a [BALG_CALIB] file calibrates every
+    inference in the process.  Pass [~calib:(fun _ -> None)] for raw
+    uncalibrated estimates (what [explain --analyze] measures against).
+    Never raises: nodes that defeat the analysis degrade to conservative
+    estimates. *)
 
 val of_value : Value.t -> t
 (** Exact properties of a concrete value. *)

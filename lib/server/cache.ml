@@ -23,6 +23,26 @@ let g_entries =
   Metrics.gauge Metrics.default "balg_server_cache_entries"
     ~help:"Result-cache entries currently held"
 
+let g_hit_rate =
+  Metrics.gauge Metrics.default "balg_server_cache_hit_rate"
+    ~help:"Result-cache hits / lookups since start (0 when no lookups)"
+
+(* Per-relation invalidation counters surface in the registry lazily —
+   relation names are client data, so the instruments are created on
+   first invalidation of each relation (find-or-create is idempotent). *)
+let sanitize_label s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    s
+
+let m_rel_invalidations rel =
+  Metrics.counter Metrics.default
+    ("balg_server_cache_rel_invalidations_total_" ^ sanitize_label rel)
+    ~help:("Result-cache entries invalidated by writes to " ^ rel)
+
 type entry = {
   e_rels : (string * Value.t) list;  (* referenced relations at fill time *)
   e_value : Value.t;
@@ -34,6 +54,7 @@ type t = {
   mu : Mutex.t;
   tbl : (string, entry) Hashtbl.t;
   by_rel : (string, string list ref) Hashtbl.t;  (* relation -> keys *)
+  inval_by_rel : (string, int ref) Hashtbl.t;  (* relation -> entries dropped *)
   fifo : string Queue.t;  (* insertion order, for eviction *)
 }
 
@@ -43,6 +64,7 @@ let create ?(capacity = 512) () =
     mu = Mutex.create ();
     tbl = Hashtbl.create 64;
     by_rel = Hashtbl.create 64;
+    inval_by_rel = Hashtbl.create 16;
     fifo = Queue.create ();
   }
 
@@ -84,6 +106,9 @@ let find t ~key ~rels =
         | _ -> None)
   in
   Metrics.incr (match r with Some _ -> m_hits | None -> m_misses);
+  let hits = float_of_int (Metrics.counter_value m_hits) in
+  let total = hits +. float_of_int (Metrics.counter_value m_misses) in
+  Metrics.set_gauge g_hit_rate (if total > 0. then hits /. total else 0.);
   r
 
 (* Called with the mutex held. *)
@@ -133,7 +158,17 @@ let invalidate t rel =
       | Some keys ->
           let ks = !keys in
           List.iter (drop_key_locked t) ks;
-          Metrics.incr ~by:(List.length ks) m_invalidations;
+          let n = List.length ks in
+          Metrics.incr ~by:n m_invalidations;
+          (match Hashtbl.find_opt t.inval_by_rel rel with
+          | Some c -> c := !c + n
+          | None -> Hashtbl.add t.inval_by_rel rel (ref n));
+          Metrics.incr ~by:n (m_rel_invalidations rel);
           Metrics.set_gauge g_entries (float_of_int (Hashtbl.length t.tbl)))
+
+let invalidations_by_rel t =
+  locked t (fun () ->
+      Hashtbl.fold (fun rel c acc -> (rel, !c) :: acc) t.inval_by_rel []
+      |> List.sort compare)
 
 let length t = locked t (fun () -> Hashtbl.length t.tbl)

@@ -41,6 +41,13 @@ val add :
   t -> key:string -> rels:(string * Value.t) list -> Value.t -> Ty.t -> unit
 
 val invalidate : t -> string -> unit
-(** Drop every entry whose query references the given relation. *)
+(** Drop every entry whose query references the given relation.  Counts
+    are kept per relation (readable via {!invalidations_by_rel}) and
+    mirrored into the metrics registry as
+    [balg_server_cache_rel_invalidations_total_<relation>]. *)
+
+val invalidations_by_rel : t -> (string * int) list
+(** Entries dropped by {!invalidate} per relation since creation, sorted
+    by relation name. *)
 
 val length : t -> int

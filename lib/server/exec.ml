@@ -34,13 +34,20 @@ let g_queue =
   Metrics.gauge Metrics.default "balg_server_queue_depth"
     ~help:"Requests waiting in the admission queue"
 
+let h_queue_wait_ns =
+  Metrics.histogram Metrics.default "balg_server_queue_wait_ns"
+    ~help:"Admission-queue wait per request, submit to dequeue"
+
+type stats = { s_queue_us : int; s_enq_us : float; s_arm_us : float }
+
 type job = {
   j_weight : int;
   j_budget : Budget.t;
   j_run : unit -> outcome;
+  j_enq_us : float;  (* Obs.now_us at submit, for queue-wait accounting *)
   j_mu : Mutex.t;
   j_cv : Condition.t;
-  mutable j_result : (outcome, string) result option;
+  mutable j_result : (outcome * stats, string) result option;
 }
 
 type t = {
@@ -112,9 +119,16 @@ let rec worker_loop t =
            time spent waiting for admission is never billed against the
            request's deadline (see Budget.create/arm) *)
         Budget.arm j.j_budget;
+        let arm_us = Obs.now_us () in
+        let queue_us = max 0 (int_of_float (arm_us -. j.j_enq_us)) in
+        Metrics.observe h_queue_wait_ns (queue_us * 1000);
+        let stats =
+          { s_queue_us = queue_us; s_enq_us = j.j_enq_us; s_arm_us = arm_us }
+        in
+        if Obs.on () then Obs.emit Obs.I ~cat:"queue" ~name:"dequeue" ~args:[ ("wait_us", Obs.Int queue_us) ];
         let r =
-          try Ok (j.j_run ())
-          with exn -> Ok (`Fail ("internal: " ^ Printexc.to_string exn))
+          try Ok (j.j_run (), stats)
+          with exn -> Ok (`Fail ("internal: " ^ Printexc.to_string exn), stats)
         in
         release t j;
         deliver j r;
@@ -170,6 +184,7 @@ let submit t ~weight ~budget ~run =
         j_weight = weight;
         j_budget = budget;
         j_run = run;
+        j_enq_us = Obs.now_us ();
         j_mu = Mutex.create ();
         j_cv = Condition.create ();
         j_result = None;

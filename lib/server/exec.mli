@@ -28,6 +28,15 @@ type outcome =
   | `Verdict of Budget.exhaustion  (** structured budget verdict *)
   | `Fail of string  (** category-prefixed error, e.g. ["eval: ..."] *) ]
 
+type stats = {
+  s_queue_us : int;  (** admission-queue wait, submit to dequeue *)
+  s_enq_us : float;  (** enqueue instant on the {!Balg.Obs.now_us} clock *)
+  s_arm_us : float;  (** dequeue/arm instant on the same clock *)
+}
+(** Queue accounting for a completed job, so the session thread can
+    retro-date a queue-wait span ([emit ~ts_us]) and the slow-query log
+    can attribute latency. *)
+
 type t
 
 val create : ceiling:int -> max_queue:int -> workers:int -> unit -> t
@@ -40,13 +49,13 @@ val submit :
   weight:int ->
   budget:Budget.t ->
   run:(unit -> outcome) ->
-  (outcome, string) result
+  (outcome * stats, string) result
 (** Enqueue a job and block the calling (session) thread until a worker
     completes it.  [budget] must be {e unarmed} ({!Balg.Budget.create});
     the worker arms it at dequeue, immediately before calling [run] on
     its own domain.  [Error] is an admission rejection (weight above the
     ceiling, queue full, shutdown) or an injected worker death — the job
-    was not, or not fully, evaluated. *)
+    was not, or not fully, evaluated, and no queue accounting exists. *)
 
 val inflight : t -> int
 (** Aggregate fuel weight of currently running jobs. *)

@@ -41,6 +41,10 @@ let g_lag =
   Metrics.gauge Metrics.default "balg_repl_lag"
     ~help:"Replication lag in records (primary offset - applied offset)"
 
+let h_lag_records =
+  Metrics.histogram Metrics.default "balg_repl_lag_records"
+    ~help:"Replication lag in records, sampled at each primary-offset update"
+
 type params = {
   backoff_min_s : float;
   backoff_max_s : float;
@@ -79,7 +83,7 @@ let serve_sync ~store ~params ~stopping ~after oc =
   in
   let cut () =
     Metrics.incr m_ship_faults;
-    if Obs.on () then Obs.emit Obs.I ~cat:"repl" ~name:"repl.ship.cut" ~args:[];
+    if Obs.on () then Obs.emit Obs.I ~tid:Obs.lane_repl ~cat:"repl" ~name:"repl.ship.cut" ~args:[];
     raise Exit
   in
   match
@@ -104,7 +108,7 @@ let serve_sync ~store ~params ~stopping ~after oc =
             end;
             send ".";
             Metrics.incr m_snap_served;
-            if Obs.on () then Obs.emit Obs.I ~cat:"repl" ~name:"repl.snapshot.served" ~args:[ ("seq", Obs.Int seq) ];
+            if Obs.on () then Obs.emit Obs.I ~tid:Obs.lane_repl ~cat:"repl" ~name:"repl.snapshot.served" ~args:[ ("seq", Obs.Int seq) ];
             stream ~synced:true seq
         | `Records [] ->
             if Store.wait_change store ~seen:last ~timeout_s:params.hb_interval_s
@@ -117,11 +121,15 @@ let serve_sync ~store ~params ~stopping ~after oc =
             end
         | `Records rs ->
             if Fault.fire ship_site then cut ();
-            List.iter
-              (fun (seq, payload) ->
-                output_string oc (Frame.encode ~seq payload))
-              rs;
-            flush oc;
+            if Obs.on () then Obs.emit Obs.B ~tid:Obs.lane_repl ~cat:"repl" ~name:"ship" ~args:[ ("records", Obs.Int (List.length rs)) ];
+            Fun.protect
+              ~finally:(fun () -> if Obs.on () then Obs.emit Obs.E ~tid:Obs.lane_repl ~cat:"repl" ~name:"ship")
+              (fun () ->
+                List.iter
+                  (fun (seq, payload) ->
+                    output_string oc (Frame.encode ~seq payload))
+                  rs;
+                flush oc);
             Metrics.incr ~by:(List.length rs) m_shipped;
             stream ~synced:true (List.fold_left (fun _ (s, _) -> s) last rs)
     in
@@ -166,8 +174,9 @@ let set_primary_seq f seq =
   if seq > f.primary_seq then f.primary_seq <- seq;
   let p = f.primary_seq in
   Mutex.unlock f.mu;
-  Metrics.set_gauge g_lag
-    (float_of_int (max 0 (p - Store.log_seq f.f_store)))
+  let lag = max 0 (p - Store.log_seq f.f_store) in
+  Metrics.set_gauge g_lag (float_of_int lag);
+  Metrics.observe h_lag_records lag
 
 let note_failure f msg =
   Mutex.lock f.mu;
@@ -176,7 +185,7 @@ let note_failure f msg =
   let n = f.failures in
   Mutex.unlock f.mu;
   Metrics.incr m_disconnects;
-  if Obs.on () then Obs.emit Obs.I ~cat:"repl" ~name:"repl.disconnect" ~args:[ ("reason", Obs.Str msg); ("failures", Obs.Int n) ]
+  if Obs.on () then Obs.emit Obs.I ~tid:Obs.lane_repl ~cat:"repl" ~name:"repl.disconnect" ~args:[ ("reason", Obs.Str msg); ("failures", Obs.Int n) ]
 
 let read_snapshot_block ic =
   let b = Buffer.create 256 in
@@ -211,7 +220,7 @@ let run_session f c =
   f.connected <- true;
   f.failures <- 0;
   Mutex.unlock f.mu;
-  if Obs.on () then Obs.emit Obs.I ~cat:"repl" ~name:"repl.connected" ~args:[ ("seq", Obs.Int (Store.log_seq f.f_store)) ];
+  if Obs.on () then Obs.emit Obs.I ~tid:Obs.lane_repl ~cat:"repl" ~name:"repl.connected" ~args:[ ("seq", Obs.Int (Store.log_seq f.f_store)) ];
   while not f.stopping do
     let line = strip_cr (input_line ic) in
     if String.length line > 0 && line.[0] = '@' then begin
@@ -247,7 +256,7 @@ let run_session f c =
               match Store.install_snapshot f.f_store db ~seq with
               | Ok () ->
                   Metrics.incr m_snap_installed;
-                  if Obs.on () then Obs.emit Obs.I ~cat:"repl" ~name:"repl.snapshot.installed" ~args:[ ("seq", Obs.Int seq) ];
+                  if Obs.on () then Obs.emit Obs.I ~tid:Obs.lane_repl ~cat:"repl" ~name:"repl.snapshot.installed" ~args:[ ("seq", Obs.Int seq) ];
                   set_primary_seq f seq
               | Error e -> raise (Repl_error e))))
     else raise (Repl_error ("unexpected line from primary: " ^ line))

@@ -36,6 +36,26 @@ let h_request_ns =
   Metrics.histogram Metrics.default "balg_server_request_ns"
     ~help:"Wall-clock time of evaluated requests (nanoseconds)"
 
+(* Per-command latency, one histogram per command kind (the registry is
+   label-free): eval covers the whole session-side request including
+   queue wait, def/drop cover parse+WAL+publish, other is the cheap
+   introspection tail (ping/list/role/...). *)
+let h_cmd_eval_ns =
+  Metrics.histogram Metrics.default "balg_server_cmd_eval_ns"
+    ~help:"Latency of eval commands, session-side (nanoseconds)"
+
+let h_cmd_def_ns =
+  Metrics.histogram Metrics.default "balg_server_cmd_def_ns"
+    ~help:"Latency of def commands (nanoseconds)"
+
+let h_cmd_drop_ns =
+  Metrics.histogram Metrics.default "balg_server_cmd_drop_ns"
+    ~help:"Latency of drop commands (nanoseconds)"
+
+let h_cmd_other_ns =
+  Metrics.histogram Metrics.default "balg_server_cmd_other_ns"
+    ~help:"Latency of all other protocol commands (nanoseconds)"
+
 let g_open_sessions =
   Metrics.gauge Metrics.default "balg_server_open_sessions"
     ~help:"Client connections currently open"
@@ -59,6 +79,9 @@ type config = {
   compact_bytes : int;
   follow : (string * int) option;
   repl_params : Repl.params;
+  access_log : string option;
+  slow_log : string option;
+  slow_ms : float;
 }
 
 let default_config =
@@ -77,6 +100,9 @@ let default_config =
     compact_bytes = 1 lsl 20;
     follow = None;
     repl_params = Repl.default_params;
+    access_log = None;
+    slow_log = None;
+    slow_ms = 100.;
   }
 
 type session = {
@@ -104,6 +130,10 @@ type t = {
   role_mu : Mutex.t;
   mutable role : [ `Primary | `Follower ];
   mutable follower : Repl.follower option;
+  next_req : int Atomic.t;  (* request ids, minted per protocol command *)
+  log_mu : Mutex.t;  (* serializes the access/slow JSONL channels *)
+  access_oc : out_channel option;
+  slow_oc : out_channel option;
 }
 
 (* --- small helpers --------------------------------------------------------- *)
@@ -121,6 +151,46 @@ let starts_with prefix s =
 
 let after prefix s =
   String.sub s (String.length prefix) (String.length s - String.length prefix)
+
+(* --- structured logs -------------------------------------------------------- *)
+
+let json_str s = "\"" ^ Obs.json_escape s ^ "\""
+
+(* One flat JSON object per line (Obs.Log conventions), mutex-serialized
+   and flushed per line so every completed command survives any exit
+   path — a crash loses at most the line being written. *)
+let log_line sv oc line =
+  Mutex.lock sv.log_mu;
+  (try
+     output_string oc line;
+     output_char oc '\n';
+     flush oc
+   with Sys_error _ -> ());
+  Mutex.unlock sv.log_mu
+
+let access_line sv ~sid ~req ~cmd ~dur_us ~outcome =
+  match sv.access_oc with
+  | None -> ()
+  | Some oc ->
+      log_line sv oc
+        (Printf.sprintf
+           "{\"ts\":%.6f,\"session\":%d,\"req\":%d,\"cmd\":%s,\"dur_us\":%d,\"outcome\":%s}"
+           (Unix.gettimeofday ()) sid req (json_str cmd) dur_us
+           (json_str outcome))
+
+let cmd_word line =
+  let line = String.trim line in
+  match String.index_opt line ' ' with
+  | None -> if String.equal line "" then "empty" else line
+  | Some i -> String.sub line 0 i
+
+let outcome_of_reply = function
+  | None -> "bye"
+  | Some r ->
+      if starts_with "err busy" r then "busy"
+      else if starts_with "err" r then "error"
+      else if starts_with "verdict" r then "verdict"
+      else "ok"
 
 (* Exactly-once close through the registry: both a session's own exit and
    a server-wide [stop] funnel here, so a file descriptor is never closed
@@ -197,7 +267,25 @@ let role_line sv =
 
 let db_vals db = List.map (fun (n, _ty, v) -> (n, v)) db
 
-let handle_eval sv sess q =
+let handle_eval sv sess ~req q =
+  let lane = Obs.lane_session sess.s_id in
+  let t_start = Unix.gettimeofday () in
+  (* The slow-query log: one JSONL line per eval at or above the
+     threshold, carrying everything needed to understand the latency
+     without re-running the query. *)
+  let slow ~outcome ~cache ~plan ~decisions ~engines ~queue_us ~fuel =
+    match sv.slow_oc with
+    | None -> ()
+    | Some oc ->
+        let dur_ms = (Unix.gettimeofday () -. t_start) *. 1e3 in
+        if dur_ms >= sv.cfg.slow_ms then
+          log_line sv oc
+            (Printf.sprintf
+               "{\"ts\":%.6f,\"session\":%d,\"req\":%d,\"dur_ms\":%.3f,\"query\":%s,\"plan\":%s,\"decisions\":%s,\"engine\":%s,\"cache\":%s,\"queue_us\":%d,\"fuel\":%d,\"outcome\":%s}"
+               (Unix.gettimeofday ()) sess.s_id req dur_ms (json_str q)
+               (json_str plan) (json_str decisions) (json_str engines)
+               (json_str cache) queue_us fuel (json_str outcome))
+  in
   match Parser.expr_of_string q with
   | exception Parser.Parse_error (msg, pos) ->
       Printf.sprintf "err parse: offset %d: %s" pos msg
@@ -215,6 +303,9 @@ let handle_eval sv sess q =
           in
           match Cache.find sv.cache ~key:ckey ~rels with
           | Some (v, ty') ->
+              slow ~outcome:"ok" ~cache:"hit" ~plan:"(cached)" ~decisions:""
+                ~engines:(Veval.engine_to_string sess.s_engine) ~queue_us:0
+                ~fuel:0;
               Printf.sprintf "ok %s : %s" (Value.to_string v)
                 (Ty.to_string ty')
           | None -> (
@@ -223,61 +314,123 @@ let handle_eval sv sess q =
               let weight = sess.s_limits.Budget.fuel in
               let engine = sess.s_engine and mode = sess.s_mode in
               let sid = sess.s_id in
+              (* plan analytics escape the worker closure through a ref:
+                 the executor's result handoff (j_mu/j_cv) orders the
+                 worker's write before this thread's read *)
+              let details = ref ("", "", "") in
               let run () =
                 (* worker domain: plan, then evaluate under the armed
                    budget; the request span lands in the worker's own
-                   trace ring *)
-                if Obs.on () then Obs.emit Obs.B ~cat:"server" ~name:"request" ~args:[ ("session", Obs.Int sid); ("engine", Obs.Str (Veval.engine_to_string engine)) ];
+                   trace ring, tied to the session span by the req id *)
+                if Obs.on () then Obs.emit Obs.B ~cat:"worker" ~name:"request" ~args:[ ("req", Obs.Int req); ("session", Obs.Int sid); ("engine", Obs.Str (Veval.engine_to_string engine)) ];
                 let t0 = Unix.gettimeofday () in
-                let plan =
-                  Opt.prepare ~vals:(db_vals db) ~engine mode
-                    (Bagdb.type_env db) e
-                in
-                let outcome =
-                  match
-                    Veval.run_engine engine ~budget (Bagdb.value_env db) plan
-                  with
-                  | Ok v -> `Ok (v, ty)
-                  | Error x -> `Verdict x
-                  | exception Eval.Eval_error msg ->
-                      `Fail ("eval: " ^ msg)
-                in
-                Metrics.observe h_request_ns
-                  (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9));
-                let label =
-                  match outcome with
-                  | `Ok _ -> "ok"
-                  | `Verdict x -> Budget.resource_to_string x.Budget.resource
-                  | `Fail _ -> "error"
-                in
-                if Obs.on () then Obs.emit Obs.E ~cat:"server" ~name:"request" ~args:[ ("session", Obs.Int sid); ("outcome", Obs.Str label) ];
-                outcome
+                let label = ref "error" in
+                Fun.protect
+                  ~finally:(fun () ->
+                    Metrics.observe h_request_ns
+                      (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9));
+                    if Obs.on () then Obs.emit Obs.E ~cat:"worker" ~name:"request" ~args:[ ("req", Obs.Int req); ("session", Obs.Int sid); ("outcome", Obs.Str !label) ])
+                  (fun () ->
+                    let plan, dec_s =
+                      match
+                        Opt.optimize ~vals:(db_vals db) ~engine mode
+                          (Bagdb.type_env db) e
+                      with
+                      | p, rep ->
+                          ( p,
+                            String.concat " "
+                              (List.map
+                                 (fun d ->
+                                   d.Opt.d_rule
+                                   ^ if d.Opt.d_accepted then "+" else "-")
+                                 rep.Opt.r_decisions) )
+                      | exception _ -> (e, "planning-failed")
+                    in
+                    let labels = ref (Veval.engine_to_string engine) in
+                    let env = Bagdb.value_env db in
+                    let outcome =
+                      match
+                        match engine with
+                        | Veval.Tree ->
+                            Veval.run_engine Veval.Tree ~budget env plan
+                        | Veval.Vec ->
+                            Veval.run ~budget
+                              ~report:(fun p ->
+                                labels := one_line (Veval.plan_to_string p))
+                              env plan
+                      with
+                      | Ok v -> `Ok (v, ty)
+                      | Error x -> `Verdict x
+                      | exception Eval.Eval_error msg ->
+                          `Fail ("eval: " ^ msg)
+                    in
+                    details := (Expr.to_string plan, dec_s, !labels);
+                    (label :=
+                       match outcome with
+                       | `Ok _ -> "ok"
+                       | `Verdict x ->
+                           Budget.resource_to_string x.Budget.resource
+                       | `Fail _ -> "error");
+                    outcome)
               in
               match Exec.submit sv.exec ~weight ~budget ~run with
-              | Error msg -> "err busy: " ^ msg
-              | Ok (`Ok (v, ty)) ->
-                  Cache.add sv.cache ~key:ckey ~rels v ty;
-                  Printf.sprintf "ok %s : %s" (Value.to_string v)
-                    (Ty.to_string ty)
-              | Ok (`Verdict x) ->
-                  "verdict " ^ Budget.exhaustion_to_string x
-              | Ok (`Fail msg) -> "err " ^ msg)))
+              | Error msg ->
+                  slow ~outcome:"busy" ~cache:"miss" ~plan:"" ~decisions:""
+                    ~engines:"" ~queue_us:0 ~fuel:0;
+                  "err busy: " ^ msg
+              | Ok (outcome, st) -> (
+                  (* retro-dated queue-wait span: this thread emitted
+                     nothing since the session-request B, and
+                     enq <= arm <= now, so per-lane monotonicity holds
+                     (the ring clamp only ever raises both ends
+                     together) *)
+                  if Obs.on () then Obs.emit Obs.B ~tid:lane ~ts_us:st.Exec.s_enq_us ~cat:"queue" ~name:"wait" ~args:[ ("req", Obs.Int req) ];
+                  if Obs.on () then Obs.emit Obs.E ~tid:lane ~ts_us:st.Exec.s_arm_us ~cat:"queue" ~name:"wait" ~args:[ ("req", Obs.Int req); ("wait_us", Obs.Int st.Exec.s_queue_us) ];
+                  let plan_s, dec_s, eng_s = !details in
+                  let queue_us = st.Exec.s_queue_us in
+                  let fuel = Budget.fuel_spent budget in
+                  match outcome with
+                  | `Ok (v, ty) ->
+                      Cache.add sv.cache ~key:ckey ~rels v ty;
+                      slow ~outcome:"ok" ~cache:"miss" ~plan:plan_s
+                        ~decisions:dec_s ~engines:eng_s ~queue_us ~fuel;
+                      Printf.sprintf "ok %s : %s" (Value.to_string v)
+                        (Ty.to_string ty)
+                  | `Verdict x ->
+                      slow
+                        ~outcome:(Budget.resource_to_string x.Budget.resource)
+                        ~cache:"miss" ~plan:plan_s ~decisions:dec_s
+                        ~engines:eng_s ~queue_us ~fuel;
+                      "verdict " ^ Budget.exhaustion_to_string x
+                  | `Fail msg ->
+                      slow ~outcome:"error" ~cache:"miss" ~plan:plan_s
+                        ~decisions:dec_s ~engines:eng_s ~queue_us ~fuel;
+                      "err " ^ msg))))
 
 (* --- writes ---------------------------------------------------------------- *)
 
-let handle_def sv rest =
+(* A write's WAL append + publish, wrapped in a wal-category span on the
+   session's lane so the flush shows up inside the request span. *)
+let apply_traced sv sess ~req ~rel op =
+  let lane = Obs.lane_session sess.s_id in
+  if Obs.on () then Obs.emit Obs.B ~tid:lane ~cat:"wal" ~name:"commit" ~args:[ ("req", Obs.Int req); ("rel", Obs.Str rel) ];
+  let r = Store.apply sv.store op in
+  if Obs.on () then Obs.emit Obs.E ~tid:lane ~cat:"wal" ~name:"commit" ~args:[ ("req", Obs.Int req); ("outcome", Obs.Str (match r with Ok () -> "ok" | Error _ -> "error")) ];
+  r
+
+let handle_def sv sess ~req rest =
   match Bagdb.parse rest with
   | exception Bagdb.Db_error e -> "err db: " ^ Bagdb.error_to_string e
   | [] -> "err proto: def expects a declaration: def bag NAME : TYPE = VALUE"
   | _ :: _ :: _ -> "err proto: def takes exactly one declaration"
   | [ (n, ty, v) ] -> (
-      match Store.apply sv.store (Store.Def (n, ty, v)) with
+      match apply_traced sv sess ~req ~rel:n (Store.Def (n, ty, v)) with
       | Ok () ->
           Cache.invalidate sv.cache n;
           "ok defined " ^ n
       | Error msg -> "err wal: " ^ msg)
 
-let handle_drop sv name =
+let handle_drop sv sess ~req name =
   let name = String.trim name in
   if String.equal name "" then "err proto: drop expects a relation name"
   else if
@@ -290,7 +443,7 @@ let handle_drop sv name =
          (Store.snapshot sv.store))
   then "err db: no such relation " ^ name
   else
-    match Store.apply sv.store (Store.Drop name) with
+    match apply_traced sv sess ~req ~rel:name (Store.Drop name) with
     | Ok () ->
         Cache.invalidate sv.cache name;
         "ok dropped " ^ name
@@ -359,9 +512,7 @@ let handle_set sess args =
 
 (* [None] means: close the session.  Multi-line responses are terminated
    by a lone "." line (their payload lines never start with a dot). *)
-let respond sv sess line =
-  Metrics.incr m_requests;
-  let line = strip_cr line in
+let dispatch sv sess ~req line =
   if String.equal (String.trim line) "" then Some ""
   else if String.equal line "quit" then None
   else if String.equal line "ping" then Some "ok pong"
@@ -372,6 +523,14 @@ let respond sv sess line =
           (List.map (fun (n, _, _) -> n) (Store.snapshot sv.store)))
   else if String.equal line "metrics" then
     Some (Metrics.to_prometheus Metrics.default ^ ".")
+  else if String.equal line "trace" then
+    (* a live snapshot of the rings: reading while workers still emit is
+       safe but can see a torn tail — the authoritative artifact is the
+       file balgd writes at shutdown (--trace-out) *)
+    Some
+      (if Obs.on () then Obs.Trace.to_chrome_json () ^ "."
+       else
+         "err unavailable: tracing disabled (start balgd with --trace-out)")
   else if String.equal line "dump" then
     let body = Bagdb.render (Store.snapshot sv.store) in
     Some (if String.equal body "" then "." else body ^ "\n.")
@@ -390,20 +549,53 @@ let respond sv sess line =
           | Ok () -> "ok compacted"
           | Error msg -> "err wal: " ^ one_line msg))
   else if starts_with "eval " line then
-    Some (one_line (handle_eval sv sess (after "eval " line)))
+    Some (one_line (handle_eval sv sess ~req (after "eval " line)))
   else if starts_with "def " line then
     Some
       (match follower_guard sv with
       | Some err -> err
-      | None -> one_line (handle_def sv (after "def " line)))
+      | None -> one_line (handle_def sv sess ~req (after "def " line)))
   else if starts_with "drop " line then
     Some
       (match follower_guard sv with
       | Some err -> err
-      | None -> one_line (handle_drop sv (after "drop " line)))
+      | None -> one_line (handle_drop sv sess ~req (after "drop " line)))
   else if starts_with "set " line then
     Some (one_line (handle_set sess (after "set " line)))
   else Some ("err proto: unknown command " ^ one_line line)
+
+let cmd_hist cmd =
+  match cmd with
+  | "eval" -> h_cmd_eval_ns
+  | "def" -> h_cmd_def_ns
+  | "drop" -> h_cmd_drop_ns
+  | _ -> h_cmd_other_ns
+
+(* The request wrapper: mint the id, open the session-lane span, run the
+   command, then close the span, record per-command latency and write
+   the access-log line — on the exception path too, so a dying session
+   never leaves an unbalanced span or an unlogged command. *)
+let respond sv sess line =
+  Metrics.incr m_requests;
+  let line = strip_cr line in
+  let req = Atomic.fetch_and_add sv.next_req 1 in
+  let cmd = cmd_word line in
+  let lane = Obs.lane_session sess.s_id in
+  let t0 = Unix.gettimeofday () in
+  if Obs.on () then Obs.emit Obs.B ~tid:lane ~cat:"session" ~name:"request" ~args:[ ("req", Obs.Int req); ("session", Obs.Int sess.s_id); ("cmd", Obs.Str cmd) ];
+  let finish outcome =
+    let dur_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+    if Obs.on () then Obs.emit Obs.E ~tid:lane ~cat:"session" ~name:"request" ~args:[ ("req", Obs.Int req); ("outcome", Obs.Str outcome); ("dur_us", Obs.Int dur_us) ];
+    Metrics.observe (cmd_hist cmd) (dur_us * 1000);
+    access_line sv ~sid:sess.s_id ~req ~cmd ~dur_us ~outcome
+  in
+  match dispatch sv sess ~req line with
+  | reply ->
+      finish (outcome_of_reply reply);
+      reply
+  | exception exn ->
+      finish "exception";
+      raise exn
 
 (* --- HTTP ------------------------------------------------------------------ *)
 
@@ -432,12 +624,12 @@ let healthz_body sv =
             st.Repl.failures )
     | Some st ->
         ( "200 OK",
-          Printf.sprintf "ok role=follower offset=%d lag=%d\n"
-            st.Repl.applied_seq st.Repl.lag )
+          Printf.sprintf "ok role=follower offset=%d lag=%d wal_bytes=%d\n"
+            st.Repl.applied_seq st.Repl.lag (Store.wal_size sv.store) )
     | None ->
         ( "200 OK",
-          Printf.sprintf "ok role=primary offset=%d\n"
-            (Store.log_seq sv.store) )
+          Printf.sprintf "ok role=primary offset=%d lag=0 wal_bytes=%d\n"
+            (Store.log_seq sv.store) (Store.wal_size sv.store) )
 
 let handle_http sv request_line ic oc =
   Metrics.incr m_http;
@@ -473,6 +665,13 @@ let session_loop sv sess ic oc first_line =
       Metrics.incr m_requests;
       match int_of_string_opt (String.trim (after "sync " (strip_cr line))) with
       | Some a when a >= 0 ->
+          (* the session becomes a long-lived feed: log the takeover now,
+             since this command never "completes" in the access-log
+             sense (no span either — it would stay open for the feed's
+             whole life) *)
+          access_line sv ~sid:sess.s_id
+            ~req:(Atomic.fetch_and_add sv.next_req 1)
+            ~cmd:"sync" ~dur_us:0 ~outcome:"ok";
           Repl.serve_sync ~store:sv.store ~params:sv.cfg.repl_params
             ~stopping:(fun () -> sv.stopping)
             ~after:a oc
@@ -549,6 +748,15 @@ let accept_loop sv =
 
 let start cfg =
   match
+    (* a server hosts concurrent evaluations: pin the capture's trace id
+       so per-run Obs.set_trace_id calls can't flip the pid mid-span;
+       requests are told apart by their req args, not by pid *)
+    if Obs.on () then Obs.pin_trace_id 1;
+    let open_log path =
+      open_out_gen [ Open_append; Open_creat ] 0o644 path
+    in
+    let access_oc = Option.map open_log cfg.access_log in
+    let slow_oc = Option.map open_log cfg.slow_log in
     let store =
       Store.open_store ~compact_bytes:cfg.compact_bytes ~seed:cfg.seed_db
         ~dir:cfg.store_dir ()
@@ -592,6 +800,10 @@ let start cfg =
         role_mu = Mutex.create ();
         role = (match cfg.follow with None -> `Primary | Some _ -> `Follower);
         follower = None;
+        next_req = Atomic.make 1;
+        log_mu = Mutex.create ();
+        access_oc;
+        slow_oc;
       }
     in
     (match cfg.follow with
@@ -648,6 +860,9 @@ let stop sv =
     Exec.shutdown sv.exec;
     List.iter Thread.join threads;
     Store.close sv.store;
+    (* sessions are joined: the log channels have no writers left *)
+    Option.iter close_out_noerr sv.access_oc;
+    Option.iter close_out_noerr sv.slow_oc;
     Mutex.lock sv.stop_mu;
     sv.stopped <- true;
     Condition.broadcast sv.stop_cv;

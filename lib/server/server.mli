@@ -28,6 +28,11 @@
                              replication feed (see {!Repl})
     metrics               -> <Prometheus text>, terminated by a "." line
     dump                  -> <rendered store>,  terminated by a "." line
+    trace                 -> <Chrome trace JSON>, terminated by a "."
+                             line (tracing must be enabled, i.e. balgd
+                             --trace-out; a live snapshot — the
+                             authoritative artifact is the file written
+                             at shutdown)
     quit                  -> ok bye             (connection closes)
     v}
     Error kinds: [parse], [type], [db], [eval], [proto], [busy]
@@ -54,7 +59,21 @@
     dropped), [server.session] (the session dies mid-conversation; its
     socket closes, every other session keeps working), plus the
     [server.worker] and [wal.append] sites of {!Exec} and {!Store} and
-    the [repl.ship]/[repl.connect]/[repl.apply] sites of {!Repl}. *)
+    the [repl.ship]/[repl.connect]/[repl.apply] sites of {!Repl}.
+
+    {b Request tracing.}  Every protocol command is minted a request id.
+    When tracing is enabled the server pins the trace id
+    ({!Balg.Obs.pin_trace_id}) and emits request-scoped spans carrying
+    [("req", Int id)]: [session]/request on the session's own lane
+    ({!Balg.Obs.lane_session}), a retro-dated [queue]/wait sub-span from
+    the {!Exec} queue accounting, [worker]/request on the worker
+    domain's lane, and [wal]/commit around a write's append+publish —
+    one Perfetto trace shows the whole request lifecycle.  The JSONL
+    access log ([config.access_log]) records one line per command; the
+    slow-query log ([config.slow_log], gated by [config.slow_ms])
+    records query text, chosen plan, optimizer decisions, engine
+    labels, cache outcome, queue wait, fuel spent and verdict for every
+    eval at or above the threshold. *)
 
 open Balg
 
@@ -75,6 +94,13 @@ type config = {
       (** replicate from this primary; the server starts as a read-only
           follower *)
   repl_params : Repl.params;  (** backoff / heartbeat / loss tuning *)
+  access_log : string option;
+      (** JSONL access log: one line per protocol command (session id,
+          request id, command, duration µs, outcome), flushed per line *)
+  slow_log : string option;  (** JSONL slow-query log; see {!config.slow_ms} *)
+  slow_ms : float;
+      (** slow-query threshold in milliseconds (default 100); evals at or
+          above it are logged to [slow_log] with plan and analytics *)
 }
 
 val default_config : config

@@ -50,6 +50,10 @@ let g_wal_bytes =
   Metrics.gauge Metrics.default "balg_server_wal_bytes"
     ~help:"Current WAL size in bytes"
 
+let h_wal_flush_ns =
+  Metrics.histogram Metrics.default "balg_server_wal_flush_ns"
+    ~help:"WAL record write+flush time (nanoseconds)"
+
 let g_log_seq =
   Metrics.gauge Metrics.default "balg_server_log_seq"
     ~help:"Durable log offset (global sequence of the last flushed record)"
@@ -289,7 +293,7 @@ let open_store ?(compact_bytes = 1 lsl 20) ?(seed = []) ~dir () =
       (match corrupt with
       | Some why ->
           Metrics.incr m_corrupt;
-          if Obs.on () then Obs.emit Obs.I ~cat:"server" ~name:"wal.corrupt" ~args:[ ("reason", Obs.Str why); ("offset", Obs.Int keep) ]
+          if Obs.on () then Obs.emit Obs.I ~cat:"wal" ~name:"wal.corrupt" ~args:[ ("reason", Obs.Str why); ("offset", Obs.Int keep) ]
       | None -> ());
       Metrics.incr ~by:recs m_recovered;
       Metrics.set_gauge g_wal_bytes (float_of_int keep);
@@ -388,20 +392,23 @@ let append_locked t record =
            with Sys_error _ -> ());
           t.wal_failed <- true;
           Metrics.incr m_wal_faults;
-          if Obs.on () then Obs.emit Obs.I ~cat:"server" ~name:"wal.torn" ~args:[ ("kept", Obs.Int keep); ("of", Obs.Int (String.length record)) ];
+          if Obs.on () then Obs.emit Obs.I ~cat:"wal" ~name:"wal.torn" ~args:[ ("kept", Obs.Int keep); ("of", Obs.Int (String.length record)) ];
           Error
             "injected wal.append fault: torn record; store is read-only \
              until restart"
       | None -> (
+          let t_flush = Unix.gettimeofday () in
           match
             output_string oc record;
             flush oc
           with
           | () ->
+              Metrics.observe h_wal_flush_ns
+                (int_of_float ((Unix.gettimeofday () -. t_flush) *. 1e9));
               t.wal_bytes <- t.wal_bytes + String.length record;
               Metrics.incr m_wal_appends;
               Metrics.set_gauge g_wal_bytes (float_of_int t.wal_bytes);
-              if Obs.on () then Obs.emit Obs.I ~cat:"server" ~name:"wal.append" ~args:[ ("bytes", Obs.Int (String.length record)) ];
+              if Obs.on () then Obs.emit Obs.I ~cat:"wal" ~name:"wal.append" ~args:[ ("bytes", Obs.Int (String.length record)) ];
               Ok ()
           | exception Sys_error m ->
               t.wal_failed <- true;

@@ -8,12 +8,16 @@
 #     eval end events equals the sum of "fuel" over the run-end "done"
 #     instants (one per governed run in the file)
 #   - the ring buffers never overflowed (otherData.droppedEvents == 0)
+#   - every category named after the trace argument is present (the
+#     server smoke passes session/queue/worker/wal to prove a request's
+#     whole lifecycle was captured)
 #   - the file is well-formed JSON (when python3 is available)
 # The exporter writes one event object per line precisely so this check
 # needs nothing beyond awk.
 set -eu
 
-trace=${1:?usage: check_trace.sh TRACE.json}
+trace=${1:?usage: check_trace.sh TRACE.json [required-category ...]}
+shift
 
 awk '
 function field_num(line, name,    r) {
@@ -87,6 +91,13 @@ END {
     events, runs, steps
 }
 ' "$trace"
+
+for cat in "$@"; do
+  if ! grep -q "\"cat\":\"$cat\"" "$trace"; then
+    echo "check_trace: required category '$cat' absent from $trace"
+    exit 1
+  fi
+done
 
 if command -v python3 >/dev/null 2>&1; then
   python3 -m json.tool "$trace" >/dev/null

@@ -122,6 +122,133 @@ let test_vec_guard_fires () =
   | exception Eval.Resource_limit _ -> ()
   | _ -> Alcotest.fail "expected a guard exception"
 
+(* --- EXPLAIN ANALYZE: measured vs estimated, and calibration -------------- *)
+
+let tenv = Typecheck.env_of_list [ ("G", Ty.relation 2) ]
+let vals = [ ("G", g) ]
+
+let rec find_an op (a : Explain.annotated) =
+  if a.Explain.an_op = op then Some a
+  else List.find_map (find_an op) a.Explain.an_children
+
+let test_analyze_tree () =
+  let q = Derived.selfjoin (Expr.Var "G") in
+  let v, a = Explain.analyze ~env ~vals ~tenv ~engine:Veval.Tree q in
+  Alcotest.check value "analyzed result equals Eval" (Eval.eval env q) v;
+  (match find_an "var G" a with
+  | Some leaf ->
+      Alcotest.(check bool) "leaf estimate is exact" true leaf.Explain.an_exact;
+      Alcotest.(check int) "leaf estimate is the relation size" 3
+        leaf.Explain.an_est;
+      Alcotest.(check int) "leaf measured" 3 leaf.Explain.an_actual
+  | None -> Alcotest.fail "no var G node");
+  (match find_an "product" a with
+  | Some pr ->
+      Alcotest.(check int) "product estimated 3*3" 9 pr.Explain.an_est;
+      Alcotest.(check int) "product measured" 9 pr.Explain.an_actual
+  | None -> Alcotest.fail "no product node");
+  (match find_an "select" a with
+  | Some sel ->
+      Alcotest.(check bool) "select estimate is heuristic" false
+        sel.Explain.an_exact;
+      Alcotest.(check bool) "select measured" true (sel.Explain.an_actual > 0)
+  | None -> Alcotest.fail "no select node");
+  let s = Explain.analysis_to_string a in
+  Alcotest.(check bool) "table has the est/actual columns" true
+    (String.length s > 0
+    && List.exists
+         (fun line ->
+           String.trim line <> ""
+           && String.starts_with ~prefix:"operator" (String.trim line))
+         (String.split_on_char '\n' s));
+  Alcotest.(check bool) "table summarises the q-error" true
+    (List.exists
+       (fun line -> String.starts_with ~prefix:"q-error" line)
+       (String.split_on_char '\n' s))
+
+(* The vec path must hand back the vec engine's value (bit-identical to
+   the tree measurement run) with per-subtree engine labels attached. *)
+let test_analyze_vec_identical () =
+  let q = Derived.selfjoin (Expr.Var "G") in
+  let v_tree, _ = Explain.analyze ~env ~vals ~tenv ~engine:Veval.Tree q in
+  let v_vec, a = Explain.analyze ~env ~vals ~tenv ~engine:Veval.Vec q in
+  Alcotest.check value "vec analyze equals tree analyze" v_tree v_vec;
+  Alcotest.(check bool) "vec analyze equals Value.hash too" true
+    (Value.hash v_tree = Value.hash v_vec);
+  let rec engines a =
+    a.Explain.an_engine
+    :: List.concat_map engines a.Explain.an_children
+  in
+  Alcotest.(check bool) "engine labels attached" true
+    (List.exists (function Some _ -> true | None -> false) (engines a))
+
+let test_calibration_of_roundtrip () =
+  let q = Derived.selfjoin (Expr.Var "G") in
+  let _, a = Explain.analyze ~env ~vals ~tenv ~engine:Veval.Tree q in
+  let c = Explain.calibration_of a in
+  Alcotest.(check bool) "heuristic operators calibrated" true
+    (Calib.entries c <> []);
+  (* keys are operator families, single tokens — file-format safe *)
+  List.iter
+    (fun (op, _) ->
+      Alcotest.(check bool)
+        (op ^ " is a single token")
+        false
+        (String.contains op ' '))
+    (Calib.entries c);
+  match Calib.of_string (Calib.to_string c) with
+  | Error m -> Alcotest.fail ("round-trip: " ^ m)
+  | Ok c' ->
+      List.iter
+        (fun (op, e) ->
+          match Calib.factor c' op with
+          | None -> Alcotest.failf "factor for %s lost in round-trip" op
+          | Some f ->
+              Alcotest.(check bool)
+                (op ^ " factor survives (1e-4)")
+                true
+                (abs_float (f -. e.Calib.c_factor) < 1e-4))
+        (Calib.entries c)
+
+let test_calib_parser_rejects () =
+  (match Calib.of_string "join 2.0 1\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "data before the header must be rejected");
+  (match Calib.of_string "# balg calibration v1\njoin zero 1\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a non-numeric factor must be rejected");
+  (match Calib.of_string "# balg calibration v1\njoin -2.0 1\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a non-positive factor must be rejected");
+  match Calib.of_string "# balg calibration v1\n\n# comment\njoin 2.5 3\n" with
+  | Error m -> Alcotest.fail ("blank lines and comments must parse: " ^ m)
+  | Ok c -> (
+      match Calib.factor c "join" with
+      | Some f -> Alcotest.(check (float 1e-9)) "factor read" 2.5 f
+      | None -> Alcotest.fail "join entry lost")
+
+let test_calib_save_load () =
+  let c = Calib.of_observations [ ("join", 4, 8); ("select", 10, 5) ] in
+  let path = Filename.temp_file "balg_calib" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (match Calib.save path c with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail ("save: " ^ m));
+      match Calib.load path with
+      | Error m -> Alcotest.fail ("load: " ^ m)
+      | Ok c' ->
+          Alcotest.(check (float 1e-6)) "join doubles" 2.0
+            (Option.get (Calib.factor c' "join"));
+          Alcotest.(check (float 1e-6)) "select halves" 0.5
+            (Option.get (Calib.factor c' "select")))
+
+let test_op_key () =
+  Alcotest.(check string) "join 2=1 -> join" "join" (Calib.op_key "join 2=1");
+  Alcotest.(check string) "var G -> var" "var" (Calib.op_key "var G");
+  Alcotest.(check string) "bare names pass" "product" (Calib.op_key "product")
+
 let () =
   Alcotest.run "explain"
     [
@@ -138,5 +265,19 @@ let () =
           Alcotest.test_case "agrees with Eval" `Quick test_vec_agrees_with_eval;
           Alcotest.test_case "plan labels" `Quick test_vec_plan_labels;
           Alcotest.test_case "guards still fire" `Quick test_vec_guard_fires;
+        ] );
+      ( "analyze",
+        [
+          Alcotest.test_case "measured vs estimated (tree)" `Quick
+            test_analyze_tree;
+          Alcotest.test_case "vec value identical, labels attached" `Quick
+            test_analyze_vec_identical;
+          Alcotest.test_case "calibration round-trips" `Quick
+            test_calibration_of_roundtrip;
+          Alcotest.test_case "calibration parser rejects junk" `Quick
+            test_calib_parser_rejects;
+          Alcotest.test_case "calibration save/load" `Quick
+            test_calib_save_load;
+          Alcotest.test_case "op_key strips parameters" `Quick test_op_key;
         ] );
     ]

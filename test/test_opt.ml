@@ -163,6 +163,36 @@ let test_invert_cost_ships_unoptimized () =
       Alcotest.(check bool) "inverted objective accepts nothing" true
         (Rewrite.expr_compare e' selfjoin_q = 0))
 
+(* --- calibration feeds the cost model -------------------------------------
+
+   An absurd measured correction factor for joins makes the extracted
+   join plan look catastrophically expensive, so cost mode keeps the
+   select-over-product shape it would otherwise rewrite away: the
+   calibration file changed a plan choice.  Both plans must stay
+   bit-identical on random instances — calibration only moves the
+   numbers the cost model reads, never the semantics. *)
+let test_calibration_changes_plan_not_results () =
+  let rec has_join e =
+    match e with
+    | Expr.Join _ -> true
+    | _ -> List.exists has_join (Expr.children e)
+  in
+  let plain = Opt.prepare ~engine:Veval.Tree Opt.Cost tenv selfjoin_q in
+  let calibrated =
+    Calib.set_current
+      (Some (Calib.of_observations [ ("join", 1, 1_000_000_000) ]));
+    Fun.protect
+      ~finally:(fun () -> Calib.set_current None)
+      (fun () -> Opt.prepare ~engine:Veval.Tree Opt.Cost tenv selfjoin_q)
+  in
+  Alcotest.(check bool) "uncalibrated plan extracts the join" true
+    (has_join plain);
+  Alcotest.(check bool) "calibrated plan keeps the select" false
+    (has_join calibrated);
+  let rng = Random.State.make [| 47 |] in
+  Alcotest.(check bool) "the two plans agree bit for bit" true
+    (equivalent_bag rng plain calibrated)
+
 let test_mode_parsing () =
   Alcotest.(check bool) "cost parses" true (Opt.mode_of_string "cost" = Some Opt.Cost);
   Alcotest.(check bool) "rules parses" true (Opt.mode_of_string "Rules" = Some Opt.Rules);
@@ -314,6 +344,8 @@ let () =
           Alcotest.test_case "inverted objective ships unoptimized" `Quick
             test_invert_cost_ships_unoptimized;
           Alcotest.test_case "mode parsing" `Quick test_mode_parsing;
+          Alcotest.test_case "calibration changes plans, not results" `Quick
+            test_calibration_changes_plan_not_results;
         ] );
       ( "differential",
         [

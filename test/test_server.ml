@@ -475,12 +475,12 @@ let test_exec_deadline_vs_queue_wait () =
         | Error x -> `Verdict x)
   in
   (match r with
-  | Ok (`Ok _) -> ()
-  | Ok (`Verdict x) ->
+  | Ok (`Ok _, _) -> ()
+  | Ok (`Verdict x, _) ->
       Alcotest.fail
         ("queue wait was billed against the deadline: "
         ^ Budget.exhaustion_to_string x)
-  | Ok (`Fail m) | Error m -> Alcotest.fail m);
+  | Ok (`Fail m, _) | Error m -> Alcotest.fail m);
   Thread.join t1;
   (* counter-case: an account armed at creation (Budget.start) correctly
      pays for the same queue wait and trips its deadline *)
@@ -494,11 +494,11 @@ let test_exec_deadline_vs_queue_wait () =
         | Error x -> `Verdict x)
   in
   (match r2 with
-  | Ok (`Verdict x) when x.Budget.resource = Budget.Deadline -> ()
-  | Ok (`Verdict x) ->
+  | Ok (`Verdict x, _) when x.Budget.resource = Budget.Deadline -> ()
+  | Ok (`Verdict x, _) ->
       Alcotest.fail ("wrong verdict: " ^ Budget.exhaustion_to_string x)
-  | Ok (`Ok _) -> Alcotest.fail "armed-at-create must trip its deadline"
-  | Ok (`Fail m) | Error m -> Alcotest.fail m);
+  | Ok (`Ok _, _) -> Alcotest.fail "armed-at-create must trip its deadline"
+  | Ok (`Fail m, _) | Error m -> Alcotest.fail m);
   Thread.join t2;
   Exec.shutdown ex
 
@@ -535,7 +535,7 @@ let test_exec_ceiling () =
                 ~budget:(Budget.create Budget.unlimited)
                 ~run:job
             with
-            | Ok (`Ok _) -> ()
+            | Ok (`Ok _, _) -> ()
             | _ -> Alcotest.fail "weight-6 job must run")
           ())
   in
@@ -588,7 +588,7 @@ let test_exec_worker_death () =
            ~budget:(Budget.create Budget.unlimited)
            ~run:(fun () -> ok_outcome)
        with
-      | Ok (`Ok _) -> ()
+      | Ok (`Ok _, _) -> ()
       | _ -> Alcotest.fail "respawned worker must serve the next job");
       Alcotest.(check int) "death counted" 1 (Exec.worker_deaths ex);
       Exec.shutdown ex)
@@ -675,8 +675,13 @@ let test_server_writes_and_cache () =
       Alcotest.(check bool) "drop of unknown bag is err db" true
         (starts_with "err db" (req c "drop S"));
       (* the "."-framed multi-line responses *)
+      let metrics = req c "metrics" in
       Alcotest.(check bool) "metrics over the line protocol" true
-        (contains (req c "metrics") "balg_server_requests_total");
+        (contains metrics "balg_server_requests_total");
+      (* the redef of S above invalidated its cached entry: the
+         per-relation invalidation counter must be visible by name *)
+      Alcotest.(check bool) "per-relation invalidation counter exported" true
+        (contains metrics "balg_server_cache_rel_invalidations_total_S");
       Alcotest.(check bool) "dump renders the store" true
         (contains (req c "dump") "bag R : {{<U>}}");
       Client.close c)
@@ -710,7 +715,12 @@ let test_server_http () =
             (contains body "balg_server_cache_misses_total")
       | Error m -> Alcotest.fail ("GET /metrics: " ^ m));
       (match Client.http_get ~host:"127.0.0.1" ~port:(Server.port sv) "/healthz" with
-      | Ok body -> Alcotest.(check bool) "healthz says ok" true (contains body "ok")
+      | Ok body ->
+          Alcotest.(check bool) "healthz says ok" true (contains body "ok");
+          Alcotest.(check bool) "healthz reports replication lag" true
+            (contains body "lag=");
+          Alcotest.(check bool) "healthz reports the WAL size" true
+            (contains body "wal_bytes=")
       | Error m -> Alcotest.fail ("GET /healthz: " ^ m));
       match Client.http_get ~host:"127.0.0.1" ~port:(Server.port sv) "/nope" with
       | Ok _ -> Alcotest.fail "unknown path must not be 200"
@@ -1169,6 +1179,83 @@ let test_server_concurrent_differential () =
       Alcotest.(check string) "healthy after the storm" "ok pong" (req c "ping");
       Client.close c)
 
+(* End-to-end request tracing: with tracing enabled, a loaded server's
+   event stream carries the whole request lifecycle — session spans on
+   per-session lanes, retro-dated queue-wait spans, worker evaluation
+   spans and WAL commit spans, all tagged with request ids — and every
+   lane keeps the B/E stack discipline with monotone timestamps even
+   with sessions preempting each other on domain 0's ring. *)
+let test_server_traced_requests () =
+  Obs.enable ();
+  Fun.protect ~finally:Obs.disable @@ fun () ->
+  with_server
+    ~tweak:(fun c -> { c with Server.workers = 2 })
+    (fun sv ->
+      let threads =
+        List.init 6 (fun i ->
+            Thread.create
+              (fun () ->
+                let c = connect sv in
+                (* distinct query texts: every client misses the cache
+                   and reaches a worker through the admission queue *)
+                let q =
+                  "eval "
+                  ^ String.concat " ++ " (List.init (i + 1) (fun _ -> "R"))
+                in
+                ignore (req c q);
+                Client.close c)
+              ())
+      in
+      List.iter Thread.join threads;
+      let c = connect sv in
+      Alcotest.(check string) "a write for the wal span" "ok defined T"
+        (req c "def bag T : {{<U>}} = {{ <'t> }}");
+      let t = req c "trace" in
+      Alcotest.(check bool) "live trace over the wire" true
+        (contains t "traceEvents");
+      Client.close c);
+  (* the server is stopped: sessions joined, workers drained, rings
+     quiescent — read the whole run back *)
+  let evs = Obs.events () in
+  List.iter
+    (fun cat ->
+      Alcotest.(check bool) ("category " ^ cat ^ " present") true
+        (List.exists (fun e -> String.equal e.Obs.cat cat) evs))
+    [ "session"; "queue"; "worker"; "wal"; "eval" ];
+  Alcotest.(check bool) "request ids attached" true
+    (List.exists
+       (fun e ->
+         String.equal e.Obs.cat "session"
+         && List.mem_assoc "req" e.Obs.args)
+       evs);
+  Alcotest.(check bool) "session lanes used" true
+    (List.exists (fun e -> e.Obs.tid >= Obs.lane_session 0) evs);
+  (* per-lane stack discipline and monotonicity, faults included *)
+  let depth = Hashtbl.create 8 and last = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let lane = (e.Obs.pid, e.Obs.tid) in
+      (match Hashtbl.find_opt last lane with
+      | Some ts when e.Obs.ts < ts ->
+          Alcotest.failf "lane %d:%d time went backwards" e.Obs.pid e.Obs.tid
+      | _ -> ());
+      Hashtbl.replace last lane e.Obs.ts;
+      let d =
+        match Hashtbl.find_opt depth lane with Some d -> d | None -> 0
+      in
+      match e.Obs.ph with
+      | Obs.B -> Hashtbl.replace depth lane (d + 1)
+      | Obs.E ->
+          if d <= 0 then
+            Alcotest.failf "lane %d:%d: E without B" e.Obs.pid e.Obs.tid;
+          Hashtbl.replace depth lane (d - 1)
+      | Obs.I -> ())
+    evs;
+  Hashtbl.iter
+    (fun (pid, tid) d ->
+      if d <> 0 then Alcotest.failf "lane %d:%d ends at depth %d" pid tid d)
+    depth
+
 let () =
   Alcotest.run "server"
     [
@@ -1224,6 +1311,8 @@ let () =
             test_server_persistence_across_restart;
           Alcotest.test_case "readonly healthz" `Quick
             test_server_readonly_healthz;
+          Alcotest.test_case "traced requests" `Quick
+            test_server_traced_requests;
           Alcotest.test_case "concurrent differential" `Quick
             test_server_concurrent_differential;
         ] );
